@@ -1,0 +1,162 @@
+"""Ablations: remove one design choice at a time and measure the damage.
+
+* **no submatching suppression** (SCM step 2) — the mapping stays
+  semantically minimal (Lemma 1 makes the extra emissions redundant) but
+  grows in size: redundancy the paper's step 2 exists to avoid;
+* **no prematch cache** (Section 7.1.3) — recomputing ``M(Q̂, K)`` from
+  scratch at every subset query multiplies matching work across the
+  TDQM traversal;
+* **no EDNF** (use full DNF in the safety check) — the partition is the
+  same (Lemma 3) but the number of terms examined explodes with the
+  conjunct size instead of the dependency degree;
+* **no PSafe** (rewrite every conjunction as one block) — correct but
+  non-compact: Disjunctivize cascades into a full DNF conversion.
+"""
+
+import time
+
+from repro.core.ast import conj, disj
+from repro.core.matching import Matcher, match_rule
+from repro.core.psafe import psafe
+from repro.core.scm import scm_translate
+from repro.core.subsume import prop_equivalent
+from repro.core.tdqm import disjunctivize, tdqm, tdqm_translate
+from repro.rules import K_AMAZON
+from repro.workloads.generator import (
+    chain_query,
+    dependent_conjunction,
+    synthetic_spec,
+    vocabulary,
+)
+from repro.workloads.paper_queries import figure2_q1, qbook
+
+
+class NoCacheMatcher(Matcher):
+    """Ablation: recompute the prematch on *every* call instead of caching.
+
+    The universe still grows monotonically (that part is a correctness
+    invariant — EDNF needs potential matchings reaching outside the
+    current subquery); only the memoization is removed, so each
+    ``matchings``/``potential`` call pays the full rule-matching cost.
+    """
+
+    def __init__(self, rules):
+        super().__init__(rules)
+        self._seen: frozenset = frozenset()
+
+    def potential(self, constraints):
+        self._seen = self._seen | frozenset(constraints)
+        ordered = sorted(self._seen, key=str)
+        found = []
+        for rule in self.rules:
+            found.extend(match_rule(rule, ordered))
+        return found
+
+    def matchings(self, constraints):
+        subset = frozenset(constraints)
+        return [m for m in self.potential(subset) if m.constraints <= subset]
+
+
+def test_ablate_submatching_suppression(benchmark, report):
+    query = figure2_q1()
+
+    def with_and_without():
+        result = scm_translate(query, K_AMAZON.matcher())
+        unsuppressed = conj(m.emission for m in result.all_matchings)
+        return result.mapping, unsuppressed
+
+    mapping, unsuppressed = benchmark(with_and_without)
+    # Semantically the redundant emissions change nothing (Lemma 1)...
+    # ...but propositionally the extra pdate term shows up as extra size.
+    assert unsuppressed.node_count() > mapping.node_count()
+    report(
+        "Ablation: SCM without submatching suppression",
+        [
+            f"with step 2   : {mapping.node_count()} nodes",
+            f"without step 2: {unsuppressed.node_count()} nodes "
+            "(redundant R7 emission retained)",
+        ],
+    )
+
+
+def test_ablate_prematch_cache(benchmark, report):
+    query = qbook()
+
+    def timed(matcher_factory):
+        best = float("inf")
+        for _ in range(5):
+            start = time.perf_counter()
+            tdqm_translate(query, matcher_factory())
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    cached = timed(K_AMAZON.matcher)
+    uncached = timed(lambda: NoCacheMatcher(K_AMAZON.rules))
+    assert prop_equivalent(
+        tdqm(query, K_AMAZON.matcher()),
+        tdqm(query, NoCacheMatcher(K_AMAZON.rules)),
+    )
+    report(
+        "Ablation: matcher without the Section 7.1.3 prematch",
+        [
+            f"cached   : {cached * 1e3:.2f} ms",
+            f"uncached : {uncached * 1e3:.2f} ms "
+            f"({uncached / cached:.1f}x slower on Q_book)",
+        ],
+    )
+    benchmark(lambda: tdqm_translate(query, NoCacheMatcher(K_AMAZON.rules)))
+
+
+def test_ablate_ednf(benchmark, report):
+    rows = ["   k   EDNF psafe(ms)   full-DNF psafe(ms)   same partition"]
+    for k in (2, 3, 4, 5):
+        query, spec = dependent_conjunction(4, k, 1, seed=3)
+        conjuncts = list(query.children)
+
+        def timed(use_ednf):
+            best = float("inf")
+            for _ in range(3):
+                start = time.perf_counter()
+                psafe(conjuncts, spec.matcher(), use_ednf=use_ednf)
+                best = min(best, time.perf_counter() - start)
+            return best
+
+        same = (
+            psafe(conjuncts, spec.matcher()).blocks
+            == psafe(conjuncts, spec.matcher(), use_ednf=False).blocks
+        )
+        assert same  # Lemma 3
+        rows.append(
+            f"{k:>4}   {timed(True) * 1e3:>13.2f}   {timed(False) * 1e3:>17.2f}"
+            f"   {same}"
+        )
+    report("Ablation: PSafe over full DNF instead of EDNF", rows)
+
+    query, spec = dependent_conjunction(4, 4, 1, seed=3)
+    benchmark(
+        lambda: psafe(list(query.children), spec.matcher(), use_ednf=False)
+    )
+
+
+def test_ablate_psafe(benchmark, report):
+    """Single-block rewriting == the blind conversion TDQM avoids."""
+    n = 8
+    spec = synthetic_spec([], singletons=vocabulary(2 * n), name="K_abl")
+    query = chain_query(n)
+
+    def no_psafe():
+        # Treat the whole conjunction as one inseparable block.
+        rewritten = disjunctivize(list(query.children))
+        return tdqm(rewritten, spec.matcher())
+
+    blind = benchmark(no_psafe)
+    smart = tdqm(query, spec.matcher())
+    assert prop_equivalent(blind, smart)
+    report(
+        "Ablation: TDQM without PSafe (single-block rewrite)",
+        [
+            f"with PSafe    : {smart.node_count()} nodes",
+            f"without PSafe : {blind.node_count()} nodes "
+            f"({blind.node_count() / smart.node_count():.0f}x larger at n={n})",
+        ],
+    )

@@ -1,0 +1,64 @@
+"""C2: Section 8's compactness claim — the TDQM/DNF size ratio grows ~2^n.
+
+On the worst-compactness shape ``(a1 ∨ b1) ∧ ... ∧ (an ∨ bn)`` with fully
+independent constraints, TDQM preserves the n-conjunct structure (output
+linear in n) while the DNF baseline materializes 2^n disjuncts.  The
+recorded table tracks the measured ratio against the paper's 2^n bound.
+"""
+
+import pytest
+
+from repro.core.dnf_mapper import dnf_map
+from repro.core.metrics import compactness_ratio
+from repro.core.tdqm import tdqm
+from repro.workloads.generator import chain_query, synthetic_spec, vocabulary
+
+N_SWEEP = (2, 4, 6, 8, 10, 12)
+
+
+def _spec(n: int):
+    return synthetic_spec([], singletons=vocabulary(2 * n), name=f"K_chain_{n}")
+
+
+def test_compactness_ratio_grows_exponentially(benchmark, report):
+    rows = ["   n   TDQM nodes   DNF nodes      ratio        2^n"]
+    ratios = {}
+    for n in N_SWEEP:
+        spec = _spec(n)
+        query = chain_query(n)
+        t = tdqm(query, spec)
+        d = dnf_map(query, spec)
+        ratio = compactness_ratio(d, t)
+        ratios[n] = ratio
+        rows.append(
+            f"{n:>4}   {t.node_count():>10}   {d.node_count():>9}   "
+            f"{ratio:>8.1f}   {2 ** n:>8}"
+        )
+    report("Section 8: compactness, TDQM vs DNF on (a∨b)^n", rows)
+    # Shape: the ratio must grow superlinearly with n (exponential trend).
+    assert ratios[12] > 8 * ratios[6]
+    assert ratios[12] > 100
+
+    spec = _spec(10)
+    query = chain_query(10)
+    benchmark(lambda: tdqm(query, spec))
+
+
+@pytest.mark.parametrize("n", [6, 10])
+def test_dnf_baseline_cost(benchmark, n):
+    spec = _spec(n)
+    query = chain_query(n)
+    benchmark(lambda: dnf_map(query, spec))
+
+
+def test_tdqm_output_linear_in_n(benchmark, report):
+    rows = ["   n   TDQM nodes   nodes/n"]
+    sizes = {}
+    for n in N_SWEEP:
+        t = tdqm(chain_query(n), _spec(n))
+        sizes[n] = t.node_count()
+        rows.append(f"{n:>4}   {t.node_count():>10}   {t.node_count() / n:>7.2f}")
+    report("Section 8: TDQM output stays linear in n", rows)
+    assert sizes[12] <= sizes[2] * 12  # linear, not exponential
+
+    benchmark(lambda: tdqm(chain_query(12), _spec(12)))

@@ -1,0 +1,77 @@
+"""C3: Section 8's safety-check cost model — EDNF pays ~2^(ne), full DNF
+pays 2^(nk).
+
+The workload is a conjunction of n disjunctive conjuncts, k constraints
+each, where exactly e constraints per conjunct participate in
+cross-conjunct pair rules.  The EDNF of each conjunct keeps only those e
+constraints (plus one ε), so the number of safety-check terms tracks the
+dependency degree — and collapses to a single all-ε term at e = 0 ("no
+dependencies, virtually no cost") — while the full-DNF check always
+processes k^n terms.
+"""
+
+import time
+
+from repro.core.dnf import dnf_term_count
+from repro.core.ednf import ednf
+from repro.core.psafe import psafe
+from repro.workloads.generator import dependent_conjunction
+
+N_CONJUNCTS = 4
+K_CONSTRAINTS = 4
+E_SWEEP = (0, 1, 2, 3, 4)
+
+
+def _ednf_term_product(query, matcher):
+    total = 1
+    for child in query.children:
+        total *= len(ednf(child, matcher).essential)
+    return total
+
+
+def test_ednf_terms_track_dependency_degree(benchmark, report):
+    rows = [
+        "   e   EDNF terms   (e+1)^n bound   full-DNF terms k^n   psafe time(ms)"
+    ]
+    term_counts = {}
+    for e in E_SWEEP:
+        query, spec = dependent_conjunction(N_CONJUNCTS, K_CONSTRAINTS, e, seed=0)
+        matcher = spec.matcher()
+        matcher.potential(query.constraints())
+        terms = _ednf_term_product(query, matcher)
+        term_counts[e] = terms
+        start = time.perf_counter()
+        psafe(list(query.children), spec.matcher())
+        elapsed = (time.perf_counter() - start) * 1e3
+        rows.append(
+            f"{e:>4}   {terms:>10}   {(e + 1) ** N_CONJUNCTS:>13}   "
+            f"{dnf_term_count(query):>18}   {elapsed:>13.2f}"
+        )
+    report(
+        f"Section 8: safety-check terms vs dependency degree "
+        f"(n={N_CONJUNCTS}, k={K_CONSTRAINTS})",
+        rows,
+    )
+    # e = 0: the EDNF collapses to one all-ε term — virtually no cost.
+    assert term_counts[0] == 1
+    # Term count grows with e but stays far below the full-DNF k^n count.
+    assert term_counts[4] > term_counts[1] > term_counts[0]
+    assert term_counts[4] <= dnf_term_count(
+        dependent_conjunction(N_CONJUNCTS, K_CONSTRAINTS, 4, seed=0)[0]
+    )
+
+    query, spec = dependent_conjunction(N_CONJUNCTS, K_CONSTRAINTS, 2, seed=0)
+    benchmark(lambda: psafe(list(query.children), spec.matcher()))
+
+
+def test_psafe_free_when_independent(benchmark, report):
+    query, spec = dependent_conjunction(6, 5, 0, seed=1)
+    result = benchmark(lambda: psafe(list(query.children), spec.matcher()))
+    assert result.is_fully_separable
+    report(
+        "Section 8: e = 0 — PSafe is virtually free",
+        [
+            f"full-DNF disjunct count would be {dnf_term_count(query)}; "
+            "EDNF checks a single all-ε term",
+        ],
+    )

@@ -1,0 +1,116 @@
+"""Extension benches: negation push-down and union-view federation.
+
+Neither is in the paper (negation is explicitly excluded; union views are
+sketched in one sentence of Section 2) — these benches document that the
+extensions preserve Eq. 1 ≡ Eq. 2 and what they cost.
+"""
+
+from repro.core.parser import parse_query
+from repro.core.printer import to_text
+from repro.core.tdqm import tdqm_translate
+from repro.mediator import bookstore_federation, bookstore_mediator
+from repro.rules import K_AMAZON
+
+
+def test_negation_pushdown(benchmark, report):
+    query = parse_query(
+        'not ([ln = "Clancy"] and [pyear = 1997]) and [publisher = "oreilly"]'
+    )
+    result = benchmark(lambda: tdqm_translate(query, K_AMAZON))
+    report(
+        "Extension: negation push-down",
+        [
+            f"Q    = {to_text(query)}",
+            f"S(Q) = {to_text(result.mapping)} "
+            "(complement constraints map to True; the filter re-checks them)",
+        ],
+    )
+
+
+def test_negation_end_to_end(benchmark, report):
+    mediator = bookstore_mediator("amazon")
+    queries = [
+        parse_query('not [ln = "Clancy"]'),
+        parse_query('not ([ln = "Clancy"] and [fn = "Tom"]) and [pyear = 1997]'),
+        parse_query("not [ti contains java (and) jdk]"),
+    ]
+
+    def run():
+        return [mediator.answer_mediated(q) for q in queries]
+
+    answers = benchmark(run)
+    for query, answer in zip(queries, answers):
+        assert mediator.check_equivalence(query)
+    report(
+        "Extension: negated queries, Eq.1 == Eq.2",
+        [f"  {to_text(q)[:60]:<62} rows={len(a.rows)}" for q, a in zip(queries, answers)],
+    )
+
+
+def test_wrapper_overhead(benchmark, report):
+    """Cost of grammar compensation: extra native calls + local re-check."""
+    import time
+
+    from repro.engine.grammar import QueryGrammar, Wrapper
+    from repro.engine.sources_builtin import make_amazon
+    from repro.workloads.datasets import random_books
+
+    rows = random_books(300, seed=31)
+    query = parse_query(
+        '([author = "Clancy, Tom"] or [author = "Smith"] or '
+        '[publisher = "oreilly"]) and [pdate during 97]'
+    )
+
+    def timed(source_factory, method):
+        best = float("inf")
+        for _ in range(5):
+            source = source_factory()
+            start = time.perf_counter()
+            getattr(source, method)("catalog", query)
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    unrestricted = timed(lambda: make_amazon(rows), "select_rows")
+
+    def restricted_factory():
+        source = make_amazon(rows)
+        source.grammar = QueryGrammar(allow_disjunction=False)
+        return source
+
+    wrapped = timed(restricted_factory, "execute_rows")
+    calls = len(
+        Wrapper(make_amazon(rows), QueryGrammar(allow_disjunction=False)).plan_calls(query)
+    )
+    report(
+        "Extension: wrapper overhead on a 300-book store",
+        [
+            f"native calls issued : {calls} (vs 1 unrestricted)",
+            f"unrestricted select : {unrestricted * 1e3:.2f} ms",
+            f"wrapped execute     : {wrapped * 1e3:.2f} ms "
+            f"({wrapped / unrestricted:.1f}x)",
+        ],
+    )
+    source = restricted_factory()
+    benchmark(lambda: source.execute_rows("catalog", query))
+
+
+def test_federation_pipeline(benchmark, report):
+    mediator = bookstore_federation()
+    queries = [
+        parse_query('[ln = "Clancy"] and [fn = "Tom"]'),
+        parse_query('[publisher = "mit"]'),
+        parse_query("[ti contains java (near) jdk]"),
+    ]
+
+    def run():
+        return [mediator.answer_mediated(q) for q in queries]
+
+    answers = benchmark(run)
+    rows = []
+    for query, answer in zip(queries, answers):
+        assert mediator.check_equivalence(query)
+        rows.append(
+            f"  {to_text(query)[:48]:<50} offers={len(answer.rows):>3} "
+            f"plans={len(answer.plans)}"
+        )
+    report("Extension: federated bookstores (union view)", rows)

@@ -1,0 +1,44 @@
+"""F2: regenerate the Figure 2 table (DESIGN.md row F2).
+
+Prints the same rows the paper's Figure 2 reports — each original
+constraint group and the Amazon constraint it maps to — and times
+Algorithm SCM on both queries.
+"""
+
+from repro.core.printer import to_text
+from repro.core.scm import scm_translate
+from repro.rules import K_AMAZON
+from repro.workloads.paper_queries import figure2_q1, figure2_q2
+
+
+def _figure_rows(query):
+    result = scm_translate(query, K_AMAZON)
+    rows = []
+    for matching in result.kept_matchings:
+        group = " ∧ ".join(sorted(str(c) for c in matching.constraints))
+        rows.append(f"  {group:<55} -> {to_text(matching.emission)}")
+    rows.append(f"  S = {to_text(result.mapping)}")
+    return result, rows
+
+
+def test_figure2_q1(benchmark, report):
+    query = figure2_q1()
+    result = benchmark(lambda: scm_translate(query, K_AMAZON))
+    assert to_text(result.mapping) == (
+        '[author = "Smith"] and [ti-word contains java (and) jdk] and '
+        "[pdate during May/97] and "
+        "([ti-word contains www] or [subject-word contains www])"
+    )
+    _result, rows = _figure_rows(query)
+    report("Figure 2 (top): Q1 -> S1 for Amazon", [f"Q1 = {to_text(query)}", *rows])
+
+
+def test_figure2_q2(benchmark, report):
+    query = figure2_q2()
+    result = benchmark(lambda: scm_translate(query, K_AMAZON))
+    assert to_text(result.mapping) == (
+        '[publisher = "oreilly"] and [title starts "jdk for java"] and '
+        '[subject = "programming"] and [isbn = "081815181Y"]'
+    )
+    _result, rows = _figure_rows(query)
+    report("Figure 2 (bottom): Q2 -> S2 for Amazon", [f"Q2 = {to_text(query)}", *rows])

@@ -1,0 +1,105 @@
+"""F9/E8: the map source — safety vs precise separability
+(DESIGN.md row F9/E8).
+
+Regenerates Example 8's two pairings and Figure 9's subsumption picture:
+the cheap safety test flags both pairings unsafe, the precise Theorem 3
+test (with semantic subsumption over a coordinate grid) separates the
+range pairing and rejects the mixed one.
+"""
+
+from repro.core.parser import parse_query
+from repro.core.printer import to_text
+from repro.core.safety import base_cross_matchings, is_safe_base, is_separable_base
+from repro.core.scm import scm
+from repro.core.subsume import empirical_subsumes
+from repro.engine.eval import evaluate_row
+from repro.engine.sources_builtin import MAP_SOURCE_VIRTUALS
+from repro.mediator import map_mediator
+from repro.rules import K_MAP
+from repro.workloads.datasets import grid_points
+
+F1 = parse_query("[x_min = 10]")
+F2 = parse_query("[x_max = 30]")
+F3 = parse_query("[y_min = 20]")
+F4 = parse_query("[y_max = 40]")
+
+GRID = grid_points(step=5, limit=60)
+
+
+def _semantic_subsumes(broad, narrow):
+    return empirical_subsumes(
+        broad, narrow, GRID,
+        lambda q, row: evaluate_row(q, row, MAP_SOURCE_VIRTUALS),
+    )
+
+
+def test_translation(benchmark, report):
+    query = parse_query(
+        "[x_min = 10] and [x_max = 30] and [y_min = 20] and [y_max = 40]"
+    )
+    mapping = benchmark(lambda: scm(query, K_MAP))
+    report(
+        "Example 8: rectangle translation",
+        [f"Q = {to_text(query)}", f"S(Q) = {to_text(mapping)}"],
+    )
+
+
+def test_range_pairing_separable(benchmark, report):
+    conjuncts = [frozenset({F1, F2}), frozenset({F3, F4})]
+    matcher = K_MAP.matcher()
+
+    def check():
+        return (
+            is_safe_base(conjuncts, matcher),
+            is_separable_base(conjuncts, matcher, subsumes=_semantic_subsumes),
+        )
+
+    safe, separable = benchmark(check)
+    assert not safe and separable
+    delta = base_cross_matchings(conjuncts, matcher)
+    report(
+        "Example 8: (f1 f2)(f3 f4) — redundant cross-matchings",
+        [
+            f"safe (Def. 5) = {safe}   separable (Thm. 3) = {separable}",
+            f"cross-matchings = {len(delta)} (both redundant via Eq. 6)",
+        ],
+    )
+
+
+def test_mixed_pairing_inseparable(benchmark, report):
+    conjuncts = [frozenset({F1, F4}), frozenset({F2, F3})]
+    matcher = K_MAP.matcher()
+    separable = benchmark(
+        lambda: is_separable_base(conjuncts, matcher, subsumes=_semantic_subsumes)
+    )
+    assert not separable
+    report(
+        "Example 8: (f1 f4)(f2 f3) — essential cross-matchings",
+        [f"separable (Thm. 3) = {separable} (S(Ci) are True; Eq. 6 fails)"],
+    )
+
+
+def test_figure9_subsumption_counts(benchmark, report):
+    mediator = map_mediator(rows=GRID)
+    source = mediator.sources["G"]
+
+    def run():
+        corner = source.select_rows("points", parse_query("[C_ll = (10, 20)]"))
+        rect = source.select_rows(
+            "points",
+            parse_query("[X_range = (10:30)] and [Y_range = (20:40)]"),
+        )
+        return corner, rect
+
+    corner, rect = benchmark(run)
+    corner_ids = {r["id"] for r in corner}
+    rect_ids = {r["id"] for r in rect}
+    assert rect_ids <= corner_ids
+    assert "p50_30" in corner_ids - rect_ids
+    report(
+        "Figure 9: g3 subsumes g1 g2",
+        [
+            f"|g3| = {len(corner_ids)} points   |g1 g2| = {len(rect_ids)} points",
+            "witness (50, 30): in g3, not in g1 g2",
+        ],
+    )

@@ -1,0 +1,75 @@
+"""Algorithm × workload summary matrix.
+
+One table that puts the whole evaluation side by side: for each workload
+shape (simple conjunction, independent chain, dependent tree, paper
+queries), the time and output size of Algorithm DNF vs Algorithm TDQM,
+plus the PSafe partition character.  A compact, reproducible restatement
+of Sections 5, 6, and 8 in a single view.
+"""
+
+import time
+
+from repro.core.ast import And
+from repro.core.dnf_mapper import dnf_map
+from repro.core.psafe import psafe
+from repro.core.tdqm import tdqm
+from repro.rules import K_AMAZON
+from repro.workloads.generator import (
+    chain_query,
+    dependent_conjunction,
+    simple_conjunction,
+    synthetic_spec,
+    vocabulary,
+)
+from repro.workloads.paper_queries import example2_query, figure2_q1, qbook
+
+
+def _workloads():
+    chain_spec = synthetic_spec([], singletons=vocabulary(20), name="K_chain")
+    dep_query, dep_spec = dependent_conjunction(4, 3, 1, seed=5)
+    flat_spec = synthetic_spec(
+        [("a0", "a1")], singletons=vocabulary(12), name="K_flat"
+    )
+    return [
+        ("simple conjunction (N=12)", simple_conjunction(vocabulary(12), 0), flat_spec),
+        ("independent chain (n=8)", chain_query(8), chain_spec),
+        ("dependent conjunction (n=4,k=3,e=1)", dep_query, dep_spec),
+        ("Figure 2 Q1", figure2_q1(), K_AMAZON),
+        ("Example 2", example2_query(), K_AMAZON),
+        ("Q_book (Figure 7)", qbook(), K_AMAZON),
+    ]
+
+
+def _time(fn, repeat=3):
+    best = float("inf")
+    for _ in range(repeat):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best * 1e3
+
+
+def test_algorithm_matrix(benchmark, report):
+    header = (
+        f"{'workload':<36} {'TDQM ms':>8} {'DNF ms':>8} "
+        f"{'TDQM nodes':>11} {'DNF nodes':>10} {'blocks':>7}"
+    )
+    rows = [header]
+    for label, query, spec in _workloads():
+        t_ms = _time(lambda: tdqm(query, spec.matcher()))
+        d_ms = _time(lambda: dnf_map(query, spec.matcher()))
+        t_nodes = tdqm(query, spec.matcher()).node_count()
+        d_nodes = dnf_map(query, spec.matcher()).node_count()
+        if isinstance(query, And) and not all(c.is_leaf for c in query.children):
+            partition = psafe(list(query.children), spec.matcher())
+            blocks = "/".join(str(len(b)) for b in partition.blocks)
+        else:
+            blocks = "-"
+        rows.append(
+            f"{label:<36} {t_ms:>8.2f} {d_ms:>8.2f} "
+            f"{t_nodes:>11} {d_nodes:>10} {blocks:>7}"
+        )
+    report("Algorithm x workload matrix (Sections 5/6/8)", rows)
+
+    query = qbook()
+    benchmark(lambda: tdqm(query, K_AMAZON.matcher()))

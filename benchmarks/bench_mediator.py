@@ -1,0 +1,71 @@
+"""C5: end-to-end correctness — Eq. 1 ≡ Eq. 2 under load.
+
+Runs the full mediation pipeline (translate -> execute natively ->
+convert -> filter) on randomized bookstore and faculty datasets, timing
+the mediated path and verifying it returns exactly the direct answer.
+"""
+
+import pytest
+
+from repro.core.parser import parse_query
+from repro.core.printer import to_text
+from repro.mediator import bookstore_mediator, faculty_mediator
+from repro.workloads.datasets import (
+    random_books,
+    random_papers_and_aubib,
+    random_profs,
+)
+
+BOOK_QUERIES = [
+    '[ln = "Clancy"] and [fn = "Tom"]',
+    "[pyear = 1997] and [pmonth = 5]",
+    '([ln = "Clancy"] or [ln = "Klancy"]) and [fn = "Tom"]',
+    "[ti contains java (near) jdk]",
+    '([kwd contains www] or ([ln = "Smith"] and [fn = "John"])) and [pyear = 1997]',
+]
+
+
+@pytest.mark.parametrize("n_books", [50, 200])
+def test_bookstore_pipeline(benchmark, report, n_books):
+    mediator = bookstore_mediator("amazon", rows=random_books(n_books, seed=13))
+    queries = [parse_query(text) for text in BOOK_QUERIES]
+
+    def run():
+        return [mediator.answer_mediated(q) for q in queries]
+
+    answers = benchmark(run)
+    rows = []
+    for query, answer in zip(queries, answers):
+        direct = mediator.answer_direct(query)
+        assert sorted(map(str, direct)) == sorted(map(str, answer.rows))
+        rows.append(
+            f"  {to_text(query)[:58]:<60} rows={len(answer.rows):>4}  "
+            f"F={to_text(answer.plan.filter)[:40]}"
+        )
+    report(f"Eq.1 == Eq.2: Amazon bookstore, {n_books} books", rows)
+
+
+def test_faculty_pipeline(benchmark, report):
+    papers, aubib = random_papers_and_aubib(12, papers_per_author=3, seed=21)
+    profs = random_profs(aubib, seed=22)
+    mediator = faculty_mediator(papers=papers, aubib=aubib, prof=profs)
+    queries = [
+        parse_query(
+            "[fac.ln = pub.ln] and [fac.fn = pub.fn] and "
+            "[fac.bib contains data (near) mining] and [fac.dept = cs]"
+        ),
+        parse_query("[fac.dept = cs] or [fac.dept = ee]"),
+        parse_query("[fac.bib contains data (and) mining]"),
+    ]
+
+    def run():
+        return [mediator.answer_mediated(q) for q in queries]
+
+    answers = benchmark(run)
+    rows = []
+    for query, answer in zip(queries, answers):
+        assert mediator.check_equivalence(query)
+        rows.append(
+            f"  {to_text(query)[:58]:<60} rows={len(answer.rows):>4}"
+        )
+    report("Eq.1 == Eq.2: faculty mediator (T1 + T2), randomized data", rows)

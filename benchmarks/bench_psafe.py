@@ -1,0 +1,58 @@
+"""E12-E14/F12: conjunct partitioning (DESIGN.md row E12-E14/F12).
+
+Regenerates the partitions of Example 12 (Q̂_book), Example 13/14 (Q̂a and
+Q̂b of Figure 12), and times Algorithm PSafe on each.
+"""
+
+from repro.core.printer import to_text
+from repro.core.psafe import psafe
+from repro.rules import K_AMAZON
+from repro.workloads.paper_queries import (
+    example13_qa,
+    example13_qb,
+    example13_spec,
+    qbook,
+)
+
+
+def _describe(query, result):
+    lines = [f"Q = {to_text(query)}"]
+    for m in result.cross_matchings:
+        group = ", ".join(sorted(str(c) for c in m.constraints))
+        cands = [
+            "{" + ", ".join(f"C{i + 1}" for i in sorted(block)) + "}"
+            for block in m.candidates
+        ]
+        lines.append(f"  cross-matching (term {m.term_id}): {{{group}}} "
+                     f"candidates: {', '.join(cands)}")
+    blocks = [
+        "{" + ", ".join(f"C{i + 1}" for i in block) + "}" for block in result.blocks
+    ]
+    lines.append(f"  partition: {', '.join(blocks)}")
+    return lines
+
+
+def test_example12_qbook_partition(benchmark, report):
+    query = qbook()
+    conjuncts = list(query.children)
+    result = benchmark(lambda: psafe(conjuncts, K_AMAZON.matcher()))
+    assert [list(b) for b in result.blocks] == [[0], [1, 2]]
+    report("Example 12: partitioning Q_book", _describe(query, result))
+
+
+def test_example13_qa(benchmark, report):
+    spec = example13_spec()
+    query = example13_qa()
+    conjuncts = list(query.children)
+    result = benchmark(lambda: psafe(conjuncts, spec.matcher()))
+    assert [list(b) for b in result.blocks] == [[0, 1], [2]]
+    report("Example 13/14: Qa = (x)(y)(yu v v)", _describe(query, result))
+
+
+def test_example14_qb(benchmark, report):
+    spec = example13_spec()
+    query = example13_qb()
+    conjuncts = list(query.children)
+    result = benchmark(lambda: psafe(conjuncts, spec.matcher()))
+    assert [list(b) for b in result.blocks] == [[0, 1, 2]]
+    report("Example 13/14: Qb = (x)(y v u)(y v v)", _describe(query, result))

@@ -1,0 +1,83 @@
+"""F7/E6: Q̂_book — TDQM's top-down mapping vs the DNF baseline
+(DESIGN.md row F7/E6).
+
+Regenerates Figure 7's EDNF annotations and Example 6's walkthrough:
+TDQM partitions {Č1} / {Č2, Č3}, rewrites only the dependent block, and
+produces a mapping several times more compact than the blind DNF route.
+"""
+
+from repro.core.dnf_mapper import dnf_map_translate
+from repro.core.ednf import ednf, format_terms
+from repro.core.printer import render_tree, to_text
+from repro.core.subsume import prop_equivalent
+from repro.core.tdqm import tdqm_translate
+from repro.rules import K_AMAZON
+from repro.workloads.paper_queries import qbook
+
+
+def _annotations(info, out):
+    out[id(info.node)] = f"De = {format_terms(info.essential)}"
+    for child in info.children:
+        _annotations(child, out)
+    return out
+
+
+def test_qbook_tdqm(benchmark, report):
+    query = qbook()
+    result = benchmark(lambda: tdqm_translate(query, K_AMAZON))
+    assert result.stats.blocks_rewritten == 1
+    assert result.stats.psafe_calls == 1
+
+    info = ednf(query, K_AMAZON.matcher())
+    tree = render_tree(query, _annotations(info, {}))
+    report(
+        "Figure 7: Q_book with EDNF annotations",
+        tree.splitlines()
+        + [
+            "",
+            f"TDQM mapping ({result.mapping.node_count()} nodes): "
+            f"{to_text(result.mapping)}",
+            f"work: scm_calls={result.stats.scm_calls} "
+            f"psafe_calls={result.stats.psafe_calls} "
+            f"blocks_rewritten={result.stats.blocks_rewritten}",
+        ],
+    )
+
+
+def test_qbook_dnf_baseline(benchmark, report):
+    query = qbook()
+    result = benchmark(lambda: dnf_map_translate(query, K_AMAZON))
+    assert result.disjunct_count == 6
+    report(
+        "Example 6: DNF baseline on Q_book",
+        [
+            f"DNF mapping ({result.mapping.node_count()} nodes, "
+            f"{result.disjunct_count} disjuncts, "
+            f"{result.constraint_slots} constraint slots): "
+            f"{to_text(result.mapping)}",
+        ],
+    )
+
+
+def test_qbook_equivalence_and_compactness(benchmark, report):
+    query = qbook()
+
+    def both():
+        t = tdqm_translate(query, K_AMAZON)
+        d = dnf_map_translate(query, K_AMAZON)
+        return t, d
+
+    t, d = benchmark(both)
+    assert prop_equivalent(t.mapping, d.mapping)
+    ratio = d.mapping.node_count() / t.mapping.node_count()
+    assert ratio > 2
+    report(
+        "Example 6: compactness comparison",
+        [
+            f"TDQM nodes = {t.mapping.node_count()}   "
+            f"DNF nodes = {d.mapping.node_count()}   ratio = {ratio:.2f}x",
+            "TDQM constraint slots = "
+            f"{t.stats.constraint_slots} vs DNF = {d.constraint_slots} "
+            "(repeated work on f_y, f_m in the disjuncts)",
+        ],
+    )

@@ -1,0 +1,59 @@
+"""Scale bench: the whole pipeline under a larger store and workload.
+
+Not a paper figure — a sanity check that the implementation's costs stay
+sane as data grows: translation cost is independent of store size, and
+mediated answering stays proportional to the native result volume.
+"""
+
+import time
+
+import pytest
+
+from repro.core.parser import parse_query
+from repro.core.tdqm import tdqm
+from repro.mediator import bookstore_mediator
+from repro.rules import K_AMAZON
+from repro.workloads.datasets import random_books
+
+WORKLOAD = [
+    '[ln = "Clancy"] and [fn = "Tom"]',
+    '([ln = "Clancy"] or [ln = "Klancy"] or [ln = "Smith"]) and [pyear = 1997]',
+    "[ti contains java (near) jdk] and [pyear = 1997] and [pmonth = 5]",
+    "[kwd contains www] or [kwd contains web]",
+    '[publisher = "oreilly"] and [category = "D.3"]',
+    "[pyear = 1996] or [pyear = 1997]",
+    'not [ln = "Smith"] and [pyear = 1997]',
+    '[id-no = "000000042X"]',
+]
+
+
+def test_translation_independent_of_store_size(benchmark, report):
+    queries = [parse_query(text) for text in WORKLOAD]
+
+    def translate_all():
+        return [tdqm(q, K_AMAZON) for q in queries]
+
+    benchmark(translate_all)
+    report(
+        "Scale: translation cost is data-independent",
+        [f"{len(WORKLOAD)} queries translated; no store access involved"],
+    )
+
+
+@pytest.mark.parametrize("n_books", [100, 400, 1600])
+def test_pipeline_scales_with_data(benchmark, report, n_books):
+    mediator = bookstore_mediator("amazon", rows=random_books(n_books, seed=99))
+    queries = [parse_query(text) for text in WORKLOAD]
+
+    def run():
+        return [mediator.answer_mediated(q) for q in queries]
+
+    answers = benchmark.pedantic(run, rounds=3, iterations=1)
+    total = sum(len(a.rows) for a in answers)
+    # Spot-check correctness at scale on a subset of the workload.
+    for q in queries[:3]:
+        assert mediator.check_equivalence(q)
+    report(
+        f"Scale: mediated pipeline at {n_books} books",
+        [f"{len(WORKLOAD)} queries -> {total} result rows"],
+    )

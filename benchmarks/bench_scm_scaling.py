@@ -1,0 +1,75 @@
+"""C1: Section 4.4's claim — SCM runs in time ~linear in N, P, R.
+
+Sweeps the number of query constraints N (at fixed rule count) and the
+number of rules R (at fixed N), timing Algorithm SCM including the rule
+prematch.  The recorded table shows time growing roughly linearly — the
+time-per-unit column should stay flat — while the quadratic M term stays
+invisible because realistic matchings are sparse.
+"""
+
+import time
+
+import pytest
+
+from repro.core.scm import scm
+from repro.workloads.generator import simple_conjunction, synthetic_spec, vocabulary
+
+N_SWEEP = (4, 8, 16, 32, 64, 128)
+R_SWEEP = (5, 10, 20, 40, 80)
+
+
+def _spec_with_rules(r_count: int):
+    attrs = vocabulary(r_count)
+    return synthetic_spec([], singletons=attrs, name=f"K_{r_count}")
+
+
+def _time(fn, repeat: int = 5) -> float:
+    best = float("inf")
+    for _ in range(repeat):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_scm_linear_in_n(benchmark, report):
+    spec = _spec_with_rules(128)
+    rows = ["   N    time(ms)   time/N (us)"]
+    times = {}
+    for n in N_SWEEP:
+        query = simple_conjunction(vocabulary(n), 0)
+        elapsed = _time(lambda q=query: scm(q, spec.matcher()))
+        times[n] = elapsed
+        rows.append(f"{n:>4}    {elapsed * 1e3:8.3f}   {elapsed / n * 1e6:10.2f}")
+    report("Section 4.4: SCM time vs N (R = 128 rules)", rows)
+    # Shape check: doubling N should not cost anything near quadratic.
+    assert times[128] < times[4] * (128 / 4) ** 1.7
+
+    query = simple_conjunction(vocabulary(32), 0)
+    benchmark(lambda: scm(query, spec.matcher()))
+
+
+def test_scm_linear_in_r(benchmark, report):
+    query = simple_conjunction(vocabulary(16), 0)
+    rows = ["   R    time(ms)   time/R (us)"]
+    times = {}
+    for r in R_SWEEP:
+        spec = _spec_with_rules(r)
+        elapsed = _time(lambda s=spec: scm(query, s.matcher()))
+        times[r] = elapsed
+        rows.append(f"{r:>4}    {elapsed * 1e3:8.3f}   {elapsed / r * 1e6:10.2f}")
+    report("Section 4.4: SCM time vs R (N = 16 constraints)", rows)
+    assert times[80] < times[5] * (80 / 5) ** 1.7
+
+    spec = _spec_with_rules(40)
+    benchmark(lambda: scm(query, spec.matcher()))
+
+
+@pytest.mark.parametrize("pairs", [0, 4, 8])
+def test_scm_with_dependencies(benchmark, pairs):
+    """The quadratic M term: pair rules add matchings without blowing up."""
+    attrs = vocabulary(16)
+    groups = [(attrs[2 * i], attrs[2 * i + 1]) for i in range(pairs // 2)]
+    spec = synthetic_spec(groups, singletons=attrs, name=f"K_dep_{pairs}")
+    query = simple_conjunction(attrs, 0)
+    benchmark(lambda: scm(query, spec.matcher()))

@@ -1,0 +1,46 @@
+"""Shared reporting machinery for the benchmark harness.
+
+Every bench regenerates one table/figure/claim of the paper (see the
+per-experiment index in DESIGN.md).  Besides the pytest-benchmark timing
+table, each bench *records* the rows it reproduces; those records are
+
+* printed in the terminal summary (so they survive pytest's capture), and
+* written to ``benchmarks/results/<bench>.txt`` for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+_RECORDS: list[tuple[str, list[str]]] = []
+
+
+def record(title: str, lines: list[str]) -> None:
+    """Register one reproduced artifact (a figure/table) for the summary."""
+    _RECORDS.append((title, [str(line) for line in lines]))
+
+
+@pytest.fixture()
+def report():
+    """Fixture handle on :func:`record` for benches."""
+    return record
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _RECORDS:
+        return
+    RESULTS_DIR.mkdir(exist_ok=True)
+    tr = terminalreporter
+    tr.section("reproduced paper artifacts")
+    for title, lines in _RECORDS:
+        tr.write_line("")
+        tr.write_line(f"--- {title} ---")
+        for line in lines:
+            tr.write_line(line)
+        slug = "".join(ch if ch.isalnum() else "_" for ch in title).strip("_")
+        path = RESULTS_DIR / f"{slug[:60]}.txt"
+        path.write_text("\n".join([title, *lines]) + "\n")

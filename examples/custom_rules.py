@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Writing your own mapping specification with the rule DSL.
+
+Scenario: a price-comparison mediator exposes product constraints in
+inches and dollars; the target catalog stores centimeters and integer
+cents, under different attribute names.  One rule per constraint family,
+including a two-constraint dependency (a price *band* must be shipped as
+one range constraint) and a vocabulary audit to catch missing rules.
+
+Run:  python examples/custom_rules.py
+"""
+
+from repro import C, parse_query, tdqm, to_text
+from repro.conversions.units import inches_to_cm, usd_to_cents
+from repro.core.values import Range
+from repro.rules import MappingSpecification, audit_vocabulary
+from repro.rules.dsl import V, cpat, rule, value_is
+
+# --- rules --------------------------------------------------------------------
+
+width_rule = rule(
+    "R_width",
+    patterns=[cpat("width-in", "=", V("W"))],
+    where=[value_is("W")],
+    let={"CM": lambda b: inches_to_cm(b["W"])},
+    emit=lambda b: C("width_cm", "=", b["CM"]),
+    exact=True,
+    doc="unit conversion: inches -> centimeters",
+)
+
+# price-min and price-max are inter-dependent: the target only accepts a
+# single range constraint, so the pair must be translated together.
+price_band_rule = rule(
+    "R_price_band",
+    patterns=[cpat("price-min", "=", V("LO")), cpat("price-max", "=", V("HI"))],
+    where=[value_is("LO", "HI")],
+    let={"R": lambda b: Range(usd_to_cents(b["LO"]), usd_to_cents(b["HI"]))},
+    emit=lambda b: C("cents_range", "=", b["R"]),
+    exact=True,
+    doc="dollar band -> integer-cent range (dependent pair)",
+)
+
+price_cap_rule = rule(
+    "R_price_cap",
+    patterns=[cpat("price-max", "=", V("HI"))],
+    where=[value_is("HI")],
+    let={"R": lambda b: Range(0, usd_to_cents(b["HI"]))},
+    emit=lambda b: C("cents_range", "=", b["R"]),
+    exact=True,
+    doc="a lone maximum becomes a 0-based range",
+)
+
+name_rule = rule(
+    "R_name",
+    patterns=[cpat("product", "=", V("N"))],
+    where=[value_is("N")],
+    emit=lambda b: C("sku_name", "=", b["N"]),
+    exact=True,
+)
+
+K_CATALOG = MappingSpecification(
+    name="K_catalog",
+    target="metric-catalog",
+    rules=(width_rule, price_band_rule, price_cap_rule, name_rule),
+    description="demo: unit + currency conversion with a dependent pair",
+)
+
+# --- translate ------------------------------------------------------------------
+
+queries = [
+    '[product = "desk"] and [width-in = 3]',
+    '[product = "desk"] and [price-min = 10.5] and [price-max = 19.99]',
+    '[price-max = 5] or ([product = "lamp"] and [width-in = 12])',
+]
+for text in queries:
+    query = parse_query(text)
+    print(f"{to_text(query)}\n  -> {to_text(tdqm(query, K_CATALOG))}\n")
+
+# --- audit the vocabulary --------------------------------------------------------
+
+sample = [
+    C("product", "=", "desk"),
+    C("width-in", "=", 3),
+    C("price-min", "=", 10.0),
+    C("price-max", "=", 20.0),
+    C("color", "=", "red"),  # no rule: will map to True and be flagged
+]
+report = audit_vocabulary(K_CATALOG, sample)
+print("vocabulary audit:")
+print(report)

@@ -1,0 +1,115 @@
+#!/usr/bin/env python
+"""A complete integration written as data: the film-catalog scenario.
+
+No Python rule code at all — the mapping specification is a JSON-shaped
+dict (reviewable, diffable, loadable from a file), the source is three
+declarations, and the pipeline still guarantees Eq. 1 ≡ Eq. 2.
+
+Run:  python examples/declarative_integration.py
+"""
+
+from repro import parse_query, to_text
+from repro.engine import BaseRef, Capability, Relation, Source, ViewDef
+from repro.mediator import Mediator
+from repro.rules.declarative import spec_from_dict
+
+SPEC = {
+    "name": "K_films",
+    "target": "filmdb",
+    "rules": [
+        {
+            "name": "R_title",
+            "match": [{"attr": "title", "op": "=", "bind": "T"}],
+            "where": [{"cond": "value_is", "vars": ["T"]}],
+            "emit": {"attr": "name", "op": "=", "value": "$T"},
+            "exact": True,
+        },
+        {
+            "name": "R_director_pair",
+            "doc": "first+last name are inter-dependent (one stored field)",
+            "match": [
+                {"attr": "dir-ln", "op": "=", "bind": "L"},
+                {"attr": "dir-fn", "op": "=", "bind": "F"},
+            ],
+            "where": [{"cond": "value_is", "vars": ["L", "F"]}],
+            "let": [{"var": "N", "fn": "ln_fn_to_name", "args": ["$L", "$F"]}],
+            "emit": {"attr": "director", "op": "=", "value": "$N"},
+            "exact": True,
+        },
+        {
+            "name": "R_decade",
+            "doc": "a mediator decade becomes a year band at the source",
+            "match": [{"attr": "decade", "op": "=", "bind": "D"}],
+            "where": [{"cond": "value_is", "vars": ["D"]}],
+            "let": [
+                {"var": "LO", "fn": "int", "args": ["$D"]},
+                {"var": "HI", "fn": "plus10", "args": ["$D"]},
+            ],
+            "emit": {
+                "all": [
+                    {"attr": "year", "op": ">=", "value": "$LO"},
+                    {"attr": "year", "op": "<", "value": "$HI"},
+                ]
+            },
+            "exact": True,
+        },
+    ],
+}
+
+FILMS = (
+    {"name": "Heat", "director": "Mann, Michael", "year": 1995},
+    {"name": "Collateral", "director": "Mann, Michael", "year": 2004},
+    {"name": "Alien", "director": "Scott, Ridley", "year": 1979},
+    {"name": "Blade Runner", "director": "Scott, Ridley", "year": 1982},
+)
+
+spec = spec_from_dict(SPEC, functions={"plus10": lambda d: int(d) + 10})
+
+source = Source(
+    "filmdb",
+    {"films": Relation("films", ("name", "director", "year"), FILMS)},
+    Capability.of(
+        selections=[("name", "="), ("director", "="), ("year", ">="), ("year", "<")]
+    ),
+)
+
+
+def film_row(by_alias):
+    row = by_alias["films"]
+    ln, fn = row["director"].split(", ")
+    return {
+        "title": row["name"],
+        "dir-ln": ln,
+        "dir-fn": fn,
+        "decade": (row["year"] // 10) * 10,
+    }
+
+
+mediator = Mediator(
+    views={
+        "film": ViewDef(
+            name="film",
+            attributes=("title", "dir-ln", "dir-fn", "decade"),
+            bases=(BaseRef("filmdb", "films"),),
+            combine=film_row,
+        )
+    },
+    sources={"filmdb": source},
+    specs={"filmdb": spec},
+)
+
+for text in (
+    '[dir-ln = "Scott"] and [dir-fn = "Ridley"] and [decade = 1980]',
+    "[decade = 1990] or [decade = 2000]",
+    '[dir-ln = "Mann"]',
+):
+    query = parse_query(text)
+    answer = mediator.answer_mediated(query)
+    titles = sorted(dict(row[0][2])["title"] for row in answer.rows)
+    print(f"{to_text(query)}")
+    print(f"  native : {to_text(answer.plan.mappings['filmdb'])}")
+    print(f"  filter : {to_text(answer.plan.filter)}")
+    print(f"  result : {titles}\n")
+    assert mediator.check_equivalence(query)
+
+print("all declarative-spec queries verified (Eq. 1 == Eq. 2)")

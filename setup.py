@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The project metadata lives in pyproject.toml; this file exists so that
+``pip install -e . --no-build-isolation`` works on offline machines whose
+setuptools predates bundled bdist_wheel (PEP 660 editable installs need the
+separate ``wheel`` package there).
+"""
+
+from setuptools import setup
+
+setup()

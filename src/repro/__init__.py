@@ -1,0 +1,115 @@
+"""vocabmap — constraint-query mapping across heterogeneous sources.
+
+A full reproduction of Chang & Garcia-Molina, "Mind Your Vocabulary:
+Query Mapping Across Heterogeneous Information Sources" (SIGMOD 1999,
+extended version): the rule-based constraint mapping framework, Algorithms
+SCM / DNF / PSafe / TDQM and Procedure EDNF, plus a relational mediation
+substrate to execute and verify translations end-to-end.
+
+Quickstart::
+
+    from repro import parse_query, tdqm, K_AMAZON, to_text
+    q = parse_query('([ln = "Clancy"] or [ln = "Klancy"]) and [fn = "Tom"]')
+    print(to_text(tdqm(q, K_AMAZON)))
+    # [author = "Clancy, Tom"] or [author = "Klancy, Tom"]
+"""
+
+from repro.core import (
+    FALSE,
+    TRUE,
+    And,
+    AttrRef,
+    BoolConst,
+    C,
+    CapabilityError,
+    Constraint,
+    Matcher,
+    Matching,
+    Or,
+    ParseError,
+    Query,
+    RejectMatch,
+    Rule,
+    RuleError,
+    TranslationError,
+    VocabMapError,
+    attr,
+    build_filter,
+    compactness,
+    compactness_ratio,
+    conj,
+    disj,
+    disjunctivize,
+    dnf_map,
+    explain_translation,
+    dnf_map_translate,
+    dnf_term_count,
+    dnf_terms,
+    ednf,
+    is_safe,
+    is_safe_base,
+    is_separable_base,
+    is_separable_general,
+    normalize,
+    parse_query,
+    prop_equivalent,
+    prop_implies,
+    psafe,
+    psafe_partition,
+    query_stats,
+    render_tree,
+    scm,
+    simplify_query,
+    scm_translate,
+    tdqm,
+    tdqm_translate,
+    to_dnf,
+    to_text,
+    translate_for_sources,
+)
+from repro.mediator import (
+    Mediator,
+    bookstore_federation,
+    bookstore_mediator,
+    faculty_mediator,
+    map_mediator,
+)
+from repro.rules import (
+    K1,
+    K2,
+    K_AMAZON,
+    K_CLBOOKS,
+    K_MAP,
+    MappingSpecification,
+    audit_vocabulary,
+    builtin_specifications,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # query algebra
+    "Query", "Constraint", "And", "Or", "BoolConst", "TRUE", "FALSE",
+    "AttrRef", "attr", "C", "conj", "disj",
+    "parse_query", "to_text", "render_tree", "normalize",
+    "to_dnf", "dnf_terms", "dnf_term_count",
+    # algorithms
+    "scm", "scm_translate", "dnf_map", "dnf_map_translate",
+    "tdqm", "tdqm_translate", "disjunctivize",
+    "psafe", "psafe_partition", "ednf",
+    "is_safe", "is_safe_base", "is_separable_base", "is_separable_general",
+    "prop_equivalent", "prop_implies",
+    "build_filter", "translate_for_sources", "explain_translation",
+    "query_stats", "compactness", "compactness_ratio", "simplify_query",
+    # rules
+    "Rule", "Matching", "Matcher", "RejectMatch", "MappingSpecification",
+    "audit_vocabulary", "builtin_specifications",
+    "K_AMAZON", "K_CLBOOKS", "K1", "K2", "K_MAP",
+    # mediation
+    "Mediator", "bookstore_mediator", "bookstore_federation",
+    "faculty_mediator", "map_mediator",
+    # errors
+    "VocabMapError", "ParseError", "RuleError", "TranslationError",
+    "CapabilityError",
+]

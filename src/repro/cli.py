@@ -1,0 +1,168 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``translate``
+    Translate a query for a target specification::
+
+        python -m repro translate K_Amazon '[ln = "Clancy"] and [fn = "Tom"]'
+
+``explain``
+    Narrate the whole TDQM run (cases, partitions, matchings)::
+
+        python -m repro explain K_Amazon '([ln = "a"] or [ln = "b"]) and [fn = "c"]'
+
+``filter``
+    Show per-source mappings plus the residue filter F (Eq. 2/3)::
+
+        python -m repro filter K1,K2 '[fac.dept = cs]'
+
+``specs``
+    List the built-in mapping specifications and their rules.
+
+``audit``
+    Report which of a query's constraints no rule can touch::
+
+        python -m repro audit K_Amazon '[ln = "x"] and [shoe-size = 9]'
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.errors import VocabMapError
+from repro.core.explain import explain_translation
+from repro.core.filters import build_filter
+from repro.core.parser import parse_query
+from repro.core.printer import to_text
+from repro.core.tdqm import tdqm_translate
+from repro.rules import audit_vocabulary, builtin_specifications
+
+__all__ = ["main", "build_arg_parser"]
+
+
+def _spec(name: str, spec_file: str | None = None):
+    if spec_file is not None:
+        import json
+
+        from repro.rules.declarative import spec_from_dict
+
+        with open(spec_file) as handle:
+            data = json.load(handle)
+        if isinstance(data, list):
+            loaded = {entry["name"]: spec_from_dict(entry) for entry in data}
+        else:
+            spec = spec_from_dict(data)
+            loaded = {spec.name: spec}
+        if name in loaded:
+            return loaded[name]
+        if len(loaded) == 1 and name in ("", "-"):
+            return next(iter(loaded.values()))
+        known = ", ".join(sorted(loaded))
+        raise SystemExit(f"{spec_file} defines {known}, not {name!r}")
+    specs = builtin_specifications()
+    if name not in specs:
+        known = ", ".join(sorted(specs))
+        raise SystemExit(f"unknown specification {name!r}; built-ins: {known}")
+    return specs[name]
+
+
+def _cmd_translate(args) -> int:
+    query = parse_query(args.query)
+    result = tdqm_translate(query, _spec(args.spec, args.spec_file))
+    print(to_text(result.mapping))
+    if args.verbose:
+        print(f"exact: {result.exact}", file=sys.stderr)
+    return 0
+
+
+def _cmd_explain(args) -> int:
+    query = parse_query(args.query)
+    print(explain_translation(query, _spec(args.spec, args.spec_file)))
+    return 0
+
+
+def _cmd_filter(args) -> int:
+    query = parse_query(args.query)
+    specs = {name: _spec(name) for name in args.specs.split(",")}
+    plan = build_filter(query, specs)
+    for name in sorted(plan.mappings):
+        print(f"S({name}) = {to_text(plan.mappings[name])}")
+    print(f"F = {to_text(plan.filter)}")
+    return 0
+
+
+def _cmd_specs(args) -> int:
+    for name, spec in sorted(builtin_specifications().items()):
+        print(f"{name}  (target: {spec.target}, {len(spec)} rules)")
+        if args.verbose:
+            for rule in spec:
+                doc = f"  — {rule.doc}" if rule.doc else ""
+                print(f"    {rule.name}{doc}")
+    return 0
+
+
+def _cmd_audit(args) -> int:
+    query = parse_query(args.query)
+    report = audit_vocabulary(
+        _spec(args.spec, args.spec_file), sorted(query.constraints(), key=str)
+    )
+    print(report)
+    return 0 if not report.uncovered else 1
+
+
+def build_arg_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="vocabmap: constraint-query mapping across heterogeneous sources",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("translate", help="translate a query for a target")
+    p.add_argument("spec", help="specification name (see 'specs')")
+    p.add_argument("query", help="query in the paper's textual notation")
+    p.add_argument("-v", "--verbose", action="store_true")
+    p.add_argument("-f", "--spec-file", help="load the spec from a declarative JSON file")
+    p.set_defaults(fn=_cmd_translate)
+
+    p = sub.add_parser("explain", help="narrate the TDQM run")
+    p.add_argument("spec")
+    p.add_argument("query")
+    p.add_argument("-f", "--spec-file", help="load the spec from a declarative JSON file")
+    p.set_defaults(fn=_cmd_explain)
+
+    p = sub.add_parser("filter", help="per-source mappings + residue filter")
+    p.add_argument("specs", help="comma-separated specification names")
+    p.add_argument("query")
+    p.set_defaults(fn=_cmd_filter)
+
+    p = sub.add_parser("specs", help="list built-in specifications")
+    p.add_argument("-v", "--verbose", action="store_true")
+    p.set_defaults(fn=_cmd_specs)
+
+    p = sub.add_parser("audit", help="flag constraints no rule can touch")
+    p.add_argument("spec")
+    p.add_argument("query")
+    p.add_argument("-f", "--spec-file", help="load the spec from a declarative JSON file")
+    p.set_defaults(fn=_cmd_audit)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_arg_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except VocabMapError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:  # e.g. piping into `head`
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    raise SystemExit(main())

@@ -1,0 +1,37 @@
+"""Value conversion functions.
+
+The paper's mapping rules call human-written functions to transform values
+between contexts: name formats (``LnFnToName`` / ``NameLnFn``), date
+periods, department codes, classification categories, and measurement
+units.  These live here, shared by the rule libraries, the view
+definitions (conversion functions appear as conceptual relations, Section
+2), and the simulated sources.
+"""
+
+from repro.conversions.names import (
+    ln_fn_to_name,
+    name_last,
+    name_to_ln_fn,
+)
+from repro.conversions.dates import month_period, year_period
+from repro.conversions.codes import (
+    CATEGORY_TO_SUBJECT,
+    DEPT_CODES,
+    category_to_subject,
+    dept_code,
+)
+from repro.conversions.units import cm_to_inches, inches_to_cm
+
+__all__ = [
+    "ln_fn_to_name",
+    "name_to_ln_fn",
+    "name_last",
+    "month_period",
+    "year_period",
+    "dept_code",
+    "category_to_subject",
+    "DEPT_CODES",
+    "CATEGORY_TO_SUBJECT",
+    "inches_to_cm",
+    "cm_to_inches",
+]

@@ -1,0 +1,46 @@
+"""Code tables: department codes and category-to-subject mappings.
+
+Example 3 maps ``[fac.dept = cs]`` to ``[prof.dept = 230]`` — source T2
+uses numeric department codes.  Figure 2 maps the ACM classification code
+``D.3`` to Amazon's subject ``programming`` (rule R9).  Both are the kind
+of small curated tables a human integrator maintains.
+"""
+
+from __future__ import annotations
+
+__all__ = ["DEPT_CODES", "CATEGORY_TO_SUBJECT", "dept_code", "category_to_subject"]
+
+#: Department name -> source T2's numeric code (Example 3 fixes cs = 230).
+DEPT_CODES = {
+    "cs": 230,
+    "ee": 210,
+    "me": 220,
+    "math": 240,
+    "physics": 250,
+    "chemistry": 260,
+}
+
+#: ACM-style category code -> bookstore subject heading (rule R9).
+CATEGORY_TO_SUBJECT = {
+    "D.3": "programming",
+    "D.4": "operating systems",
+    "H.2": "databases",
+    "H.3": "information retrieval",
+    "I.2": "artificial intelligence",
+    "C.2": "networking",
+}
+
+
+def dept_code(dept: str) -> int:
+    """``DeptCode``: the numeric code for a department name.
+
+    Raises ``KeyError`` for unknown departments — rule authors wrap this
+    with :func:`repro.rules.dsl.table_lookup` so an unknown department
+    simply vetoes the rule.
+    """
+    return DEPT_CODES[dept.strip().lower()]
+
+
+def category_to_subject(category: str) -> str:
+    """Map a classification category code to a subject heading."""
+    return CATEGORY_TO_SUBJECT[category.strip()]

@@ -1,0 +1,21 @@
+"""Date period builders used by the pdate rules (Figure 3, R6/R7)."""
+
+from __future__ import annotations
+
+from repro.core.values import Month, Year
+
+__all__ = ["month_period", "year_period"]
+
+
+def month_period(year: int, month: int) -> Month:
+    """Build the single-month period ``May/97`` style value for rule R6."""
+    if not isinstance(year, int) or not isinstance(month, int):
+        raise TypeError(f"month_period needs integers, got {year!r}, {month!r}")
+    return Month(year, month)
+
+
+def year_period(year: int) -> Year:
+    """Build the whole-year period for rule R7."""
+    if not isinstance(year, int):
+        raise TypeError(f"year_period needs an integer, got {year!r}")
+    return Year(year)

@@ -1,0 +1,48 @@
+"""Author-name format conversions.
+
+Amazon-style sources use a combined ``author`` attribute in the format
+``"Last, First"`` (or just ``"Last"`` when the first name is unknown —
+Example 2).  The mediator view splits this into ``ln`` / ``fn`` through the
+conceptual relation ``NameLnFn`` (Section 2); rules translate constraints
+the other way with ``LnFnToName``.
+"""
+
+from __future__ import annotations
+
+__all__ = ["ln_fn_to_name", "name_to_ln_fn", "name_last"]
+
+
+def ln_fn_to_name(ln: str, fn: str | None) -> str:
+    """``LnFnToName``: combine last/first name into Amazon's format.
+
+    >>> ln_fn_to_name("Clancy", "Tom")
+    'Clancy, Tom'
+    >>> ln_fn_to_name("Clancy", None)
+    'Clancy'
+    """
+    ln = ln.strip()
+    if not ln:
+        raise ValueError("last name must be non-empty")
+    if fn is None or not fn.strip():
+        return ln
+    return f"{ln}, {fn.strip()}"
+
+
+def name_to_ln_fn(name: str) -> tuple[str, str | None]:
+    """``NameLnFn``: split an Amazon-format name into (last, first).
+
+    >>> name_to_ln_fn("Clancy, Tom")
+    ('Clancy', 'Tom')
+    >>> name_to_ln_fn("Clancy")
+    ('Clancy', None)
+    """
+    if "," in name:
+        last, first = name.split(",", 1)
+        first = first.strip()
+        return (last.strip(), first or None)
+    return (name.strip(), None)
+
+
+def name_last(name: str) -> str:
+    """The last-name component of an Amazon-format name."""
+    return name_to_ln_fn(name)[0]

@@ -1,0 +1,32 @@
+"""Measurement unit conversions.
+
+The introduction's canonical example: converting *3 inches* to *7.62
+centimeters* when sources disagree on units.  Used by the unit-mapping
+example and by generated rule sets in the workload package.
+"""
+
+from __future__ import annotations
+
+__all__ = ["inches_to_cm", "cm_to_inches", "usd_to_cents", "cents_to_usd"]
+
+_CM_PER_INCH = 2.54
+
+
+def inches_to_cm(inches: float) -> float:
+    """Convert inches to centimeters (3 in -> 7.62 cm, Section 1)."""
+    return round(inches * _CM_PER_INCH, 6)
+
+
+def cm_to_inches(cm: float) -> float:
+    """Convert centimeters to inches."""
+    return round(cm / _CM_PER_INCH, 6)
+
+
+def usd_to_cents(dollars: float) -> int:
+    """Convert a dollar price to integer cents (for cent-priced sources)."""
+    return round(dollars * 100)
+
+
+def cents_to_usd(cents: int) -> float:
+    """Convert integer cents to dollars."""
+    return cents / 100

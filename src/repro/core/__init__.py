@@ -1,0 +1,106 @@
+"""The paper's contribution: query algebra + mapping algorithms."""
+
+from repro.core.ast import (
+    FALSE,
+    TRUE,
+    And,
+    AttrRef,
+    BoolConst,
+    C,
+    Constraint,
+    Not,
+    Or,
+    Query,
+    attr,
+    conj,
+    disj,
+    neg,
+)
+from repro.core.dnf import dnf_term_count, dnf_terms, is_simple_conjunction, to_dnf
+from repro.core.dnf_mapper import DNFMapResult, dnf_map, dnf_map_translate
+from repro.core.ednf import EdnfInfo, ednf, format_terms
+from repro.core.explain import explain_translation
+from repro.core.errors import (
+    CapabilityError,
+    EvaluationError,
+    ParseError,
+    RuleError,
+    SchemaError,
+    SpecificationError,
+    TranslationError,
+    VocabMapError,
+)
+from repro.core.filters import FilterPlan, build_filter, translate_for_sources
+from repro.core.matching import Matcher, Matching, RejectMatch, Rule, Var, ViewInstance
+from repro.core.metrics import QueryStats, compactness, compactness_ratio, query_stats
+from repro.core.negation import complement_constraint, has_negation, push_negations
+from repro.core.normalize import normalize, normalize_constraint
+from repro.core.parser import parse_query
+from repro.core.printer import render_tree, to_text
+from repro.core.psafe import PSafeResult, psafe, psafe_partition
+from repro.core.safety import (
+    base_cross_matchings,
+    is_safe,
+    is_safe_base,
+    is_separable_base,
+    is_separable_general,
+)
+from repro.core.scm import SCMResult, scm, scm_translate, suppress_submatchings
+from repro.core.theory import (
+    conjunction_satisfiable,
+    constraint_implies,
+    query_implies,
+    simplify_query,
+)
+from repro.core.subsume import (
+    empirical_equivalent,
+    empirical_subsumes,
+    prop_equivalent,
+    prop_implies,
+)
+from repro.core.tdqm import (
+    TdqmStats,
+    TranslationResult,
+    disjunctivize,
+    tdqm,
+    tdqm_translate,
+)
+from repro.core.values import Date, Month, Point, Range, Year
+
+__all__ = [
+    # ast
+    "Query", "Constraint", "And", "Or", "Not", "BoolConst", "TRUE", "FALSE",
+    "AttrRef", "attr", "C", "conj", "disj", "neg",
+    # negation extension
+    "push_negations", "has_negation", "complement_constraint",
+    # values
+    "Date", "Year", "Month", "Range", "Point",
+    # parsing / printing
+    "parse_query", "to_text", "render_tree",
+    # normalization / DNF
+    "normalize", "normalize_constraint", "to_dnf", "dnf_terms",
+    "dnf_term_count", "is_simple_conjunction",
+    # matching / rules
+    "Var", "ViewInstance", "Rule", "Matching", "Matcher", "RejectMatch",
+    # algorithms
+    "scm", "scm_translate", "SCMResult", "suppress_submatchings",
+    "dnf_map", "dnf_map_translate", "DNFMapResult",
+    "ednf", "EdnfInfo", "format_terms",
+    "psafe", "psafe_partition", "PSafeResult",
+    "tdqm", "tdqm_translate", "TranslationResult", "TdqmStats", "disjunctivize",
+    # safety / subsumption
+    "is_safe", "is_safe_base", "is_separable_base", "is_separable_general",
+    "base_cross_matchings",
+    "prop_implies", "prop_equivalent", "empirical_subsumes", "empirical_equivalent",
+    # theory / minimization
+    "constraint_implies", "conjunction_satisfiable", "simplify_query",
+    "query_implies",
+    # filters / explain
+    "build_filter", "translate_for_sources", "FilterPlan",
+    "explain_translation",
+    # metrics
+    "query_stats", "QueryStats", "compactness", "compactness_ratio",
+    # errors
+    "VocabMapError", "ParseError", "RuleError", "SpecificationError",
+    "CapabilityError", "TranslationError", "EvaluationError", "SchemaError",
+]

@@ -1,0 +1,104 @@
+"""Disjunctive normal form (Section 5).
+
+``to_dnf`` performs the *global, blind* conversion Algorithm DNF relies on:
+distribute every ``AND`` over the ``OR``s below it until the query is a
+disjunction of simple conjunctions.  ``dnf_terms`` returns the disjuncts as
+constraint sets; ``dnf_term_count`` predicts the number of disjuncts without
+materializing them (used by the scaling benches, where the materialized DNF
+would not fit in memory).
+"""
+
+from __future__ import annotations
+
+from itertools import product
+
+from repro.core.ast import (
+    FALSE,
+    TRUE,
+    And,
+    BoolConst,
+    Constraint,
+    Or,
+    Query,
+    conj,
+    disj,
+)
+
+__all__ = ["to_dnf", "dnf_terms", "dnf_term_count", "is_simple_conjunction"]
+
+
+def is_simple_conjunction(query: Query) -> bool:
+    """True for a constraint, a Boolean constant, or an AND of constraints."""
+    if isinstance(query, (Constraint, BoolConst)):
+        return True
+    if isinstance(query, And):
+        return all(isinstance(child, (Constraint, BoolConst)) for child in query.children)
+    return False
+
+
+def dnf_terms(query: Query) -> list[frozenset[Constraint]]:
+    """The DNF disjuncts of ``query`` as sets of constraints.
+
+    ``TRUE`` yields one empty term; ``FALSE`` yields no terms.  Terms are
+    deduplicated (idempotency) but *not* absorbed into one another — the
+    paper's algorithms reason about term counts, so we keep the raw
+    distribution apart from set-level duplicates.
+    """
+    if isinstance(query, BoolConst):
+        return [frozenset()] if query.value else []
+    if isinstance(query, Constraint):
+        return [frozenset([query])]
+    if isinstance(query, Or):
+        seen: set[frozenset[Constraint]] = set()
+        out: list[frozenset[Constraint]] = []
+        for child in query.children:
+            for term in dnf_terms(child):
+                if term not in seen:
+                    seen.add(term)
+                    out.append(term)
+        return out
+    if isinstance(query, And):
+        child_terms = [dnf_terms(child) for child in query.children]
+        if any(not terms for terms in child_terms):
+            return []
+        seen = set()
+        out = []
+        for combo in product(*child_terms):
+            term = frozenset().union(*combo)
+            if term not in seen:
+                seen.add(term)
+                out.append(term)
+        return out
+    raise TypeError(f"unknown query node: {query!r}")
+
+
+def to_dnf(query: Query) -> Query:
+    """Convert ``query`` to DNF as a query tree (step 1 of Algorithm DNF)."""
+    terms = dnf_terms(query)
+    if not terms:
+        return FALSE
+    if terms == [frozenset()]:
+        return TRUE
+    disjuncts = [conj(sorted(term, key=str)) for term in terms]
+    return disj(disjuncts)
+
+
+def dnf_term_count(query: Query) -> int:
+    """Number of DNF disjuncts *before* idempotent dedup.
+
+    This is the product/sum recurrence the complexity analysis of Sections
+    5 and 8 reasons with; it can be astronomically larger than anything
+    :func:`dnf_terms` should materialize.
+    """
+    if isinstance(query, BoolConst):
+        return 1 if query.value else 0
+    if isinstance(query, Constraint):
+        return 1
+    if isinstance(query, Or):
+        return sum(dnf_term_count(child) for child in query.children)
+    if isinstance(query, And):
+        count = 1
+        for child in query.children:
+            count *= dnf_term_count(child)
+        return count
+    raise TypeError(f"unknown query node: {query!r}")

@@ -1,0 +1,220 @@
+"""JSON (de)serialization for queries, constraints, and values.
+
+A mediator and its wrappers are separate processes in a real deployment
+(Section 2's architecture); translated queries must cross the wire.  This
+module defines a stable, self-describing JSON encoding for every query
+node and every built-in value type, round-trip-safe::
+
+    query == query_from_json(query_to_json(query))
+
+Encoding sketch (every non-scalar carries a ``"$"`` type tag)::
+
+    {"$": "and", "children": [...]}
+    {"$": "c", "lhs": {"$": "attr", "path": ["fac", "ln"], "index": 1},
+     "op": "=", "rhs": "Clancy"}
+    {"$": "month", "year": 1997, "month": 5}
+    {"$": "near", "parts": [...], "window": 5}
+
+Plain strings, ints, floats, booleans, and None pass through untouched;
+lists/tuples become tagged ``{"$": "tuple"}`` objects so the ``in``
+operator's collections survive.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.core.ast import (
+    FALSE,
+    TRUE,
+    And,
+    AttrRef,
+    BoolConst,
+    Constraint,
+    Not,
+    Or,
+    Query,
+)
+from repro.core.errors import ParseError
+from repro.core.values import Date, Month, Point, Range, Year
+from repro.text.patterns import (
+    MATCH_ALL,
+    AndPat,
+    MatchAll,
+    NearPat,
+    OrPat,
+    PhrasePat,
+    TextPattern,
+    Word,
+)
+
+__all__ = ["query_to_json", "query_from_json", "dumps", "loads"]
+
+
+# ---------------------------------------------------------------------------
+# Encoding
+# ---------------------------------------------------------------------------
+
+
+def query_to_json(query: Query) -> dict:
+    """Encode a query tree as JSON-compatible plain data."""
+    if isinstance(query, BoolConst):
+        return {"$": "bool", "value": query.value}
+    if isinstance(query, Constraint):
+        return {
+            "$": "c",
+            "lhs": _attr_to_json(query.lhs),
+            "op": query.op,
+            "rhs": _value_to_json(query.rhs),
+        }
+    if isinstance(query, And):
+        return {"$": "and", "children": [query_to_json(c) for c in query.children]}
+    if isinstance(query, Or):
+        return {"$": "or", "children": [query_to_json(c) for c in query.children]}
+    if isinstance(query, Not):
+        return {"$": "not", "child": query_to_json(query.child)}
+    raise TypeError(f"unknown query node: {query!r}")
+
+
+def _attr_to_json(ref: AttrRef) -> dict:
+    out: dict = {"$": "attr", "path": list(ref.path)}
+    if ref.index is not None:
+        out["index"] = ref.index
+    return out
+
+
+def _value_to_json(value: object) -> object:
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, AttrRef):
+        return _attr_to_json(value)
+    if isinstance(value, Date):
+        return {"$": "date", "year": value.year, "month": value.month, "day": value.day}
+    if isinstance(value, Year):
+        return {"$": "year", "year": value.year}
+    if isinstance(value, Month):
+        return {"$": "month", "year": value.year, "month": value.month}
+    if isinstance(value, Range):
+        return {"$": "range", "lo": value.lo, "hi": value.hi}
+    if isinstance(value, Point):
+        return {"$": "point", "x": value.x, "y": value.y}
+    if isinstance(value, (tuple, list)):
+        return {"$": "tuple", "items": [_value_to_json(item) for item in value]}
+    if isinstance(value, TextPattern):
+        return _pattern_to_json(value)
+    raise TypeError(f"cannot serialize value of type {type(value).__name__}: {value!r}")
+
+
+def _pattern_to_json(pattern: TextPattern) -> dict:
+    if isinstance(pattern, MatchAll):
+        return {"$": "anytext"}
+    if isinstance(pattern, Word):
+        return {"$": "word", "text": pattern.text}
+    if isinstance(pattern, PhrasePat):
+        return {"$": "phrase", "tokens": list(pattern.tokens)}
+    if isinstance(pattern, NearPat):
+        return {
+            "$": "near",
+            "parts": [_pattern_to_json(part) for part in pattern.parts],
+            "window": pattern.window,
+        }
+    if isinstance(pattern, AndPat):
+        return {"$": "andpat", "parts": [_pattern_to_json(p) for p in pattern.parts]}
+    if isinstance(pattern, OrPat):
+        return {"$": "orpat", "parts": [_pattern_to_json(p) for p in pattern.parts]}
+    raise TypeError(f"unknown pattern type: {pattern!r}")
+
+
+# ---------------------------------------------------------------------------
+# Decoding
+# ---------------------------------------------------------------------------
+
+
+def query_from_json(data: object) -> Query:
+    """Decode the output of :func:`query_to_json` back into a query tree."""
+    if not isinstance(data, dict) or "$" not in data:
+        raise ParseError(f"not an encoded query: {data!r}")
+    tag = data["$"]
+    if tag == "bool":
+        return TRUE if data["value"] else FALSE
+    if tag == "c":
+        return Constraint(
+            _attr_from_json(data["lhs"]), data["op"], _value_from_json(data["rhs"])
+        )
+    if tag == "and":
+        return And([query_from_json(child) for child in data["children"]])
+    if tag == "or":
+        return Or([query_from_json(child) for child in data["children"]])
+    if tag == "not":
+        return Not(query_from_json(data["child"]))
+    raise ParseError(f"unknown query tag {tag!r}")
+
+
+def _attr_from_json(data: object) -> AttrRef:
+    if not isinstance(data, dict) or data.get("$") != "attr":
+        raise ParseError(f"not an encoded attribute: {data!r}")
+    return AttrRef(tuple(data["path"]), data.get("index"))
+
+
+def _value_from_json(data: object) -> object:
+    if data is None or isinstance(data, (bool, int, float, str)):
+        return data
+    if not isinstance(data, dict) or "$" not in data:
+        raise ParseError(f"not an encoded value: {data!r}")
+    tag = data["$"]
+    if tag == "attr":
+        return _attr_from_json(data)
+    if tag == "date":
+        return Date(data["year"], data["month"], data["day"])
+    if tag == "year":
+        return Year(data["year"])
+    if tag == "month":
+        return Month(data["year"], data["month"])
+    if tag == "range":
+        return Range(data["lo"], data["hi"])
+    if tag == "point":
+        return Point(data["x"], data["y"])
+    if tag == "tuple":
+        return tuple(_value_from_json(item) for item in data["items"])
+    if tag in {"anytext", "word", "phrase", "near", "andpat", "orpat"}:
+        return _pattern_from_json(data)
+    raise ParseError(f"unknown value tag {tag!r}")
+
+
+def _pattern_from_json(data: dict) -> TextPattern:
+    tag = data["$"]
+    if tag == "anytext":
+        return MATCH_ALL
+    if tag == "word":
+        return Word(data["text"])
+    if tag == "phrase":
+        return PhrasePat(tuple(data["tokens"]))
+    if tag == "near":
+        return NearPat(
+            tuple(_pattern_from_json(part) for part in data["parts"]),
+            window=data["window"],
+        )
+    if tag == "andpat":
+        return AndPat(tuple(_pattern_from_json(part) for part in data["parts"]))
+    if tag == "orpat":
+        return OrPat(tuple(_pattern_from_json(part) for part in data["parts"]))
+    raise ParseError(f"unknown pattern tag {tag!r}")
+
+
+# ---------------------------------------------------------------------------
+# String convenience
+# ---------------------------------------------------------------------------
+
+
+def dumps(query: Query, **kwargs) -> str:
+    """Serialize a query to a JSON string."""
+    return json.dumps(query_to_json(query), **kwargs)
+
+
+def loads(text: str) -> Query:
+    """Deserialize a query from a JSON string."""
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ParseError(f"invalid JSON: {exc}", text) from exc
+    return query_from_json(data)

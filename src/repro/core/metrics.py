@@ -1,0 +1,71 @@
+"""Query-shape metrics used by the Section 8 benches.
+
+Section 8 measures *compactness* as the number of parse-tree nodes and
+compares the TDQM output against the DNF baseline (worst-case ratio 2^n).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.ast import And, BoolConst, Constraint, Or, Query
+from repro.core.dnf import dnf_term_count
+
+__all__ = ["QueryStats", "query_stats", "compactness", "compactness_ratio"]
+
+
+@dataclass(frozen=True)
+class QueryStats:
+    """Shape summary for one query tree."""
+
+    node_count: int
+    leaf_count: int
+    distinct_constraints: int
+    depth: int
+    and_nodes: int
+    or_nodes: int
+    dnf_terms: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"nodes={self.node_count} leaves={self.leaf_count} "
+            f"distinct={self.distinct_constraints} depth={self.depth} "
+            f"and={self.and_nodes} or={self.or_nodes} dnf_terms={self.dnf_terms}"
+        )
+
+
+def query_stats(query: Query) -> QueryStats:
+    """Compute a :class:`QueryStats` summary for ``query``."""
+    leaves = and_nodes = or_nodes = 0
+    stack = [query]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, And):
+            and_nodes += 1
+            stack.extend(node.children)
+        elif isinstance(node, Or):
+            or_nodes += 1
+            stack.extend(node.children)
+        elif isinstance(node, (Constraint, BoolConst)):
+            leaves += 1
+        else:
+            raise TypeError(f"unknown query node: {node!r}")
+    return QueryStats(
+        node_count=query.node_count(),
+        leaf_count=leaves,
+        distinct_constraints=len(query.constraints()),
+        depth=query.depth(),
+        and_nodes=and_nodes,
+        or_nodes=or_nodes,
+        dnf_terms=dnf_term_count(query),
+    )
+
+
+def compactness(query: Query) -> int:
+    """Parse-tree node count — the Section 8 compactness measure."""
+    return query.node_count()
+
+
+def compactness_ratio(dnf_query: Query, tdqm_query: Query) -> float:
+    """How many times larger the DNF mapping is than the TDQM mapping."""
+    return compactness(dnf_query) / max(1, compactness(tdqm_query))

@@ -1,0 +1,80 @@
+"""Negation elimination — an extension beyond the paper.
+
+The paper's constraint-query language deliberately excludes negation
+("we currently do not consider negations", Section 2).  vocabmap supports
+``NOT`` as a strictly additive preprocessing pass:
+
+* De Morgan push-down: ``¬(A ∧ B) → ¬A ∨ ¬B``, ``¬(A ∨ B) → ¬A ∧ ¬B``,
+  ``¬¬A → A``, ``¬true → false``;
+* at the leaves, ``¬[a op v]`` becomes ``[a comp(op) v]`` using the
+  operator's declared *complement* (``=``/``!=``, ``contains`` /
+  ``not-contains``, ...).
+
+The result is a plain negation-free query the paper's algorithms handle
+unchanged.  Complement constraints typically match no mapping rule, so
+they translate to ``True`` and land in the residue filter ``F`` — which
+is sound (``True`` subsumes everything) and exactly how the framework
+treats any unsupported vocabulary.
+
+``push_negations`` raises :class:`~repro.core.errors.TranslationError`
+only if a negated constraint's operator has no registered complement.
+"""
+
+from __future__ import annotations
+
+from repro.core.ast import (
+    And,
+    BoolConst,
+    Constraint,
+    Not,
+    Or,
+    Query,
+    conj,
+    disj,
+    neg,
+)
+from repro.core.errors import TranslationError
+from repro.core.operators import get_operator
+
+__all__ = ["push_negations", "has_negation", "complement_constraint"]
+
+
+def has_negation(query: Query) -> bool:
+    """True when the tree contains any ``Not`` node."""
+    if isinstance(query, Not):
+        return True
+    if isinstance(query, (And, Or)):
+        return any(has_negation(child) for child in query.children)
+    return False
+
+
+def complement_constraint(constraint: Constraint) -> Constraint:
+    """``¬[a op v]`` as a positive constraint with the complement operator."""
+    operator = get_operator(constraint.op)
+    if operator.complement is None:
+        raise TranslationError(
+            f"cannot negate {constraint}: operator {constraint.op!r} "
+            f"has no registered complement"
+        )
+    return Constraint(constraint.lhs, operator.complement, constraint.rhs)
+
+
+def push_negations(query: Query) -> Query:
+    """Return an equivalent negation-free query (De Morgan to the leaves)."""
+    return _push(query, negated=False)
+
+
+def _push(query: Query, negated: bool) -> Query:
+    if isinstance(query, Not):
+        return _push(query.child, not negated)
+    if isinstance(query, BoolConst):
+        return neg(query) if negated else query
+    if isinstance(query, Constraint):
+        return complement_constraint(query) if negated else query
+    if isinstance(query, And):
+        children = [_push(child, negated) for child in query.children]
+        return disj(children) if negated else conj(children)
+    if isinstance(query, Or):
+        children = [_push(child, negated) for child in query.children]
+        return conj(children) if negated else disj(children)
+    raise TranslationError(f"unknown query node: {query!r}")

@@ -1,0 +1,70 @@
+"""Query normalization (Section 4.2, Section 6).
+
+Two normalizations keep rule patterns small and query trees canonical:
+
+1. **Structural** — rebuild the tree through the :func:`conj`/:func:`disj`
+   smart constructors so nested same-type operators collapse and ``AND`` /
+   ``OR`` alternate along every path (the tree shape Algorithm TDQM
+   assumes).
+
+2. **Join orientation** — a join constraint can be written two ways
+   (``[income > expense]`` ≡ ``[expense < income]``).  We adopt the
+   normalized representation the paper suggests: prefer ``>`` over ``<``
+   (and ``>=`` over ``<=``); for symmetric operators order the two
+   attribute references lexicographically.  Mapping rules then only need
+   patterns for the normalized form.
+"""
+
+from __future__ import annotations
+
+from repro.core.ast import And, AttrRef, BoolConst, Constraint, Or, Query, conj, disj
+from repro.core.operators import get_operator
+
+__all__ = ["normalize", "normalize_constraint"]
+
+#: Comparison operators we flip away from during normalization.
+_FLIP_AWAY = {"<": ">", "<=": ">="}
+
+
+def normalize(query: Query) -> Query:
+    """Return the canonical form of ``query`` (idempotent).
+
+    Negation (the library's extension, see :mod:`repro.core.negation`) is
+    eliminated first, so downstream algorithms always see negation-free
+    trees.
+    """
+    from repro.core.negation import has_negation, push_negations
+
+    if has_negation(query):
+        query = push_negations(query)
+    return _normalize_positive(query)
+
+
+def _normalize_positive(query: Query) -> Query:
+    if isinstance(query, BoolConst):
+        return query
+    if isinstance(query, Constraint):
+        return normalize_constraint(query)
+    if isinstance(query, And):
+        return conj(_normalize_positive(child) for child in query.children)
+    if isinstance(query, Or):
+        return disj(_normalize_positive(child) for child in query.children)
+    raise TypeError(f"unknown query node: {query!r}")
+
+
+def normalize_constraint(constraint: Constraint) -> Constraint:
+    """Orient a join constraint into the normalized representation."""
+    if not constraint.is_join:
+        return constraint
+    lhs, op, rhs = constraint.lhs, constraint.op, constraint.rhs
+    assert isinstance(rhs, AttrRef)
+    if op in _FLIP_AWAY:
+        return Constraint(rhs, _FLIP_AWAY[op], lhs)
+    operator = get_operator(op)
+    if operator.symmetric and _attr_key(rhs) < _attr_key(lhs):
+        return Constraint(rhs, op, lhs)
+    return constraint
+
+
+def _attr_key(ref: AttrRef) -> tuple:
+    return (ref.path, -1 if ref.index is None else ref.index)

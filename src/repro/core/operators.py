@@ -1,0 +1,158 @@
+"""Constraint operator registry and evaluation semantics.
+
+The paper's constraints use a wide variety of operators across contexts:
+``=``, inequality comparisons, IR ``contains`` (over text patterns), prefix
+``starts``, date ``during``, set ``in``.  This module gives each a single
+definition used consistently by
+
+* the relational engine (to evaluate queries over tuples),
+* the normalizer (inverse/symmetric metadata, Section 4.2), and
+* capability descriptions (sources declare which operators they support).
+
+Registering an operator is open: call :func:`register` to extend the
+vocabulary — the mapping algorithms never enumerate operators, they only
+evaluate and normalize through this registry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.errors import EvaluationError
+from repro.core.values import DatePeriod
+
+__all__ = ["Operator", "register", "get_operator", "known_operators", "evaluate_op"]
+
+
+@dataclass(frozen=True)
+class Operator:
+    """Metadata + semantics for one constraint operator.
+
+    ``inverse`` names the operator obtained by swapping the two operands
+    (``<`` and ``>``); symmetric operators are their own inverse.  Operators
+    with no meaningful operand swap (``contains``) have ``inverse=None`` and
+    are never flipped by normalization.
+
+    ``complement`` names the operator selecting exactly the complementary
+    tuples (``=`` / ``!=``, ``contains`` / ``not-contains``).  The negation
+    extension (:mod:`repro.core.negation`) uses it to push ``NOT`` down to
+    the leaves — the paper excludes negation, so this is strictly additive.
+    """
+
+    name: str
+    evaluate: Callable[[object, object], bool]
+    symmetric: bool = False
+    inverse: str | None = None
+    complement: str | None = None
+    doc: str = ""
+
+
+_REGISTRY: dict[str, Operator] = {}
+
+
+def register(operator: Operator) -> Operator:
+    """Add (or replace) an operator definition in the global registry."""
+    _REGISTRY[operator.name] = operator
+    return operator
+
+
+def get_operator(name: str) -> Operator:
+    """Look up an operator; raises :class:`EvaluationError` when unknown."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise EvaluationError(f"unknown operator {name!r}") from None
+
+
+def known_operators() -> frozenset[str]:
+    """Names of all registered operators."""
+    return frozenset(_REGISTRY)
+
+
+def evaluate_op(name: str, lhs: object, rhs: object) -> bool:
+    """Evaluate ``lhs name rhs``; missing (None) operands never match."""
+    if lhs is None or rhs is None:
+        return False
+    return get_operator(name).evaluate(lhs, rhs)
+
+
+# ---------------------------------------------------------------------------
+# Built-in operator semantics
+# ---------------------------------------------------------------------------
+
+
+def _eq(lhs: object, rhs: object) -> bool:
+    if isinstance(lhs, str) and isinstance(rhs, str):
+        return lhs.strip().lower() == rhs.strip().lower()
+    return lhs == rhs
+
+
+def _compare(check: Callable[[int], bool]) -> Callable[[object, object], bool]:
+    def evaluate(lhs: object, rhs: object) -> bool:
+        try:
+            if lhs < rhs:
+                return check(-1)
+            if lhs == rhs:
+                return check(0)
+            return check(1)
+        except TypeError as exc:
+            raise EvaluationError(f"cannot compare {lhs!r} with {rhs!r}") from exc
+
+    return evaluate
+
+
+def _contains(lhs: object, rhs: object) -> bool:
+    # Deferred import: text is a substrate package layered above core.
+    from repro.text import TextPattern, matches, tokenize
+
+    text = lhs if isinstance(lhs, str) else str(lhs)
+    if isinstance(rhs, TextPattern):
+        return matches(rhs, text)
+    if isinstance(rhs, str):
+        wanted = tokenize(rhs)
+        if not wanted:
+            return False
+        have = tokenize(text)
+        if len(wanted) == 1:
+            return wanted[0] in have
+        return any(
+            have[i : i + len(wanted)] == wanted
+            for i in range(len(have) - len(wanted) + 1)
+        )
+    raise EvaluationError(f"contains requires a text pattern or string, got {rhs!r}")
+
+
+def _starts(lhs: object, rhs: object) -> bool:
+    if not isinstance(rhs, str):
+        raise EvaluationError(f"starts requires a string, got {rhs!r}")
+    return str(lhs).strip().lower().startswith(rhs.strip().lower())
+
+
+def _during(lhs: object, rhs: object) -> bool:
+    if not isinstance(rhs, DatePeriod):
+        raise EvaluationError(f"during requires a DatePeriod, got {rhs!r}")
+    return rhs.covers(lhs)
+
+
+def _in(lhs: object, rhs: object) -> bool:
+    try:
+        return lhs in rhs  # type: ignore[operator]
+    except TypeError as exc:
+        raise EvaluationError(f"'in' requires a container, got {rhs!r}") from exc
+
+
+register(Operator("=", _eq, symmetric=True, inverse="=", complement="!=", doc="loose equality (case-insensitive on strings)"))
+register(Operator("!=", lambda a, b: not _eq(a, b), symmetric=True, inverse="!=", complement="=", doc="negated equality"))
+register(Operator("<", _compare(lambda c: c < 0), inverse=">", complement=">=", doc="strictly less"))
+register(Operator("<=", _compare(lambda c: c <= 0), inverse=">=", complement=">", doc="less or equal"))
+register(Operator(">", _compare(lambda c: c > 0), inverse="<", complement="<=", doc="strictly greater"))
+register(Operator(">=", _compare(lambda c: c >= 0), inverse="<=", complement="<", doc="greater or equal"))
+register(Operator("contains", _contains, complement="not-contains", doc="IR text-pattern / keyword containment"))
+register(Operator("starts", _starts, complement="not-starts", doc="case-insensitive prefix"))
+register(Operator("during", _during, complement="not-during", doc="date falls inside a period"))
+register(Operator("in", _in, complement="not-in", doc="membership in an enumerated collection"))
+register(Operator("not-contains", lambda a, b: not _contains(a, b), complement="contains", doc="negated containment"))
+register(Operator("not-starts", lambda a, b: not _starts(a, b), complement="starts", doc="negated prefix"))
+register(Operator("not-during", lambda a, b: not _during(a, b), complement="during", doc="date outside a period"))
+register(Operator("not-in", lambda a, b: not _in(a, b), complement="in", doc="negated membership"))

@@ -1,0 +1,123 @@
+"""Query rendering: round-trippable text and ASCII trees.
+
+``to_text`` emits exactly the notation :func:`repro.core.parser.parse_query`
+accepts, so ``parse_query(to_text(q))`` reproduces ``q`` (tested as a
+property).  ``render_tree`` draws the query-tree pictures the paper uses in
+Figures 7 and 12.
+"""
+
+from __future__ import annotations
+
+from repro.core.ast import And, AttrRef, BoolConst, Constraint, Not, Or, Query
+from repro.core.values import DatePeriod, Point, Range
+
+__all__ = ["to_text", "render_tree", "to_dot"]
+
+
+def to_text(query: Query) -> str:
+    """Render a query in the parseable textual notation."""
+    return _render(query, top=True)
+
+
+def _render(query: Query, top: bool = False) -> str:
+    if isinstance(query, BoolConst):
+        return str(query)
+    if isinstance(query, Constraint):
+        return f"[{query.lhs} {query.op} {_render_rhs(query)}]"
+    if isinstance(query, (And, Or)):
+        joiner = " and " if isinstance(query, And) else " or "
+        body = joiner.join(_render(child) for child in query.children)
+        return body if top else f"({body})"
+    if isinstance(query, Not):
+        inner = _render(query.child)
+        return f"not {inner}"
+    raise TypeError(f"unknown query node: {query!r}")
+
+
+def _render_rhs(constraint: Constraint) -> str:
+    rhs = constraint.rhs
+    if isinstance(rhs, AttrRef):
+        return str(rhs)
+    if constraint.op == "contains":
+        return str(rhs)
+    if constraint.op == "in":
+        return "(" + ", ".join(_scalar(item) for item in rhs) + ")"
+    return _scalar(rhs)
+
+
+def _scalar(value: object) -> str:
+    if isinstance(value, str):
+        return f'"{value}"'
+    if isinstance(value, (Range, Point, DatePeriod)):
+        return str(value)
+    return str(value)
+
+
+def render_tree(query: Query, annotations: dict[int, str] | None = None) -> str:
+    """Draw an ASCII tree of ``query``.
+
+    ``annotations`` optionally maps ``id(node)`` to a suffix string — used
+    by the EDNF benches to reproduce the shaded boxes of Figure 7.
+    """
+    lines: list[str] = []
+    _draw(query, "", "", lines, annotations or {})
+    return "\n".join(lines)
+
+
+def _draw(
+    node: Query,
+    prefix: str,
+    child_prefix: str,
+    lines: list[str],
+    annotations: dict[int, str],
+) -> None:
+    if isinstance(node, And):
+        label = "AND"
+    elif isinstance(node, Or):
+        label = "OR"
+    elif isinstance(node, Not):
+        label = "NOT"
+    else:
+        label = str(node)
+    note = annotations.get(id(node))
+    if note:
+        label = f"{label}   {note}"
+    lines.append(prefix + label)
+    if isinstance(node, (And, Or, Not)):
+        children = node.children if isinstance(node, (And, Or)) else (node.child,)
+        for i, child in enumerate(children):
+            last = i == len(children) - 1
+            connector = "└── " if last else "├── "
+            extension = "    " if last else "│   "
+            _draw(child, child_prefix + connector, child_prefix + extension, lines, annotations)
+
+
+def to_dot(query: Query, title: str = "query") -> str:
+    """Render a query tree in Graphviz DOT (for figures like Fig. 7/12)."""
+    lines = [f'digraph "{title}" {{', "  node [fontname=monospace];"]
+    counter = [0]
+
+    def emit(node: Query) -> str:
+        name = f"n{counter[0]}"
+        counter[0] += 1
+        if isinstance(node, And):
+            label, shape = "AND", "circle"
+            children = node.children
+        elif isinstance(node, Or):
+            label, shape = "OR", "circle"
+            children = node.children
+        elif isinstance(node, Not):
+            label, shape = "NOT", "circle"
+            children = (node.child,)
+        else:
+            label, shape = str(node).replace('"', '\\"'), "box"
+            children = ()
+        lines.append(f'  {name} [label="{label}", shape={shape}];')
+        for child in children:
+            child_name = emit(child)
+            lines.append(f"  {name} -> {child_name};")
+        return name
+
+    emit(query)
+    lines.append("}")
+    return "\n".join(lines)

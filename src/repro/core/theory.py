@@ -1,0 +1,409 @@
+"""Constraint-level theory reasoning and mapping minimization.
+
+Section 8 notes that *term minimization* [22] can post-process mappings
+(while stressing that no minimization rescues DNF's inherent two-level
+blow-up).  This module supplies that post-processing: a sound, partial
+implication/satisfiability theory over the built-in operators, and a
+query simplifier built on it.
+
+The theory answers three questions about constraints **on the same
+attribute** (everything else is "unknown", which the simplifier treats
+conservatively):
+
+* :func:`constraint_implies` — does ``c1`` entail ``c2``?
+  (``[a = 5] ⟹ [a >= 3]``, ``[pdate during May/97] ⟹ [pdate during 97]``,
+  ``[ti contains a (and) b] ⟹ [ti contains a]``, ...)
+* :func:`conjunction_satisfiable` — can ``c1 ∧ c2 ∧ ...`` hold at all?
+  (``[a = 1] ∧ [a = 4]`` cannot; numeric bounds intersect as intervals.)
+* :func:`simplify_query` — drop entailed conjuncts, collapse
+  unsatisfiable conjunctions to ``false``, and absorb redundant disjuncts
+  (``A ∨ (A ∧ B) → A``).
+
+Everything is *sound for simplification*: an "unknown" answer never
+changes the query, and every rewrite preserves logical equivalence under
+the operators' evaluation semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.ast import (
+    FALSE,
+    And,
+    AttrRef,
+    BoolConst,
+    Constraint,
+    Or,
+    Query,
+    conj,
+    disj,
+)
+from repro.core.values import DatePeriod, Month, Year
+from repro.text.patterns import AndPat, NearPat, PhrasePat, TextPattern, Word
+
+__all__ = [
+    "constraint_implies",
+    "conjunction_satisfiable",
+    "simplify_query",
+    "query_implies",
+]
+
+_NUMERIC = (int, float)
+
+
+# ---------------------------------------------------------------------------
+# Intervals over numeric comparison constraints
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _Interval:
+    """A (possibly open-ended, possibly open-bounded) numeric interval."""
+
+    lo: float | None = None
+    hi: float | None = None
+    lo_open: bool = False
+    hi_open: bool = False
+
+    def intersect(self, other: "_Interval") -> "_Interval":
+        lo, lo_open = self.lo, self.lo_open
+        if other.lo is not None and (lo is None or other.lo > lo or (other.lo == lo and other.lo_open)):
+            lo, lo_open = other.lo, other.lo_open
+        hi, hi_open = self.hi, self.hi_open
+        if other.hi is not None and (hi is None or other.hi < hi or (other.hi == hi and other.hi_open)):
+            hi, hi_open = other.hi, other.hi_open
+        return _Interval(lo, hi, lo_open, hi_open)
+
+    @property
+    def empty(self) -> bool:
+        if self.lo is None or self.hi is None:
+            return False
+        if self.lo > self.hi:
+            return True
+        return self.lo == self.hi and (self.lo_open or self.hi_open)
+
+    def contains_interval(self, other: "_Interval") -> bool:
+        """Does every point of ``other`` lie inside ``self``?"""
+        if self.lo is not None:
+            if other.lo is None:
+                return False
+            if other.lo < self.lo:
+                return False
+            if other.lo == self.lo and self.lo_open and not other.lo_open:
+                return False
+        if self.hi is not None:
+            if other.hi is None:
+                return False
+            if other.hi > self.hi:
+                return False
+            if other.hi == self.hi and self.hi_open and not other.hi_open:
+                return False
+        return True
+
+
+def _interval_of(constraint: Constraint) -> _Interval | None:
+    """The numeric interval a comparison constraint describes, if any."""
+    value = constraint.rhs
+    if not isinstance(value, _NUMERIC) or isinstance(value, bool):
+        return None
+    op = constraint.op
+    if op == "=":
+        return _Interval(value, value)
+    if op == "<":
+        return _Interval(None, value, hi_open=True)
+    if op == "<=":
+        return _Interval(None, value)
+    if op == ">":
+        return _Interval(value, None, lo_open=True)
+    if op == ">=":
+        return _Interval(value, None)
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Text-pattern entailment (word-occurrence model)
+# ---------------------------------------------------------------------------
+
+
+def _required_words(pattern: TextPattern) -> frozenset[str] | None:
+    """Words guaranteed to occur in any matching text, or None if unclear.
+
+    Sound for Word / Phrase / And / Near (all parts must occur); an Or
+    guarantees nothing in particular, so it contributes None.
+    """
+    if isinstance(pattern, Word):
+        return frozenset({pattern.text})
+    if isinstance(pattern, PhrasePat):
+        return frozenset(pattern.tokens)
+    if isinstance(pattern, (AndPat, NearPat)):
+        out: frozenset[str] = frozenset()
+        for part in pattern.parts:
+            required = _required_words(part)
+            if required is None:
+                return None
+            out |= required
+        return out
+    return None
+
+
+def _contains_implies(p1: object, p2: object) -> bool:
+    """Does ``contains p1`` entail ``contains p2``?  (Word-set model.)
+
+    Sound but partial: only the "p2 requires a subset of p1's guaranteed
+    words, and p2 has no structure beyond word conjunction" case.
+    """
+    if not isinstance(p1, TextPattern) or not isinstance(p2, TextPattern):
+        return False
+    required_1 = _required_words(p1)
+    if required_1 is None:
+        return False
+    if isinstance(p2, Word):
+        return p2.text in required_1
+    if isinstance(p2, AndPat) and all(isinstance(part, Word) for part in p2.parts):
+        return all(part.text in required_1 for part in p2.parts)
+    return False
+
+
+# ---------------------------------------------------------------------------
+# Date periods
+# ---------------------------------------------------------------------------
+
+
+def _period_implies(p1: object, p2: object) -> bool:
+    """Is period p1 contained in period p2 (``during p1 ⟹ during p2``)?"""
+    if isinstance(p1, Month) and isinstance(p2, Month):
+        return p1 == p2
+    if isinstance(p1, Month) and isinstance(p2, Year):
+        return p1.year == p2.year
+    if isinstance(p1, Year) and isinstance(p2, Year):
+        return p1 == p2
+    return False
+
+
+# ---------------------------------------------------------------------------
+# Public API
+# ---------------------------------------------------------------------------
+
+
+def constraint_implies(c1: Constraint, c2: Constraint) -> bool:
+    """Sound, partial entailment test: every tuple satisfying c1 satisfies c2.
+
+    Returns False when entailment does not hold *or is unknown*.  Only
+    constraints on the same attribute reference are ever related.
+    """
+    if isinstance(c1.rhs, AttrRef) or isinstance(c2.rhs, AttrRef):
+        return c1 == c2  # joins: only syntactic identity
+    if c1.lhs != c2.lhs:
+        return False
+    if c1 == c2:
+        return True
+
+    # Numeric comparisons via interval containment.
+    i1, i2 = _interval_of(c1), _interval_of(c2)
+    if i1 is not None and i2 is not None:
+        return i2.contains_interval(i1)
+
+    # Equality entails membership / inequality facts.
+    if c1.op == "=":
+        if c2.op == "in" and isinstance(c2.rhs, tuple):
+            return any(_loose_eq(c1.rhs, item) for item in c2.rhs)
+        if c2.op == "!=":
+            return _comparable(c1.rhs, c2.rhs) and not _loose_eq(c1.rhs, c2.rhs)
+        if c2.op == "starts" and isinstance(c1.rhs, str) and isinstance(c2.rhs, str):
+            return c1.rhs.strip().lower().startswith(c2.rhs.strip().lower())
+    if c1.op == "in" and c2.op == "in":
+        if isinstance(c1.rhs, tuple) and isinstance(c2.rhs, tuple):
+            return all(
+                any(_loose_eq(item, other) for other in c2.rhs) for item in c1.rhs
+            )
+
+    # Prefixes: a longer prefix entails a shorter one.
+    if c1.op == "starts" and c2.op == "starts":
+        if isinstance(c1.rhs, str) and isinstance(c2.rhs, str):
+            return c1.rhs.strip().lower().startswith(c2.rhs.strip().lower())
+
+    # Date periods: a month entails its year.
+    if c1.op == "during" and c2.op == "during":
+        return _period_implies(c1.rhs, c2.rhs)
+
+    # Text containment: more required words entail fewer.
+    if c1.op == "contains" and c2.op == "contains":
+        return _contains_implies(c1.rhs, c2.rhs)
+
+    return False
+
+
+def _loose_eq(a: object, b: object) -> bool:
+    if isinstance(a, str) and isinstance(b, str):
+        return a.strip().lower() == b.strip().lower()
+    return a == b
+
+
+def _comparable(a: object, b: object) -> bool:
+    return isinstance(a, type(b)) or isinstance(b, type(a)) or (
+        isinstance(a, _NUMERIC) and isinstance(b, _NUMERIC)
+    )
+
+
+def conjunction_satisfiable(constraints: list[Constraint]) -> bool:
+    """Can all constraints hold together?  False = provably not.
+
+    Sound and partial: True means "no contradiction found".  Detected
+    contradictions: conflicting equalities, empty numeric intervals,
+    equality vs exclusion (``=`` / ``!=`` / ``in``), and disjoint
+    ``during`` periods — each per attribute.
+    """
+    by_attr: dict = {}
+    for constraint in constraints:
+        if isinstance(constraint.rhs, AttrRef):
+            continue
+        by_attr.setdefault((constraint.lhs.path, constraint.lhs.index), []).append(
+            constraint
+        )
+
+    for group in by_attr.values():
+        interval = _Interval()
+        equalities: list[object] = []
+        exclusions: list[object] = []
+        member_sets: list[tuple] = []
+        periods: list[DatePeriod] = []
+        for constraint in group:
+            described = _interval_of(constraint)
+            if described is not None:
+                interval = interval.intersect(described)
+            if constraint.op == "=" and not isinstance(constraint.rhs, _NUMERIC):
+                equalities.append(constraint.rhs)
+            if constraint.op == "!=":
+                exclusions.append(constraint.rhs)
+            if constraint.op == "in" and isinstance(constraint.rhs, tuple):
+                member_sets.append(constraint.rhs)
+            if constraint.op == "during" and isinstance(constraint.rhs, DatePeriod):
+                periods.append(constraint.rhs)
+
+        if interval.empty:
+            return False
+        for i, left in enumerate(equalities):
+            for right in equalities[i + 1 :]:
+                if _comparable(left, right) and not _loose_eq(left, right):
+                    return False
+        for value in equalities:
+            for excluded in exclusions:
+                if _loose_eq(value, excluded):
+                    return False
+            for members in member_sets:
+                if not any(_loose_eq(value, item) for item in members):
+                    return False
+        for i, p1 in enumerate(periods):
+            for p2 in periods[i + 1 :]:
+                if not (_period_implies(p1, p2) or _period_implies(p2, p1)):
+                    return False
+    return True
+
+
+def simplify_query(query: Query, absorb: bool = True) -> Query:
+    """Equivalence-preserving minimization of a query.
+
+    * conjunctions: drop conjunct leaves entailed by a sibling leaf;
+      collapse to ``false`` when the leaves are jointly unsatisfiable;
+    * disjunctions (``absorb=True``): drop a disjunct entailed by a
+      sibling (absorption ``A ∨ (A ∧ B) → A``), judged by
+      :func:`query_implies`.
+
+    This is the [22]-style post-pass Section 8 alludes to.  Note the
+    paper's point stands: minimization cannot make a DNF compact when its
+    2^n terms are pairwise non-redundant.
+    """
+    if isinstance(query, (BoolConst, Constraint)):
+        return query
+    if isinstance(query, And):
+        children = [simplify_query(child, absorb) for child in query.children]
+        leaves = [child for child in children if isinstance(child, Constraint)]
+        if not conjunction_satisfiable(leaves):
+            return FALSE
+        dropped: set[int] = set()
+        for i, leaf in enumerate(leaves):
+            for j, other in enumerate(leaves):
+                if i == j or other == leaf or j in dropped:
+                    continue
+                if constraint_implies(other, leaf):
+                    if constraint_implies(leaf, other) and i < j:
+                        continue  # mutually entailing: keep the earlier
+                    dropped.add(i)
+                    break
+        surviving = set(i for i in range(len(leaves)) if i not in dropped)
+        out = []
+        leaf_index = 0
+        for child in children:
+            if isinstance(child, Constraint):
+                if leaf_index in surviving:
+                    out.append(child)
+                leaf_index += 1
+            else:
+                out.append(child)
+        return conj(out)
+    if isinstance(query, Or):
+        children = [simplify_query(child, absorb) for child in query.children]
+        if not absorb or len(children) > 12:
+            return disj(children)
+        kept = []
+        for i, child in enumerate(children):
+            absorbed = False
+            for j, other in enumerate(children):
+                if i == j:
+                    continue
+                if child == other and j < i:
+                    absorbed = True
+                    break
+                if child != other and query_implies(child, other):
+                    absorbed = True
+                    break
+            if not absorbed:
+                kept.append(child)
+        return disj(kept)
+    raise TypeError(f"unknown query node: {query!r}")
+
+
+def query_implies(narrow: Query, broad: Query, limit: int = 14) -> bool:
+    """Theory-aware implication: ``narrow ⟹ broad``.
+
+    Enumerates truth assignments over the union of atoms, restricted to
+    assignments consistent with the pairwise theory (entailments and
+    contradictions from :func:`constraint_implies` /
+    :func:`conjunction_satisfiable`).  Sound and partial — a ``False``
+    means "not proven".  Refuses queries with more than ``limit`` atoms.
+    """
+    from itertools import product
+
+    from repro.core.subsume import evaluate_assignment
+
+    atoms = sorted(narrow.constraints() | broad.constraints(), key=str)
+    if len(atoms) > limit:
+        return False
+
+    entails = {
+        (a, b)
+        for a in atoms
+        for b in atoms
+        if a != b and constraint_implies(a, b)
+    }
+    conflicts = {
+        frozenset((a, b))
+        for i, a in enumerate(atoms)
+        for b in atoms[i + 1 :]
+        if not conjunction_satisfiable([a, b])
+    }
+
+    for bits in product((False, True), repeat=len(atoms)):
+        assignment = dict(zip(atoms, bits))
+        if any(assignment[a] and not assignment[b] for a, b in entails):
+            continue
+        if any(
+            all(assignment[atom] for atom in pair) for pair in conflicts
+        ):
+            continue
+        if evaluate_assignment(narrow, assignment) and not evaluate_assignment(
+            broad, assignment
+        ):
+            return False
+    return True

@@ -1,0 +1,134 @@
+"""Structured constraint values.
+
+Constraints compare attributes against values.  Besides plain Python scalars
+(strings, ints, floats), the paper's examples use several structured values:
+
+* dates and date periods — ``[pyear = 1997]``, ``[pdate during May/97]``
+  (Figure 2, rules R6/R7 of Figure 3);
+* coordinate ranges and points for the map source of Example 8 —
+  ``[X_range = (10:30)]``, ``[C_ll = (10, 20)]``;
+* text patterns (``java (near) jdk``) live in :mod:`repro.text.patterns`.
+
+Every value type here is immutable and hashable so constraints can be used
+as set members (matchings are *sets* of constraints throughout the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "Date",
+    "Year",
+    "Month",
+    "DatePeriod",
+    "Range",
+    "Point",
+    "MONTH_NAMES",
+    "month_name",
+]
+
+#: Abbreviated month names used in the paper's ``May/97`` notation.
+MONTH_NAMES = (
+    "Jan", "Feb", "Mar", "Apr", "May", "Jun",
+    "Jul", "Aug", "Sep", "Oct", "Nov", "Dec",
+)
+
+
+def month_name(month: int) -> str:
+    """Return the paper-style abbreviation for a 1-based month number."""
+    if not 1 <= month <= 12:
+        raise ValueError(f"month must be in 1..12, got {month}")
+    return MONTH_NAMES[month - 1]
+
+
+@dataclass(frozen=True, order=True)
+class Date:
+    """A concrete calendar date (day may be omitted for month granularity)."""
+
+    year: int
+    month: int
+    day: int = 1
+
+    def __str__(self) -> str:
+        return f"{self.year:04d}-{self.month:02d}-{self.day:02d}"
+
+
+class DatePeriod:
+    """Base class for date periods usable with the ``during`` operator.
+
+    Subclasses implement :meth:`covers`, which decides whether a concrete
+    :class:`Date` (or a bare year int) falls inside the period.
+    """
+
+    def covers(self, date: object) -> bool:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Year(DatePeriod):
+    """A whole-year period, e.g. ``during 97`` emitted by rule R7."""
+
+    year: int
+
+    def covers(self, date: object) -> bool:
+        if isinstance(date, Date):
+            return date.year == self.year
+        if isinstance(date, int):
+            return date == self.year
+        return False
+
+    def __str__(self) -> str:
+        return f"{self.year % 100:02d}" if self.year >= 1900 else str(self.year)
+
+
+@dataclass(frozen=True)
+class Month(DatePeriod):
+    """A single-month period, e.g. ``during May/97`` emitted by rule R6."""
+
+    year: int
+    month: int
+
+    def covers(self, date: object) -> bool:
+        if isinstance(date, Date):
+            return date.year == self.year and date.month == self.month
+        return False
+
+    def __str__(self) -> str:
+        return f"{month_name(self.month)}/{self.year % 100:02d}"
+
+
+@dataclass(frozen=True, order=True)
+class Range:
+    """A closed numeric interval, printed ``(lo:hi)`` as in Example 8."""
+
+    lo: float
+    hi: float
+
+    def __post_init__(self) -> None:
+        if self.lo > self.hi:
+            raise ValueError(f"empty range: lo={self.lo} > hi={self.hi}")
+
+    def contains(self, value: float) -> bool:
+        return self.lo <= value <= self.hi
+
+    def __str__(self) -> str:
+        return f"({_fmt_num(self.lo)}:{_fmt_num(self.hi)})"
+
+
+@dataclass(frozen=True, order=True)
+class Point:
+    """A 2-D coordinate, printed ``(x, y)`` as in Example 8."""
+
+    x: float
+    y: float
+
+    def __str__(self) -> str:
+        return f"({_fmt_num(self.x)}, {_fmt_num(self.y)})"
+
+
+def _fmt_num(value: float) -> str:
+    """Format a number without a trailing ``.0`` for integral floats."""
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return str(value)

@@ -1,0 +1,109 @@
+"""Source capability descriptions (Section 2's *capability difference*).
+
+A :class:`Capability` records which (attribute, operator) combinations a
+source's native query interface accepts, plus — for text operators — which
+pattern connectives its search engine understands.  The mapping rules are
+*supposed* to emit only supported vocabulary; the simulated sources
+enforce it anyway, so a broken rule set fails loudly instead of silently
+returning garbage (the expressibility requirement of Definition 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.core.ast import And, AttrRef, BoolConst, Constraint, Or, Query
+from repro.core.errors import CapabilityError
+from repro.text import TextCapability, pattern_operators
+from repro.text.patterns import TextPattern
+
+__all__ = ["Capability"]
+
+
+@dataclass(frozen=True)
+class Capability:
+    """What one target's native interface supports.
+
+    * ``selections`` — supported ``(attribute, operator)`` pairs;
+    * ``joins`` — supported ``(attribute, attribute, operator)`` triples
+      (attribute order irrelevant);
+    * ``text`` — pattern connectives accepted where the operator takes a
+      text pattern.
+
+    Attribute names are matched on the final path component, since rule
+    emissions qualify them with view/relation context the interface
+    doesn't see.
+    """
+
+    selections: frozenset
+    joins: frozenset = frozenset()
+    text: TextCapability = field(default_factory=TextCapability)
+
+    @staticmethod
+    def of(
+        selections: Iterable[tuple[str, str]],
+        joins: Iterable[tuple[str, str, str]] = (),
+        text: TextCapability | None = None,
+    ) -> "Capability":
+        """Convenience constructor from plain iterables."""
+        return Capability(
+            selections=frozenset(selections),
+            joins=frozenset(
+                (min(a1, a2), max(a1, a2), op) for a1, a2, op in joins
+            ),
+            text=text or TextCapability(),
+        )
+
+    def supports(self, constraint: Constraint) -> bool:
+        """Can the native interface evaluate this constraint?"""
+        if isinstance(constraint.rhs, AttrRef):
+            a1, a2 = constraint.lhs.attr, constraint.rhs.attr
+            key = (min(a1, a2), max(a1, a2), constraint.op)
+            return key in self.joins
+        if (constraint.lhs.attr, constraint.op) not in self.selections:
+            return False
+        if isinstance(constraint.rhs, TextPattern):
+            return all(
+                self.text.supports(kind)
+                for kind in pattern_operators(constraint.rhs)
+            )
+        return True
+
+    def violations(self, query: Query) -> list[Constraint]:
+        """All constraints of ``query`` the interface cannot evaluate."""
+        bad: list[Constraint] = []
+        self._collect(query, bad)
+        return bad
+
+    def _collect(self, query: Query, bad: list[Constraint]) -> None:
+        if isinstance(query, BoolConst):
+            return
+        if isinstance(query, Constraint):
+            if not self.supports(query):
+                bad.append(query)
+            return
+        if isinstance(query, (And, Or)):
+            for child in query.children:
+                self._collect(child, bad)
+            return
+        from repro.core.ast import Not
+
+        if isinstance(query, Not):
+            # Negation never reaches a native interface (it is eliminated
+            # before translation); for direct checks, judge the
+            # complemented form the source would actually see.
+            from repro.core.negation import push_negations
+
+            self._collect(push_negations(query), bad)
+            return
+        raise CapabilityError(f"unknown query node: {query!r}")
+
+    def check(self, query: Query, target: str = "target") -> None:
+        """Raise :class:`CapabilityError` when the query is inexpressible."""
+        bad = self.violations(query)
+        if bad:
+            listing = "; ".join(str(c) for c in bad)
+            raise CapabilityError(
+                f"{target} cannot evaluate: {listing}"
+            )

@@ -1,0 +1,165 @@
+"""Query evaluation over bound row instances.
+
+The engine evaluates constraint queries against an *environment* binding
+each referenced instance (a view instance like ``fac[1]``, or a relation
+instance like ``fac.aubib``) to one tuple.  Evaluating over the cross
+product of relations/views then means enumerating environments — exactly
+the σ_Q(R1 × ... × Rn × X) of Eq. 1.
+
+Sources may register **virtual attributes**: search fields computed from
+stored attributes with operator-specific semantics.  Amazon's ``ti-word``
+(words of the title), ``pdate`` (computed from year/month), or the map
+source's ``X_range``/``C_ll`` (region predicates over point coordinates,
+Example 8) are all virtuals.  A virtual is a callable
+``fn(row, op, value) -> bool`` consulted before stored attributes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+from repro.core.ast import And, AttrRef, BoolConst, Constraint, Not, Or, Query
+from repro.core.errors import EvaluationError
+from repro.core.operators import evaluate_op, get_operator
+
+__all__ = ["RowEnv", "evaluate", "evaluate_row", "Virtual"]
+
+#: A virtual-attribute evaluator: (row, op, value) -> bool.
+Virtual = Callable[[Mapping, str, object], bool]
+
+
+class RowEnv:
+    """An environment binding instance qualifiers to rows.
+
+    ``rows`` maps ``(qualifier, index)`` to a tuple dict, where
+    ``qualifier`` is the reference path minus the attribute name — e.g.
+    ``(("fac",), 1)`` for view instance ``fac[1]``, ``(("fac", "aubib"),
+    None)`` for the relation instance ``fac.aubib``, or ``((), None)`` for
+    a bare single-table context like Amazon's catalog.
+    """
+
+    def __init__(
+        self,
+        rows: Mapping[tuple, Mapping],
+        virtuals: Mapping[str, Virtual] | None = None,
+    ):
+        self.rows = dict(rows)
+        self.virtuals = dict(virtuals or {})
+
+    def resolve(self, ref: AttrRef) -> tuple[Mapping, str]:
+        """Find the row an attribute reference lives in.
+
+        Resolution order: exact ``(qualifier, index)`` key; the paper's
+        ``fac.bib`` ≡ ``fac[i].bib`` abbreviation when unambiguous; a bare
+        attribute against a sole instance; and finally *hierarchical
+        descent* — an instance whose qualifier is a proper prefix of the
+        reference's, with the remaining components walked through nested
+        sub-documents (the hierarchical data of reference [17]:
+        ``doc.author.ln`` against a ``doc`` instance holding
+        ``{"author": {"ln": ...}}``).
+        """
+        qualifier = ref.qualifier
+        key = (qualifier, ref.index)
+        if key in self.rows:
+            return self.rows[key], ref.attr
+        if ref.index is None:
+            # ``fac.bib`` abbreviates ``fac[i].bib`` for any i (Section
+            # 4.2) — unambiguous only when a single instance matches.
+            candidates = [
+                row for (qual, _idx), row in self.rows.items() if qual == qualifier
+            ]
+            if len(candidates) == 1:
+                return candidates[0], ref.attr
+            if len(candidates) > 1:
+                raise EvaluationError(
+                    f"ambiguous reference {ref}: {len(candidates)} instances match"
+                )
+        if not qualifier and len(self.rows) == 1:
+            # Bare attribute in a single-instance context.
+            return next(iter(self.rows.values())), ref.attr
+        nested = self._descend(ref)
+        if nested is not None:
+            return nested, ref.attr
+        raise EvaluationError(f"unresolvable reference {ref} in environment")
+
+    def _descend(self, ref: AttrRef) -> Mapping | None:
+        """Hierarchical fallback: prefix-match an instance, then walk
+        the remaining qualifier components through nested dicts."""
+        qualifier = ref.qualifier
+        matches: list[Mapping] = []
+        for (qual, idx), row in self.rows.items():
+            if len(qual) >= len(qualifier) or qualifier[: len(qual)] != qual:
+                continue
+            if ref.index is not None and idx is not None and idx != ref.index:
+                continue
+            node: object = row
+            for part in qualifier[len(qual):]:
+                if isinstance(node, Mapping) and part in node:
+                    node = node[part]
+                else:
+                    node = None
+                    break
+            if isinstance(node, Mapping) and ref.attr in node:
+                matches.append(node)
+        if len(matches) == 1:
+            return matches[0]
+        if len(matches) > 1:
+            raise EvaluationError(
+                f"ambiguous hierarchical reference {ref}: "
+                f"{len(matches)} paths match"
+            )
+        return None
+
+    def lookup(self, ref: AttrRef) -> object:
+        """The stored value of a reference (no virtual dispatch)."""
+        row, attr = self.resolve(ref)
+        if attr not in row:
+            raise EvaluationError(f"attribute {attr!r} not in tuple for {ref}")
+        return row[attr]
+
+
+def evaluate(query: Query, env: RowEnv) -> bool:
+    """Evaluate a constraint query in an environment."""
+    if isinstance(query, BoolConst):
+        return query.value
+    if isinstance(query, And):
+        return all(evaluate(child, env) for child in query.children)
+    if isinstance(query, Or):
+        return any(evaluate(child, env) for child in query.children)
+    if isinstance(query, Not):
+        return not evaluate(query.child, env)
+    if isinstance(query, Constraint):
+        return _evaluate_constraint(query, env)
+    raise EvaluationError(f"unknown query node: {query!r}")
+
+
+def _evaluate_constraint(constraint: Constraint, env: RowEnv) -> bool:
+    rhs = constraint.rhs
+    if isinstance(rhs, AttrRef):
+        rhs_value = env.lookup(rhs)
+    else:
+        rhs_value = rhs
+
+    virtual = env.virtuals.get(constraint.lhs.attr)
+    if virtual is not None:
+        row, _attr = env.resolve(constraint.lhs)
+        op = constraint.op
+        if op.startswith("not-"):
+            # Complement operators produced by negation push-down: let the
+            # virtual answer the base operator and invert.
+            base = get_operator(op).complement
+            if base is not None:
+                return not virtual(row, base, rhs_value)
+        return virtual(row, op, rhs_value)
+
+    lhs_value = env.lookup(constraint.lhs)
+    return evaluate_op(constraint.op, lhs_value, rhs_value)
+
+
+def evaluate_row(
+    query: Query,
+    row: Mapping,
+    virtuals: Mapping[str, Virtual] | None = None,
+) -> bool:
+    """Evaluate a selection query against one bare tuple."""
+    return evaluate(query, RowEnv({((), None): row}, virtuals))

@@ -1,0 +1,317 @@
+"""The paper's concrete sources, simulated.
+
+The paper evaluates against live 1999 web sources (www.amazon.com,
+www.clbooks.com) and two sketched sources T1/T2 plus the map source G of
+Example 8.  We rebuild each as an in-memory :class:`Source` with the same
+schema, the same native operators, and the same capability restrictions —
+the algorithms only ever see rules and capabilities, so translation
+behaviour is identical, and execution becomes checkable.
+
+Each factory takes rows (defaulting to a small curated dataset mirroring
+the paper's running examples) and returns a ready :class:`Source`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.core.errors import EvaluationError
+from repro.core.values import Date, DatePeriod, Point, Range
+from repro.engine.capabilities import Capability
+from repro.engine.relation import Relation
+from repro.engine.source import Source
+from repro.rules.library import AMAZON_TEXT, CLBOOKS_TEXT, T1_TEXT
+from repro.text import TextPattern, matches, tokenize
+
+__all__ = [
+    "make_amazon",
+    "make_clbooks",
+    "make_t1",
+    "make_t2",
+    "make_map_source",
+    "DEFAULT_BOOKS",
+    "DEFAULT_PAPERS",
+    "DEFAULT_AUBIB",
+    "DEFAULT_PROF",
+    "DEFAULT_POINTS",
+]
+
+
+def _text_match(value: object, pattern: object) -> bool:
+    text = value if isinstance(value, str) else str(value)
+    if isinstance(pattern, TextPattern):
+        return matches(pattern, text)
+    if isinstance(pattern, str):
+        wanted = tokenize(pattern)
+        have = tokenize(text)
+        return bool(wanted) and all(token in have for token in wanted)
+    raise EvaluationError(f"text match needs a pattern or string, got {pattern!r}")
+
+
+# ---------------------------------------------------------------------------
+# Amazon
+# ---------------------------------------------------------------------------
+
+#: Default catalog rows shared by the Amazon/Clbooks factories.  Authors are
+#: stored in Amazon's "Last, First" format; subjects are single headings.
+DEFAULT_BOOKS = (
+    {"title": "The Java JDK Handbook", "author": "Smith, John", "year": 1997,
+     "month": 5, "publisher": "oreilly", "isbn": "081815181Y",
+     "subject": "programming"},
+    {"title": "JDK for Java", "author": "Smith", "year": 1997, "month": 6,
+     "publisher": "oreilly", "isbn": "123450001X", "subject": "programming"},
+    {"title": "WWW and Web Services", "author": "Clancy, Tom", "year": 1997,
+     "month": 5, "publisher": "wiley", "isbn": "123450002X",
+     "subject": "networking"},
+    {"title": "Hunt for Data Mining", "author": "Clancy, Tom", "year": 1994,
+     "month": 11, "publisher": "putnam", "isbn": "123450003X",
+     "subject": "databases"},
+    {"title": "Deep Queries", "author": "Klancy, Tom", "year": 1997,
+     "month": 5, "publisher": "wiley", "isbn": "123450004X",
+     "subject": "databases"},
+    {"title": "Java Web Programming", "author": "Clancy, Joe Tom",
+     "year": 1996, "month": 2, "publisher": "oreilly", "isbn": "123450005X",
+     "subject": "programming"},
+    {"title": "Operating Systems Today", "author": "Tanen, Andy",
+     "year": 1997, "month": 5, "publisher": "prentice",
+     "isbn": "123450006X", "subject": "operating systems"},
+)
+
+
+def _amazon_author(row: Mapping, op: str, value: object) -> bool:
+    """Amazon's author search: full 'Last, First' match, or last name alone.
+
+    'a name can be "Clancy, Tom", or simply "Clancy" if the first name is
+    not known' (Example 2) — so ``[author = "Clancy"]`` matches every
+    Clancy regardless of first name, which is what makes rule R3 exact for
+    a lone ``ln`` constraint.
+    """
+    if op != "=":
+        raise EvaluationError(f"Amazon author does not support {op!r}")
+    if not isinstance(value, str):
+        return False
+    stored = str(row["author"]).strip().lower()
+    wanted = value.strip().lower()
+    if "," in wanted:
+        return stored == wanted
+    return stored == wanted or stored.split(",")[0].strip() == wanted
+
+
+def _amazon_pdate(row: Mapping, op: str, value: object) -> bool:
+    if op != "during" or not isinstance(value, DatePeriod):
+        raise EvaluationError("Amazon pdate supports only 'during <period>'")
+    return value.covers(Date(int(row["year"]), int(row["month"])))
+
+
+def make_amazon(rows: Iterable[Mapping] = DEFAULT_BOOKS) -> Source:
+    """The Amazon-style bookstore behind ``K_Amazon`` (Figure 3)."""
+    catalog = Relation(
+        "catalog",
+        ("title", "author", "year", "month", "publisher", "isbn", "subject"),
+        rows,
+    )
+    capability = Capability.of(
+        selections=[
+            ("author", "="),
+            ("ti-word", "contains"),
+            ("subject-word", "contains"),
+            ("title", "starts"),
+            ("pdate", "during"),
+            ("publisher", "="),
+            ("isbn", "="),
+            ("subject", "="),
+        ],
+        text=AMAZON_TEXT,
+    )
+    virtuals = {
+        "author": _amazon_author,
+        "ti-word": lambda row, op, v: _text_match(row["title"], v),
+        "subject-word": lambda row, op, v: _text_match(row["subject"], v),
+        "pdate": _amazon_pdate,
+    }
+    return Source("Amazon", {"catalog": catalog}, capability, virtuals)
+
+
+# ---------------------------------------------------------------------------
+# Clbooks (Computer Literacy)
+# ---------------------------------------------------------------------------
+
+
+def make_clbooks(rows: Iterable[Mapping] = DEFAULT_BOOKS) -> Source:
+    """Example 1's Clbooks: only word containment over author names."""
+    catalog = Relation(
+        "catalog",
+        ("title", "author", "year", "month", "publisher", "isbn", "subject"),
+        rows,
+    )
+    capability = Capability.of(
+        selections=[
+            ("author", "contains"),
+            ("ti", "contains"),
+            ("publisher", "="),
+        ],
+        text=CLBOOKS_TEXT,
+    )
+    virtuals = {
+        "author": lambda row, op, v: _text_match(row["author"], v),
+        "ti": lambda row, op, v: _text_match(row["title"], v),
+    }
+    return Source("Clbooks", {"catalog": catalog}, capability, virtuals)
+
+
+# ---------------------------------------------------------------------------
+# T1: paper(ti, au) + aubib(name, bib)   (Example 3 / Figure 5)
+# ---------------------------------------------------------------------------
+
+DEFAULT_PAPERS = (
+    {"ti": "Efficient Data Mining over Streams", "au": "Ullman, Jeff"},
+    {"ti": "Mediators for the Web", "au": "Molina, Hector"},
+    {"ti": "Mining Frequent Patterns", "au": "Han, Jia"},
+    {"ti": "Query Translation in Practice", "au": "Chang, Kevin"},
+    {"ti": "Socks and Sandals", "au": "Smith, John"},
+)
+
+DEFAULT_AUBIB = (
+    {"name": "Ullman, Jeff", "bib": "databases logic data mining textbook"},
+    {"name": "Molina, Hector", "bib": "mediators warehouses data mining integration"},
+    {"name": "Han, Jia", "bib": "data mining warehouse olap patterns"},
+    {"name": "Chang, Kevin", "bib": "query translation heterogeneous sources"},
+    {"name": "Smith, John", "bib": "footwear comfort studies"},
+)
+
+
+def make_t1(
+    papers: Iterable[Mapping] = DEFAULT_PAPERS,
+    aubib: Iterable[Mapping] = DEFAULT_AUBIB,
+) -> Source:
+    """Source T1 of Example 3: paper titles/authors and bibliographies."""
+    capability = Capability.of(
+        selections=[
+            ("ti", "="),
+            ("au", "="),
+            ("au", "contains"),
+            ("name", "="),
+            ("name", "contains"),
+            ("bib", "contains"),
+        ],
+        joins=[("name", "au", "=")],
+        text=T1_TEXT,
+    )
+    virtuals = {
+        "bib": lambda row, op, v: _text_match(row["bib"], v),
+    }
+    # au/name use stored equality plus word-containment through the generic
+    # contains operator, so no virtual is needed for them.
+    return Source(
+        "T1",
+        {
+            "paper": Relation("paper", ("ti", "au"), papers),
+            "aubib": Relation("aubib", ("name", "bib"), aubib),
+        },
+        capability,
+        virtuals,
+    )
+
+
+# ---------------------------------------------------------------------------
+# T2: prof(ln, fn, dept)   (Example 3 / Figure 5)
+# ---------------------------------------------------------------------------
+
+DEFAULT_PROF = (
+    {"ln": "Ullman", "fn": "Jeff", "dept": 230},
+    {"ln": "Molina", "fn": "Hector", "dept": 230},
+    {"ln": "Han", "fn": "Jia", "dept": 230},
+    {"ln": "Chang", "fn": "Kevin", "dept": 210},
+    {"ln": "Smith", "fn": "John", "dept": 220},
+)
+
+
+def make_t2(rows: Iterable[Mapping] = DEFAULT_PROF) -> Source:
+    """Source T2 of Example 3: professors with coded departments."""
+    capability = Capability.of(
+        selections=[("ln", "="), ("fn", "="), ("dept", "=")],
+        joins=[("ln", "ln", "="), ("fn", "fn", "=")],
+    )
+    return Source(
+        "T2",
+        {"prof": Relation("prof", ("ln", "fn", "dept"), rows)},
+        capability,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Map source G (Example 8)
+# ---------------------------------------------------------------------------
+
+DEFAULT_POINTS = tuple(
+    {"id": f"p{x}_{y}", "x": x, "y": y}
+    for x in range(0, 60, 10)
+    for y in range(0, 60, 10)
+)
+
+
+def _range_pred(coord: str):
+    def virtual(row: Mapping, op: str, value: object) -> bool:
+        if op != "=" or not isinstance(value, Range):
+            raise EvaluationError(f"{coord}_range expects '= (lo:hi)'")
+        return value.contains(float(row[coord]))
+
+    return virtual
+
+
+def _corner_pred(lower: bool):
+    def virtual(row: Mapping, op: str, value: object) -> bool:
+        if op != "=" or not isinstance(value, Point):
+            raise EvaluationError("corner attributes expect '= (x, y)'")
+        x, y = float(row["x"]), float(row["y"])
+        if lower:
+            return x >= value.x and y >= value.y
+        return x <= value.x and y <= value.y
+
+    return virtual
+
+
+#: The map source's native region predicates, exposed so the Figure 9
+#: subsumption experiments can evaluate G-vocabulary queries directly.
+MAP_SOURCE_VIRTUALS = {
+    "X_range": _range_pred("x"),
+    "Y_range": _range_pred("y"),
+    "C_ll": _corner_pred(lower=True),
+    "C_ur": _corner_pred(lower=False),
+}
+
+
+def make_map_source(rows: Iterable[Mapping] = DEFAULT_POINTS) -> Source:
+    """Example 8's map source G: rectangle queries over stored points.
+
+    ``[X_range = (10:30)]`` selects points with 10 <= x <= 30;
+    ``[C_ll = (10, 20)]`` selects the open region x >= 10 ∧ y >= 20 — the
+    shaded area of Figure 9.
+    """
+    capability = Capability.of(
+        selections=[
+            ("X_range", "="),
+            ("Y_range", "="),
+            ("C_ll", "="),
+            ("C_ur", "="),
+        ],
+    )
+    return Source(
+        "G",
+        {"points": Relation("points", ("id", "x", "y"), rows)},
+        capability,
+        dict(MAP_SOURCE_VIRTUALS),
+    )
+
+
+#: Mediator-side virtuals for the map context F of Example 8, so original
+#: queries over x_min/x_max/y_min/y_max can be evaluated directly for the
+#: subsumption experiments of Figure 9.
+MAP_MEDIATOR_VIRTUALS = {
+    "x_min": lambda row, op, v: op == "=" and float(row["x"]) >= float(v),
+    "x_max": lambda row, op, v: op == "=" and float(row["x"]) <= float(v),
+    "y_min": lambda row, op, v: op == "=" and float(row["y"]) >= float(v),
+    "y_max": lambda row, op, v: op == "=" and float(row["y"]) <= float(v),
+}
+
+__all__.extend(["MAP_MEDIATOR_VIRTUALS", "MAP_SOURCE_VIRTUALS"])

@@ -1,0 +1,112 @@
+"""Mediator views over source relations (Section 2).
+
+A view is an SPJ query over source relations plus conversion functions —
+``fac(ln, fn, bib, dept)`` joins ``aubib`` (T1) with ``prof`` (T2) through
+the ``NameLnFn`` conceptual relation.  :class:`ViewDef` captures this as a
+set of base relation instances plus a ``combine`` function that applies
+the join predicate and the conversion functions in one step, returning the
+view tuple (or ``None`` when the bases do not join).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import Callable, Mapping
+
+from repro.core.errors import SchemaError
+from repro.engine.source import Source
+
+__all__ = ["BaseRef", "ViewDef", "UnionViewDef"]
+
+
+@dataclass(frozen=True)
+class BaseRef:
+    """One relation instance contributed to a view by a source.
+
+    The relation name doubles as the alias rule emissions use: rule R1
+    writes ``fac.aubib.bib``, so the ``fac`` view's T1 base must be named
+    ``aubib``.
+    """
+
+    source: str
+    relation: str
+
+
+@dataclass(frozen=True)
+class ViewDef:
+    """An integrated mediator view."""
+
+    name: str
+    attributes: tuple[str, ...]
+    bases: tuple[BaseRef, ...]
+    combine: Callable[[Mapping[str, Mapping]], Mapping | None]
+
+    def sources(self) -> frozenset[str]:
+        return frozenset(base.source for base in self.bases)
+
+    def materialize(self, sources: Mapping[str, Source]) -> list[dict]:
+        """The full view extension — the unpushed baseline of Eq. 1."""
+        pools = [
+            sources[base.source].relation(base.relation).rows()
+            for base in self.bases
+        ]
+        out: list[dict] = []
+        for combo in product(*pools):
+            by_alias = {
+                base.relation: row for base, row in zip(self.bases, combo)
+            }
+            view_row = self.combine(by_alias)
+            if view_row is None:
+                continue
+            if set(view_row) != set(self.attributes):
+                raise SchemaError(
+                    f"view {self.name!r}: combine produced attributes "
+                    f"{sorted(view_row)}, expected {sorted(self.attributes)}"
+                )
+            out.append(dict(view_row))
+        return out
+
+
+@dataclass(frozen=True)
+class UnionViewDef:
+    """A view that is a *union* of SPJ components (Section 2).
+
+    "In general a view can be a union of SPJ components; e.g., a book view
+    can be a union of two relations from two bookstore sources.  In this
+    case, we can process each component separately and union the results"
+    — which is exactly what :class:`~repro.mediator.mediator.Mediator`
+    does: queries run once per component choice, with the residue filter
+    recomputed for each choice's sources.
+    """
+
+    name: str
+    components: tuple[ViewDef, ...]
+
+    def __post_init__(self) -> None:
+        if not self.components:
+            raise SchemaError(f"union view {self.name!r} needs >= 1 component")
+        first = set(self.components[0].attributes)
+        for component in self.components[1:]:
+            if set(component.attributes) != first:
+                raise SchemaError(
+                    f"union view {self.name!r}: component {component.name!r} "
+                    f"has a different attribute set"
+                )
+
+    @property
+    def attributes(self) -> tuple[str, ...]:
+        return self.components[0].attributes
+
+    def sources(self) -> frozenset[str]:
+        out: frozenset[str] = frozenset()
+        for component in self.components:
+            out |= component.sources()
+        return out
+
+    def materialize(self, sources: Mapping[str, Source]) -> list[dict]:
+        """Bag union of the component extensions."""
+        rows: list[dict] = []
+        for component in self.components:
+            rows.extend(component.materialize(sources))
+        return rows

@@ -1,0 +1,20 @@
+"""Mediation pipeline: per-source translation, execution, and filtering."""
+
+from repro.mediator.builtin import (
+    bookstore_federation,
+    bookstore_mediator,
+    faculty_mediator,
+    map_mediator,
+    realty_mediator,
+)
+from repro.mediator.mediator import MediatedAnswer, Mediator
+
+__all__ = [
+    "Mediator",
+    "MediatedAnswer",
+    "bookstore_mediator",
+    "bookstore_federation",
+    "faculty_mediator",
+    "map_mediator",
+    "realty_mediator",
+]

@@ -1,0 +1,303 @@
+"""Ready-made mediators for the paper's three scenarios.
+
+* :func:`bookstore_mediator` — Example 1 / Figure 2: the integrated
+  ``book`` view over an Amazon-style or Clbooks-style catalog;
+* :func:`faculty_mediator` — Example 3 / Figure 5: ``fac`` and ``pub``
+  views integrating sources T1 and T2;
+* :func:`map_mediator` — Example 8 / Figure 9: the mediator context F over
+  the map source G.
+
+Each factory wires the views' conversion functions (the conceptual
+relations ``X`` of Section 2) to the :mod:`repro.conversions` package, so
+the same human-maintained code serves both view definition and rule
+emission — the symmetry Section 3 discusses.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.conversions import DEPT_CODES, name_to_ln_fn
+from repro.conversions.codes import CATEGORY_TO_SUBJECT
+from repro.core.errors import TranslationError
+from repro.engine.sources_builtin import (
+    DEFAULT_AUBIB,
+    DEFAULT_BOOKS,
+    DEFAULT_PAPERS,
+    DEFAULT_POINTS,
+    DEFAULT_PROF,
+    MAP_MEDIATOR_VIRTUALS,
+    make_amazon,
+    make_clbooks,
+    make_map_source,
+    make_t1,
+    make_t2,
+)
+from repro.engine.views import BaseRef, ViewDef
+from repro.mediator.mediator import Mediator
+from repro.rules.library import K1, K2, K_AMAZON, K_CLBOOKS, K_MAP
+from repro.text import TextPattern, matches
+
+__all__ = [
+    "bookstore_mediator",
+    "bookstore_federation",
+    "faculty_mediator",
+    "realty_mediator",
+    "map_mediator",
+]
+
+_SUBJECT_TO_CATEGORY = {subject: code for code, subject in CATEGORY_TO_SUBJECT.items()}
+_CODE_TO_DEPT = {code: dept for dept, code in DEPT_CODES.items()}
+
+BOOK_ATTRS = (
+    "title", "ln", "fn", "pyear", "pmonth", "publisher", "id-no",
+    "category", "subject",
+)
+
+
+def _book_row(by_alias: Mapping[str, Mapping]) -> dict:
+    """NameLnFn + renames: one catalog tuple -> one book view tuple."""
+    row = by_alias["catalog"]
+    ln, fn = name_to_ln_fn(row["author"])
+    return {
+        "title": row["title"],
+        "ln": ln,
+        "fn": fn,
+        "pyear": row["year"],
+        "pmonth": row["month"],
+        "publisher": row["publisher"],
+        "id-no": row["isbn"],
+        "category": _SUBJECT_TO_CATEGORY.get(row["subject"], "unknown"),
+        "subject": row["subject"],
+    }
+
+
+def _book_virtuals() -> dict:
+    """View-level search semantics for the book view.
+
+    ``ti`` searches the title text; ``kwd`` searches title *or* subject —
+    the semantics under which rule R8's disjunction is the minimal
+    subsuming mapping.
+    """
+
+    def ti(row: Mapping, op: str, value: object) -> bool:
+        if op == "=":
+            return str(row["title"]).strip().lower() == str(value).strip().lower()
+        return _match_text(row["title"], op, value)
+
+    def kwd(row: Mapping, op: str, value: object) -> bool:
+        return _match_text(row["title"], op, value) or _match_text(
+            row["subject"], op, value
+        )
+
+    return {"ti": ti, "kwd": kwd}
+
+
+def _match_text(text: object, op: str, value: object) -> bool:
+    if op != "contains":
+        raise TranslationError(f"text attributes support only contains, got {op!r}")
+    if isinstance(value, TextPattern):
+        return matches(value, str(text))
+    return matches_word(str(text), str(value))
+
+
+def matches_word(text: str, word: str) -> bool:
+    from repro.text import tokenize
+
+    return word.lower() in tokenize(text)
+
+
+def bookstore_mediator(
+    store: str = "amazon",
+    rows: Iterable[Mapping] = DEFAULT_BOOKS,
+    grammar=None,
+) -> Mediator:
+    """The Example 1 mediator over one bookstore (``amazon`` | ``clbooks``).
+
+    ``grammar`` optionally restricts the native interface's query *form*
+    (a :class:`~repro.engine.grammar.QueryGrammar`); the mediation
+    pipeline then drives the store through a compensating wrapper.
+    """
+    if store == "amazon":
+        source, spec = make_amazon(rows), K_AMAZON
+    elif store == "clbooks":
+        source, spec = make_clbooks(rows), K_CLBOOKS
+    else:
+        raise TranslationError(f"unknown bookstore {store!r}")
+    if grammar is not None:
+        source.grammar = grammar
+    book = ViewDef(
+        name="book",
+        attributes=BOOK_ATTRS,
+        bases=(BaseRef(source.name, "catalog"),),
+        combine=_book_row,
+    )
+    return Mediator(
+        views={"book": book},
+        sources={source.name: source},
+        specs={source.name: spec},
+        view_virtuals=_book_virtuals(),
+    )
+
+
+#: Titles only Clbooks stocks, to make the federation's union visible.
+CLBOOKS_ONLY_BOOKS = (
+    {"title": "Compilers in Anger", "author": "Chang, Kevin", "year": 1997,
+     "month": 5, "publisher": "mit", "isbn": "900000001X",
+     "subject": "programming"},
+    {"title": "Query Mapping for Fun", "author": "Clancy, Tom", "year": 1998,
+     "month": 1, "publisher": "mit", "isbn": "900000002X",
+     "subject": "databases"},
+)
+
+
+def bookstore_federation(
+    amazon_rows: Iterable[Mapping] = DEFAULT_BOOKS,
+    clbooks_rows: Iterable[Mapping] = tuple(DEFAULT_BOOKS) + CLBOOKS_ONLY_BOOKS,
+) -> Mediator:
+    """The intro's acses.com scenario: one ``book`` view over *both* stores.
+
+    The view is a union of two SPJ components (Section 2); each component
+    is processed separately with its own mapping specification and residue
+    filter, and the results are unioned.  A book carried by both stores
+    shows up once per store, as a shopping comparator would want.
+    """
+    amazon = make_amazon(amazon_rows)
+    clbooks = make_clbooks(clbooks_rows)
+    from repro.engine.views import UnionViewDef
+
+    amazon_component = ViewDef(
+        name="book@Amazon",
+        attributes=BOOK_ATTRS,
+        bases=(BaseRef(amazon.name, "catalog"),),
+        combine=_book_row,
+    )
+    clbooks_component = ViewDef(
+        name="book@Clbooks",
+        attributes=BOOK_ATTRS,
+        bases=(BaseRef(clbooks.name, "catalog"),),
+        combine=_book_row,
+    )
+    book = UnionViewDef(
+        name="book",
+        components=(amazon_component, clbooks_component),
+    )
+    return Mediator(
+        views={"book": book},
+        sources={amazon.name: amazon, clbooks.name: clbooks},
+        specs={amazon.name: K_AMAZON, clbooks.name: K_CLBOOKS},
+        view_virtuals=_book_virtuals(),
+    )
+
+
+def faculty_mediator(
+    papers: Iterable[Mapping] = DEFAULT_PAPERS,
+    aubib: Iterable[Mapping] = DEFAULT_AUBIB,
+    prof: Iterable[Mapping] = DEFAULT_PROF,
+) -> Mediator:
+    """The Example 3 mediator: fac(ln, fn, bib, dept) and pub(ti, ln, fn)."""
+    t1 = make_t1(papers, aubib)
+    t2 = make_t2(prof)
+
+    def fac_row(by_alias: Mapping[str, Mapping]) -> dict | None:
+        aubib_row = by_alias["aubib"]
+        prof_row = by_alias["prof"]
+        ln, fn = name_to_ln_fn(aubib_row["name"])
+        if fn is None:
+            return None
+        if prof_row["ln"] != ln or prof_row["fn"] != fn:
+            return None
+        dept = _CODE_TO_DEPT.get(prof_row["dept"])
+        if dept is None:
+            return None
+        return {"ln": ln, "fn": fn, "bib": aubib_row["bib"], "dept": dept}
+
+    def pub_row(by_alias: Mapping[str, Mapping]) -> dict:
+        paper_row = by_alias["paper"]
+        ln, fn = name_to_ln_fn(paper_row["au"])
+        return {"ti": paper_row["ti"], "ln": ln, "fn": fn or ""}
+
+    fac = ViewDef(
+        name="fac",
+        attributes=("ln", "fn", "bib", "dept"),
+        bases=(BaseRef("T1", "aubib"), BaseRef("T2", "prof")),
+        combine=fac_row,
+    )
+    pub = ViewDef(
+        name="pub",
+        attributes=("ti", "ln", "fn"),
+        bases=(BaseRef("T1", "paper"),),
+        combine=pub_row,
+    )
+
+    def bib_virtual(row: Mapping, op: str, value: object) -> bool:
+        return _match_text(row["bib"], op, value)
+
+    return Mediator(
+        views={"fac": fac, "pub": pub},
+        sources={"T1": t1, "T2": t2},
+        specs={"T1": K1, "T2": K2},
+        view_virtuals={"bib": bib_virtual},
+    )
+
+
+def realty_mediator(rows=None) -> Mediator:
+    """The realty scenario: inequality mapping with value conversions.
+
+    The mediator's ``listing(id, city, price-usd, area-sqft,
+    quality-rank)`` view sits over the metric/cent listings catalog;
+    ``K_realty`` flips comparison operators where the conversion reverses
+    order (rank ↔ score).  See :mod:`repro.rules.library_realty`.
+    """
+    from repro.rules.library_realty import (
+        BEST_RANK_SCORE,
+        DEFAULT_LISTINGS,
+        K_REALTY,
+        make_listings_source,
+    )
+
+    source = make_listings_source(rows if rows is not None else DEFAULT_LISTINGS)
+
+    def listing_row(by_alias: Mapping[str, Mapping]) -> dict:
+        row = by_alias["listings"]
+        return {
+            "id": row["id"],
+            "city": row["city"],
+            "price-usd": row["price_cents"] / 100,
+            "area-sqft": round(row["area_m2"] / 0.092903, 2),
+            "quality-rank": BEST_RANK_SCORE + 1 - int(row["score"]),
+        }
+
+    listing = ViewDef(
+        name="listing",
+        attributes=("id", "city", "price-usd", "area-sqft", "quality-rank"),
+        bases=(BaseRef("listings", "listings"),),
+        combine=listing_row,
+    )
+    virtuals = {
+        "area-min-sqft": lambda row, op, v: op == "=" and float(row["area-sqft"]) >= float(v),
+        "area-max-sqft": lambda row, op, v: op == "=" and float(row["area-sqft"]) <= float(v),
+    }
+    return Mediator(
+        views={"listing": listing},
+        sources={"listings": source},
+        specs={"listings": K_REALTY},
+        view_virtuals=virtuals,
+    )
+
+
+def map_mediator(rows: Iterable[Mapping] = DEFAULT_POINTS) -> Mediator:
+    """The Example 8 mediator context F over the map source G."""
+    source = make_map_source(rows)
+    pt = ViewDef(
+        name="pt",
+        attributes=("id", "x", "y"),
+        bases=(BaseRef("G", "points"),),
+        combine=lambda by_alias: dict(by_alias["points"]),
+    )
+    return Mediator(
+        views={"pt": pt},
+        sources={"G": source},
+        specs={"G": K_MAP},
+        view_virtuals=dict(MAP_MEDIATOR_VIRTUALS),
+    )

@@ -1,0 +1,259 @@
+"""The mediation pipeline: Eq. 1 (direct) vs Eq. 2 (translated) answering.
+
+:class:`Mediator` owns integrated views, the sources behind them, and one
+mapping specification per source.  It answers a user constraint query two
+ways:
+
+* :meth:`answer_direct` — materialize every referenced view instance and
+  evaluate ``Q`` over their cross product: ``σ_Q(V1 × ... × Vh)``, the
+  semantics the user sees (Eq. 1 after view expansion).
+* :meth:`answer_mediated` — translate ``Q`` per source with Algorithm
+  TDQM, let each source evaluate its mapping natively over its own
+  relation instances, reassemble view tuples through the conversion
+  functions, and post-filter with the residue ``F``:
+  ``σ_F[σ_S1(Q)(R1) × ... × σ_Sn(Q)(Rn) × X]`` (Eq. 2).
+
+Eq. 3 (``Q ≡ F ∧ S1(Q) ∧ ... ∧ Sn(Q)``) says the two answers must agree —
+the end-to-end correctness check the integration tests and the mediator
+bench run on every workload.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from itertools import product
+from typing import Mapping
+
+from repro.core.ast import AttrRef, Query
+from repro.core.errors import EvaluationError, TranslationError
+from repro.core.filters import FilterPlan, build_filter
+from repro.core.normalize import normalize
+from repro.engine.eval import RowEnv, Virtual, evaluate
+from repro.engine.source import Source
+from repro.engine.views import UnionViewDef, ViewDef
+from repro.rules.spec import MappingSpecification
+
+__all__ = ["Mediator", "MediatedAnswer"]
+
+#: One result: ((view, index) -> view tuple) frozen for comparison.
+ResultRow = tuple
+
+
+class MediatedAnswer:
+    """The mediated result plus the plan(s) that produced it.
+
+    For plain views there is exactly one plan; for *union* views (Section
+    2) the query runs once per component choice and ``plans`` holds one
+    :class:`~repro.core.filters.FilterPlan` per choice (the residue filter
+    depends on which sources the choice involves).
+    """
+
+    def __init__(self, rows: list[ResultRow], plans: list[FilterPlan]):
+        self.rows = rows
+        self.plans = list(plans)
+
+    @property
+    def plan(self) -> FilterPlan:
+        """The (first) plan — the only one for non-union mediators."""
+        return self.plans[0]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+class Mediator:
+    """A mediator integrating heterogeneous sources behind unified views."""
+
+    def __init__(
+        self,
+        views: Mapping[str, ViewDef],
+        sources: Mapping[str, Source],
+        specs: Mapping[str, MappingSpecification],
+        view_virtuals: Mapping[str, Virtual] | None = None,
+    ):
+        self.views = dict(views)
+        self.sources = dict(sources)
+        self.specs = dict(specs)
+        self.view_virtuals = dict(view_virtuals or {})
+        unknown = set(self.specs) - set(self.sources)
+        if unknown:
+            raise TranslationError(
+                f"specifications for unknown sources: {sorted(unknown)}"
+            )
+        for view in self.views.values():
+            missing = view.sources() - set(self.specs)
+            if missing:
+                raise TranslationError(
+                    f"view {view.name!r} uses sources without a mapping "
+                    f"specification: {sorted(missing)}"
+                )
+
+    # -- query analysis --------------------------------------------------------
+
+    def view_instances(self, query: Query) -> list[tuple[str, int | None]]:
+        """The (view, index) instances a query ranges over."""
+        instances: set[tuple[str, int | None]] = set()
+        for constraint in query.constraints():
+            refs = [constraint.lhs]
+            if isinstance(constraint.rhs, AttrRef):
+                refs.append(constraint.rhs)
+            for ref in refs:
+                view = ref.view
+                if view is None:
+                    if len(self.views) != 1:
+                        raise EvaluationError(
+                            f"unqualified reference {ref} is ambiguous with "
+                            f"{len(self.views)} views"
+                        )
+                    view = next(iter(self.views))
+                if view not in self.views:
+                    raise EvaluationError(f"unknown view {view!r} in {ref}")
+                instances.add((view, ref.index))
+        if not instances:
+            # A constant query still ranges over the single view, if any.
+            if len(self.views) == 1:
+                instances.add((next(iter(self.views)), None))
+        return sorted(instances, key=lambda vi: (vi[0], vi[1] if vi[1] is not None else -1))
+
+    # -- Eq. 1: direct evaluation ---------------------------------------------
+
+    def answer_direct(self, query: Query) -> list[ResultRow]:
+        """Ground truth: evaluate Q over materialized view extensions."""
+        query = normalize(query)
+        instances = self.view_instances(query)
+        extensions = {
+            view: self.views[view].materialize(self.sources)
+            for view in {v for v, _ in instances}
+        }
+        out: list[ResultRow] = []
+        pools = [extensions[view] for view, _ in instances]
+        for combo in product(*pools):
+            env_rows = {
+                ((view,), index): row
+                for (view, index), row in zip(instances, combo)
+            }
+            env = RowEnv(env_rows, self.view_virtuals)
+            if evaluate(query, env):
+                out.append(_canonical(instances, combo))
+        return out
+
+    # -- Eq. 2: translated evaluation -------------------------------------------
+
+    def _components_of(self, view_name: str) -> list[ViewDef]:
+        view = self.views[view_name]
+        if isinstance(view, UnionViewDef):
+            return list(view.components)
+        return [view]
+
+    def answer_mediated(self, query: Query) -> MediatedAnswer:
+        """Translate per source, execute natively, convert, post-filter.
+
+        Union views are processed one component choice at a time (Section
+        2), unioning the per-choice results.  The residue filter is
+        computed per choice: a conjunct may be exactly enforced by one
+        component's source but not another's.
+        """
+        query = normalize(query)
+        instances = self.view_instances(query)
+        choice_lists = [self._components_of(view) for view, _ in instances]
+
+        rows: list[ResultRow] = []
+        plans: list[FilterPlan] = []
+        for choice in product(*choice_lists):
+            components = dict(zip(instances, choice))
+            involved = set()
+            for component in choice:
+                involved |= component.sources()
+            specs = {name: self.specs[name] for name in sorted(involved)}
+            plan = build_filter(query, specs)
+            plans.append(plan)
+            rows.extend(self._run_choice(query, plan, instances, components))
+        if not plans:
+            # Constant query over zero instances: nothing to execute.
+            plans.append(build_filter(query, self.specs))
+            if evaluate(plans[0].filter, RowEnv({}, self.view_virtuals)):
+                rows.append(())
+        return MediatedAnswer(rows, plans)
+
+    def _run_choice(
+        self,
+        query: Query,
+        plan: FilterPlan,
+        instances: list[tuple[str, int | None]],
+        components: Mapping[tuple[str, int | None], ViewDef],
+    ) -> list[ResultRow]:
+        """One Eq. 2 execution with a fixed view-component per instance."""
+        # Each source evaluates its mapping over the relation instances it
+        # contributes to the queried view instances.
+        per_source: list[list[dict]] = []
+        for source_name in sorted(plan.mappings):
+            source = self.sources[source_name]
+            keys = {}
+            for view, index in instances:
+                for base in components[(view, index)].bases:
+                    if base.source == source_name:
+                        keys[((view, base.relation), index)] = base.relation
+            if not keys:
+                per_source.append([{}])
+                continue
+            per_source.append(source.execute(keys, plan.mappings[source_name]))
+
+        # Reassemble view tuples through the conversion functions and apply
+        # the residue filter F.
+        out: list[ResultRow] = []
+        for parts in product(*per_source):
+            merged: dict = {}
+            for part in parts:
+                merged.update(part)
+            view_rows = []
+            ok = True
+            for view, index in instances:
+                view_def = components[(view, index)]
+                by_alias = {}
+                for base in view_def.bases:
+                    key = ((view, base.relation), index)
+                    if key not in merged:
+                        ok = False
+                        break
+                    by_alias[base.relation] = merged[key]
+                if not ok:
+                    break
+                view_row = view_def.combine(by_alias)
+                if view_row is None:
+                    ok = False
+                    break
+                view_rows.append(view_row)
+            if not ok:
+                continue
+            env = RowEnv(
+                {
+                    ((view,), index): row
+                    for (view, index), row in zip(instances, view_rows)
+                },
+                self.view_virtuals,
+            )
+            if evaluate(plan.filter, env):
+                out.append(_canonical(instances, view_rows))
+        return out
+
+    # -- verification ------------------------------------------------------------
+
+    def check_equivalence(self, query: Query) -> bool:
+        """Do Eq. 1 and Eq. 2 agree (as multisets) on this query?"""
+        direct = Counter(self.answer_direct(query))
+        mediated = Counter(self.answer_mediated(query).rows)
+        return direct == mediated
+
+
+def _canonical(instances, rows) -> ResultRow:
+    """A hashable, order-stable rendering of one result combination."""
+    return tuple(
+        (view, index, tuple(sorted((k, _freeze(v)) for k, v in row.items())))
+        for (view, index), row in zip(instances, rows)
+    )
+
+
+def _freeze(value: object) -> object:
+    if isinstance(value, (list, set)):
+        return tuple(sorted(map(str, value)))
+    return value

@@ -1,0 +1,41 @@
+"""Rule system: DSL, specifications, and the paper's built-in rule sets."""
+
+from repro.rules.dsl import (
+    RejectMatch,
+    V,
+    ap,
+    attr_in,
+    attr_is,
+    cpat,
+    distinct,
+    rule,
+    same_view,
+    table_lookup,
+    value_is,
+    where,
+)
+from repro.rules.library import (
+    K1,
+    K2,
+    K_AMAZON,
+    K_CLBOOKS,
+    K_MAP,
+    builtin_specifications,
+)
+from repro.rules.declarative import DEFAULT_FUNCTIONS, rule_from_dict, spec_from_dict
+from repro.rules.spec import AuditReport, MappingSpecification, audit_vocabulary
+from repro.rules.vocabulary import (
+    AttributeSpec,
+    ContextVocabulary,
+    ValidationReport,
+    validate_spec,
+)
+
+__all__ = [
+    "V", "ap", "cpat", "rule", "value_is", "attr_is", "attr_in", "distinct",
+    "same_view", "where", "table_lookup", "RejectMatch",
+    "MappingSpecification", "AuditReport", "audit_vocabulary",
+    "AttributeSpec", "ContextVocabulary", "ValidationReport", "validate_spec",
+    "spec_from_dict", "rule_from_dict", "DEFAULT_FUNCTIONS",
+    "K_AMAZON", "K_CLBOOKS", "K1", "K2", "K_MAP", "builtin_specifications",
+]

@@ -1,0 +1,466 @@
+"""Built-in mapping specifications transcribed from the paper.
+
+* :data:`K_AMAZON` — Figure 3's ``K_Amazon`` (rules R1–R9) for the
+  Amazon-style bookstore target;
+* :data:`K_CLBOOKS` — the Computer Literacy target of Example 1 (only
+  ``contains`` over ``author``);
+* :data:`K1` / :data:`K2` — Figure 5's specifications for sources T1
+  (``paper``/``aubib``) and T2 (``prof``) behind the ``fac``/``pub`` views;
+* :data:`K_MAP` — Example 8's map-source rules (``x_min``/``x_max``/... to
+  ``X_range``/``C_ll``/...), the canonical *redundant cross-matching* case.
+
+Rule numbering follows Example 4's trace: R1 simple attributes, R2 the
+ln+fn pair, R3 ln alone, R4 ``ti contains``, R5 ``ti =``, R6 pyear+pmonth,
+R7 pyear alone, R8 kwd, R9 category.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.conversions import (
+    CATEGORY_TO_SUBJECT,
+    DEPT_CODES,
+    ln_fn_to_name,
+    month_period,
+    year_period,
+)
+from repro.core.ast import AttrRef, C, disj
+from repro.core.matching import RejectMatch
+from repro.core.values import Point, Range
+from repro.rules.dsl import (
+    V,
+    ap,
+    attr_in,
+    cpat,
+    rule,
+    same_view,
+    table_lookup,
+    value_is,
+)
+from repro.rules.spec import MappingSpecification
+from repro.text import TextCapability, rewrite_text_pattern
+from repro.text.patterns import MatchAll, TextPattern, Word
+
+__all__ = [
+    "K_AMAZON",
+    "K_CLBOOKS",
+    "K1",
+    "K2",
+    "K_MAP",
+    "AMAZON_TEXT",
+    "CLBOOKS_TEXT",
+    "T1_TEXT",
+    "builtin_specifications",
+]
+
+# ---------------------------------------------------------------------------
+# Target text capabilities
+# ---------------------------------------------------------------------------
+
+#: Amazon's word-based search: Boolean and/or over words, no near, no phrase.
+AMAZON_TEXT = TextCapability(supports_phrase=False, supports_near=False)
+
+#: Clbooks supports proximity but not exact phrases.
+CLBOOKS_TEXT = TextCapability(supports_phrase=False, supports_near=True)
+
+#: Source T1's bibliography search: keyword conjunctions only (Example 3
+#: relaxes ``data (near) mining`` to ``data (∧) mining`` there).
+T1_TEXT = TextCapability(supports_phrase=False, supports_near=False)
+
+
+def _contains_or_true(attr_name: str, rewrite) -> "object":
+    """Emit ``[attr contains P]`` — or ``True`` when P matched everything.
+
+    A rewrite can collapse to :class:`MatchAll` when every word is a
+    target stopword; the minimal subsuming constraint is then no
+    constraint at all.
+    """
+    from repro.core.ast import TRUE
+
+    if isinstance(rewrite.pattern, MatchAll):
+        return TRUE
+    return C(attr_name, "contains", rewrite.pattern)
+
+
+def _rewriter(capability: TextCapability):
+    """A ``let`` function running RewriteTextPat on the bound pattern P1."""
+
+    def rewrite(bindings: Mapping) -> object:
+        pattern = bindings["P1"]
+        if isinstance(pattern, str):
+            pattern = Word(pattern)
+        if not isinstance(pattern, TextPattern):
+            raise RejectMatch(f"not a text pattern: {pattern!r}")
+        return rewrite_text_pattern(pattern, capability)
+
+    return rewrite
+
+
+# ---------------------------------------------------------------------------
+# K_Amazon (Figure 3)
+# ---------------------------------------------------------------------------
+
+#: ``SimpleMapping`` attributes: plain renames into Amazon's vocabulary.
+AMAZON_SIMPLE_ATTRS = {
+    "publisher": "publisher",
+    "id-no": "isbn",
+}
+
+_R1 = rule(
+    "R1",
+    patterns=[cpat(V("A1"), "=", V("N"))],
+    where=[attr_in("A1", AMAZON_SIMPLE_ATTRS), value_is("N")],
+    let={"A2": lambda b: AMAZON_SIMPLE_ATTRS[b["A1"].attr]},
+    emit=lambda b: C(b["A2"], "=", b["N"]),
+    exact=True,
+    doc="SimpleMapping(A1): plain attribute rename (publisher, id-no -> isbn).",
+)
+
+_R2 = rule(
+    "R2",
+    patterns=[cpat("ln", "=", V("L")), cpat("fn", "=", V("F"))],
+    where=[value_is("L", "F")],
+    let={"N": lambda b: ln_fn_to_name(b["L"], b["F"])},
+    emit=lambda b: C("author", "=", b["N"]),
+    exact=True,
+    doc="ln + fn are inter-dependent: combine into Amazon's author format.",
+)
+
+_R3 = rule(
+    "R3",
+    patterns=[cpat("ln", "=", V("L"))],
+    where=[value_is("L")],
+    emit=lambda b: C("author", "=", b["L"]),
+    exact=True,
+    doc="ln alone: author name with unknown first name (Example 2).",
+)
+
+_R4 = rule(
+    "R4",
+    patterns=[cpat("ti", "contains", V("P1"))],
+    let={"RW": _rewriter(AMAZON_TEXT)},
+    emit=lambda b: _contains_or_true("ti-word", b["RW"]),
+    exact=lambda b: b["RW"].exact,
+    doc="RewriteTextPat: relax unsupported text operators (near -> and).",
+)
+
+_R5 = rule(
+    "R5",
+    patterns=[cpat("ti", "=", V("T"))],
+    where=[value_is("T")],
+    emit=lambda b: C("title", "starts", b["T"]),
+    doc="Amazon has no exact-title search; 'starts' minimally subsumes '='.",
+)
+
+_R6 = rule(
+    "R6",
+    patterns=[cpat("pyear", "=", V("Y")), cpat("pmonth", "=", V("M"))],
+    where=[value_is("Y", "M")],
+    let={"D": lambda b: month_period(b["Y"], b["M"])},
+    emit=lambda b: C("pdate", "during", b["D"]),
+    exact=True,
+    doc="pyear + pmonth are inter-dependent: Amazon dates need the year.",
+)
+
+_R7 = rule(
+    "R7",
+    patterns=[cpat("pyear", "=", V("Y"))],
+    where=[value_is("Y")],
+    let={"D": lambda b: year_period(b["Y"])},
+    emit=lambda b: C("pdate", "during", b["D"]),
+    exact=True,
+    doc="pyear alone: a partial (whole-year) date.",
+)
+
+_R8 = rule(
+    "R8",
+    patterns=[cpat("kwd", "contains", V("P1"))],
+    let={"RW": _rewriter(AMAZON_TEXT)},
+    emit=lambda b: disj(
+        [
+            _contains_or_true("ti-word", b["RW"]),
+            _contains_or_true("subject-word", b["RW"]),
+        ]
+    ),
+    exact=lambda b: b["RW"].exact,
+    doc=(
+        "No kwd attribute: keywords are the title and subject words, so "
+        "the disjunction is exact unless the pattern had to be relaxed."
+    ),
+)
+
+_R9 = rule(
+    "R9",
+    patterns=[cpat("category", "=", V("X"))],
+    where=[value_is("X")],
+    let={"S": table_lookup(CATEGORY_TO_SUBJECT, lambda b: b["X"])},
+    emit=lambda b: C("subject", "=", b["S"]),
+    doc="Classification category code -> broader subject heading.",
+)
+
+K_AMAZON = MappingSpecification(
+    name="K_Amazon",
+    target="Amazon",
+    rules=(_R1, _R2, _R3, _R4, _R5, _R6, _R7, _R8, _R9),
+    description="Figure 3: mapping rules for the Amazon power-search target.",
+)
+
+
+# ---------------------------------------------------------------------------
+# K_Clbooks (Example 1)
+# ---------------------------------------------------------------------------
+
+_RC1 = rule(
+    "Rc1",
+    patterns=[cpat("ln", "=", V("L"))],
+    where=[value_is("L")],
+    emit=lambda b: C("author", "contains", Word(str(b["L"]))),
+    doc="Clbooks only matches words anywhere in author names (Example 1).",
+)
+
+_RC2 = rule(
+    "Rc2",
+    patterns=[cpat("fn", "=", V("F"))],
+    where=[value_is("F")],
+    emit=lambda b: C("author", "contains", Word(str(b["F"]))),
+    doc="First names are searchable as words, unlike at Amazon.",
+)
+
+_RC3 = rule(
+    "Rc3",
+    patterns=[cpat("ti", "contains", V("P1"))],
+    let={"RW": _rewriter(CLBOOKS_TEXT)},
+    emit=lambda b: _contains_or_true("ti", b["RW"]),
+    exact=lambda b: b["RW"].exact,
+    doc="Title text search; Clbooks keeps proximity.",
+)
+
+_RC4 = rule(
+    "Rc4",
+    patterns=[cpat("publisher", "=", V("P"))],
+    where=[value_is("P")],
+    emit=lambda b: C("publisher", "=", b["P"]),
+    exact=True,
+    doc="Publisher passes through unchanged.",
+)
+
+K_CLBOOKS = MappingSpecification(
+    name="K_Clbooks",
+    target="Clbooks",
+    rules=(_RC1, _RC2, _RC3, _RC4),
+    description="Example 1: Computer Literacy supports only word containment on author.",
+)
+
+
+# ---------------------------------------------------------------------------
+# K1 — source T1: paper(ti, au), aubib(name, bib)  (Figure 5)
+# ---------------------------------------------------------------------------
+
+#: View attribute -> the T1 relation attribute it expands to.
+_T1_NAME_ATTR = {
+    "fac": ("aubib", "name"),
+    "pub": ("paper", "au"),
+}
+
+
+def _t1_name_ref(ref: AttrRef) -> AttrRef:
+    """AttrNameMapping for K1: fac.ln/fn -> fac.aubib.name, pub.* -> pub.paper.au."""
+    view = ref.view
+    if view not in _T1_NAME_ATTR:
+        raise RejectMatch(f"no T1 name mapping for view {view!r}")
+    relation, attribute = _T1_NAME_ATTR[view]
+    return AttrRef((view, relation, attribute), ref.index)
+
+
+_K1_R1 = rule(
+    "R1",
+    patterns=[cpat(ap("bib", view="fac", index=V("i")), "contains", V("P1"))],
+    let={"RW": _rewriter(T1_TEXT)},
+    emit=lambda b: (
+        _contains_or_true("unused", b["RW"])
+        if isinstance(b["RW"].pattern, MatchAll)
+        else C(AttrRef(("fac", "aubib", "bib"), b["i"]), "contains", b["RW"].pattern)
+    ),
+    exact=lambda b: b["RW"].exact,
+    doc="fac.bib search goes to aubib.bib; T1 lacks near (Example 3).",
+)
+
+_K1_R2 = rule(
+    "R2",
+    patterns=[cpat(ap("ti", view="pub", index=V("i")), "=", V("T"))],
+    where=[value_is("T")],
+    emit=lambda b: C(AttrRef(("pub", "paper", "ti"), b["i"]), "=", b["T"]),
+    exact=True,
+    doc="pub.ti is paper.ti verbatim.",
+)
+
+_K1_R3 = rule(
+    "R3",
+    patterns=[cpat(V("A1"), "=", V("N"))],
+    where=[attr_in("A1", {"ln", "fn"}), value_is("N")],
+    let={"A2": lambda b: _t1_name_ref(b["A1"])},
+    emit=lambda b: C(b["A2"], "contains", Word(str(b["N"]))),
+    doc="A lone ln or fn relaxes to word containment in the combined name.",
+)
+
+_K1_R4 = rule(
+    "R4",
+    patterns=[cpat(V("AL"), "=", V("L")), cpat(V("AF"), "=", V("F"))],
+    where=[
+        attr_in("AL", {"ln"}),
+        attr_in("AF", {"fn"}),
+        same_view("AL", "AF"),
+        value_is("L", "F"),
+    ],
+    let={
+        "A": lambda b: _t1_name_ref(b["AL"]),
+        "N": lambda b: ln_fn_to_name(b["L"], b["F"]),
+    },
+    emit=lambda b: C(b["A"], "=", b["N"]),
+    exact=True,
+    doc="ln + fn of the same view combine into the stored name format.",
+)
+
+_K1_R5 = rule(
+    "R5",
+    patterns=[
+        cpat(ap("ln", view=V("V1")), "=", ap("ln", view=V("V2"))),
+        cpat(ap("fn", view=V("V1")), "=", ap("fn", view=V("V2"))),
+    ],
+    let={
+        "A1": lambda b: _t1_name_ref(b["V1"].ref("ln")),
+        "A2": lambda b: _t1_name_ref(b["V2"].ref("ln")),
+    },
+    emit=lambda b: C(b["A1"], "=", b["A2"]),
+    exact=True,
+    doc="The ln + fn join pair becomes one join on the combined names.",
+)
+
+K1 = MappingSpecification(
+    name="K1",
+    target="T1",
+    rules=(_K1_R1, _K1_R2, _K1_R3, _K1_R4, _K1_R5),
+    description="Figure 5: rules for source T1 (paper, aubib) behind fac/pub.",
+)
+
+
+# ---------------------------------------------------------------------------
+# K2 — source T2: prof(ln, fn, dept)  (Figure 5)
+# ---------------------------------------------------------------------------
+
+_K2_R6 = rule(
+    "R6",
+    patterns=[cpat(ap(V("A1"), view="fac", index=V("i")), "=", V("N"))],
+    where=[attr_in("A1", {"ln", "fn"}), value_is("N")],
+    emit=lambda b: C(AttrRef(("fac", "prof", b["A1"]), b["i"]), "=", b["N"]),
+    exact=True,
+    doc="prof stores ln/fn directly; exact name equality is supported.",
+)
+
+_K2_R7 = rule(
+    "R7",
+    patterns=[cpat(ap("dept", view="fac", index=V("i")), "=", V("D"))],
+    where=[value_is("D")],
+    let={"C": table_lookup(DEPT_CODES, lambda b: str(b["D"]).strip().lower())},
+    emit=lambda b: C(AttrRef(("fac", "prof", "dept"), b["i"]), "=", b["C"]),
+    exact=True,
+    doc="DeptCode: T2 uses numeric department codes (cs -> 230, Example 3).",
+)
+
+_K2_R8 = rule(
+    "R8",
+    patterns=[
+        cpat(
+            ap(V("A"), view="fac", index=V("i")),
+            "=",
+            ap(V("A"), view="fac", index=V("j")),
+        )
+    ],
+    where=[attr_in("A", {"ln", "fn"})],
+    emit=lambda b: C(
+        AttrRef(("fac", "prof", b["A"]), b["i"]),
+        "=",
+        AttrRef(("fac", "prof", b["A"]), b["j"]),
+    ),
+    exact=True,
+    doc="Self-joins between fac instances map onto prof (Section 4.2).",
+)
+
+K2 = MappingSpecification(
+    name="K2",
+    target="T2",
+    rules=(_K2_R6, _K2_R7, _K2_R8),
+    description="Figure 5: rules for source T2 (prof) behind fac.",
+)
+
+
+# ---------------------------------------------------------------------------
+# K_map — the map source G of Example 8
+# ---------------------------------------------------------------------------
+
+
+def _num(bindings: Mapping, name: str) -> float:
+    value = bindings[name]
+    if not isinstance(value, (int, float)):
+        raise RejectMatch(f"{name} must be numeric, got {value!r}")
+    return value
+
+
+_RM1 = rule(
+    "Rm1",
+    patterns=[cpat("x_min", "=", V("A")), cpat("x_max", "=", V("B"))],
+    where=[value_is("A", "B")],
+    let={"R": lambda b: Range(_num(b, "A"), _num(b, "B"))},
+    emit=lambda b: C("X_range", "=", b["R"]),
+    exact=True,
+    doc="x_min + x_max give the full X_range.",
+)
+
+_RM2 = rule(
+    "Rm2",
+    patterns=[cpat("y_min", "=", V("A")), cpat("y_max", "=", V("B"))],
+    where=[value_is("A", "B")],
+    let={"R": lambda b: Range(_num(b, "A"), _num(b, "B"))},
+    emit=lambda b: C("Y_range", "=", b["R"]),
+    exact=True,
+    doc="y_min + y_max give the full Y_range.",
+)
+
+_RM3 = rule(
+    "Rm3",
+    patterns=[cpat("x_min", "=", V("A")), cpat("y_min", "=", V("B"))],
+    where=[value_is("A", "B")],
+    let={"P": lambda b: Point(_num(b, "A"), _num(b, "B"))},
+    emit=lambda b: C("C_ll", "=", b["P"]),
+    exact=True,
+    doc="x_min + y_min give the lower-left corner.",
+)
+
+_RM4 = rule(
+    "Rm4",
+    patterns=[cpat("x_max", "=", V("A")), cpat("y_max", "=", V("B"))],
+    where=[value_is("A", "B")],
+    let={"P": lambda b: Point(_num(b, "A"), _num(b, "B"))},
+    emit=lambda b: C("C_ur", "=", b["P"]),
+    exact=True,
+    doc="x_max + y_max give the upper-right corner.",
+)
+
+K_MAP = MappingSpecification(
+    name="K_map",
+    target="G",
+    rules=(_RM1, _RM2, _RM3, _RM4),
+    description=(
+        "Example 8: the map target's interrelated attribute pairs "
+        "(X_range/Y_range vs C_ll/C_ur) create redundant cross-matchings."
+    ),
+)
+
+
+def builtin_specifications() -> dict[str, MappingSpecification]:
+    """All built-in specifications keyed by name."""
+    return {
+        spec.name: spec
+        for spec in (K_AMAZON, K_CLBOOKS, K1, K2, K_MAP)
+    }

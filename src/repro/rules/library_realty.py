@@ -1,0 +1,169 @@
+"""The realty scenario: mapping *inequality* constraints with conversions.
+
+The paper's examples map equalities, text patterns, and dates.  Its
+framework, however, handles any operator — the interesting cases are
+range constraints whose values need conversion:
+
+* **monotone conversions keep the operator** — ``[price-usd <= X]``
+  becomes ``[price_cents <= 100·X]`` (dollars→cents is increasing);
+* **order-reversing conversions flip it** — the mediator ranks listings
+  with ``quality-rank`` (1 = best) while the target stores a ``score``
+  (100 = best): ``[quality-rank <= K]`` becomes ``[score >= 101 - K]``;
+* **interval attributes pair up** — like Example 8's map source, a
+  ``area-min``/``area-max`` pair is inter-dependent when the target only
+  accepts a single ``area_m2`` range constraint.
+
+``K_REALTY`` maps the mediator's imperial/dollar vocabulary onto the
+metric/cent catalog of :func:`make_listings_source`.
+"""
+
+from __future__ import annotations
+
+from repro.core.ast import C
+from repro.core.errors import EvaluationError
+from repro.core.values import Range
+from repro.engine.capabilities import Capability
+from repro.engine.relation import Relation
+from repro.engine.source import Source
+from repro.rules.dsl import V, cpat, rule, value_is
+from repro.rules.spec import MappingSpecification
+
+__all__ = ["K_REALTY", "make_listings_source", "DEFAULT_LISTINGS", "sqft_to_m2"]
+
+_M2_PER_SQFT = 0.092903
+#: score = BEST_RANK_SCORE + 1 - rank  (rank 1 <-> score 100).
+BEST_RANK_SCORE = 100
+
+
+def sqft_to_m2(sqft: float) -> float:
+    """Convert square feet to square meters (monotone increasing)."""
+    return round(sqft * _M2_PER_SQFT, 4)
+
+
+def _cents(dollars: object) -> int:
+    return round(float(dollars) * 100)
+
+
+def _rank_to_score(rank: object) -> int:
+    return BEST_RANK_SCORE + 1 - int(rank)
+
+
+# -- price: monotone conversion keeps the comparison operator ----------------
+
+_PRICE_RULES = tuple(
+    rule(
+        f"Rp_{label}",
+        patterns=[cpat("price-usd", op, V("P"))],
+        where=[value_is("P")],
+        let={"CENTS": lambda b: _cents(b["P"])},
+        emit=lambda b, _op=op: C("price_cents", _op, b["CENTS"]),
+        exact=True,
+        doc=f"dollars -> cents is increasing: '{op}' survives unchanged.",
+    )
+    for label, op in (("le", "<="), ("ge", ">="), ("lt", "<"), ("gt", ">"), ("eq", "="))
+)
+
+# -- rank vs score: order-reversing conversion flips the operator ------------
+
+_FLIP = {"<=": ">=", ">=": "<=", "<": ">", ">": "<", "=": "="}
+
+_RANK_RULES = tuple(
+    rule(
+        f"Rr_{label}",
+        patterns=[cpat("quality-rank", op, V("K"))],
+        where=[value_is("K")],
+        let={"S": lambda b: _rank_to_score(b["K"])},
+        emit=lambda b, _op=_FLIP[op]: C("score", _op, b["S"]),
+        exact=True,
+        doc=f"rank (1 = best) -> score (100 = best): '{op}' flips to '{_FLIP[op]}'.",
+    )
+    for label, op in (("le", "<="), ("ge", ">="), ("lt", "<"), ("gt", ">"), ("eq", "="))
+)
+
+# -- area: the min/max pair is inter-dependent (target wants one range) ------
+
+_AREA_PAIR = rule(
+    "Ra_band",
+    patterns=[
+        cpat("area-min-sqft", "=", V("LO")),
+        cpat("area-max-sqft", "=", V("HI")),
+    ],
+    where=[value_is("LO", "HI")],
+    let={"R": lambda b: Range(sqft_to_m2(b["LO"]), sqft_to_m2(b["HI"]))},
+    emit=lambda b: C("area_m2", "=", b["R"]),
+    exact=True,
+    doc="both bounds together form the single range the target accepts.",
+)
+
+#: Practical stand-in for an unbounded upper area limit (m²).
+_AREA_CAP_M2 = 10**9
+
+_AREA_MIN = rule(
+    "Ra_min",
+    patterns=[cpat("area-min-sqft", "=", V("LO"))],
+    where=[value_is("LO")],
+    let={"R": lambda b: Range(sqft_to_m2(b["LO"]), _AREA_CAP_M2)},
+    emit=lambda b: C("area_m2", "=", b["R"]),
+    exact=True,
+    doc="a lone lower bound becomes an open-topped range.",
+)
+
+_CITY = rule(
+    "Rc",
+    patterns=[cpat("city", "=", V("N"))],
+    where=[value_is("N")],
+    emit=lambda b: C("city", "=", b["N"]),
+    exact=True,
+)
+
+K_REALTY = MappingSpecification(
+    name="K_realty",
+    target="listings",
+    rules=_PRICE_RULES + _RANK_RULES + (_AREA_PAIR, _AREA_MIN, _CITY),
+    description=(
+        "Imperial/dollar mediator vocabulary onto a metric/cent catalog: "
+        "monotone and order-reversing conversions over inequalities."
+    ),
+)
+
+
+# ---------------------------------------------------------------------------
+# The listings source
+# ---------------------------------------------------------------------------
+
+DEFAULT_LISTINGS = (
+    {"id": "L1", "city": "palo alto", "price_cents": 99_900_000, "area_m2": 120.0, "score": 95},
+    {"id": "L2", "city": "palo alto", "price_cents": 45_000_000, "area_m2": 62.0, "score": 70},
+    {"id": "L3", "city": "menlo park", "price_cents": 72_500_000, "area_m2": 88.5, "score": 88},
+    {"id": "L4", "city": "menlo park", "price_cents": 30_000_000, "area_m2": 46.4, "score": 55},
+    {"id": "L5", "city": "sunnyvale", "price_cents": 55_000_000, "area_m2": 74.3, "score": 81},
+    {"id": "L6", "city": "sunnyvale", "price_cents": 25_000_000, "area_m2": 37.1, "score": 40},
+    {"id": "L7", "city": "palo alto", "price_cents": 150_000_000, "area_m2": 204.3, "score": 99},
+)
+
+
+def _area_range(row, op, value) -> bool:
+    if op != "=" or not isinstance(value, Range):
+        raise EvaluationError("area_m2 expects '= (lo:hi)'")
+    return value.contains(float(row["area_m2"]))
+
+
+def make_listings_source(rows=DEFAULT_LISTINGS) -> Source:
+    """The metric/cent listings catalog behind ``K_REALTY``."""
+    listings = Relation(
+        "listings", ("id", "city", "price_cents", "area_m2", "score"), rows
+    )
+    capability = Capability.of(
+        selections=[
+            ("city", "="),
+            *[("price_cents", op) for op in ("=", "<", "<=", ">", ">=")],
+            *[("score", op) for op in ("=", "<", "<=", ">", ">=")],
+            ("area_m2", "="),
+        ],
+    )
+    return Source(
+        "listings",
+        {"listings": listings},
+        capability,
+        virtuals={"area_m2": _area_range},
+    )

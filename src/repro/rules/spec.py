@@ -1,0 +1,104 @@
+"""Mapping specifications — a named rule set for one target (Definition 4).
+
+A :class:`MappingSpecification` bundles the rules ``K`` for translating
+into one target context, e.g. ``K_Amazon`` of Figure 3.  The specification
+is the unit every algorithm takes as its ``K`` input.
+
+Soundness and completeness (Definition 3/4) are *semantic* properties only
+a human expert can certify; what the library can do mechanically is
+
+* structural validation (unique rule names, non-empty heads), and
+* a **vocabulary audit** (:func:`audit_vocabulary`): report which of a set
+  of representative constraints participate in *no* matching — i.e. would
+  silently map to ``True`` — so the integrator can spot missing rules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.ast import Constraint
+from repro.core.errors import SpecificationError
+from repro.core.matching import Matcher, Rule
+
+__all__ = ["MappingSpecification", "AuditReport", "audit_vocabulary"]
+
+
+@dataclass(frozen=True)
+class MappingSpecification:
+    """The mapping specification ``K`` for one target system ``T``."""
+
+    name: str
+    target: str
+    rules: tuple[Rule, ...]
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        names = [rule.name for rule in self.rules]
+        duplicates = {n for n in names if names.count(n) > 1}
+        if duplicates:
+            raise SpecificationError(
+                f"specification {self.name!r} has duplicate rule names: {sorted(duplicates)}"
+            )
+
+    def matcher(self) -> Matcher:
+        """A fresh :class:`Matcher` over this specification's rules.
+
+        Each translation call should use its own matcher so the prematch
+        cache is scoped to one query's constraint universe.
+        """
+        return Matcher(self.rules)
+
+    def get_rule(self, name: str) -> Rule:
+        for rule in self.rules:
+            if rule.name == name:
+                return rule
+        raise KeyError(f"no rule named {name!r} in specification {self.name!r}")
+
+    def __len__(self) -> int:
+        return len(self.rules)
+
+    def __iter__(self):
+        return iter(self.rules)
+
+    def __str__(self) -> str:
+        return f"{self.name} -> {self.target} ({len(self.rules)} rules)"
+
+
+@dataclass(frozen=True)
+class AuditReport:
+    """Outcome of :func:`audit_vocabulary`."""
+
+    covered: tuple[Constraint, ...]
+    uncovered: tuple[Constraint, ...]
+
+    @property
+    def coverage(self) -> float:
+        total = len(self.covered) + len(self.uncovered)
+        return 1.0 if total == 0 else len(self.covered) / total
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        lines = [f"coverage: {self.coverage:.0%}"]
+        for constraint in self.uncovered:
+            lines.append(f"  UNCOVERED {constraint}")
+        return "\n".join(lines)
+
+
+def audit_vocabulary(
+    spec: MappingSpecification, constraints: list[Constraint]
+) -> AuditReport:
+    """Which representative constraints can participate in some matching?
+
+    Constraints appearing in no matching of the full set map to ``True``
+    (no constraint at the target) for every query built from this
+    vocabulary — usually a sign that a rule is missing, the only
+    completeness symptom detectable without domain semantics.
+    """
+    matcher = spec.matcher()
+    matchings = matcher.potential(constraints)
+    touched: set[Constraint] = set()
+    for matching in matchings:
+        touched |= matching.constraints
+    covered = tuple(c for c in constraints if c in touched)
+    uncovered = tuple(c for c in constraints if c not in touched)
+    return AuditReport(covered=covered, uncovered=uncovered)

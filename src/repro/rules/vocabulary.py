@@ -1,0 +1,175 @@
+"""Context vocabularies and mechanical specification validation.
+
+Soundness and completeness of a mapping specification (Definitions 3/4)
+are ultimately semantic judgements, but three expensive-to-debug failure
+modes can be caught mechanically once the integrator *declares* the
+original context's vocabulary:
+
+1. **coverage gaps** — a supported constraint no rule can touch silently
+   maps to ``True`` (Definition 4's most common violation in practice);
+2. **missing group rules** — the integrator declares which attribute
+   groups are inter-dependent (the domain knowledge Definition 2 says
+   only a human has); validation checks a rule actually matches each
+   declared group *jointly*;
+3. **inexpressible emissions** — a rule that fires but emits vocabulary
+   the target's :class:`~repro.engine.capabilities.Capability` rejects
+   violates Definition 1's requirement (1) and would blow up at query
+   time, at the source.
+
+:func:`validate_spec` runs all three and returns a structured report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.core.ast import Constraint, attr
+from repro.engine.capabilities import Capability
+from repro.rules.spec import MappingSpecification
+
+__all__ = ["AttributeSpec", "ContextVocabulary", "ValidationReport", "validate_spec"]
+
+
+@dataclass(frozen=True)
+class AttributeSpec:
+    """One attribute of the original context.
+
+    ``samples`` are representative right-hand-side values, one per
+    supported operator shape (e.g. a text pattern for ``contains``).
+    """
+
+    name: str
+    operators: tuple[str, ...]
+    samples: Mapping[str, object] = field(default_factory=dict)
+
+    def constraints(self) -> list[Constraint]:
+        out = []
+        for op in self.operators:
+            sample = self.samples.get(op, self._default_sample(op))
+            out.append(Constraint(attr(self.name), op, sample))
+        return out
+
+    def _default_sample(self, op: str) -> object:
+        if op == "contains":
+            from repro.text.patterns import Word
+
+            return Word("sample")
+        if op == "in":
+            return ("sample",)
+        if op == "during":
+            from repro.core.values import Year
+
+            return Year(1997)
+        if op in ("<", "<=", ">", ">="):
+            return 0
+        return "sample"
+
+
+@dataclass(frozen=True)
+class ContextVocabulary:
+    """The original context's declared vocabulary.
+
+    ``groups`` names the attribute sets the integrator knows to be
+    inter-dependent — each must have a rule matching it jointly.
+    """
+
+    attributes: tuple[AttributeSpec, ...]
+    groups: tuple[tuple[str, ...], ...] = ()
+
+    def attribute(self, name: str) -> AttributeSpec:
+        for spec in self.attributes:
+            if spec.name == name:
+                return spec
+        raise KeyError(f"vocabulary has no attribute {name!r}")
+
+    def all_constraints(self) -> list[Constraint]:
+        out: list[Constraint] = []
+        for spec in self.attributes:
+            out.extend(spec.constraints())
+        return out
+
+    def group_constraints(self, group: tuple[str, ...]) -> list[Constraint]:
+        """One representative equality-ish constraint per group member."""
+        out = []
+        for name in group:
+            spec = self.attribute(name)
+            out.append(spec.constraints()[0])
+        return out
+
+
+@dataclass(frozen=True)
+class ValidationReport:
+    """Outcome of :func:`validate_spec`."""
+
+    uncovered: tuple[Constraint, ...]
+    unmatched_groups: tuple[tuple[str, ...], ...]
+    inexpressible: tuple[tuple[str, Constraint], ...]  # (rule name, emitted)
+
+    @property
+    def ok(self) -> bool:
+        return not (self.uncovered or self.unmatched_groups or self.inexpressible)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        if self.ok:
+            return "specification validates cleanly"
+        lines = []
+        for constraint in self.uncovered:
+            lines.append(f"UNCOVERED      {constraint} (maps to True)")
+        for group in self.unmatched_groups:
+            lines.append(
+                f"MISSING RULE   dependent group {{{', '.join(group)}}} "
+                f"has no joint matching"
+            )
+        for rule_name, emitted in self.inexpressible:
+            lines.append(
+                f"INEXPRESSIBLE  rule {rule_name} emits {emitted}, "
+                f"which the target cannot evaluate"
+            )
+        return "\n".join(lines)
+
+
+def validate_spec(
+    spec: MappingSpecification,
+    vocabulary: ContextVocabulary,
+    capability: Capability | None = None,
+) -> ValidationReport:
+    """Run the three mechanical checks against a declared vocabulary."""
+    matcher = spec.matcher()
+    constraints = vocabulary.all_constraints()
+    matchings = matcher.potential(constraints)
+
+    touched: set[Constraint] = set()
+    for matching in matchings:
+        touched |= matching.constraints
+    uncovered = tuple(c for c in constraints if c not in touched)
+
+    unmatched_groups = []
+    for group in vocabulary.groups:
+        representatives = vocabulary.group_constraints(group)
+        group_matcher = spec.matcher()
+        joint = [
+            m
+            for m in group_matcher.matchings(representatives)
+            if m.constraints == frozenset(representatives)
+        ]
+        if not joint:
+            unmatched_groups.append(tuple(group))
+
+    inexpressible: list[tuple[str, Constraint]] = []
+    if capability is not None:
+        seen: set[tuple[str, Constraint]] = set()
+        for matching in matchings:
+            for emitted in matching.emission.constraints():
+                if capability.supports(emitted):
+                    continue
+                key = (matching.rule_name, emitted)
+                if key not in seen:
+                    seen.add(key)
+                    inexpressible.append(key)
+
+    return ValidationReport(
+        uncovered=uncovered,
+        unmatched_groups=tuple(unmatched_groups),
+        inexpressible=tuple(sorted(inexpressible, key=str)),
+    )

@@ -1,0 +1,46 @@
+"""IR text-predicate substrate.
+
+The paper's queries constrain text attributes with patterns such as
+``java (near) jdk`` (Figure 2) and ``data (near) mining`` (Example 3).
+Targets that lack the proximity operator force a *semantic relaxation* of
+``near`` into ``∧`` (rule R4 / Example 3, following reference [20]).
+
+This package provides the pattern language (:mod:`repro.text.patterns`), its
+evaluation over documents (:mod:`repro.text.match`), and the relaxation
+procedure ``RewriteTextPat`` (:mod:`repro.text.rewrite`).
+"""
+
+from repro.text.patterns import (
+    MATCH_ALL,
+    AndPat,
+    MatchAll,
+    NearPat,
+    OrPat,
+    PhrasePat,
+    TextPattern,
+    Word,
+    parse_pattern,
+)
+from repro.text.match import matches, tokenize
+from repro.text.rewrite import (
+    TextCapability,
+    pattern_operators,
+    rewrite_text_pattern,
+)
+
+__all__ = [
+    "TextPattern",
+    "Word",
+    "NearPat",
+    "AndPat",
+    "OrPat",
+    "PhrasePat",
+    "MatchAll",
+    "MATCH_ALL",
+    "parse_pattern",
+    "matches",
+    "tokenize",
+    "rewrite_text_pattern",
+    "pattern_operators",
+    "TextCapability",
+]

@@ -1,0 +1,252 @@
+"""``RewriteTextPat``: relax a text pattern into a target's pattern dialect.
+
+Rule R4 of Figure 3 calls a human-supplied function ``RewriteTextPat`` that
+rewrites ``java (near) jdk`` to ``java (∧) jdk`` because Amazon does not
+support the proximity operator.  Reference [20] of the paper describes the
+general procedure: replace each unsupported predicate with its *minimal
+subsuming* supported predicate.  The relaxation lattice implemented here::
+
+    phrase  ⊑  near  ⊑  and  ⊑  or
+
+(a text matching the left predicate always matches the right one), so
+rewriting moves rightwards only as far as the target capability requires.
+Three further target quirks of real IR systems (all from reference [20]'s
+problem setting) are handled, each by its minimal subsuming move:
+
+* **bounded proximity** — a ``near/w`` beyond the target's
+  ``max_near_window`` widens to the supported window... which would be
+  *narrower*, so the sound direction is to relax the whole node to ``and``;
+* **stopwords** — a word the target cannot search at all becomes
+  :data:`~repro.text.patterns.MATCH_ALL` ("no constraint"); compounds then
+  simplify like Boolean expressions with ``True`` (an ``or`` containing a
+  stopword collapses entirely — dropping only the stopword disjunct would
+  *narrow* the query);
+* a rewrite to the same node is *exact*; any other move is a proper
+  relaxation, which the caller records so the mediator keeps the original
+  constraint in the filter query.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.text.patterns import (
+    MATCH_ALL,
+    AndPat,
+    MatchAll,
+    NearPat,
+    OrPat,
+    PhrasePat,
+    TextPattern,
+    Word,
+)
+
+__all__ = ["TextCapability", "rewrite_text_pattern", "pattern_operators", "RewriteResult"]
+
+#: Relaxation order: each operator's minimal subsuming successor.
+_RELAX_NEXT = {"phrase": "near", "near": "and", "and": "or"}
+
+
+@dataclass(frozen=True)
+class TextCapability:
+    """Which pattern connectives a target's text search supports.
+
+    ``max_near_window`` bounds the proximity distance the target can
+    express (``None`` = unbounded); ``stopwords`` are words the target's
+    index cannot search.  ``words_only``-style crude interfaces are
+    modelled by disabling every compound connective.
+    """
+
+    supports_phrase: bool = True
+    supports_near: bool = True
+    supports_and: bool = True
+    supports_or: bool = True
+    max_near_window: int | None = None
+    stopwords: frozenset[str] = frozenset()
+
+    def supports(self, kind: str) -> bool:
+        return {
+            "phrase": self.supports_phrase,
+            "near": self.supports_near,
+            "and": self.supports_and,
+            "or": self.supports_or,
+            "word": True,
+        }[kind]
+
+    def searchable(self, word: str) -> bool:
+        return word.lower() not in self.stopwords
+
+
+@dataclass(frozen=True)
+class RewriteResult:
+    """Outcome of a pattern rewrite.
+
+    ``exact`` is False when any sub-pattern was relaxed, i.e. the rewritten
+    pattern properly subsumes the original.
+    """
+
+    pattern: TextPattern
+    exact: bool
+
+
+def pattern_operators(pattern: TextPattern) -> frozenset[str]:
+    """The set of connective kinds a pattern uses (for capability checks)."""
+    found: set[str] = set()
+    _collect_operators(pattern, found)
+    return frozenset(found)
+
+
+def _collect_operators(pattern: TextPattern, found: set[str]) -> None:
+    if isinstance(pattern, MatchAll):
+        return
+    if isinstance(pattern, Word):
+        found.add("word")
+    elif isinstance(pattern, PhrasePat):
+        found.add("phrase")
+    elif isinstance(pattern, NearPat):
+        found.add("near")
+        for part in pattern.parts:
+            _collect_operators(part, found)
+    elif isinstance(pattern, AndPat):
+        found.add("and")
+        for part in pattern.parts:
+            _collect_operators(part, found)
+    elif isinstance(pattern, OrPat):
+        found.add("or")
+        for part in pattern.parts:
+            _collect_operators(part, found)
+    else:
+        raise TypeError(f"unknown pattern type: {pattern!r}")
+
+
+def rewrite_text_pattern(
+    pattern: TextPattern, capability: TextCapability
+) -> RewriteResult:
+    """Rewrite ``pattern`` into the closest form ``capability`` supports.
+
+    Each unsupported connective is promoted along the relaxation lattice
+    ``phrase -> near -> and -> or`` until a supported one is found;
+    stopwords become :data:`MATCH_ALL` and compounds simplify accordingly.
+    Raises ``ValueError`` if even ``or`` is unsupported for a node that
+    needs it (no subsuming rewrite exists short of dropping the
+    constraint, which is the *rule's* decision, not this function's —
+    a stopword-only pattern *does* rewrite, to :data:`MATCH_ALL`).
+    """
+    return _rewrite(pattern, capability)
+
+
+def _rewrite(pattern: TextPattern, capability: TextCapability) -> RewriteResult:
+    if isinstance(pattern, MatchAll):
+        return RewriteResult(pattern, True)
+
+    if isinstance(pattern, Word):
+        if not capability.searchable(pattern.text):
+            return RewriteResult(MATCH_ALL, False)
+        return RewriteResult(pattern, True)
+
+    if isinstance(pattern, PhrasePat):
+        words = [
+            Word(token)
+            for token in dict.fromkeys(pattern.tokens)
+            if capability.searchable(token)
+        ]
+        if capability.supports("phrase") and len(words) == len(
+            dict.fromkeys(pattern.tokens)
+        ):
+            return RewriteResult(pattern, True)
+        if not words:
+            return RewriteResult(MATCH_ALL, False)
+        if len(words) == 1:
+            return RewriteResult(words[0], False)
+        window = min(
+            len(pattern.tokens),
+            capability.max_near_window or len(pattern.tokens),
+        )
+        relaxed = _relax_node("near", tuple(words), capability, window=window)
+        return RewriteResult(relaxed, False)
+
+    if isinstance(pattern, (NearPat, AndPat, OrPat)):
+        sub_results = [_rewrite(part, capability) for part in pattern.parts]
+        exact_parts = all(result.exact for result in sub_results)
+        kind = {NearPat: "near", AndPat: "and", OrPat: "or"}[type(pattern)]
+
+        # Boolean-style simplification around MATCH_ALL parts.
+        parts = [result.pattern for result in sub_results]
+        if kind == "or" and any(isinstance(p, MatchAll) for p in parts):
+            # Keeping only the searchable disjuncts would NARROW the
+            # query; the minimal subsuming rewrite is "no constraint".
+            return RewriteResult(MATCH_ALL, False)
+        if kind in ("and", "near"):
+            parts = [p for p in parts if not isinstance(p, MatchAll)]
+            if not parts:
+                return RewriteResult(MATCH_ALL, False)
+            if len(parts) == 1:
+                # A MatchAll sibling was dropped: proper relaxation.
+                return RewriteResult(parts[0], False)
+
+        window = pattern.window if isinstance(pattern, NearPat) else 0
+        widened = False
+        if (
+            kind == "near"
+            and capability.max_near_window is not None
+            and window > capability.max_near_window
+        ):
+            # A tighter window would be narrower, not subsuming; the
+            # minimal subsuming move is dropping proximity altogether.
+            kind = "and"
+            widened = True
+
+        rebuilt = _relax_node(kind, tuple(parts), capability, window=window)
+        same_shape = (
+            _node_kind(rebuilt) == _original_kind(pattern)
+            and len(parts) == len(pattern.parts)
+            and not widened
+        )
+        return RewriteResult(rebuilt, exact_parts and same_shape)
+
+    raise TypeError(f"unknown pattern type: {pattern!r}")
+
+
+def _original_kind(pattern: TextPattern) -> str:
+    return {NearPat: "near", AndPat: "and", OrPat: "or"}[type(pattern)]
+
+
+def _node_kind(pattern: TextPattern) -> str:
+    """Connective kind of a single node (not recursive)."""
+    if isinstance(pattern, MatchAll):
+        return "all"
+    if isinstance(pattern, Word):
+        return "word"
+    if isinstance(pattern, PhrasePat):
+        return "phrase"
+    if isinstance(pattern, NearPat):
+        return "near"
+    if isinstance(pattern, AndPat):
+        return "and"
+    if isinstance(pattern, OrPat):
+        return "or"
+    raise TypeError(f"unknown pattern type: {pattern!r}")
+
+
+def _relax_node(
+    kind: str, parts: tuple[TextPattern, ...], capability: TextCapability, window: int
+) -> TextPattern:
+    """Build a node of ``kind`` over ``parts``, relaxing until supported."""
+    current = kind
+    while not capability.supports(current):
+        nxt = _RELAX_NEXT.get(current)
+        if nxt is None:
+            raise ValueError(
+                f"no subsuming rewrite: target supports none of the "
+                f"connectives reachable from {kind!r}"
+            )
+        current = nxt
+    if len(parts) == 1:
+        return parts[0]
+    if current == "near":
+        return NearPat(parts, window=window or len(parts))
+    if current == "and":
+        return AndPat(parts)
+    if current == "or":
+        return OrPat(parts)
+    raise AssertionError(f"unexpected relaxation target {current!r}")

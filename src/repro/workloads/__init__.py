@@ -1,0 +1,40 @@
+"""Synthetic workloads: paper queries, generators, datasets."""
+
+from repro.workloads.datasets import (
+    grid_points,
+    random_books,
+    random_papers_and_aubib,
+    random_profs,
+)
+from repro.workloads.generator import (
+    chain_query,
+    dependent_conjunction,
+    random_query,
+    random_spec,
+    simple_conjunction,
+    synthetic_spec,
+    vocabulary,
+)
+from repro.workloads.paper_queries import (
+    example1_query,
+    example2_query,
+    example3_query,
+    example8_query_mixed,
+    example8_query_ranges,
+    example13_qa,
+    example13_qb,
+    example13_spec,
+    figure2_q1,
+    figure2_q2,
+    qbook,
+)
+
+__all__ = [
+    "vocabulary", "synthetic_spec", "random_spec", "random_query",
+    "chain_query", "dependent_conjunction", "simple_conjunction",
+    "random_books", "random_papers_and_aubib", "random_profs", "grid_points",
+    "example1_query", "example2_query", "example3_query",
+    "figure2_q1", "figure2_q2", "qbook",
+    "example8_query_ranges", "example8_query_mixed",
+    "example13_qa", "example13_qb", "example13_spec",
+]

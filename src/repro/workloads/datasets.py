@@ -1,0 +1,98 @@
+"""Synthetic datasets for the end-to-end mediation experiments.
+
+Bigger, randomized versions of the curated rows in
+:mod:`repro.engine.sources_builtin`, used by the mediator bench (C5) and
+the integration property tests.  All generators are seeded.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.conversions.codes import CATEGORY_TO_SUBJECT, DEPT_CODES
+
+__all__ = ["random_books", "random_papers_and_aubib", "random_profs", "grid_points"]
+
+_FIRST = ("Tom", "John", "Jia", "Kevin", "Hector", "Jeff", "Andy", "Ana", "Mei", "Omar")
+_LAST = ("Clancy", "Klancy", "Smith", "Chang", "Molina", "Ullman", "Han", "Tanen", "Rao")
+_TITLE_WORDS = (
+    "java", "jdk", "www", "web", "data", "mining", "query", "systems",
+    "handbook", "networks", "streams", "patterns", "guide", "deep",
+)
+_PUBLISHERS = ("oreilly", "wiley", "putnam", "prentice", "mit")
+_BIB_WORDS = (
+    "databases", "logic", "data", "mining", "mediators", "warehouses",
+    "integration", "olap", "patterns", "translation", "heterogeneous",
+    "retrieval", "indexing",
+)
+
+
+def random_books(n: int, seed: int = 0) -> list[dict]:
+    """Rows for the Amazon/Clbooks catalog schema."""
+    rng = random.Random(seed)
+    subjects = list(CATEGORY_TO_SUBJECT.values())
+    rows = []
+    for i in range(n):
+        last = rng.choice(_LAST)
+        author = last if rng.random() < 0.15 else f"{last}, {rng.choice(_FIRST)}"
+        title_len = rng.randint(2, 5)
+        rows.append(
+            {
+                "title": " ".join(rng.choice(_TITLE_WORDS) for _ in range(title_len)).title(),
+                "author": author,
+                "year": rng.randint(1994, 1999),
+                "month": rng.randint(1, 12),
+                "publisher": rng.choice(_PUBLISHERS),
+                "isbn": f"{i:09d}X",
+                "subject": rng.choice(subjects),
+            }
+        )
+    return rows
+
+
+def random_papers_and_aubib(
+    n_authors: int, papers_per_author: int = 2, seed: int = 0
+) -> tuple[list[dict], list[dict]]:
+    """Rows for T1's paper(ti, au) and aubib(name, bib)."""
+    rng = random.Random(seed)
+    aubib = []
+    papers = []
+    used = set()
+    while len(aubib) < n_authors:
+        name = f"{rng.choice(_LAST)}, {rng.choice(_FIRST)}"
+        if name in used:
+            continue
+        used.add(name)
+        bib = " ".join(rng.choice(_BIB_WORDS) for _ in range(rng.randint(4, 8)))
+        aubib.append({"name": name, "bib": bib})
+        for _ in range(papers_per_author):
+            title = " ".join(
+                rng.choice(_TITLE_WORDS) for _ in range(rng.randint(3, 6))
+            ).title()
+            papers.append({"ti": title, "au": name})
+    return papers, aubib
+
+
+def random_profs(aubib: list[dict], seed: int = 0, extra: int = 3) -> list[dict]:
+    """prof rows overlapping the aubib authors (so the fac join is non-empty)."""
+    rng = random.Random(seed)
+    codes = list(DEPT_CODES.values())
+    rows = []
+    for entry in aubib:
+        if rng.random() < 0.8:
+            last, first = entry["name"].split(", ")
+            rows.append({"ln": last, "fn": first, "dept": rng.choice(codes)})
+    for i in range(extra):
+        rows.append(
+            {"ln": f"Only{i}", "fn": rng.choice(_FIRST), "dept": rng.choice(codes)}
+        )
+    return rows
+
+
+def grid_points(step: int = 5, limit: int = 60) -> list[dict]:
+    """A dense coordinate grid for the Example 8 subsumption experiments."""
+    return [
+        {"id": f"p{x}_{y}", "x": x, "y": y}
+        for x in range(0, limit, step)
+        for y in range(0, limit, step)
+    ]

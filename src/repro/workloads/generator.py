@@ -1,0 +1,273 @@
+"""Synthetic workload generators for the scaling benches and property tests.
+
+The paper's analytic claims (Sections 4.4, 5, 8) are parameterized by
+
+* ``N`` — constraints per query, ``R`` — rules, ``P`` — patterns per rule;
+* the *dependency degree* ``e`` — how many constraints per conjunct can
+  participate in cross-conjunct matchings;
+* query shape — depth, fan-out, ∧/∨ mix.
+
+This module builds rule specifications and query trees with those knobs
+exposed, over a synthetic vocabulary ``a0, a1, ...`` mapping to a target
+vocabulary ``t_...``.  Everything is seeded for reproducibility.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Sequence
+
+from repro.core.ast import C, Query, conj, disj
+from repro.rules.dsl import V, cpat, rule, value_is
+from repro.rules.spec import MappingSpecification
+
+__all__ = [
+    "vocabulary",
+    "synthetic_spec",
+    "random_spec",
+    "random_query",
+    "chain_query",
+    "dependent_conjunction",
+    "simple_conjunction",
+    "theory_equivalent",
+]
+
+
+def vocabulary(n: int) -> list[str]:
+    """The synthetic attribute names ``a0 .. a{n-1}``."""
+    return [f"a{i}" for i in range(n)]
+
+
+def _group_rule(group: Sequence[str], exact: bool) -> object:
+    """A rule mapping the conjunction of ``[ai = Vi]`` to one target constraint."""
+    variables = [V(f"X{i}") for i in range(len(group))]
+    target = "t_" + "_".join(group)
+
+    def emit(bindings, _vars=variables, _target=target):
+        combined = "|".join(str(bindings[v.name]) for v in _vars)
+        return C(_target, "=", combined)
+
+    return rule(
+        "R_" + "_".join(group),
+        patterns=[cpat(attr, "=", var) for attr, var in zip(group, variables)],
+        where=[value_is(*(var.name for var in variables))],
+        emit=emit,
+        exact=exact,
+    )
+
+
+def synthetic_spec(
+    groups: Iterable[Sequence[str]],
+    singletons: Iterable[str] = (),
+    name: str = "K_synth",
+    exact: bool = True,
+) -> MappingSpecification:
+    """Build a specification from dependency ``groups`` plus singleton rules.
+
+    Each group becomes one multi-pattern rule (its constraints are
+    inter-dependent); each singleton attribute gets an identity-style rule.
+    The groups *are* the dependency structure: queries whose conjuncts
+    split a group become inseparable.
+    """
+    rules = [_group_rule(tuple(group), exact) for group in groups]
+    rules += [_group_rule((attr,), exact) for attr in singletons]
+    return MappingSpecification(
+        name=name, target="synthetic", rules=tuple(rules)
+    )
+
+
+def random_spec(
+    attrs: Sequence[str],
+    pair_count: int,
+    seed: int,
+    singleton_fraction: float = 1.0,
+    exact: bool = True,
+) -> MappingSpecification:
+    """A specification with ``pair_count`` random dependent attribute pairs.
+
+    Every attribute additionally gets a singleton rule with probability
+    ``singleton_fraction`` — attributes with neither rule map to ``True``.
+    """
+    rng = random.Random(seed)
+    pairs: set[tuple[str, str]] = set()
+    guard = 0
+    while len(pairs) < pair_count and guard < 50 * (pair_count + 1):
+        guard += 1
+        a, b = rng.sample(list(attrs), 2)
+        pairs.add((min(a, b), max(a, b)))
+    singles = [attr for attr in attrs if rng.random() < singleton_fraction]
+    return synthetic_spec(
+        groups=sorted(pairs),
+        singletons=singles,
+        name=f"K_rand_{seed}",
+        exact=exact,
+    )
+
+
+def simple_conjunction(
+    attrs: Sequence[str], rng: random.Random | int = 0
+) -> Query:
+    """A simple conjunction ``[a = v]`` over the given attributes."""
+    rng = rng if isinstance(rng, random.Random) else random.Random(rng)
+    return conj([C(attr, "=", rng.randint(0, 9)) for attr in attrs])
+
+
+def random_query(
+    attrs: Sequence[str],
+    seed: int = 0,
+    n_constraints: int = 8,
+    max_depth: int = 4,
+    fanout: int = 3,
+) -> Query:
+    """A random alternating ∧/∨ tree with ~``n_constraints`` leaves."""
+    rng = random.Random(seed)
+    budget = [n_constraints]
+
+    def leaf() -> Query:
+        budget[0] -= 1
+        return C(rng.choice(list(attrs)), "=", rng.randint(0, 9))
+
+    def build(depth: int, conjunctive: bool) -> Query:
+        if depth >= max_depth or budget[0] <= 1 or rng.random() < 0.3:
+            return leaf()
+        width = rng.randint(2, fanout)
+        children = [build(depth + 1, not conjunctive) for _ in range(width)]
+        return conj(children) if conjunctive else disj(children)
+
+    query = build(0, conjunctive=bool(rng.getrandbits(1)))
+    while budget[0] > 0:
+        extra = build(1, conjunctive=False)
+        query = conj([query, extra])
+    return query
+
+
+def chain_query(n: int, dependent: bool = False) -> Query:
+    """The Section 8 worst-compactness shape: ``(a1 ∨ b1) ∧ ... ∧ (an ∨ bn)``.
+
+    With ``dependent=False`` all constraints are pairwise independent: the
+    query is fully separable, TDQM's output stays linear in ``n`` while the
+    DNF baseline materializes 2^n terms.  With ``dependent=True`` each
+    ``ai`` is paired (by a rule group) with ``a(i+1)``, forcing rewrites.
+    """
+    conjuncts = []
+    for i in range(n):
+        conjuncts.append(
+            disj([C(f"a{2 * i}", "=", i), C(f"a{2 * i + 1}", "=", i)])
+        )
+    return conj(conjuncts)
+
+
+def theory_equivalent(left: Query, right: Query) -> bool:
+    """Semantic equivalence for *synthetic-target* queries.
+
+    Purely propositional comparison treats ``[t_a6_a7 = "7|3"]`` and
+    ``[t_a6 = "7"]`` as independent atoms, but the synthetic rules make the
+    pair emission strictly stronger (Lemma 1: S(m') ⊆ S(m) for m ⊆ m').
+    Two mappings produced by different algorithm routes can therefore be
+    semantically equal while propositionally different.  This checker
+    enumerates only *theory-consistent* truth assignments:
+
+    * an atom whose (attr, value) bindings are a superset of another's
+      implies it (``t_a6_a7 = "7|3"`` ⟹ ``t_a6 = "7"``);
+    * two atoms binding the same attribute to different values are
+      mutually exclusive (``t_a2 = "1"`` ∧ ``t_a2 = "4"`` is False).
+
+    Only meaningful for queries over the ``t_...`` vocabulary emitted by
+    :func:`synthetic_spec` with :func:`vocabulary` attribute names (which
+    contain no underscores).
+    """
+    from itertools import product as _product
+
+    from repro.core.subsume import evaluate_assignment
+
+    atoms = sorted(left.constraints() | right.constraints(), key=str)
+    parts = {atom: _atom_bindings(atom) for atom in atoms}
+    if len(atoms) > 20:
+        raise ValueError("theory_equivalent: too many atoms for exhaustion")
+    for bits in _product((False, True), repeat=len(atoms)):
+        assignment = dict(zip(atoms, bits))
+        if not _consistent(assignment, parts):
+            continue
+        if evaluate_assignment(left, assignment) != evaluate_assignment(
+            right, assignment
+        ):
+            return False
+    return True
+
+
+def _atom_bindings(constraint) -> frozenset | None:
+    """(attr, value) bindings encoded in a synthetic constraint.
+
+    Both vocabularies participate: a source constraint ``[a0 = 5]`` binds
+    ``{("a0", "5")}`` and the *exact* target emission ``[t_a0 = "5"]``
+    binds the same set, making them mutually implying — which is precisely
+    what rule exactness means for the synthetic specs.
+    """
+    import re as _re
+
+    name = constraint.lhs.attr
+    if _re.fullmatch(r"a\d+", name):
+        return frozenset({(name, str(constraint.rhs))})
+    if not name.startswith("t_"):
+        return None
+    attrs = name[2:].split("_")
+    values = str(constraint.rhs).split("|")
+    if len(attrs) != len(values):
+        return None
+    return frozenset(zip(attrs, values))
+
+
+def _consistent(assignment: dict, parts: dict) -> bool:
+    # Conflicts: one attribute bound to two different values.
+    bound: dict[str, str] = {}
+    for atom, value in assignment.items():
+        if not value or parts[atom] is None:
+            continue
+        for attr, val in parts[atom]:
+            if bound.setdefault(attr, val) != val:
+                return False
+    # Joint implication: with exact rules, an atom whose bindings are all
+    # established by the true atoms *together* cannot be false —
+    # [a6 = 5] ∧ [a7 = 6] forces the pair emission [t_a6_a7 = "5|6"].
+    established = set(bound.items())
+    for atom, value in assignment.items():
+        if value or parts[atom] is None:
+            continue
+        if parts[atom] <= established:
+            return False
+    return True
+
+
+def dependent_conjunction(
+    n_conjuncts: int,
+    k_constraints: int,
+    e_dependent: int,
+    seed: int = 0,
+) -> tuple[Query, MappingSpecification]:
+    """The Section 8 cost-model workload: n conjuncts of k constraints,
+    ``e`` of which per conjunct participate in cross-conjunct pair rules.
+
+    Returns the query and a matching specification whose dependency degree
+    is exactly ``e`` (``e = 0`` means no cross-conjunct rules at all).
+    """
+    if e_dependent > k_constraints:
+        raise ValueError("e_dependent cannot exceed k_constraints")
+    rng = random.Random(seed)
+    conjuncts = []
+    groups: set[tuple[str, ...]] = set()
+    singles: list[str] = []
+    for i in range(n_conjuncts):
+        disjuncts = []
+        for j in range(k_constraints):
+            attr = f"c{i}k{j}"
+            singles.append(attr)
+            disjuncts.append(C(attr, "=", rng.randint(0, 9)))
+        conjuncts.append(disj(disjuncts))
+    # Wire e dependent attributes per conjunct to the next conjunct.
+    for i in range(n_conjuncts - 1):
+        for j in range(e_dependent):
+            groups.add((f"c{i}k{j}", f"c{i + 1}k{j}"))
+    spec = synthetic_spec(
+        groups=sorted(groups), singletons=singles, name=f"K_dep_e{e_dependent}"
+    )
+    return conj(conjuncts), spec

@@ -1,0 +1,140 @@
+"""The paper's concrete queries, as ready-made objects.
+
+Every worked example's query lives here so tests, benches, and examples
+reproduce exactly the figures:
+
+* Example 1/2 — the Tom Clancy queries;
+* Figure 2 — Q̂1 and Q̂2 with their expected Amazon mappings S1 and S2;
+* Example 3 — the faculty/publication join query;
+* Figure 7 — Q̂_book;
+* Example 8 — the map rectangle queries;
+* Example 13/14 — the abstract partition queries Q̂a and Q̂b (these need
+  the synthetic spec from :func:`example13_spec`).
+"""
+
+from __future__ import annotations
+
+from repro.core.ast import C, Query, conj, disj
+from repro.core.parser import parse_query
+from repro.rules.dsl import V, cpat, rule, value_is
+from repro.rules.spec import MappingSpecification
+
+__all__ = [
+    "example1_query",
+    "example2_query",
+    "example3_query",
+    "figure2_q1",
+    "figure2_q2",
+    "qbook",
+    "example8_query_ranges",
+    "example8_query_mixed",
+    "example13_qa",
+    "example13_qb",
+    "example13_spec",
+]
+
+
+def example1_query() -> Query:
+    """Books by Tom Clancy: ``[fn = "Tom"] ∧ [ln = "Clancy"]``."""
+    return parse_query('[fn = "Tom"] and [ln = "Clancy"]')
+
+
+def example2_query() -> Query:
+    """``(f1 ∨ f2) ∧ f3`` with the Clancy/Klancy disjunction."""
+    return parse_query('([ln = "Clancy"] or [ln = "Klancy"]) and [fn = "Tom"]')
+
+
+def example3_query() -> Query:
+    """CS faculty papers about data mining (selections + joins)."""
+    return parse_query(
+        "[fac.ln = pub.ln] and [fac.fn = pub.fn] and "
+        "[fac.bib contains data (near) mining] and [fac.dept = cs]"
+    )
+
+
+def figure2_q1() -> Query:
+    """Q̂1 = f_l ∧ f_t1 ∧ f_y ∧ f_m ∧ f_k (Figure 2, top)."""
+    return parse_query(
+        '[ln = "Smith"] and [ti contains java (near) jdk] and '
+        "[pyear = 1997] and [pmonth = 5] and [kwd contains www]"
+    )
+
+
+def figure2_q2() -> Query:
+    """Q̂2 = f_p ∧ f_t2 ∧ f_c ∧ f_i (Figure 2, bottom)."""
+    return parse_query(
+        '[publisher = "oreilly"] and [ti = "jdk for java"] and '
+        '[category = "D.3"] and [id-no = "081815181Y"]'
+    )
+
+
+def qbook() -> Query:
+    """Q̂_book of Figure 7: (f_l f_f ∨ f_k1 ∨ f_k2) ∧ f_y ∧ (f_m1 ∨ f_m2)."""
+    return parse_query(
+        '(([ln = "Smith"] and [fn = "John"]) or [kwd contains www] '
+        "or [kwd contains web]) and [pyear = 1997] and "
+        "([pmonth = 5] or [pmonth = 6])"
+    )
+
+
+def example8_query_ranges() -> Query:
+    """Q̂ = (f1 f2)(f3 f4): full x-range and y-range (separable)."""
+    return parse_query(
+        "([x_min = 10] and [x_max = 30]) and ([y_min = 20] and [y_max = 40])"
+    )
+
+
+def example8_query_mixed() -> Query:
+    """Q̂ = (f1 f4)(f2 f3): mixed corners (inseparable)."""
+    return parse_query(
+        "([x_min = 10] and [y_max = 40]) and ([x_max = 30] and [y_min = 20])"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Example 13/14: abstract constraints x, y, u, v with matchings
+# {x, y}, {u}, {v}
+# ---------------------------------------------------------------------------
+
+X = C("x", "=", 1)
+Y = C("y", "=", 1)
+U = C("u", "=", 1)
+W = C("v", "=", 1)
+
+
+def example13_spec() -> MappingSpecification:
+    """Rules realizing Example 13's matchings: {x,y}, {u}, {v}."""
+    r_xy = rule(
+        "Rxy",
+        patterns=[cpat("x", "=", V("A")), cpat("y", "=", V("B"))],
+        where=[value_is("A", "B")],
+        emit=lambda b: C("t_xy", "=", f"{b['A']}|{b['B']}"),
+        exact=True,
+    )
+    r_u = rule(
+        "Ru",
+        patterns=[cpat("u", "=", V("A"))],
+        where=[value_is("A")],
+        emit=lambda b: C("t_u", "=", b["A"]),
+        exact=True,
+    )
+    r_v = rule(
+        "Rv",
+        patterns=[cpat("v", "=", V("A"))],
+        where=[value_is("A")],
+        emit=lambda b: C("t_v", "=", b["A"]),
+        exact=True,
+    )
+    return MappingSpecification(
+        name="K_ex13", target="abstract", rules=(r_xy, r_u, r_v)
+    )
+
+
+def example13_qa() -> Query:
+    """Q̂a = (x)(y)(yu ∨ v) — partition {{Č1, Č2}, {Č3}} expected."""
+    return conj([X, Y, disj([conj([Y, U]), W])])
+
+
+def example13_qb() -> Query:
+    """Q̂b = (x)(y ∨ u)(y ∨ v) — single merged block expected."""
+    return conj([X, disj([Y, U]), disj([Y, W])])

@@ -1,0 +1,53 @@
+"""Shared fixtures for the vocabmap test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mediator import bookstore_mediator, faculty_mediator, map_mediator
+from repro.rules import K1, K2, K_AMAZON, K_CLBOOKS, K_MAP
+
+
+@pytest.fixture(scope="session")
+def amazon_spec():
+    return K_AMAZON
+
+
+@pytest.fixture(scope="session")
+def clbooks_spec():
+    return K_CLBOOKS
+
+
+@pytest.fixture(scope="session")
+def k1_spec():
+    return K1
+
+
+@pytest.fixture(scope="session")
+def k2_spec():
+    return K2
+
+
+@pytest.fixture(scope="session")
+def kmap_spec():
+    return K_MAP
+
+
+@pytest.fixture()
+def amazon_mediator():
+    return bookstore_mediator("amazon")
+
+
+@pytest.fixture()
+def clbooks_mediator():
+    return bookstore_mediator("clbooks")
+
+
+@pytest.fixture()
+def fac_mediator():
+    return faculty_mediator()
+
+
+@pytest.fixture()
+def geo_mediator():
+    return map_mediator()

@@ -1,0 +1,179 @@
+"""Unit tests for the query AST (repro.core.ast)."""
+
+import pytest
+
+from repro.core.ast import (
+    FALSE,
+    TRUE,
+    And,
+    AttrRef,
+    C,
+    Constraint,
+    Or,
+    attr,
+    conj,
+    disj,
+)
+
+
+class TestAttrRef:
+    def test_bare_attribute(self):
+        ref = attr("ti")
+        assert ref.path == ("ti",)
+        assert ref.attr == "ti"
+        assert ref.view is None
+        assert ref.index is None
+        assert str(ref) == "ti"
+
+    def test_view_qualified(self):
+        ref = attr("fac.ln")
+        assert ref.view == "fac"
+        assert ref.attr == "ln"
+        assert str(ref) == "fac.ln"
+
+    def test_indexed_instance(self):
+        ref = attr("fac[2].ln")
+        assert ref.index == 2
+        assert ref.view == "fac"
+        assert str(ref) == "fac[2].ln"
+
+    def test_deep_qualification(self):
+        ref = attr("fac.aubib.bib")
+        assert ref.qualifier == ("fac", "aubib")
+        assert ref.attr == "bib"
+
+    def test_unqualified_strips_everything(self):
+        assert attr("fac[1].ln").unqualified() == attr("ln")
+
+    def test_with_index(self):
+        assert attr("fac.ln").with_index(3) == attr("fac[3].ln")
+
+    def test_empty_path_rejected(self):
+        with pytest.raises(ValueError):
+            AttrRef(())
+
+    def test_bad_component_rejected(self):
+        with pytest.raises(ValueError):
+            AttrRef(("fac", ""))
+
+    def test_hashable_and_equal(self):
+        assert attr("fac.ln") == attr("fac.ln")
+        assert hash(attr("fac.ln")) == hash(attr("fac.ln"))
+        assert attr("fac[1].ln") != attr("fac[2].ln")
+
+
+class TestConstraint:
+    def test_selection(self):
+        c = C("ln", "=", "Clancy")
+        assert c.is_selection and not c.is_join
+        assert str(c) == '[ln = "Clancy"]'
+
+    def test_join(self):
+        c = Constraint(attr("fac.ln"), "=", attr("pub.ln"))
+        assert c.is_join
+        assert str(c) == "[fac.ln = pub.ln]"
+
+    def test_rejects_non_attr_lhs(self):
+        with pytest.raises(TypeError):
+            Constraint("ln", "=", "x")  # type: ignore[arg-type]
+
+    def test_rejects_unhashable_rhs(self):
+        with pytest.raises(TypeError):
+            C("ln", "=", ["list", "value"])
+
+    def test_node_count_and_depth(self):
+        c = C("ln", "=", "x")
+        assert c.node_count() == 1
+        assert c.depth() == 1
+
+    def test_constraints_returns_self(self):
+        c = C("ln", "=", "x")
+        assert c.constraints() == frozenset([c])
+
+
+class TestJunctions:
+    def test_and_requires_two_children(self):
+        with pytest.raises(ValueError):
+            And([C("a", "=", 1)])
+
+    def test_no_nested_same_type(self):
+        inner = And([C("a", "=", 1), C("b", "=", 2)])
+        with pytest.raises(ValueError):
+            And([inner, C("c", "=", 3)])
+
+    def test_alternation_allowed(self):
+        inner = Or([C("a", "=", 1), C("b", "=", 2)])
+        node = And([inner, C("c", "=", 3)])
+        assert node.node_count() == 5
+        assert node.depth() == 3
+
+    def test_immutability(self):
+        node = And([C("a", "=", 1), C("b", "=", 2)])
+        with pytest.raises(AttributeError):
+            node.children = ()
+
+    def test_equality_and_hash(self):
+        a = And([C("a", "=", 1), C("b", "=", 2)])
+        b = And([C("a", "=", 1), C("b", "=", 2)])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != Or([C("a", "=", 1), C("b", "=", 2)])
+
+    def test_iter_constraints_preserves_repeats(self):
+        c = C("a", "=", 1)
+        node = Or([And([c, C("b", "=", 2)]), c])
+        assert list(node.iter_constraints()).count(c) == 2
+        assert len(node.constraints()) == 2
+
+
+class TestSmartConstructors:
+    def test_conj_flattens(self):
+        q = conj([conj([C("a", "=", 1), C("b", "=", 2)]), C("c", "=", 3)])
+        assert isinstance(q, And)
+        assert len(q.children) == 3
+
+    def test_conj_true_identity(self):
+        c = C("a", "=", 1)
+        assert conj([TRUE, c]) == c
+        assert conj([TRUE, TRUE]) is TRUE
+
+    def test_conj_false_absorbs(self):
+        assert conj([C("a", "=", 1), FALSE]) is FALSE
+
+    def test_disj_false_identity(self):
+        c = C("a", "=", 1)
+        assert disj([FALSE, c]) == c
+        assert disj([]) is FALSE
+
+    def test_disj_true_absorbs(self):
+        assert disj([C("a", "=", 1), TRUE]) is TRUE
+
+    def test_empty_conj_is_true(self):
+        assert conj([]) is TRUE
+
+    def test_idempotent_dedup(self):
+        c = C("a", "=", 1)
+        assert conj([c, c]) == c
+        assert disj([c, c]) == c
+
+    def test_single_child_collapses(self):
+        c = C("a", "=", 1)
+        assert conj([c]) == c
+        assert disj([c]) == c
+
+    def test_operator_overloads(self):
+        a, b = C("a", "=", 1), C("b", "=", 2)
+        assert (a & b) == conj([a, b])
+        assert (a | b) == disj([a, b])
+
+
+class TestBoolConst:
+    def test_truthiness(self):
+        assert bool(TRUE) and not bool(FALSE)
+
+    def test_str(self):
+        assert str(TRUE) == "true"
+        assert str(FALSE) == "false"
+
+    def test_no_constraints(self):
+        assert TRUE.constraints() == frozenset()

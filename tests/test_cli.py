@@ -1,0 +1,132 @@
+"""Tests for the command-line interface (repro.cli) and explain facility."""
+
+import pytest
+
+from repro.cli import main
+from repro.core.explain import explain_translation
+from repro.core.parser import parse_query
+from repro.rules import K_AMAZON
+from repro.workloads.paper_queries import example2_query, qbook
+
+
+class TestExplain:
+    def test_contains_all_sections(self):
+        text = explain_translation(example2_query(), K_AMAZON)
+        assert "potential matchings" in text
+        assert "traversal:" in text
+        assert "case 2" in text and "case 1" in text and "case 3" in text
+        assert "partition: {C1, C2}" in text
+        assert 'mapping   : [author = "Clancy, Tom"] or [author = "Klancy, Tom"]' in text
+
+    def test_shows_suppressed_matchings(self):
+        text = explain_translation(example2_query(), K_AMAZON)
+        assert "[drop] R3" in text
+        assert "[keep] R2" in text
+
+    def test_qbook_partition_narrated(self):
+        text = explain_translation(qbook(), K_AMAZON)
+        assert "partition: {C1}, {C2, C3}" in text
+        assert "rewriting block {C2, C3}" in text
+
+    def test_no_matchings_case(self):
+        text = explain_translation(parse_query("[zzz = 1]"), K_AMAZON)
+        assert "(none — every constraint maps to True)" in text
+
+
+class TestCli:
+    def test_translate(self, capsys):
+        code = main(["translate", "K_Amazon", '[ln = "Clancy"] and [fn = "Tom"]'])
+        assert code == 0
+        assert capsys.readouterr().out.strip() == '[author = "Clancy, Tom"]'
+
+    def test_translate_verbose(self, capsys):
+        code = main(["translate", "-v", "K_Amazon", '[ln = "Clancy"]'])
+        assert code == 0
+        assert "exact: True" in capsys.readouterr().err
+
+    def test_explain(self, capsys):
+        code = main(["explain", "K_Amazon", '[pyear = 1997] and [pmonth = 5]'])
+        assert code == 0
+        assert "pdate during May/97" in capsys.readouterr().out
+
+    def test_filter(self, capsys):
+        code = main(
+            ["filter", "K1,K2", "[fac.bib contains data (near) mining] and [fac.dept = cs]"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "S(K2) = [fac.prof.dept = 230]" in out
+        assert "F = [fac.bib contains data (near) mining]" in out
+
+    def test_specs(self, capsys):
+        assert main(["specs"]) == 0
+        out = capsys.readouterr().out
+        for name in ("K_Amazon", "K_Clbooks", "K1", "K2", "K_map"):
+            assert name in out
+
+    def test_specs_verbose_lists_rules(self, capsys):
+        assert main(["specs", "-v"]) == 0
+        assert "R6" in capsys.readouterr().out
+
+    def test_audit_clean(self, capsys):
+        assert main(["audit", "K_Amazon", '[ln = "x"]']) == 0
+        assert "coverage: 100%" in capsys.readouterr().out
+
+    def test_audit_uncovered_sets_exit_code(self, capsys):
+        assert main(["audit", "K_Amazon", "[shoe-size = 9]"]) == 1
+        assert "UNCOVERED" in capsys.readouterr().out
+
+    def test_unknown_spec(self):
+        with pytest.raises(SystemExit):
+            main(["translate", "K_Nowhere", "[a = 1]"])
+
+    def test_parse_error_is_reported(self, capsys):
+        code = main(["translate", "K_Amazon", "[broken"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestSpecFile:
+    def test_translate_with_declarative_spec(self, capsys, tmp_path):
+        import json
+
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps({
+            "name": "K_file", "target": "demo",
+            "rules": [{
+                "name": "R1",
+                "match": [{"attr": "ln", "op": "=", "bind": "L"}],
+                "where": [{"cond": "value_is", "vars": ["L"]}],
+                "emit": {"attr": "author", "op": "=", "value": "$L"},
+                "exact": True,
+            }],
+        }))
+        code = main(["translate", "K_file", '[ln = "Clancy"]', "-f", str(spec_path)])
+        assert code == 0
+        assert capsys.readouterr().out.strip() == '[author = "Clancy"]'
+
+    def test_wrong_name_in_spec_file(self, tmp_path):
+        import json
+
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps({
+            "name": "K_file", "target": "demo",
+            "rules": [{
+                "name": "R1",
+                "match": [{"attr": "ln", "op": "=", "bind": "L"}],
+                "emit": "true",
+            }],
+        }))
+        with pytest.raises(SystemExit):
+            main(["translate", "K_other", "[ln = \"x\"]", "-f", str(spec_path)])
+
+    def test_shipped_example_spec(self, capsys):
+        import pathlib
+
+        spec = pathlib.Path(__file__).parent.parent / "examples/specs/dates_spec.json"
+        code = main([
+            "translate", "K_dates", "[pyear = 1997] and [pmonth = 5]",
+            "-f", str(spec),
+        ])
+        assert code == 0
+        assert capsys.readouterr().out.strip() == "[pdate during May/97]"

@@ -1,0 +1,84 @@
+"""Unit tests for the conversion functions (repro.conversions)."""
+
+import pytest
+
+from repro.conversions import (
+    category_to_subject,
+    cm_to_inches,
+    dept_code,
+    inches_to_cm,
+    ln_fn_to_name,
+    month_period,
+    name_last,
+    name_to_ln_fn,
+    year_period,
+)
+from repro.conversions.units import cents_to_usd, usd_to_cents
+from repro.core.values import Month, Year
+
+
+class TestNames:
+    def test_combine(self):
+        assert ln_fn_to_name("Clancy", "Tom") == "Clancy, Tom"
+
+    def test_combine_without_first(self):
+        assert ln_fn_to_name("Clancy", None) == "Clancy"
+        assert ln_fn_to_name("Clancy", "  ") == "Clancy"
+
+    def test_combine_strips(self):
+        assert ln_fn_to_name(" Clancy ", " Tom ") == "Clancy, Tom"
+
+    def test_empty_last_rejected(self):
+        with pytest.raises(ValueError):
+            ln_fn_to_name("  ", "Tom")
+
+    def test_split(self):
+        assert name_to_ln_fn("Clancy, Tom") == ("Clancy", "Tom")
+        assert name_to_ln_fn("Clancy") == ("Clancy", None)
+        assert name_to_ln_fn("Clancy, ") == ("Clancy", None)
+
+    def test_round_trip(self):
+        for ln, fn in (("Clancy", "Tom"), ("Smith", None)):
+            assert name_to_ln_fn(ln_fn_to_name(ln, fn)) == (ln, fn)
+
+    def test_name_last(self):
+        assert name_last("Clancy, Joe Tom") == "Clancy"
+
+
+class TestDates:
+    def test_month_period(self):
+        assert month_period(1997, 5) == Month(1997, 5)
+
+    def test_year_period(self):
+        assert year_period(1997) == Year(1997)
+
+    def test_type_checking(self):
+        with pytest.raises(TypeError):
+            month_period("1997", 5)
+        with pytest.raises(TypeError):
+            year_period("1997")
+
+
+class TestCodes:
+    def test_dept_code(self):
+        assert dept_code("cs") == 230
+        assert dept_code(" CS ") == 230
+
+    def test_unknown_dept(self):
+        with pytest.raises(KeyError):
+            dept_code("astrology")
+
+    def test_category(self):
+        assert category_to_subject("D.3") == "programming"
+        with pytest.raises(KeyError):
+            category_to_subject("Z.9")
+
+
+class TestUnits:
+    def test_inches_cm_round_trip(self):
+        assert inches_to_cm(3) == 7.62
+        assert cm_to_inches(inches_to_cm(5)) == pytest.approx(5)
+
+    def test_currency(self):
+        assert usd_to_cents(19.99) == 1999
+        assert cents_to_usd(1999) == 19.99

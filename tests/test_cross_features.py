@@ -1,0 +1,110 @@
+"""Cross-feature integration: the extensions composed together.
+
+Each extension is tested in isolation elsewhere; these tests pin down the
+*interactions*: negation through federation, grammar restrictions under a
+union view, minimization after translation, JSON transport of translated
+mappings, and the whole stack at once.
+"""
+
+import pytest
+
+from repro.core.json_io import dumps, loads
+from repro.core.parser import parse_query
+from repro.core.printer import to_text
+from repro.core.subsume import prop_equivalent
+from repro.core.tdqm import tdqm
+from repro.core.theory import simplify_query
+from repro.engine.grammar import QueryGrammar
+from repro.mediator import bookstore_federation, bookstore_mediator
+from repro.rules import K_AMAZON
+
+
+class TestNegationAcrossFeatures:
+    def test_negation_through_federation(self):
+        mediator = bookstore_federation()
+        for text in (
+            'not [ln = "Clancy"]',
+            'not ([ln = "Clancy"] and [fn = "Tom"]) and [pyear = 1997]',
+        ):
+            assert mediator.check_equivalence(parse_query(text)), text
+
+    def test_negation_through_grammar_wrapper(self):
+        grammar = QueryGrammar(allow_disjunction=False, max_constraints=2)
+        mediator = bookstore_mediator("amazon", grammar=grammar)
+        # Push-down turns the NOT into a disjunction of complements — the
+        # wrapper then has to split it for the form.
+        q = parse_query('not ([ln = "Clancy"] and [pyear = 1997]) and [pmonth = 5]')
+        assert mediator.check_equivalence(q)
+
+
+class TestGrammarUnderUnion:
+    def test_federation_with_one_restricted_store(self):
+        mediator = bookstore_federation()
+        mediator.sources["Amazon"].grammar = QueryGrammar(
+            allow_disjunction=False, max_constraints=3
+        )
+        for text in (
+            '([ln = "Clancy"] or [ln = "Klancy"]) and [fn = "Tom"]',
+            "[kwd contains www]",
+        ):
+            assert mediator.check_equivalence(parse_query(text)), text
+
+
+class TestMinimizationAfterTranslation:
+    def test_simplify_is_equivalence_preserving_on_mappings(self):
+        queries = [
+            '([ln = "a"] or [ln = "b"]) and [fn = "c"]',
+            "[pyear = 1997] and ([pmonth = 5] or [pmonth = 6])",
+            "[kwd contains www] or [kwd contains web]",
+        ]
+        for text in queries:
+            mapping = tdqm(parse_query(text), K_AMAZON)
+            assert prop_equivalent(simplify_query(mapping), mapping)
+
+    def test_simplify_collapses_redundant_injected_terms(self):
+        from repro.core.ast import conj
+        from repro.core.values import Month, Year
+        from repro.core.ast import C
+
+        mapping = conj(
+            [
+                C("pdate", "during", Month(1997, 5)),
+                C("pdate", "during", Year(1997)),
+                C("author", "=", "Smith"),
+            ]
+        )
+        simplified = simplify_query(mapping)
+        assert to_text(simplified) == (
+            '[pdate during May/97] and [author = "Smith"]'
+        )
+
+
+class TestJsonTransportOfMappings:
+    def test_translated_mapping_survives_the_wire(self):
+        # Mediator translates, serializes, the wrapper deserializes and
+        # executes — the deployment shape of Section 2.
+        q = parse_query('([ln = "Clancy"] or [ln = "Klancy"]) and [fn = "Tom"]')
+        mapping = tdqm(q, K_AMAZON)
+        shipped = loads(dumps(mapping))
+        assert shipped == mapping
+        from repro.engine.sources_builtin import make_amazon
+
+        rows_local = make_amazon().select_rows("catalog", mapping)
+        rows_shipped = make_amazon().select_rows("catalog", shipped)
+        assert rows_local == rows_shipped
+
+
+class TestFullStack:
+    def test_everything_at_once(self):
+        # Union view + one grammar-restricted store + a negated query.
+        mediator = bookstore_federation()
+        mediator.sources["Clbooks"].grammar = QueryGrammar(max_constraints=2)
+        q = parse_query(
+            'not [publisher = "putnam"] and '
+            '([ln = "Clancy"] or [ln = "Klancy"]) and [fn = "Tom"]'
+        )
+        assert mediator.check_equivalence(q)
+        answer = mediator.answer_mediated(q)
+        assert len(answer.plans) == 2
+        publishers = {dict(row[0][2])["publisher"] for row in answer.rows}
+        assert "putnam" not in publishers

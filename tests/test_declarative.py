@@ -1,0 +1,229 @@
+"""Tests for declarative (data-driven) specifications (rules/declarative)."""
+
+import pytest
+
+from repro.core.ast import C, Constraint, TRUE, attr
+from repro.core.errors import SpecificationError
+from repro.core.parser import parse_query
+from repro.core.printer import to_text
+from repro.core.scm import scm
+from repro.core.tdqm import tdqm
+from repro.core.values import Month
+from repro.rules import K_AMAZON
+from repro.rules.declarative import rule_from_dict, spec_from_dict
+from repro.workloads.paper_queries import example2_query, figure2_q1
+
+#: A declarative re-statement of the K_Amazon rules that Figure 2's Q̂1
+#: exercises (R3, R4, R6, R7, R8 — plus R2 for Example 2).
+DECLARATIVE_AMAZON = {
+    "name": "K_Amazon_decl",
+    "target": "Amazon",
+    "rules": [
+        {
+            "name": "R2",
+            "match": [
+                {"attr": "ln", "op": "=", "bind": "L"},
+                {"attr": "fn", "op": "=", "bind": "F"},
+            ],
+            "where": [{"cond": "value_is", "vars": ["L", "F"]}],
+            "let": [{"var": "N", "fn": "ln_fn_to_name", "args": ["$L", "$F"]}],
+            "emit": {"attr": "author", "op": "=", "value": "$N"},
+            "exact": True,
+        },
+        {
+            "name": "R3",
+            "match": [{"attr": "ln", "op": "=", "bind": "L"}],
+            "where": [{"cond": "value_is", "vars": ["L"]}],
+            "emit": {"attr": "author", "op": "=", "value": "$L"},
+            "exact": True,
+        },
+        {
+            "name": "R4",
+            "match": [{"attr": "ti", "op": "contains", "bind": "P1"}],
+            "let": [
+                {
+                    "var": "RW",
+                    "rewrite": "$P1",
+                    "capability": {"supports_near": False, "supports_phrase": False},
+                }
+            ],
+            "emit": {"attr": "ti-word", "op": "contains", "value": "$RW"},
+            "exact": {"from": "RW"},
+        },
+        {
+            "name": "R6",
+            "match": [
+                {"attr": "pyear", "op": "=", "bind": "Y"},
+                {"attr": "pmonth", "op": "=", "bind": "M"},
+            ],
+            "where": [{"cond": "value_is", "vars": ["Y", "M"]}],
+            "let": [{"var": "D", "fn": "month_period", "args": ["$Y", "$M"]}],
+            "emit": {"attr": "pdate", "op": "during", "value": "$D"},
+            "exact": True,
+        },
+        {
+            "name": "R7",
+            "match": [{"attr": "pyear", "op": "=", "bind": "Y"}],
+            "where": [{"cond": "value_is", "vars": ["Y"]}],
+            "let": [{"var": "D", "fn": "year_period", "args": ["$Y"]}],
+            "emit": {"attr": "pdate", "op": "during", "value": "$D"},
+            "exact": True,
+        },
+        {
+            "name": "R8",
+            "match": [{"attr": "kwd", "op": "contains", "bind": "P1"}],
+            "let": [
+                {
+                    "var": "RW",
+                    "rewrite": "$P1",
+                    "capability": {"supports_near": False, "supports_phrase": False},
+                }
+            ],
+            "emit": {
+                "any": [
+                    {"attr": "ti-word", "op": "contains", "value": "$RW"},
+                    {"attr": "subject-word", "op": "contains", "value": "$RW"},
+                ]
+            },
+            "exact": {"from": "RW"},
+        },
+    ],
+}
+
+
+class TestAgainstDslSpec:
+    def test_figure2_q1_matches_dsl_output(self):
+        spec = spec_from_dict(DECLARATIVE_AMAZON)
+        assert to_text(scm(figure2_q1(), spec)) == to_text(scm(figure2_q1(), K_AMAZON))
+
+    def test_example2_minimal_mapping(self):
+        spec = spec_from_dict(DECLARATIVE_AMAZON)
+        assert to_text(tdqm(example2_query(), spec)) == (
+            '[author = "Clancy, Tom"] or [author = "Klancy, Tom"]'
+        )
+
+    def test_month_value_constructed(self):
+        spec = spec_from_dict(DECLARATIVE_AMAZON)
+        q = parse_query("[pyear = 1997] and [pmonth = 5]")
+        assert scm(q, spec) == C("pdate", "during", Month(1997, 5))
+
+
+class TestFeatures:
+    def test_table_lookup_with_veto(self):
+        data = {
+            "name": "Rd",
+            "match": [{"attr": "dept", "op": "=", "bind": "D"}],
+            "let": [{"var": "C", "table": {"cs": 230}, "key": "$D"}],
+            "emit": {"attr": "dept_code", "op": "=", "value": "$C"},
+        }
+        r = rule_from_dict(data)
+        from repro.core.matching import match_rule
+
+        assert match_rule(r, [C("dept", "=", "cs")])[0].emission == C(
+            "dept_code", "=", 230
+        )
+        assert match_rule(r, [C("dept", "=", "astrology")]) == []
+
+    def test_attr_variable_and_template(self):
+        data = {
+            "name": "Rv",
+            "match": [{"attr": "?A", "view": "fac", "index": "?i", "op": "=", "bind": "N"}],
+            "where": [
+                {"cond": "attr_in", "var": "A", "allowed": ["ln", "fn"]},
+                {"cond": "value_is", "vars": ["N"]},
+            ],
+            "emit": {"attr": "fac.prof.$A", "index": "$i", "op": "=", "value": "$N"},
+            "exact": True,
+        }
+        r = rule_from_dict(data)
+        from repro.core.matching import match_rule
+
+        found = match_rule(r, [Constraint(attr("fac[2].ln"), "=", "Ullman")])
+        assert found[0].emission == Constraint(attr("fac[2].prof.ln"), "=", "Ullman")
+
+    def test_join_pattern_and_emit(self):
+        data = {
+            "name": "Rj",
+            "match": [
+                {"attr": "ln", "view": "?V1", "op": "=",
+                 "rhs": {"attr": "ln", "view": "?V2"}},
+            ],
+            "emit": {
+                "attr": "x",  # placeholder; joins built via attr_rhs pair
+                "op": "=",
+                "attr_rhs": {"attr": "y"},
+            },
+        }
+        r = rule_from_dict(data)
+        from repro.core.matching import match_rule
+
+        found = match_rule(
+            r, [Constraint(attr("fac.ln"), "=", attr("pub.ln"))]
+        )
+        assert found[0].emission == Constraint(attr("x"), "=", attr("y"))
+
+    def test_emit_true(self):
+        data = {
+            "name": "Rt",
+            "match": [{"attr": "noise", "op": "=", "bind": "N"}],
+            "emit": "true",
+        }
+        r = rule_from_dict(data)
+        from repro.core.matching import match_rule
+
+        assert match_rule(r, [C("noise", "=", 1)])[0].emission is TRUE
+
+    def test_dollar_escape(self):
+        data = {
+            "name": "Re",
+            "match": [{"attr": "a", "op": "=", "bind": "X"}],
+            "emit": {"attr": "t", "op": "=", "value": "$$literal"},
+        }
+        r = rule_from_dict(data)
+        from repro.core.matching import match_rule
+
+        assert match_rule(r, [C("a", "=", 1)])[0].emission.rhs == "$literal"
+
+    def test_custom_function_registry(self):
+        data = {
+            "name": "Rc",
+            "match": [{"attr": "a", "op": "=", "bind": "X"}],
+            "let": [{"var": "Y", "fn": "double", "args": ["$X"]}],
+            "emit": {"attr": "t", "op": "=", "value": "$Y"},
+        }
+        r = rule_from_dict(data, functions={"double": lambda x: x * 2})
+        from repro.core.matching import match_rule
+
+        assert match_rule(r, [C("a", "=", 3)])[0].emission.rhs == 6
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "broken",
+        [
+            {"match": [{"attr": "a", "op": "=", "bind": "X"}], "emit": "true"},
+            {"name": "R", "emit": "true"},
+            {"name": "R", "match": [{"attr": "a", "op": "=", "bind": "X"}]},
+            {"name": "R", "match": [{"op": "="}], "emit": "true"},
+            {"name": "R", "match": [{"attr": "a", "op": "="}], "emit": "true"},
+            {"name": "R", "match": [{"attr": "a", "op": "=", "bind": "X"}],
+             "where": [{"cond": "mystery"}], "emit": "true"},
+            {"name": "R", "match": [{"attr": "a", "op": "=", "bind": "X"}],
+             "let": [{"var": "Y", "fn": "no_such_fn"}], "emit": "true"},
+            {"name": "R", "match": [{"attr": "a", "op": "=", "bind": "X"}],
+             "let": [{"fn": "str"}], "emit": "true"},
+        ],
+    )
+    def test_broken_rules_rejected(self, broken):
+        with pytest.raises(SpecificationError):
+            rule_from_dict(broken)
+
+    def test_spec_needs_header_fields(self):
+        with pytest.raises(SpecificationError):
+            spec_from_dict({"name": "K", "rules": []})
+
+    def test_round_trip_through_json(self):
+        import json
+
+        spec = spec_from_dict(json.loads(json.dumps(DECLARATIVE_AMAZON)))
+        assert len(spec) == 6

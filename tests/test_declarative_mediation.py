@@ -1,0 +1,150 @@
+"""Integration: a brand-new integration built *entirely* from data.
+
+The integrator writes a declarative JSON spec and plugs it into the
+engine — no Python rule code — and the full pipeline (translate,
+capability-checked execution, residue filter) still satisfies
+Eq. 1 ≡ Eq. 2.  This is the composition a downstream adopter relies on.
+"""
+
+import pytest
+
+from repro.core.parser import parse_query
+from repro.engine.capabilities import Capability
+from repro.engine.relation import Relation
+from repro.engine.source import Source
+from repro.engine.views import BaseRef, ViewDef
+from repro.mediator import Mediator
+from repro.rules.declarative import spec_from_dict
+
+MOVIE_SPEC = {
+    "name": "K_films",
+    "target": "filmdb",
+    "rules": [
+        {
+            "name": "R_title",
+            "match": [{"attr": "title", "op": "=", "bind": "T"}],
+            "where": [{"cond": "value_is", "vars": ["T"]}],
+            "emit": {"attr": "name", "op": "=", "value": "$T"},
+            "exact": True,
+        },
+        {
+            "name": "R_director_pair",
+            "doc": "first+last are inter-dependent: the target stores one field",
+            "match": [
+                {"attr": "dir-ln", "op": "=", "bind": "L"},
+                {"attr": "dir-fn", "op": "=", "bind": "F"},
+            ],
+            "where": [{"cond": "value_is", "vars": ["L", "F"]}],
+            "let": [{"var": "N", "fn": "ln_fn_to_name", "args": ["$L", "$F"]}],
+            "emit": {"attr": "director", "op": "=", "value": "$N"},
+            "exact": True,
+        },
+        {
+            "name": "R_decade",
+            "match": [{"attr": "decade", "op": "=", "bind": "D"}],
+            "where": [{"cond": "value_is", "vars": ["D"]}],
+            "let": [
+                {"var": "LO", "fn": "int", "args": ["$D"]},
+            ],
+            "emit": {
+                "all": [
+                    {"attr": "year", "op": ">=", "value": "$LO"},
+                    {"attr": "year", "op": "<", "value": "$HI"},
+                ]
+            },
+            "exact": True,
+        },
+    ],
+}
+
+FILMS = (
+    {"name": "Heat", "director": "Mann, Michael", "year": 1995},
+    {"name": "Collateral", "director": "Mann, Michael", "year": 2004},
+    {"name": "Alien", "director": "Scott, Ridley", "year": 1979},
+    {"name": "Blade Runner", "director": "Scott, Ridley", "year": 1982},
+)
+
+
+def build_mediator() -> Mediator:
+    spec_data = {**MOVIE_SPEC}
+    # The decade rule needs an upper bound: derive it with a custom fn.
+    spec_data["rules"] = list(MOVIE_SPEC["rules"][:2]) + [
+        {
+            **MOVIE_SPEC["rules"][2],
+            "let": [
+                {"var": "LO", "fn": "int", "args": ["$D"]},
+                {"var": "HI", "fn": "plus10", "args": ["$D"]},
+            ],
+        }
+    ]
+    spec = spec_from_dict(spec_data, functions={"plus10": lambda d: int(d) + 10})
+
+    source = Source(
+        "filmdb",
+        {"films": Relation("films", ("name", "director", "year"), FILMS)},
+        Capability.of(
+            selections=[
+                ("name", "="),
+                ("director", "="),
+                ("year", ">="),
+                ("year", "<"),
+            ]
+        ),
+    )
+
+    def film_row(by_alias):
+        row = by_alias["films"]
+        ln, fn = row["director"].split(", ")
+        return {
+            "title": row["name"],
+            "dir-ln": ln,
+            "dir-fn": fn,
+            "decade": (row["year"] // 10) * 10,
+        }
+
+    film = ViewDef(
+        name="film",
+        attributes=("title", "dir-ln", "dir-fn", "decade"),
+        bases=(BaseRef("filmdb", "films"),),
+        combine=film_row,
+    )
+    return Mediator(
+        views={"film": film},
+        sources={"filmdb": source},
+        specs={"filmdb": spec},
+    )
+
+
+QUERIES = [
+    '[title = "Heat"]',
+    '[dir-ln = "Mann"] and [dir-fn = "Michael"]',
+    "[decade = 1980]",
+    '([dir-ln = "Scott"] and [dir-fn = "Ridley"]) and [decade = 1970]',
+    '[decade = 1990] or [decade = 2000]',
+    '[dir-ln = "Mann"]',  # uncovered alone: runs as a filter
+]
+
+
+@pytest.mark.parametrize("text", QUERIES)
+def test_declarative_mediation_equivalence(text):
+    mediator = build_mediator()
+    assert mediator.check_equivalence(parse_query(text)), text
+
+
+def test_decade_emits_year_band():
+    from repro.core.printer import to_text
+    from repro.core.scm import scm
+
+    mediator = build_mediator()
+    spec = mediator.specs["filmdb"]
+    mapping = scm(parse_query("[decade = 1980]"), spec)
+    assert to_text(mapping) == "[year >= 1980] and [year < 1990]"
+
+
+def test_filter_keeps_uncovered_director_last_name():
+    from repro.core.printer import to_text
+
+    mediator = build_mediator()
+    answer = mediator.answer_mediated(parse_query('[dir-ln = "Mann"]'))
+    assert to_text(answer.plan.filter) == '[dir-ln = "Mann"]'
+    assert len(answer.rows) == 2

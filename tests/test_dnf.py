@@ -1,0 +1,86 @@
+"""Unit tests for DNF conversion (repro.core.dnf)."""
+
+from repro.core.ast import FALSE, TRUE, And, C, Or, conj, disj
+from repro.core.dnf import dnf_term_count, dnf_terms, is_simple_conjunction, to_dnf
+from repro.core.parser import parse_query
+from repro.core.subsume import prop_equivalent
+
+A, B, Cc, D = (C(name, "=", 1) for name in "abcd")
+
+
+class TestIsSimpleConjunction:
+    def test_leaf(self):
+        assert is_simple_conjunction(A)
+        assert is_simple_conjunction(TRUE)
+
+    def test_and_of_leaves(self):
+        assert is_simple_conjunction(conj([A, B]))
+
+    def test_or_is_not(self):
+        assert not is_simple_conjunction(disj([A, B]))
+
+    def test_nested_is_not(self):
+        assert not is_simple_conjunction(conj([disj([A, B]), Cc]))
+
+
+class TestDnfTerms:
+    def test_constraint(self):
+        assert dnf_terms(A) == [frozenset([A])]
+
+    def test_true_false(self):
+        assert dnf_terms(TRUE) == [frozenset()]
+        assert dnf_terms(FALSE) == []
+
+    def test_distribution(self):
+        q = conj([disj([A, B]), Cc])
+        terms = dnf_terms(q)
+        assert set(terms) == {frozenset([A, Cc]), frozenset([B, Cc])}
+
+    def test_double_distribution(self):
+        q = conj([disj([A, B]), disj([Cc, D])])
+        assert len(dnf_terms(q)) == 4
+
+    def test_idempotent_dedup(self):
+        q = disj([A, A])  # smart constructor already dedupes...
+        assert len(dnf_terms(q)) == 1
+        # ...but distribution can also produce duplicate sets (build the
+        # repeated conjunct with the raw node to bypass the dedup):
+        q2 = And([disj([A, B]), disj([A, B])])
+        terms = dnf_terms(q2)
+        assert frozenset([A]) in terms and frozenset([A, B]) in terms
+        assert len(terms) == 3  # {A}, {A,B}, {B} — not 4
+
+
+class TestToDnf:
+    def test_equivalence(self):
+        cases = [
+            "([a = 1] or [b = 1]) and [c = 1]",
+            "([a = 1] or [b = 1]) and ([c = 1] or [d = 1])",
+            "[a = 1] and ([b = 1] or ([c = 1] and [d = 1]))",
+        ]
+        for case in cases:
+            q = parse_query(case)
+            assert prop_equivalent(q, to_dnf(q))
+
+    def test_shape_is_flat(self):
+        q = parse_query("([a = 1] or [b = 1]) and ([c = 1] or [d = 1])")
+        dnf = to_dnf(q)
+        assert isinstance(dnf, Or)
+        assert all(is_simple_conjunction(child) for child in dnf.children)
+
+    def test_constants(self):
+        assert to_dnf(TRUE) is TRUE
+        assert to_dnf(FALSE) is FALSE
+
+
+class TestTermCount:
+    def test_matches_materialized_count_before_dedup(self):
+        q = parse_query("([a = 1] or [b = 1]) and ([c = 1] or [d = 1])")
+        assert dnf_term_count(q) == 4
+
+    def test_exponential_growth(self):
+        conjuncts = [disj([C(f"x{i}", "=", 1), C(f"y{i}", "=", 1)]) for i in range(20)]
+        assert dnf_term_count(conj(conjuncts)) == 2**20
+
+    def test_or_sums(self):
+        assert dnf_term_count(disj([A, conj([B, Cc])])) == 2

@@ -1,0 +1,54 @@
+"""Tests for Algorithm DNF (repro.core.dnf_mapper) — Figure 6, Example 5."""
+
+from repro.core.ast import FALSE, TRUE, C, conj, disj
+from repro.core.dnf_mapper import dnf_map, dnf_map_translate
+from repro.core.printer import to_text
+from repro.core.subsume import prop_equivalent
+from repro.rules import K_AMAZON
+from repro.workloads.paper_queries import example2_query, qbook
+
+
+class TestExample5:
+    def test_minimal_mapping(self):
+        mapping = dnf_map(example2_query(), K_AMAZON)
+        assert to_text(mapping) == (
+            '[author = "Clancy, Tom"] or [author = "Klancy, Tom"]'
+        )
+
+    def test_two_disjuncts_processed(self):
+        result = dnf_map_translate(example2_query(), K_AMAZON)
+        assert result.disjunct_count == 2
+        assert result.scm_calls == 2
+
+
+class TestWorkAccounting:
+    def test_qbook_repeats_constraints(self):
+        # DNF re-processes f_y in every one of the 6 disjuncts (Example 6).
+        result = dnf_map_translate(qbook(), K_AMAZON)
+        assert result.disjunct_count == 6
+        # 2 disjuncts of size 4 (ln,fn,pyear,pmonth) + 4 of size 3.
+        assert result.constraint_slots == 2 * 4 + 4 * 3
+
+    def test_simple_conjunction_is_one_disjunct(self):
+        q = conj([C("ln", "=", "x"), C("pyear", "=", 1997)])
+        assert dnf_map_translate(q, K_AMAZON).disjunct_count == 1
+
+
+class TestEdgeCases:
+    def test_constants(self):
+        assert dnf_map(TRUE, K_AMAZON) is TRUE
+        assert dnf_map(FALSE, K_AMAZON) is FALSE
+
+    def test_pure_disjunction(self):
+        q = disj([C("ln", "=", "a"), C("ln", "=", "b")])
+        mapping = dnf_map(q, K_AMAZON)
+        assert to_text(mapping) == '[author = "a"] or [author = "b"]'
+
+    def test_uncovered_disjunct_makes_true(self):
+        # One disjunct maps to True => the whole disjunction is True.
+        q = disj([C("ln", "=", "a"), C("fn", "=", "b")])
+        assert dnf_map(q, K_AMAZON) is TRUE
+
+    def test_equivalent_to_itself_under_reordering(self):
+        q = qbook()
+        assert prop_equivalent(dnf_map(q, K_AMAZON), dnf_map(q, K_AMAZON))

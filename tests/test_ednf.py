@@ -1,0 +1,121 @@
+"""Tests for Procedure EDNF (repro.core.ednf) — Figure 10, Examples 10/11."""
+
+from repro.core.ast import C, conj, disj
+from repro.core.ednf import Term, combine_conjunct_ednf, ednf, format_terms, simplify_terms
+from repro.core.errors import TranslationError
+from repro.rules import K_AMAZON
+from repro.workloads.generator import synthetic_spec
+from repro.workloads.paper_queries import qbook
+
+import pytest
+
+F_L = C("ln", "=", "Smith")
+F_F = C("fn", "=", "John")
+F_Y = C("pyear", "=", 1997)
+F_M1 = C("pmonth", "=", 5)
+F_M2 = C("pmonth", "=", 6)
+
+
+def amazon_info():
+    matcher = K_AMAZON.matcher()
+    return ednf(qbook(), matcher)
+
+
+class TestExample11:
+    """The EDNF annotations of Figure 7 on Q̂_book."""
+
+    def test_c1_collapses_to_epsilon(self):
+        info = amazon_info()
+        c1 = info.children[0]  # (f_l f_f ∨ f_k1 ∨ f_k2)
+        assert c1.essential == [Term()]
+
+    def test_inner_pair_not_deleted_early(self):
+        # De(f_l f_f) must stay {f_l, f_f}: deleting it at the AND node
+        # would create false-positive cross-matchings (Section 7.1.3).
+        info = amazon_info()
+        inner_and = info.children[0].children[0]
+        assert inner_and.essential == [frozenset({F_L, F_F})]
+
+    def test_keyword_leaves_are_useless(self):
+        info = amazon_info()
+        kwd_leaf = info.children[0].children[1]
+        assert kwd_leaf.essential == [Term()]
+
+    def test_year_leaf_is_essential(self):
+        info = amazon_info()
+        year_leaf = info.children[1]
+        assert year_leaf.essential == [frozenset({F_Y})]
+
+    def test_month_disjunction_is_essential(self):
+        info = amazon_info()
+        months = info.children[2]
+        assert months.essential == [frozenset({F_M1}), frozenset({F_M2})]
+
+    def test_root_dnf_has_two_simplified_terms(self):
+        # D(Q̂_book) from the EDNFs: (ε)(f_y)(f_m1) ∨ (ε)(f_y)(f_m2).
+        info = amazon_info()
+        assert info.dnf == [
+            frozenset({F_Y, F_M1}),
+            frozenset({F_Y, F_M2}),
+        ]
+
+
+class TestNullificationRules:
+    def test_no_dependencies_collapse_to_epsilon(self):
+        # With only singleton rules every constraint is useless: all ε.
+        spec = synthetic_spec([], singletons=["a", "b", "c"])
+        q = conj([disj([C("a", "=", 1), C("b", "=", 1)]), C("c", "=", 1)])
+        info = ednf(q, spec.matcher())
+        assert info.essential == [Term()]
+
+    def test_unmatched_constraints_are_useless(self):
+        spec = synthetic_spec([], singletons=["a"])
+        q = C("zzz", "=", 1)
+        info = ednf(q, spec.matcher())
+        assert info.essential == [Term()]
+
+    def test_pair_spanning_terms_stays(self):
+        spec = synthetic_spec([("a", "b")], singletons=["a", "b"])
+        a, b = C("a", "=", 1), C("b", "=", 1)
+        q = conj([a, b])
+        info = ednf(q, spec.matcher())
+        # The single term wholly contains {a, b} and has no sibling: kept.
+        assert info.essential == [frozenset({a, b})]
+
+    def test_epsilon_sibling_enables_deletion(self):
+        spec = synthetic_spec([("a", "b")], singletons=["a", "b", "c"])
+        a, b, c = C("a", "=", 1), C("b", "=", 1), C("c", "=", 1)
+        q = disj([conj([a, b]), c])
+        info = ednf(q, spec.matcher())
+        # c is useless -> ε; then {a, b} has a disjoint sibling -> ε too.
+        assert info.essential == [Term()]
+
+
+class TestHelpers:
+    def test_format_terms(self):
+        assert format_terms([]) == "false"
+        assert format_terms([Term()]) == "ε"
+        a = C("a", "=", 1)
+        assert "[a = 1]" in format_terms([frozenset({a})])
+
+    def test_combine_dedupes(self):
+        a = frozenset({C("a", "=", 1)})
+        combined = combine_conjunct_ednf([[a], [a]])
+        assert combined == [a]
+
+    def test_combine_explosion_guard(self):
+        wide = [
+            [frozenset({C(f"a{i}_{j}", "=", 1)}) for j in range(30)]
+            for i in range(6)
+        ]
+        with pytest.raises(TranslationError):
+            combine_conjunct_ednf(wide)
+
+    def test_simplify_no_potential_matchings(self):
+        a = C("a", "=", 1)
+        assert simplify_terms([frozenset({a})], []) == [Term()]
+
+    def test_annotation_rendering(self):
+        info = amazon_info()
+        text = info.annotation()
+        assert "/" in text

@@ -1,0 +1,162 @@
+"""Tests for the relational engine (relation, eval, capabilities, source)."""
+
+import pytest
+
+from repro.core.ast import C, Constraint, attr, conj, disj
+from repro.core.errors import CapabilityError, EvaluationError, SchemaError
+from repro.core.parser import parse_query
+from repro.engine.capabilities import Capability
+from repro.engine.eval import RowEnv, evaluate, evaluate_row
+from repro.engine.relation import Relation
+from repro.engine.source import Source
+from repro.text import TextCapability
+
+
+class TestRelation:
+    def test_insert_and_scan(self):
+        rel = Relation("r", ("a", "b"))
+        rel.insert({"a": 1, "b": 2})
+        assert rel.rows() == [{"a": 1, "b": 2}]
+        assert len(rel) == 1
+
+    def test_schema_enforced(self):
+        rel = Relation("r", ("a", "b"))
+        with pytest.raises(SchemaError):
+            rel.insert({"a": 1})
+        with pytest.raises(SchemaError):
+            rel.insert({"a": 1, "b": 2, "c": 3})
+
+    def test_duplicate_attributes_rejected(self):
+        with pytest.raises(SchemaError):
+            Relation("r", ("a", "a"))
+
+    def test_rows_is_a_copy(self):
+        rel = Relation("r", ("a",), [{"a": 1}])
+        rel.rows().append({"a": 2})
+        assert len(rel) == 1
+
+
+class TestRowEnv:
+    def test_qualified_resolution(self):
+        env = RowEnv({(("fac", "prof"), None): {"ln": "Ullman"}})
+        row, attr_name = env.resolve(attr("fac.prof.ln"))
+        assert row["ln"] == "Ullman" and attr_name == "ln"
+
+    def test_indexed_resolution(self):
+        env = RowEnv(
+            {
+                (("fac",), 1): {"ln": "A"},
+                (("fac",), 2): {"ln": "B"},
+            }
+        )
+        assert env.lookup(attr("fac[2].ln")) == "B"
+
+    def test_unindexed_abbreviation_unique(self):
+        env = RowEnv({(("fac",), 1): {"ln": "A"}})
+        assert env.lookup(attr("fac.ln")) == "A"
+
+    def test_unindexed_abbreviation_ambiguous(self):
+        env = RowEnv({(("fac",), 1): {"ln": "A"}, (("fac",), 2): {"ln": "B"}})
+        with pytest.raises(EvaluationError):
+            env.lookup(attr("fac.ln"))
+
+    def test_bare_attr_single_instance(self):
+        env = RowEnv({((), None): {"author": "Clancy"}})
+        assert env.lookup(attr("author")) == "Clancy"
+
+    def test_unresolvable(self):
+        env = RowEnv({(("fac",), None): {"ln": "A"}})
+        with pytest.raises(EvaluationError):
+            env.lookup(attr("pub.ln"))
+
+    def test_missing_attribute(self):
+        env = RowEnv({((), None): {"a": 1}})
+        with pytest.raises(EvaluationError):
+            env.lookup(attr("b"))
+
+
+class TestEvaluate:
+    def test_selection(self):
+        assert evaluate_row(parse_query("[a = 1]"), {"a": 1})
+        assert not evaluate_row(parse_query("[a = 1]"), {"a": 2})
+
+    def test_boolean_structure(self):
+        q = parse_query("([a = 1] or [b = 2]) and [c = 3]")
+        assert evaluate_row(q, {"a": 0, "b": 2, "c": 3})
+        assert not evaluate_row(q, {"a": 0, "b": 0, "c": 3})
+
+    def test_join_across_instances(self):
+        q = Constraint(attr("fac[1].ln"), "=", attr("fac[2].ln"))
+        env_eq = RowEnv({(("fac",), 1): {"ln": "X"}, (("fac",), 2): {"ln": "X"}})
+        env_ne = RowEnv({(("fac",), 1): {"ln": "X"}, (("fac",), 2): {"ln": "Y"}})
+        assert evaluate(q, env_eq)
+        assert not evaluate(q, env_ne)
+
+    def test_virtual_attribute_dispatch(self):
+        virtuals = {"double": lambda row, op, v: row["a"] * 2 == v}
+        assert evaluate_row(parse_query("[double = 4]"), {"a": 2}, virtuals)
+        assert not evaluate_row(parse_query("[double = 5]"), {"a": 2}, virtuals)
+
+
+class TestCapability:
+    CAP = Capability.of(
+        selections=[("author", "="), ("ti", "contains")],
+        joins=[("name", "au", "=")],
+        text=TextCapability(supports_near=False),
+    )
+
+    def test_selection_support(self):
+        assert self.CAP.supports(C("author", "=", "x"))
+        assert not self.CAP.supports(C("author", "contains", "x"))
+        assert not self.CAP.supports(C("subject", "=", "x"))
+
+    def test_join_support_order_insensitive(self):
+        j1 = Constraint(attr("a.name"), "=", attr("b.au"))
+        j2 = Constraint(attr("b.au"), "=", attr("a.name"))
+        assert self.CAP.supports(j1) and self.CAP.supports(j2)
+        assert not self.CAP.supports(Constraint(attr("a.x"), "=", attr("b.y")))
+
+    def test_text_connectives_checked(self):
+        ok = parse_query("[ti contains a (and) b]")
+        bad = parse_query("[ti contains a (near) b]")
+        assert self.CAP.supports(next(iter(ok.constraints())))
+        assert not self.CAP.supports(next(iter(bad.constraints())))
+
+    def test_violations_and_check(self):
+        q = parse_query('[author = "x"] and [subject = "y"]')
+        bad = self.CAP.violations(q)
+        assert [c.lhs.attr for c in bad] == ["subject"]
+        with pytest.raises(CapabilityError):
+            self.CAP.check(q)
+        self.CAP.check(parse_query('[author = "x"]'))
+
+
+class TestSource:
+    def _source(self):
+        rel = Relation("r", ("a", "b"), [{"a": 1, "b": 10}, {"a": 2, "b": 20}])
+        cap = Capability.of(selections=[("a", "="), ("b", ">")])
+        return Source("S", {"r": rel}, cap)
+
+    def test_select_rows(self):
+        src = self._source()
+        assert src.select_rows("r", parse_query("[a = 2]")) == [{"a": 2, "b": 20}]
+
+    def test_capability_enforced(self):
+        src = self._source()
+        with pytest.raises(CapabilityError):
+            src.select_rows("r", parse_query("[a < 2]"))
+
+    def test_unknown_relation(self):
+        with pytest.raises(EvaluationError):
+            self._source().relation("nope")
+
+    def test_cross_product_select(self):
+        rel1 = Relation("r1", ("x",), [{"x": 1}, {"x": 2}])
+        rel2 = Relation("r2", ("y",), [{"y": 1}, {"y": 2}])
+        cap = Capability.of(selections=[], joins=[("x", "y", "=")])
+        src = Source("S", {"r1": rel1, "r2": rel2}, cap)
+        q = Constraint(attr("v.r1.x"), "=", attr("v.r2.y"))
+        out = src.select(
+            {(("v", "r1"), None): "r1", (("v", "r2"), None): "r2"}, q
+        )
+        assert len(out) == 2  # (1,1) and (2,2)

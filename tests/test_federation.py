@@ -1,0 +1,106 @@
+"""Tests for union views and the federated bookstore (Section 2).
+
+"A view can be a union of SPJ components ... we can process each
+component separately and union the results."
+"""
+
+import pytest
+
+from repro.core.errors import SchemaError
+from repro.core.parser import parse_query
+from repro.core.printer import to_text
+from repro.engine.sources_builtin import DEFAULT_BOOKS, make_amazon
+from repro.engine.views import BaseRef, UnionViewDef, ViewDef
+from repro.mediator import bookstore_federation
+from repro.mediator.builtin import BOOK_ATTRS, CLBOOKS_ONLY_BOOKS, _book_row
+
+
+class TestUnionViewDef:
+    def _component(self, name="c1"):
+        return ViewDef(
+            name=name,
+            attributes=BOOK_ATTRS,
+            bases=(BaseRef("Amazon", "catalog"),),
+            combine=_book_row,
+        )
+
+    def test_attributes_from_components(self):
+        union = UnionViewDef("book", (self._component(),))
+        assert union.attributes == BOOK_ATTRS
+
+    def test_empty_rejected(self):
+        with pytest.raises(SchemaError):
+            UnionViewDef("book", ())
+
+    def test_mismatched_attributes_rejected(self):
+        other = ViewDef(
+            name="c2",
+            attributes=("only", "two"),
+            bases=(BaseRef("Amazon", "catalog"),),
+            combine=lambda by_alias: {"only": 1, "two": 2},
+        )
+        with pytest.raises(SchemaError):
+            UnionViewDef("book", (self._component(), other))
+
+    def test_materialize_is_bag_union(self):
+        component = self._component()
+        union = UnionViewDef("book", (component, component))
+        sources = {"Amazon": make_amazon()}
+        assert len(union.materialize(sources)) == 2 * len(DEFAULT_BOOKS)
+
+    def test_sources_union(self):
+        union = UnionViewDef("book", (self._component(),))
+        assert union.sources() == frozenset({"Amazon"})
+
+
+class TestBookstoreFederation:
+    QUERIES = [
+        '[ln = "Clancy"] and [fn = "Tom"]',
+        "[pyear = 1997] and [pmonth = 5]",
+        "[ti contains java (near) jdk]",
+        '[publisher = "mit"]',
+        '([ln = "Clancy"] or [ln = "Klancy"]) and [fn = "Tom"]',
+        'not [ln = "Clancy"]',
+    ]
+
+    @pytest.mark.parametrize("text", QUERIES)
+    def test_equivalence(self, text):
+        mediator = bookstore_federation()
+        assert mediator.check_equivalence(parse_query(text)), text
+
+    def test_one_plan_per_component(self):
+        mediator = bookstore_federation()
+        answer = mediator.answer_mediated(parse_query('[ln = "Clancy"]'))
+        assert len(answer.plans) == 2
+        assert {tuple(sorted(p.mappings)) for p in answer.plans} == {
+            ("Amazon",),
+            ("Clbooks",),
+        }
+
+    def test_filters_differ_per_component(self):
+        # Amazon enforces the pair exactly (F = true); Clbooks relaxes
+        # (F = Q) — per-choice filters are essential for soundness.
+        mediator = bookstore_federation()
+        answer = mediator.answer_mediated(
+            parse_query('[ln = "Clancy"] and [fn = "Tom"]')
+        )
+        filters = {
+            tuple(sorted(p.mappings)): to_text(p.filter) for p in answer.plans
+        }
+        assert filters[("Amazon",)] == "true"
+        assert filters[("Clbooks",)] == '[ln = "Clancy"] and [fn = "Tom"]'
+
+    def test_union_includes_store_specific_stock(self):
+        mediator = bookstore_federation()
+        answer = mediator.answer_mediated(parse_query('[publisher = "mit"]'))
+        titles = {dict(row[0][2])["title"] for row in answer.rows}
+        assert titles == {b["title"] for b in CLBOOKS_ONLY_BOOKS}
+
+    def test_shared_stock_appears_once_per_store(self):
+        mediator = bookstore_federation()
+        answer = mediator.answer_mediated(
+            parse_query('[ln = "Clancy"] and [fn = "Tom"]')
+        )
+        # DEFAULT_BOOKS has 2 Clancy-Tom titles in both stores, plus one
+        # Clbooks-only title by Clancy, Tom.
+        assert len(answer.rows) == 2 + 2 + 1

@@ -1,0 +1,81 @@
+"""Tests for filter-query generation (repro.core.filters) — Eq. 2/3."""
+
+from repro.core.ast import TRUE, C, conj
+from repro.core.filters import build_filter, translate_for_sources
+from repro.core.parser import parse_query
+from repro.core.printer import to_text
+from repro.rules import K1, K2, K_AMAZON, K_CLBOOKS
+from repro.workloads.paper_queries import example1_query, example3_query
+
+
+class TestExample1:
+    def test_amazon_filter_empty(self):
+        # R2 translates the ln+fn pair exactly: nothing left to filter.
+        plan = build_filter(example1_query(), {"Amazon": K_AMAZON})
+        assert plan.filter is TRUE
+        assert to_text(plan.mappings["Amazon"]) == '[author = "Clancy, Tom"]'
+
+    def test_clbooks_filter_is_whole_query(self):
+        # The word-containment relaxation forces redoing Q as a filter.
+        plan = build_filter(example1_query(), {"Clbooks": K_CLBOOKS})
+        assert plan.filter == plan.query
+
+
+class TestExample3:
+    def test_filter_is_exactly_c(self):
+        plan = build_filter(example3_query(), {"T1": K1, "T2": K2})
+        assert to_text(plan.filter) == "[fac.bib contains data (near) mining]"
+
+    def test_source_mappings(self):
+        plan = build_filter(example3_query(), {"T1": K1, "T2": K2})
+        # The T1 mapping carries the relaxed bib search plus the name join.
+        t1 = to_text(plan.mappings["T1"])
+        assert "fac.aubib.bib contains data (and) mining" in t1
+        assert "fac.aubib.name = pub.paper.au" in t1
+        assert to_text(plan.mappings["T2"]) == "[fac.prof.dept = 230]"
+
+
+class TestBlockLevelExactness:
+    def test_dependent_pair_dropped_together(self):
+        q = parse_query('[ln = "Clancy"] and [fn = "Tom"] and [kwd contains www]')
+        plan = build_filter(q, {"Amazon": K_AMAZON})
+        # ln+fn pair exact via R2; kwd exact via R8 (no relaxation needed).
+        assert plan.filter is TRUE
+
+    def test_relaxed_conjunct_stays(self):
+        q = parse_query('[ln = "Clancy"] and [ti contains java (near) jdk]')
+        plan = build_filter(q, {"Amazon": K_AMAZON})
+        assert to_text(plan.filter) == "[ti contains java (near) jdk]"
+
+    def test_uncovered_conjunct_stays(self):
+        q = parse_query('[ln = "Clancy"] and [zz = 1]')
+        plan = build_filter(q, {"Amazon": K_AMAZON})
+        assert to_text(plan.filter) == "[zz = 1]"
+
+    def test_partial_date_residue(self):
+        # pyear alone is exact (R7); pyear+pmonth exact as a pair (R6);
+        # pmonth alone is uncovered and must stay when by itself.
+        q_pair = parse_query("[pyear = 1997] and [pmonth = 5]")
+        assert build_filter(q_pair, {"Amazon": K_AMAZON}).filter is TRUE
+        q_month = parse_query('[pmonth = 5] and [ln = "x"]')
+        plan = build_filter(q_month, {"Amazon": K_AMAZON})
+        assert to_text(plan.filter) == "[pmonth = 5]"
+
+
+class TestNonConjunctiveTop:
+    def test_disjunction_treated_as_one_conjunct(self):
+        q = parse_query('[ln = "a"] or [fn = "b"]')  # fn disjunct uncovered
+        plan = build_filter(q, {"Amazon": K_AMAZON})
+        assert plan.filter == plan.query
+
+    def test_exact_disjunction_dropped(self):
+        q = parse_query('[ln = "a"] or [ln = "b"]')
+        plan = build_filter(q, {"Amazon": K_AMAZON})
+        assert plan.filter is TRUE
+
+
+class TestTranslateForSources:
+    def test_translates_each_source(self):
+        out = translate_for_sources(example3_query(), {"T1": K1, "T2": K2})
+        assert set(out) == {"T1", "T2"}
+        assert to_text(out["T2"]) == "[fac.prof.dept = 230]"

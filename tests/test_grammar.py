@@ -1,0 +1,163 @@
+"""Tests for grammar-restricted interfaces and the wrapper (Section 3)."""
+
+import pytest
+
+from repro.core.ast import TRUE
+from repro.core.errors import CapabilityError
+from repro.core.parser import parse_query
+from repro.core.printer import to_text
+from repro.engine.grammar import QueryGrammar, Wrapper
+from repro.engine.sources_builtin import make_amazon
+from repro.mediator import bookstore_mediator
+
+
+class TestQueryGrammar:
+    def test_unrestricted_accepts_everything(self):
+        grammar = QueryGrammar()
+        q = parse_query('([a = 1] or [b = 2]) and [c = 3]')
+        assert grammar.violations(q) == []
+
+    def test_no_disjunction(self):
+        grammar = QueryGrammar(allow_disjunction=False)
+        assert grammar.violations(parse_query("[a = 1] or [b = 2]"))
+        assert grammar.violations(parse_query("[a = 1] and ([b = 2] or [c = 3])"))
+        assert not grammar.violations(parse_query("[a = 1] and [b = 2]"))
+
+    def test_max_constraints(self):
+        grammar = QueryGrammar(max_constraints=2)
+        assert not grammar.violations(parse_query("[a = 1] and [b = 2]"))
+        assert grammar.violations(parse_query("[a = 1] and [b = 2] and [c = 3]"))
+
+    def test_required_attrs(self):
+        grammar = QueryGrammar(required_attrs=frozenset({"author"}))
+        assert grammar.violations(parse_query("[pdate during 97]"))
+        assert not grammar.violations(parse_query('[author = "x"] and [pdate during 97]'))
+
+    def test_check_raises(self):
+        grammar = QueryGrammar(allow_disjunction=False)
+        with pytest.raises(CapabilityError):
+            grammar.check(parse_query("[a = 1] or [b = 2]"))
+
+
+class TestWrapperPlanning:
+    def test_conforming_query_passes_through(self):
+        grammar = QueryGrammar(allow_disjunction=False)
+        wrapper = Wrapper(make_amazon(), grammar)
+        q = parse_query('[author = "Smith"] and [pdate during 97]')
+        assert wrapper.plan_calls(q) == [q]
+
+    def test_disjunction_splits_into_calls(self):
+        grammar = QueryGrammar(allow_disjunction=False)
+        wrapper = Wrapper(make_amazon(), grammar)
+        q = parse_query('([author = "a"] or [author = "b"]) and [pdate during 97]')
+        calls = wrapper.plan_calls(q)
+        assert len(calls) == 2
+        assert all("pdate" in to_text(call) for call in calls)
+
+    def test_overflow_constraints_dropped_subsumingly(self):
+        grammar = QueryGrammar(max_constraints=1)
+        wrapper = Wrapper(make_amazon(), grammar)
+        q = parse_query('[author = "Smith"] and [pdate during 97]')
+        calls = wrapper.plan_calls(q)
+        assert len(calls) == 1
+        assert len(list(calls[0].iter_constraints())) == 1
+
+    def test_required_attrs_preferred_on_truncation(self):
+        grammar = QueryGrammar(
+            max_constraints=1, required_attrs=frozenset({"pdate"})
+        )
+        wrapper = Wrapper(make_amazon(), grammar)
+        q = parse_query('[author = "Smith"] and [pdate during 97]')
+        calls = wrapper.plan_calls(q)
+        assert to_text(calls[0]) == "[pdate during 97]"
+
+    def test_unfillable_required_binding_degrades_to_scan(self):
+        grammar = QueryGrammar(required_attrs=frozenset({"isbn"}))
+        wrapper = Wrapper(make_amazon(), grammar)
+        q = parse_query('[author = "Smith"]')
+        assert wrapper.plan_calls(q) == [TRUE]
+
+
+class TestWrapperExecution:
+    Q = '([author = "Clancy, Tom"] or [author = "Smith"]) and [pdate during 97]'
+
+    def test_matches_unrestricted_source(self):
+        grammar = QueryGrammar(allow_disjunction=False, max_constraints=2)
+        restricted = make_amazon()
+        restricted.grammar = grammar
+        unrestricted = make_amazon()
+        q = parse_query(self.Q)
+        got = restricted.execute_rows("catalog", q)
+        want = unrestricted.select_rows("catalog", q)
+        assert sorted(map(str, got)) == sorted(map(str, want))
+
+    def test_no_duplicates_across_overlapping_disjuncts(self):
+        grammar = QueryGrammar(allow_disjunction=False)
+        source = make_amazon()
+        source.grammar = grammar
+        # Both disjuncts match the same Smith row.
+        q = parse_query('[author = "Smith"] or [pdate during Jun/97]')
+        rows = source.execute_rows("catalog", q)
+        titles = [row["title"] for row in rows]
+        assert len(titles) == len(set(titles))
+
+    def test_truncation_compensated_by_recheck(self):
+        grammar = QueryGrammar(max_constraints=1)
+        source = make_amazon()
+        source.grammar = grammar
+        q = parse_query('[author = "Smith"] and [pdate during Jun/97]')
+        rows = source.execute_rows("catalog", q)
+        assert [row["title"] for row in rows] == ["JDK for Java"]
+
+    def test_native_interface_still_rejects(self):
+        source = make_amazon()
+        source.grammar = QueryGrammar(allow_disjunction=False)
+        with pytest.raises(CapabilityError):
+            source.select_rows("catalog", parse_query('[author = "a"] or [author = "b"]'))
+
+
+class TestMediationThroughGrammar:
+    QUERIES = [
+        '[ln = "Clancy"] and [fn = "Tom"]',
+        '([ln = "Clancy"] or [ln = "Klancy"]) and [fn = "Tom"]',
+        "[pyear = 1997] and [pmonth = 5]",
+        "[kwd contains www]",  # R8 emits a disjunction the form forbids
+        '([kwd contains www] or ([ln = "Smith"] and [fn = "John"])) and [pyear = 1997]',
+    ]
+
+    @pytest.mark.parametrize("text", QUERIES)
+    def test_equivalence_with_webform_store(self, text):
+        grammar = QueryGrammar(allow_disjunction=False, max_constraints=3)
+        mediator = bookstore_mediator("amazon", grammar=grammar)
+        assert mediator.check_equivalence(parse_query(text)), text
+
+
+class TestWrapperProperty:
+    def test_random_grammars_match_unrestricted(self):
+        """Any grammar: the wrapper's answer equals the unrestricted one."""
+        import random
+
+        from repro.workloads.datasets import random_books
+
+        rng = random.Random(77)
+        rows = random_books(40, seed=8)
+        queries = [
+            '([author = "Clancy, Tom"] or [author = "Smith"]) and [pdate during 97]',
+            '[publisher = "oreilly"] or [publisher = "wiley"] or [subject = "databases"]',
+            '[ti-word contains java (and) jdk] and [pdate during 97] and [publisher = "oreilly"]',
+            '[author = "Chang"] or ([subject = "programming"] and [pdate during 96])',
+        ]
+        from repro.core.parser import parse_query as pq
+
+        for trial in range(12):
+            grammar = QueryGrammar(
+                allow_disjunction=rng.random() < 0.5,
+                max_constraints=rng.choice([None, 1, 2, 3]),
+            )
+            restricted = make_amazon(rows)
+            restricted.grammar = grammar
+            unrestricted = make_amazon(rows)
+            q = pq(rng.choice(queries))
+            got = sorted(map(str, restricted.execute_rows("catalog", q)))
+            want = sorted(map(str, unrestricted.select_rows("catalog", q)))
+            assert got == want, (trial, grammar)

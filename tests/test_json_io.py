@@ -1,0 +1,120 @@
+"""Tests for the JSON wire format (repro.core.json_io)."""
+
+import pytest
+
+from repro.core.ast import C, Constraint, attr, conj, disj, neg
+from repro.core.errors import ParseError
+from repro.core.json_io import dumps, loads, query_from_json, query_to_json
+from repro.core.parser import parse_query
+from repro.core.values import Date, Month, Point, Range, Year
+from repro.text import MATCH_ALL, parse_pattern
+from repro.workloads.paper_queries import (
+    example3_query,
+    example8_query_ranges,
+    figure2_q1,
+    figure2_q2,
+    qbook,
+)
+
+
+class TestRoundTrip:
+    PAPER_QUERIES = [
+        figure2_q1,
+        figure2_q2,
+        qbook,
+        example3_query,
+        example8_query_ranges,
+    ]
+
+    @pytest.mark.parametrize("factory", PAPER_QUERIES)
+    def test_paper_queries(self, factory):
+        query = factory()
+        assert loads(dumps(query)) == query
+
+    def test_constants(self):
+        assert loads(dumps(parse_query("true"))) == parse_query("true")
+        assert loads(dumps(parse_query("false"))) == parse_query("false")
+
+    def test_negation(self):
+        query = neg(conj([C("a", "=", 1), C("b", "=", 2)]))
+        assert loads(dumps(query)) == query
+
+    def test_joins_with_indexes(self):
+        query = Constraint(attr("fac[1].ln"), "=", attr("fac[2].ln"))
+        assert loads(dumps(query)) == query
+
+    @pytest.mark.parametrize(
+        "value",
+        [
+            Date(1997, 5, 3),
+            Year(1997),
+            Month(1997, 5),
+            Range(10, 30),
+            Point(10, 20),
+            ("cs", "ee"),
+            3.25,
+            None,
+            True,
+        ],
+    )
+    def test_value_types(self, value):
+        query = C("x", "in" if isinstance(value, tuple) else "=", value)
+        assert loads(dumps(query)) == query
+
+    @pytest.mark.parametrize(
+        "raw",
+        [
+            "java",
+            '"data mining"',
+            "java (near/3) jdk",
+            "a (and) b (or) c",
+        ],
+    )
+    def test_text_patterns(self, raw):
+        query = C("ti", "contains", parse_pattern(raw))
+        assert loads(dumps(query)) == query
+
+    def test_match_all(self):
+        query = C("ti", "contains", MATCH_ALL)
+        assert loads(dumps(query)) == query
+
+
+class TestEncoding:
+    def test_tags_present(self):
+        data = query_to_json(conj([C("a", "=", 1), disj([C("b", "=", 2), C("c", "=", 3)])]))
+        assert data["$"] == "and"
+        assert data["children"][1]["$"] == "or"
+
+    def test_plain_scalars_stay_plain(self):
+        data = query_to_json(C("a", "=", "text"))
+        assert data["rhs"] == "text"
+
+    def test_index_omitted_when_none(self):
+        data = query_to_json(C("fac.ln", "=", "x"))
+        assert "index" not in data["lhs"]
+
+    def test_unserializable_value(self):
+        with pytest.raises(TypeError):
+            query_to_json(C("a", "=", frozenset({1})))
+
+
+class TestDecodingErrors:
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            "not json {{",
+            '{"no": "tag"}',
+            '{"$": "mystery"}',
+            '{"$": "c", "lhs": {"$": "word", "text": "x"}, "op": "=", "rhs": 1}',
+        ],
+    )
+    def test_rejects(self, payload):
+        with pytest.raises(ParseError):
+            loads(payload)
+
+    def test_bad_value_tag(self):
+        with pytest.raises(ParseError):
+            query_from_json(
+                {"$": "c", "lhs": {"$": "attr", "path": ["a"]}, "op": "=",
+                 "rhs": {"$": "alien"}}
+            )

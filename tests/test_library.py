@@ -1,0 +1,216 @@
+"""Tests for the built-in rule libraries against the paper's figures."""
+
+from repro.core.ast import C, Constraint, Or, attr
+from repro.core.matching import Matcher
+from repro.core.parser import parse_query
+from repro.core.printer import to_text
+from repro.core.scm import scm
+from repro.core.values import Month, Point, Range, Year
+from repro.rules import K1, K2, K_AMAZON, K_CLBOOKS, K_MAP, builtin_specifications
+from repro.workloads.paper_queries import figure2_q1, figure2_q2
+
+
+def rule_names(matcher_result):
+    return sorted(m.rule_name for m in matcher_result)
+
+
+class TestKAmazonMatchings:
+    """Example 4's matching trace for Q̂1 and the Q̂2 counterpart."""
+
+    def test_q1_matchings(self):
+        matcher = K_AMAZON.matcher()
+        found = matcher.matchings(figure2_q1().constraints())
+        assert rule_names(found) == ["R3", "R4", "R6", "R7", "R8"]
+        by_rule = {m.rule_name: m for m in found}
+        assert len(by_rule["R6"].constraints) == 2  # {f_y, f_m}
+        assert by_rule["R7"].constraints < by_rule["R6"].constraints
+
+    def test_q2_matchings(self):
+        matcher = K_AMAZON.matcher()
+        found = matcher.matchings(figure2_q2().constraints())
+        assert rule_names(found) == ["R1", "R1", "R5", "R9"]
+
+    def test_r1_simple_attributes(self):
+        matcher = K_AMAZON.matcher()
+        found = matcher.matchings([C("id-no", "=", "081815181Y")])
+        assert rule_names(found) == ["R1"]
+        assert found[0].emission == C("isbn", "=", "081815181Y")
+        assert found[0].exact
+
+    def test_r2_combines_names(self):
+        found = K_AMAZON.matcher().matchings(
+            [C("ln", "=", "Clancy"), C("fn", "=", "Tom")]
+        )
+        by_rule = {m.rule_name: m for m in found}
+        assert by_rule["R2"].emission == C("author", "=", "Clancy, Tom")
+        assert by_rule["R3"].emission == C("author", "=", "Clancy")
+
+    def test_r4_rewrites_near(self):
+        q = parse_query("[ti contains java (near) jdk]")
+        found = K_AMAZON.matcher().matchings(q.constraints())
+        emission = found[0].emission
+        assert emission.lhs == attr("ti-word")
+        assert str(emission.rhs) == "java (and) jdk"
+        assert not found[0].exact  # relaxed
+
+    def test_r4_exact_without_near(self):
+        q = parse_query("[ti contains java (and) jdk]")
+        found = K_AMAZON.matcher().matchings(q.constraints())
+        assert found[0].exact
+
+    def test_r6_r7_dates(self):
+        found = K_AMAZON.matcher().matchings(
+            [C("pyear", "=", 1997), C("pmonth", "=", 5)]
+        )
+        by_rule = {m.rule_name: m for m in found}
+        assert by_rule["R6"].emission == C("pdate", "during", Month(1997, 5))
+        assert by_rule["R7"].emission == C("pdate", "during", Year(1997))
+
+    def test_r8_kwd_disjunction(self):
+        q = parse_query("[kwd contains www]")
+        found = K_AMAZON.matcher().matchings(q.constraints())
+        emission = found[0].emission
+        assert isinstance(emission, Or)
+        attrs = {child.lhs.attr for child in emission.children}
+        assert attrs == {"ti-word", "subject-word"}
+
+    def test_r9_category(self):
+        found = K_AMAZON.matcher().matchings([C("category", "=", "D.3")])
+        assert found[0].emission == C("subject", "=", "programming")
+
+    def test_r9_unknown_category_vetoed(self):
+        assert K_AMAZON.matcher().matchings([C("category", "=", "Z.9")]) == []
+
+    def test_fn_alone_has_no_mapping(self):
+        # Example 2: S(f3) = True because Amazon needs the last name.
+        assert K_AMAZON.matcher().matchings([C("fn", "=", "Tom")]) == []
+
+
+class TestFigure2:
+    """The full Figure 2 table: SCM(Q̂1) = S1 and SCM(Q̂2) = S2."""
+
+    def test_s1(self):
+        s1 = scm(figure2_q1(), K_AMAZON)
+        assert to_text(s1) == (
+            '[author = "Smith"] and [ti-word contains java (and) jdk] and '
+            "[pdate during May/97] and "
+            "([ti-word contains www] or [subject-word contains www])"
+        )
+
+    def test_s2(self):
+        s2 = scm(figure2_q2(), K_AMAZON)
+        assert to_text(s2) == (
+            '[publisher = "oreilly"] and [title starts "jdk for java"] and '
+            '[subject = "programming"] and [isbn = "081815181Y"]'
+        )
+
+
+class TestKClbooks:
+    def test_name_constraints_relax_to_contains(self):
+        q = parse_query('[ln = "Clancy"] and [fn = "Tom"]')
+        mapping = scm(q, K_CLBOOKS)
+        assert to_text(mapping) == (
+            "[author contains clancy] and [author contains tom]"
+        )
+
+    def test_title_keeps_near(self):
+        q = parse_query("[ti contains java (near) jdk]")
+        found = K_CLBOOKS.matcher().matchings(q.constraints())
+        assert str(found[0].emission.rhs) == "java (near) jdk"
+        assert found[0].exact
+
+
+class TestK1:
+    def test_bib_relaxes_near(self):
+        q = parse_query("[fac.bib contains data (near) mining]")
+        found = K1.matcher().matchings(q.constraints())
+        emission = found[0].emission
+        assert emission.lhs == attr("fac.aubib.bib")
+        assert str(emission.rhs) == "data (and) mining"
+
+    def test_join_pair_maps_to_one_join(self):
+        q = parse_query("[fac.ln = pub.ln] and [fac.fn = pub.fn]")
+        found = K1.matcher().matchings(q.constraints())
+        joins = [m for m in found if m.rule_name == "R5"]
+        assert len(joins) == 1
+        assert joins[0].emission == Constraint(
+            attr("fac.aubib.name"), "=", attr("pub.paper.au")
+        )
+
+    def test_ln_fn_pair_same_view(self):
+        q = parse_query('[fac.ln = "Clancy"] and [fac.fn = "Tom"]')
+        found = {m.rule_name: m for m in K1.matcher().matchings(q.constraints())}
+        assert found["R4"].emission == C("fac.aubib.name", "=", "Clancy, Tom")
+
+    def test_ln_fn_across_views_not_combined(self):
+        q = parse_query('[fac.ln = "Clancy"] and [pub.fn = "Tom"]')
+        names = rule_names(K1.matcher().matchings(q.constraints()))
+        assert "R4" not in names  # different views: not a pair
+
+    def test_pub_ti_passthrough(self):
+        q = parse_query('[pub.ti = "Mediators for the Web"]')
+        found = K1.matcher().matchings(q.constraints())
+        assert found[0].emission.lhs == attr("pub.paper.ti")
+
+    def test_dept_unknown_to_t1(self):
+        q = parse_query("[fac.dept = cs]")
+        assert K1.matcher().matchings(q.constraints()) == []
+
+
+class TestK2:
+    def test_name_equality_exact(self):
+        q = parse_query('[fac.ln = "Ullman"]')
+        found = K2.matcher().matchings(q.constraints())
+        assert found[0].emission == C("fac.prof.ln", "=", "Ullman")
+        assert found[0].exact
+
+    def test_dept_code(self):
+        q = parse_query("[fac.dept = cs]")
+        found = K2.matcher().matchings(q.constraints())
+        assert found[0].emission == C("fac.prof.dept", "=", 230)
+
+    def test_unknown_dept_vetoed(self):
+        q = parse_query("[fac.dept = astrology]")
+        assert K2.matcher().matchings(q.constraints()) == []
+
+    def test_self_join(self):
+        q = parse_query("[fac[1].ln = fac[2].ln]")
+        found = K2.matcher().matchings(q.constraints())
+        assert found[0].emission == Constraint(
+            attr("fac[1].prof.ln"), "=", attr("fac[2].prof.ln")
+        )
+
+    def test_pub_constraints_invisible(self):
+        q = parse_query('[pub.ti = "anything"]')
+        assert K2.matcher().matchings(q.constraints()) == []
+
+
+class TestKMap:
+    """Example 8's matchings: Rm1..Rm4 over f1..f4."""
+
+    def test_all_four_matchings(self):
+        q = parse_query(
+            "[x_min = 10] and [x_max = 30] and [y_min = 20] and [y_max = 40]"
+        )
+        found = K_MAP.matcher().matchings(q.constraints())
+        emissions = {m.rule_name: m.emission for m in found}
+        assert emissions["Rm1"] == C("X_range", "=", Range(10, 30))
+        assert emissions["Rm2"] == C("Y_range", "=", Range(20, 40))
+        assert emissions["Rm3"] == C("C_ll", "=", Point(10, 20))
+        assert emissions["Rm4"] == C("C_ur", "=", Point(30, 40))
+
+    def test_lone_bound_has_no_mapping(self):
+        assert K_MAP.matcher().matchings([C("x_min", "=", 10)]) == []
+
+    def test_mixed_pair_has_no_mapping(self):
+        # f1 ∧ f4 (x_min + y_max) matches no rule — Example 8's second case.
+        found = K_MAP.matcher().matchings(
+            [C("x_min", "=", 10), C("y_max", "=", 40)]
+        )
+        assert found == []
+
+
+class TestBuiltinIndex:
+    def test_all_specs_listed(self):
+        specs = builtin_specifications()
+        assert set(specs) == {"K_Amazon", "K_Clbooks", "K1", "K2", "K_map"}

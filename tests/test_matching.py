@@ -1,0 +1,241 @@
+"""Unit tests for the rule matching engine (repro.core.matching)."""
+
+import pytest
+
+from repro.core.ast import C, Constraint, Query, attr
+from repro.core.errors import RuleError
+from repro.core.matching import (
+    AttrPattern,
+    ConstraintPattern,
+    Matcher,
+    RejectMatch,
+    Rule,
+    Var,
+    ViewInstance,
+    match_rule,
+)
+from repro.rules.dsl import V, ap, cpat, rule, value_is
+
+
+def simple_rule(name="R", exact=False):
+    return rule(
+        name,
+        patterns=[cpat("ln", "=", V("L"))],
+        emit=lambda b: C("author", "=", b["L"]),
+        exact=exact,
+    )
+
+
+class TestUnification:
+    def test_literal_attribute(self):
+        r = simple_rule()
+        found = match_rule(r, [C("ln", "=", "Clancy")])
+        assert len(found) == 1
+        assert found[0].emission == C("author", "=", "Clancy")
+
+    def test_attribute_mismatch(self):
+        assert match_rule(simple_rule(), [C("fn", "=", "Tom")]) == []
+
+    def test_operator_mismatch(self):
+        assert match_rule(simple_rule(), [C("ln", "contains", "Clancy")]) == []
+
+    def test_view_dont_care_matches_qualified(self):
+        found = match_rule(simple_rule(), [C("book.ln", "=", "Clancy")])
+        assert len(found) == 1
+
+    def test_literal_view_requires_match(self):
+        r = rule(
+            "Rv",
+            patterns=[cpat("fac.dept", "=", V("D"))],
+            emit=lambda b: C("dept", "=", b["D"]),
+        )
+        assert len(match_rule(r, [C("fac.dept", "=", "cs")])) == 1
+        assert match_rule(r, [C("pub.dept", "=", "cs")]) == []
+        assert match_rule(r, [C("dept", "=", "cs")]) == []
+
+    def test_whole_ref_variable(self):
+        r = rule(
+            "Rw",
+            patterns=[cpat(V("A"), "=", V("N"))],
+            emit=lambda b: C(b["A"].attr + "_t", "=", b["N"]),
+        )
+        found = match_rule(r, [C("fac.ln", "=", "x")])
+        assert found[0].emission == C("ln_t", "=", "x")
+
+    def test_var_consistency_across_patterns(self):
+        r = rule(
+            "Rp",
+            patterns=[
+                cpat(ap(V("A"), view="fac", index=V("i")), "=", V("N1")),
+                cpat(ap(V("A"), view="fac", index=V("j")), "=", V("N2")),
+            ],
+            emit=lambda b: C("t", "=", b["A"]),
+        )
+        # Same attribute in two instances: matches.
+        found = match_rule(
+            r, [C("fac[1].ln", "=", "a"), C("fac[2].ln", "=", "b")]
+        )
+        assert found
+        # Different attributes: the shared Var A blocks the match.
+        found = match_rule(
+            r, [C("fac[1].ln", "=", "a"), C("fac[2].fn", "=", "b")]
+        )
+        assert found == []
+
+    def test_view_variable_binds_instance(self):
+        r = rule(
+            "Rj",
+            patterns=[cpat(ap("ln", view=V("V1")), "=", ap("ln", view=V("V2")))],
+            emit=lambda b: C(b["V1"].ref("x", "ln"), "=", b["V2"].ref("y", "ln")),
+        )
+        constraint = Constraint(attr("fac.ln"), "=", attr("pub.ln"))
+        found = match_rule(r, [constraint])
+        assert found[0].emission == Constraint(
+            attr("fac.x.ln"), "=", attr("pub.y.ln")
+        )
+
+    def test_view_variable_rejects_unqualified(self):
+        r = rule(
+            "Rj2",
+            patterns=[cpat(ap("ln", view=V("V1")), "=", V("N"))],
+            emit=lambda b: C("t", "=", b["N"]),
+        )
+        assert match_rule(r, [C("ln", "=", "x")]) == []
+
+    def test_index_variable_binds_none_for_abbreviation(self):
+        r = rule(
+            "Ri",
+            patterns=[cpat(ap("bib", view="fac", index=V("i")), "contains", V("P"))],
+            emit=lambda b: C(attr("out").with_index(b["i"]), "contains", b["P"]),
+        )
+        found = match_rule(r, [C("fac.bib", "contains", "mining")])
+        assert found[0].emission.lhs.index is None
+        found = match_rule(r, [C("fac[3].bib", "contains", "mining")])
+        assert found[0].emission.lhs.index == 3
+
+    def test_literal_rhs(self):
+        r = rule(
+            "Rl",
+            patterns=[cpat("flag", "=", 1)],
+            emit=lambda b: C("t", "=", 1),
+        )
+        assert len(match_rule(r, [C("flag", "=", 1)])) == 1
+        assert match_rule(r, [C("flag", "=", 2)]) == []
+
+    def test_patterns_use_distinct_constraints(self):
+        r = rule(
+            "Rd",
+            patterns=[cpat("a", "=", V("X")), cpat("a", "=", V("Y"))],
+            emit=lambda b: C("t", "=", f"{b['X']}{b['Y']}"),
+        )
+        # Only one [a = ...] constraint: the two patterns cannot share it.
+        assert match_rule(r, [C("a", "=", 1)]) == []
+        # Two distinct constraints: both orderings collapse to... two
+        # matchings with different emissions (12 and 21), same set.
+        found = match_rule(r, [C("a", "=", 1), C("a", "=", 2)])
+        assert {m.emission.rhs for m in found} == {"12", "21"}
+
+
+class TestRuleEvaluation:
+    def test_conditions_filter(self):
+        r = rule(
+            "Rc",
+            patterns=[cpat(V("A"), "=", V("N"))],
+            where=[value_is("N")],
+            emit=lambda b: C("t", "=", b["N"]),
+        )
+        join = Constraint(attr("fac.ln"), "=", attr("pub.ln"))
+        assert match_rule(r, [join]) == []
+        assert len(match_rule(r, [C("fac.ln", "=", "x")])) == 1
+
+    def test_let_runs_in_order(self):
+        r = rule(
+            "Rlet",
+            patterns=[cpat("a", "=", V("X"))],
+            let={"Y": lambda b: b["X"] + 1, "Z": lambda b: b["Y"] * 10},
+            emit=lambda b: C("t", "=", b["Z"]),
+        )
+        found = match_rule(r, [C("a", "=", 4)])
+        assert found[0].emission.rhs == 50
+
+    def test_reject_match_vetoes(self):
+        def veto(bindings):
+            raise RejectMatch("nope")
+
+        r = rule(
+            "Rr",
+            patterns=[cpat("a", "=", V("X"))],
+            let={"Y": veto},
+            emit=lambda b: C("t", "=", b["Y"]),
+        )
+        assert match_rule(r, [C("a", "=", 1)]) == []
+
+    def test_exact_flag_static(self):
+        found = match_rule(simple_rule(exact=True), [C("ln", "=", "x")])
+        assert found[0].exact
+
+    def test_exact_flag_dynamic(self):
+        r = rule(
+            "Rdyn",
+            patterns=[cpat("a", "=", V("X"))],
+            emit=lambda b: C("t", "=", b["X"]),
+            exact=lambda b: b["X"] > 5,
+        )
+        assert match_rule(r, [C("a", "=", 9)])[0].exact
+        assert not match_rule(r, [C("a", "=", 1)])[0].exact
+
+    def test_non_query_emission_rejected(self):
+        r = rule(
+            "Rbad",
+            patterns=[cpat("a", "=", V("X"))],
+            emit=lambda b: "not a query",  # type: ignore[return-value]
+        )
+        with pytest.raises(RuleError):
+            match_rule(r, [C("a", "=", 1)])
+
+    def test_unbound_variable_in_emit(self):
+        r = rule(
+            "Runbound",
+            patterns=[cpat("a", "=", V("X"))],
+            emit=lambda b: C("t", "=", b["MISSING"]),
+        )
+        with pytest.raises(RuleError):
+            match_rule(r, [C("a", "=", 1)])
+
+    def test_rule_needs_patterns(self):
+        with pytest.raises(RuleError):
+            Rule(name="Rempty", patterns=(), emit=lambda b: C("t", "=", 1))
+
+
+class TestMatcher:
+    def test_subset_query_filters_potential(self):
+        r1 = simple_rule("R1")
+        r2 = rule(
+            "R2",
+            patterns=[cpat("ln", "=", V("L")), cpat("fn", "=", V("F"))],
+            emit=lambda b: C("author", "=", f"{b['L']}, {b['F']}"),
+        )
+        matcher = Matcher([r1, r2])
+        ln = C("ln", "=", "Clancy")
+        fn = C("fn", "=", "Tom")
+        matcher.potential([ln, fn])
+        only_ln = matcher.matchings([ln])
+        assert {m.rule_name for m in only_ln} == {"R1"}
+        both = matcher.matchings([ln, fn])
+        assert {m.rule_name for m in both} == {"R1", "R2"}
+
+    def test_universe_grows_not_resets(self):
+        matcher = Matcher([simple_rule("R1")])
+        a = C("ln", "=", "A")
+        b = C("ln", "=", "B")
+        matcher.potential([a])
+        matcher.potential([b])
+        # Both constraints' matchings remain visible.
+        assert len(matcher.matchings([a, b])) == 2
+
+    def test_view_instance_helper(self):
+        vi = ViewInstance("fac", 2)
+        assert vi.ref("prof", "ln") == attr("fac[2].prof.ln")
+        assert str(vi) == "fac[2]"
+        with pytest.raises(ValueError):
+            vi.ref()

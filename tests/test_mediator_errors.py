@@ -1,0 +1,81 @@
+"""Error-path tests for the mediation pipeline."""
+
+import pytest
+
+from repro.core.ast import C, Constraint, attr
+from repro.core.errors import EvaluationError, TranslationError
+from repro.core.parser import parse_query
+from repro.engine.sources_builtin import make_amazon, make_t1, make_t2
+from repro.engine.views import BaseRef, ViewDef
+from repro.mediator import Mediator, faculty_mediator
+from repro.mediator.builtin import BOOK_ATTRS, _book_row
+from repro.rules import K1, K2, K_AMAZON
+
+
+class TestConstruction:
+    def test_spec_for_unknown_source_rejected(self):
+        with pytest.raises(TranslationError):
+            Mediator(views={}, sources={}, specs={"ghost": K_AMAZON})
+
+    def test_view_source_without_spec_rejected(self):
+        amazon = make_amazon()
+        book = ViewDef(
+            name="book",
+            attributes=BOOK_ATTRS,
+            bases=(BaseRef("Amazon", "catalog"),),
+            combine=_book_row,
+        )
+        with pytest.raises(TranslationError):
+            Mediator(views={"book": book}, sources={"Amazon": amazon}, specs={})
+
+
+class TestQueryAnalysis:
+    def test_unknown_view_rejected(self, fac_mediator):
+        with pytest.raises(EvaluationError):
+            fac_mediator.answer_direct(parse_query('[ghost.ln = "x"]'))
+
+    def test_unqualified_ref_ambiguous_with_two_views(self, fac_mediator):
+        with pytest.raises(EvaluationError):
+            fac_mediator.answer_direct(parse_query('[ln = "x"]'))
+
+    def test_view_instances_collects_join_sides(self, fac_mediator):
+        q = Constraint(attr("fac[1].ln"), "=", attr("fac[2].ln"))
+        instances = fac_mediator.view_instances(q)
+        assert instances == [("fac", 1), ("fac", 2)]
+
+    def test_constant_query_single_view(self, amazon_mediator):
+        instances = amazon_mediator.view_instances(parse_query("true"))
+        assert instances == [("book", None)]
+
+
+class TestConstantQueries:
+    def test_true_returns_everything(self, amazon_mediator):
+        direct = amazon_mediator.answer_direct(parse_query("true"))
+        mediated = amazon_mediator.answer_mediated(parse_query("true"))
+        assert len(direct) == len(mediated.rows) == 7
+
+    def test_false_returns_nothing(self, amazon_mediator):
+        assert amazon_mediator.answer_direct(parse_query("false")) == []
+        assert amazon_mediator.answer_mediated(parse_query("false")).rows == []
+
+    def test_unsatisfiable_is_equivalent(self, amazon_mediator):
+        q = parse_query('[ln = "Nobody"] and [ln = "Else"]')
+        assert amazon_mediator.check_equivalence(q)
+
+
+class TestAnswerShape:
+    def test_mediated_answer_len(self, amazon_mediator):
+        answer = amazon_mediator.answer_mediated(parse_query('[ln = "Clancy"]'))
+        assert len(answer) == len(answer.rows) == 3
+
+    def test_plan_property_single_choice(self, amazon_mediator):
+        answer = amazon_mediator.answer_mediated(parse_query('[ln = "Clancy"]'))
+        assert answer.plan is answer.plans[0]
+        assert len(answer.plans) == 1
+
+    def test_faculty_empty_join_result(self):
+        # prof data disjoint from aubib: fac view is empty, queries agree.
+        med = faculty_mediator(prof=[{"ln": "Zed", "fn": "Zed", "dept": 230}])
+        q = parse_query("[fac.dept = cs]")
+        assert med.answer_direct(q) == []
+        assert med.answer_mediated(q).rows == []

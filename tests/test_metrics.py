@@ -1,0 +1,54 @@
+"""Unit tests for compactness metrics (repro.core.metrics)."""
+
+from repro.core.ast import TRUE, C, conj, disj
+from repro.core.metrics import compactness, compactness_ratio, query_stats
+from repro.core.parser import parse_query
+
+
+class TestQueryStats:
+    def test_single_constraint(self):
+        stats = query_stats(C("a", "=", 1))
+        assert stats.node_count == 1
+        assert stats.leaf_count == 1
+        assert stats.depth == 1
+        assert stats.and_nodes == stats.or_nodes == 0
+        assert stats.dnf_terms == 1
+
+    def test_tree(self):
+        q = parse_query("([a = 1] or [b = 2]) and ([c = 3] or [d = 4])")
+        stats = query_stats(q)
+        assert stats.node_count == 7
+        assert stats.leaf_count == 4
+        assert stats.and_nodes == 1
+        assert stats.or_nodes == 2
+        assert stats.depth == 3
+        assert stats.dnf_terms == 4
+
+    def test_distinct_vs_leaves(self):
+        a = C("a", "=", 1)
+        q = disj([conj([a, C("b", "=", 2)]), a])
+        stats = query_stats(q)
+        assert stats.leaf_count == 3
+        assert stats.distinct_constraints == 2
+
+    def test_constants(self):
+        stats = query_stats(TRUE)
+        assert stats.node_count == 1
+        assert stats.dnf_terms == 1
+
+    def test_str_rendering(self):
+        assert "nodes=" in str(query_stats(C("a", "=", 1)))
+
+
+class TestCompactness:
+    def test_measure_is_node_count(self):
+        q = parse_query("[a = 1] and [b = 2]")
+        assert compactness(q) == 3
+
+    def test_ratio(self):
+        small = C("a", "=", 1)
+        big = parse_query("([a = 1] and [b = 2]) or ([a = 1] and [c = 3])")
+        assert compactness_ratio(big, small) == 7.0
+
+    def test_ratio_guards_zero(self):
+        assert compactness_ratio(TRUE, TRUE) == 1.0

@@ -1,0 +1,153 @@
+"""Tests for the negation extension (repro.core.negation).
+
+The paper excludes negation; vocabmap adds it as a sound preprocessing
+pass (push-down + complement operators), so these tests also pin down
+that the addition never disturbs the paper's algorithms.
+"""
+
+import pytest
+
+from repro.core.ast import FALSE, TRUE, C, Not, conj, disj, neg
+from repro.core.errors import TranslationError
+from repro.core.negation import complement_constraint, has_negation, push_negations
+from repro.core.normalize import normalize
+from repro.core.operators import Operator, register
+from repro.core.parser import parse_query
+from repro.core.printer import to_text
+from repro.core.subsume import prop_equivalent
+from repro.core.tdqm import tdqm
+from repro.mediator import bookstore_mediator
+from repro.rules import K_AMAZON
+
+
+class TestNegNode:
+    def test_double_negation_folds(self):
+        c = C("a", "=", 1)
+        assert neg(neg(c)) == c
+
+    def test_constants_fold(self):
+        assert neg(TRUE) is FALSE
+        assert neg(FALSE) is TRUE
+
+    def test_str(self):
+        assert str(neg(C("a", "=", 1))) == "not [a = 1]"
+        assert str(neg(conj([C("a", "=", 1), C("b", "=", 2)]))).startswith("not (")
+
+    def test_node_count_depth(self):
+        n = neg(conj([C("a", "=", 1), C("b", "=", 2)]))
+        assert n.node_count() == 4
+        assert n.depth() == 3
+
+    def test_bad_child(self):
+        with pytest.raises(TypeError):
+            Not("nope")  # type: ignore[arg-type]
+
+
+class TestComplement:
+    @pytest.mark.parametrize(
+        "op,comp",
+        [("=", "!="), ("!=", "="), ("<", ">="), (">", "<="),
+         ("contains", "not-contains"), ("in", "not-in"),
+         ("during", "not-during"), ("starts", "not-starts")],
+    )
+    def test_pairs(self, op, comp):
+        c = C("a", op, "x")
+        assert complement_constraint(c).op == comp
+        # Complementing twice restores the original operator.
+        assert complement_constraint(complement_constraint(c)) == c
+
+    def test_missing_complement_raises(self):
+        register(Operator("weird", lambda a, b: True))
+        with pytest.raises(TranslationError):
+            complement_constraint(C("a", "weird", 1))
+
+
+class TestPushNegations:
+    def test_de_morgan_and(self):
+        q = neg(conj([C("a", "=", 1), C("b", "=", 2)]))
+        pushed = push_negations(q)
+        assert to_text(pushed) == "[a != 1] or [b != 2]"
+
+    def test_de_morgan_or(self):
+        q = neg(disj([C("a", "=", 1), C("b", "=", 2)]))
+        pushed = push_negations(q)
+        assert to_text(pushed) == "[a != 1] and [b != 2]"
+
+    def test_nested(self):
+        q = neg(conj([C("a", "=", 1), neg(C("b", "=", 2))]))
+        assert to_text(push_negations(q)) == "[a != 1] or [b = 2]"
+
+    def test_idempotent_on_positive(self):
+        q = parse_query("[a = 1] and ([b = 2] or [c = 3])")
+        assert push_negations(q) == q
+
+    def test_has_negation(self):
+        assert has_negation(neg(C("a", "=", 1)))
+        assert not has_negation(C("a", "=", 1))
+        assert has_negation(conj([C("a", "=", 1), neg(C("b", "=", 2))]))
+
+    def test_equivalence_preserved(self):
+        # Propositional atoms can't relate [a = 1] and [a != 1]; check the
+        # semantic equivalence empirically through the engine instead.
+        from repro.core.subsume import empirical_equivalent
+        from repro.engine.eval import evaluate_row
+
+        q = neg(conj([C("a", "=", 1), disj([C("b", "=", 2), neg(C("c", "=", 3))])]))
+        pushed = push_negations(q)
+        assert not has_negation(pushed)
+        rows = [
+            {"a": a, "b": b, "c": c}
+            for a in range(3)
+            for b in range(4)
+            for c in range(5)
+        ]
+        assert empirical_equivalent(q, pushed, rows, evaluate_row)
+
+
+class TestParserPrinter:
+    def test_parse_not_constraint(self):
+        q = parse_query("not [a = 1]")
+        assert isinstance(q, Not)
+
+    def test_parse_not_group(self):
+        q = parse_query("not ([a = 1] or [b = 2]) and [c = 3]")
+        assert to_text(q) == "not ([a = 1] or [b = 2]) and [c = 3]"
+
+    def test_double_not_folds_at_parse(self):
+        assert parse_query("not not [a = 1]") == C("a", "=", 1)
+
+    def test_round_trip(self):
+        for text in ("not [a = 1]", "not ([a = 1] and [b = 2]) or [c = 3]"):
+            q = parse_query(text)
+            assert parse_query(to_text(q)) == q
+
+
+class TestTranslation:
+    def test_normalize_eliminates_not(self):
+        q = parse_query('not ([ln = "Clancy"] and [pyear = 1997])')
+        n = normalize(q)
+        assert not has_negation(n)
+        assert to_text(n) == '[ln != "Clancy"] or [pyear != 1997]'
+
+    def test_negated_vocabulary_maps_to_true(self):
+        # Amazon has no rule for != on ln: sound fallback to True.
+        q = parse_query('not [ln = "Clancy"]')
+        assert tdqm(q, K_AMAZON) is TRUE
+
+    def test_mediated_negation_end_to_end(self):
+        med = bookstore_mediator("amazon")
+        for text in (
+            'not [ln = "Clancy"]',
+            'not ([ln = "Clancy"] and [fn = "Tom"]) and [pyear = 1997]',
+            "not [ti contains java (and) jdk]",
+            "not [pyear = 1997] and [pmonth = 5]",
+        ):
+            q = parse_query(text)
+            assert med.check_equivalence(q), text
+
+    def test_filter_keeps_negated_residue(self):
+        from repro.core.filters import build_filter
+
+        q = parse_query('not [ln = "Clancy"] and [publisher = "oreilly"]')
+        plan = build_filter(q, {"Amazon": K_AMAZON})
+        assert to_text(plan.filter) == '[ln != "Clancy"]'

@@ -1,0 +1,63 @@
+"""Unit tests for normalization (repro.core.normalize)."""
+
+from repro.core.ast import And, C, Constraint, Or, attr, conj, disj
+from repro.core.normalize import normalize, normalize_constraint
+from repro.core.parser import parse_query
+
+
+class TestJoinOrientation:
+    def test_flip_less_than(self):
+        c = Constraint(attr("pub.year"), "<", attr("fac.year"))
+        n = normalize_constraint(c)
+        assert n.op == ">"
+        assert n.lhs == attr("fac.year")
+        assert n.rhs == attr("pub.year")
+
+    def test_flip_leq(self):
+        c = Constraint(attr("a.x"), "<=", attr("b.y"))
+        n = normalize_constraint(c)
+        assert n.op == ">=" and n.lhs == attr("b.y")
+
+    def test_symmetric_ordering(self):
+        c = Constraint(attr("pub.ln"), "=", attr("fac.ln"))
+        n = normalize_constraint(c)
+        assert n.lhs == attr("fac.ln") and n.rhs == attr("pub.ln")
+
+    def test_already_normalized_untouched(self):
+        c = Constraint(attr("fac.ln"), "=", attr("pub.ln"))
+        assert normalize_constraint(c) == c
+
+    def test_index_breaks_ties(self):
+        c = Constraint(attr("fac[2].ln"), "=", attr("fac[1].ln"))
+        n = normalize_constraint(c)
+        assert n.lhs == attr("fac[1].ln")
+
+    def test_selections_untouched(self):
+        c = C("ln", "=", "Clancy")
+        assert normalize_constraint(c) is c
+
+    def test_greater_than_join_untouched(self):
+        c = Constraint(attr("a.income"), ">", attr("b.expense"))
+        assert normalize_constraint(c) == c
+
+
+class TestTreeNormalization:
+    def test_idempotent(self):
+        q = parse_query('([a = 1] or [b = 2]) and [c = 3] and ([d = 4] or true)')
+        assert normalize(normalize(q)) == normalize(q)
+
+    def test_constant_folding(self):
+        q = conj([C("a", "=", 1), parse_query("true")])
+        assert normalize(q) == C("a", "=", 1)
+
+    def test_join_inside_tree(self):
+        q = parse_query("[pub.ln = fac.ln] and [a = 1]")
+        n = normalize(q)
+        join = [c for c in n.constraints() if c.is_join][0]
+        assert join.lhs == attr("fac.ln")
+
+    def test_preserves_alternation(self):
+        q = parse_query("([a = 1] or [b = 2]) and ([c = 3] or [d = 4])")
+        n = normalize(q)
+        assert isinstance(n, And)
+        assert all(isinstance(child, Or) for child in n.children)

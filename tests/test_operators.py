@@ -1,0 +1,112 @@
+"""Unit tests for the operator registry (repro.core.operators)."""
+
+import pytest
+
+from repro.core.errors import EvaluationError
+from repro.core.operators import Operator, evaluate_op, get_operator, known_operators, register
+from repro.core.values import Date, Month, Year
+from repro.text import parse_pattern
+
+
+class TestRegistry:
+    def test_builtins_present(self):
+        names = known_operators()
+        for op in ("=", "!=", "<", "<=", ">", ">=", "contains", "starts", "during", "in"):
+            assert op in names
+
+    def test_unknown_operator(self):
+        with pytest.raises(EvaluationError):
+            get_operator("like")
+
+    def test_inverse_metadata(self):
+        assert get_operator("<").inverse == ">"
+        assert get_operator(">=").inverse == "<="
+        assert get_operator("=").symmetric
+
+    def test_register_custom(self):
+        register(Operator("approx", lambda a, b: abs(a - b) <= 1))
+        assert evaluate_op("approx", 5, 6)
+        assert not evaluate_op("approx", 5, 7)
+
+
+class TestEquality:
+    def test_string_equality_case_insensitive(self):
+        assert evaluate_op("=", "Clancy", "clancy")
+        assert evaluate_op("=", " Clancy ", "Clancy")
+
+    def test_numeric_equality(self):
+        assert evaluate_op("=", 1997, 1997)
+        assert not evaluate_op("=", 1997, 1996)
+
+    def test_not_equal(self):
+        assert evaluate_op("!=", "a", "b")
+        assert not evaluate_op("!=", "A", "a")
+
+    def test_none_never_matches(self):
+        assert not evaluate_op("=", None, "x")
+        assert not evaluate_op("=", "x", None)
+
+
+class TestComparisons:
+    def test_ordering(self):
+        assert evaluate_op("<", 1, 2)
+        assert evaluate_op("<=", 2, 2)
+        assert evaluate_op(">", 3, 2)
+        assert evaluate_op(">=", 2, 2)
+        assert not evaluate_op(">", 2, 2)
+
+    def test_incomparable_types_raise(self):
+        with pytest.raises(EvaluationError):
+            evaluate_op("<", "abc", 5)
+
+
+class TestContains:
+    def test_single_word(self):
+        assert evaluate_op("contains", "Tom Clancy writes", "tom")
+        assert not evaluate_op("contains", "Tomato soup", "tom")
+
+    def test_multi_word_phrase(self):
+        assert evaluate_op("contains", "the data mining handbook", "data mining")
+        assert not evaluate_op("contains", "mining of data", "data mining")
+
+    def test_text_pattern(self):
+        pattern = parse_pattern("java (and) jdk")
+        assert evaluate_op("contains", "jdk tools for java", pattern)
+        assert not evaluate_op("contains", "java beans", pattern)
+
+    def test_bad_rhs(self):
+        with pytest.raises(EvaluationError):
+            evaluate_op("contains", "text", 42)
+
+
+class TestStarts:
+    def test_prefix(self):
+        assert evaluate_op("starts", "JDK for Java", "jdk for")
+        assert not evaluate_op("starts", "The JDK", "jdk")
+
+    def test_bad_rhs(self):
+        with pytest.raises(EvaluationError):
+            evaluate_op("starts", "text", 42)
+
+
+class TestDuring:
+    def test_month_period(self):
+        assert evaluate_op("during", Date(1997, 5, 12), Month(1997, 5))
+        assert not evaluate_op("during", Date(1997, 6, 1), Month(1997, 5))
+
+    def test_year_period(self):
+        assert evaluate_op("during", Date(1997, 2), Year(1997))
+
+    def test_bad_rhs(self):
+        with pytest.raises(EvaluationError):
+            evaluate_op("during", Date(1997, 1), "1997")
+
+
+class TestIn:
+    def test_membership(self):
+        assert evaluate_op("in", "cs", ("cs", "ee"))
+        assert not evaluate_op("in", "me", ("cs", "ee"))
+
+    def test_bad_rhs(self):
+        with pytest.raises(EvaluationError):
+            evaluate_op("in", "cs", 42)

@@ -1,0 +1,156 @@
+"""Unit tests for the query parser (repro.core.parser)."""
+
+import pytest
+
+from repro.core.ast import And, AttrRef, Constraint, Or, TRUE, FALSE, attr
+from repro.core.errors import ParseError
+from repro.core.parser import parse_period, parse_query
+from repro.core.values import Month, Point, Range, Year
+from repro.text.patterns import AndPat, NearPat, Word
+
+
+class TestConstraints:
+    def test_string_value(self):
+        q = parse_query('[ln = "Clancy"]')
+        assert isinstance(q, Constraint)
+        assert q.lhs == attr("ln")
+        assert q.op == "="
+        assert q.rhs == "Clancy"
+
+    def test_integer_value(self):
+        assert parse_query("[pyear = 1997]").rhs == 1997
+
+    def test_float_value(self):
+        assert parse_query("[price <= 19.99]").rhs == 19.99
+
+    def test_negative_number(self):
+        assert parse_query("[delta = -5]").rhs == -5
+
+    def test_bare_identifier_is_string(self):
+        q = parse_query("[fac.dept = cs]")
+        assert q.rhs == "cs"
+
+    def test_join_requires_qualification(self):
+        q = parse_query("[fac.ln = pub.ln]")
+        assert isinstance(q.rhs, AttrRef)
+        assert q.rhs == attr("pub.ln")
+
+    def test_indexed_join(self):
+        q = parse_query("[fac[1].ln = fac[2].ln]")
+        assert q.lhs == attr("fac[1].ln")
+        assert q.rhs == attr("fac[2].ln")
+
+    def test_contains_pattern(self):
+        q = parse_query("[ti contains java (near) jdk]")
+        assert isinstance(q.rhs, NearPat)
+
+    def test_contains_single_word(self):
+        q = parse_query("[kwd contains www]")
+        assert q.rhs == Word("www")
+
+    def test_contains_and_symbol(self):
+        q = parse_query("[bib contains data (and) mining]")
+        assert isinstance(q.rhs, AndPat)
+
+    def test_during_month(self):
+        q = parse_query("[pdate during May/97]")
+        assert q.rhs == Month(1997, 5)
+
+    def test_during_year(self):
+        q = parse_query("[pdate during 1997]")
+        assert q.rhs == Year(1997)
+
+    def test_range_value(self):
+        q = parse_query("[X_range = (10:30)]")
+        assert q.rhs == Range(10, 30)
+
+    def test_point_value(self):
+        q = parse_query("[C_ll = (10, 20)]")
+        assert q.rhs == Point(10, 20)
+
+    def test_in_collection(self):
+        q = parse_query('[dept in ("cs", "ee")]')
+        assert q.rhs == ("cs", "ee")
+
+    def test_hyphenated_attribute(self):
+        q = parse_query('[id-no = "081815181Y"]')
+        assert q.lhs == attr("id-no")
+
+
+class TestStructure:
+    def test_and(self):
+        q = parse_query('[a = 1] and [b = 2]')
+        assert isinstance(q, And)
+        assert len(q.children) == 2
+
+    def test_or_precedence(self):
+        # and binds tighter than or
+        q = parse_query("[a = 1] or [b = 2] and [c = 3]")
+        assert isinstance(q, Or)
+        assert isinstance(q.children[1], And)
+
+    def test_parentheses(self):
+        q = parse_query("([a = 1] or [b = 2]) and [c = 3]")
+        assert isinstance(q, And)
+        assert isinstance(q.children[0], Or)
+
+    def test_constants(self):
+        assert parse_query("true") is TRUE
+        assert parse_query("false") is FALSE
+
+    def test_flattening(self):
+        q = parse_query("[a = 1] and [b = 2] and [c = 3]")
+        assert isinstance(q, And)
+        assert len(q.children) == 3
+
+    def test_case_insensitive_keywords(self):
+        q = parse_query("[a = 1] AND [b = 2] OR [c = 3]")
+        assert isinstance(q, Or)
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "",
+            "[ln = ]",
+            "[= x]",
+            "[ln ~ 5]",
+            "[ln = 5",
+            "([a = 1] and [b = 2]",
+            "[a = 1] garbage",
+            "[pdate during Mayonnaise/97]",
+            "[x in 5]",
+        ],
+    )
+    def test_rejects(self, text):
+        with pytest.raises(ParseError):
+            parse_query(text)
+
+    def test_error_carries_position(self):
+        try:
+            parse_query("[a = 1] and")
+        except ParseError as exc:
+            assert exc.position is not None
+        else:  # pragma: no cover
+            pytest.fail("expected ParseError")
+
+
+class TestParsePeriod:
+    def test_named_month(self):
+        assert parse_period("May/97") == Month(1997, 5)
+        assert parse_period("jun/05") == Month(2005, 6)
+
+    def test_numeric_month(self):
+        assert parse_period("5/1997") == Month(1997, 5)
+
+    def test_two_digit_year_window(self):
+        assert parse_period("97") == Year(1997)
+        assert parse_period("05") == Year(2005)
+
+    def test_four_digit_year(self):
+        assert parse_period("1997") == Year(1997)
+
+    def test_bad_period(self):
+        with pytest.raises(ParseError):
+            parse_period("sometime")

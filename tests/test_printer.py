@@ -1,0 +1,87 @@
+"""Unit tests for query rendering (repro.core.printer)."""
+
+from repro.core.ast import C, conj, disj
+from repro.core.parser import parse_query
+from repro.core.printer import render_tree, to_text
+
+
+class TestToText:
+    def test_constraint(self):
+        assert to_text(parse_query('[ln = "Clancy"]')) == '[ln = "Clancy"]'
+
+    def test_top_level_has_no_outer_parens(self):
+        text = to_text(parse_query("[a = 1] and [b = 2]"))
+        assert text == "[a = 1] and [b = 2]"
+
+    def test_nested_gets_parens(self):
+        text = to_text(parse_query("([a = 1] or [b = 2]) and [c = 3]"))
+        assert text == "([a = 1] or [b = 2]) and [c = 3]"
+
+    def test_constants(self):
+        assert to_text(parse_query("true")) == "true"
+        assert to_text(parse_query("false")) == "false"
+
+    def test_in_collection(self):
+        text = to_text(parse_query('[dept in ("cs", "ee")]'))
+        assert text == '[dept in ("cs", "ee")]'
+
+    def test_structured_values(self):
+        assert to_text(parse_query("[X_range = (10:30)]")) == "[X_range = (10:30)]"
+        assert to_text(parse_query("[C_ll = (10, 20)]")) == "[C_ll = (10, 20)]"
+        assert to_text(parse_query("[pdate during May/97]")) == "[pdate during May/97]"
+
+    def test_text_pattern(self):
+        text = to_text(parse_query("[ti contains java (near) jdk]"))
+        assert text == "[ti contains java (near) jdk]"
+
+    ROUND_TRIP_CASES = [
+        '[ln = "Clancy"] and [fn = "Tom"]',
+        '([ln = "Clancy"] or [ln = "Klancy"]) and [fn = "Tom"]',
+        "[fac[1].ln = fac[2].ln]",
+        "[fac.bib contains data (near) mining] and [fac.dept = \"cs\"]",
+        "[pdate during May/97] or [pdate during 97]",
+        "[X_range = (10:30)] and [C_ll = (10, 20)]",
+        "true",
+    ]
+
+    def test_round_trip(self):
+        for case in self.ROUND_TRIP_CASES:
+            query = parse_query(case)
+            assert parse_query(to_text(query)) == query
+
+
+class TestRenderTree:
+    def test_leaf(self):
+        assert render_tree(C("a", "=", 1)) == "[a = 1]"
+
+    def test_structure(self):
+        q = conj([disj([C("a", "=", 1), C("b", "=", 2)]), C("c", "=", 3)])
+        out = render_tree(q)
+        lines = out.splitlines()
+        assert lines[0] == "AND"
+        assert any("OR" in line for line in lines)
+        assert any("[c = 3]" in line for line in lines)
+
+    def test_annotations(self):
+        q = conj([C("a", "=", 1), C("b", "=", 2)])
+        out = render_tree(q, {id(q): "De=ε"})
+        assert "De=ε" in out.splitlines()[0]
+
+
+class TestToDot:
+    def test_structure(self):
+        from repro.core.printer import to_dot
+        from repro.core.parser import parse_query
+
+        dot = to_dot(parse_query("([a = 1] or [b = 2]) and not [c = 3]"))
+        assert dot.startswith("digraph")
+        assert 'label="AND"' in dot and 'label="OR"' in dot and 'label="NOT"' in dot
+        assert dot.count("->") == 5
+        assert dot.rstrip().endswith("}")
+
+    def test_escapes_quotes(self):
+        from repro.core.printer import to_dot
+        from repro.core.ast import C
+
+        dot = to_dot(C("ln", "=", "Clancy"))
+        assert '\\"Clancy\\"' in dot

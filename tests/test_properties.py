@@ -1,0 +1,279 @@
+"""Property-based tests (hypothesis) on the core invariants.
+
+The headline property is Theorem 2 by oracle: on random queries and random
+rule sets, ``TDQM(Q, K)`` is propositionally equivalent to the provably
+optimal ``DNF(Q, K)``.  The remaining properties nail the supporting
+machinery: parser/printer round-trips, normalization idempotence,
+Disjunctivize equivalence, DNF equivalence, subsumption of the original by
+its translation (executed empirically through the bookstore mediator), and
+the Lemma 3 equivalence of EDNF-based and full-DNF-based partitioning.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.ast import And, C, Query, conj, disj
+from repro.core.dnf import dnf_terms, to_dnf
+from repro.core.dnf_mapper import dnf_map
+from repro.core.normalize import normalize
+from repro.core.parser import parse_query
+from repro.core.printer import to_text
+from repro.core.psafe import psafe_partition
+from repro.core.subsume import prop_equivalent, prop_implies
+from repro.core.tdqm import disjunctivize, tdqm, tdqm_translate
+from repro.workloads.generator import (
+    random_query,
+    random_spec,
+    theory_equivalent,
+    vocabulary,
+)
+
+ATTRS = vocabulary(8)
+
+# Strategy: a seed-driven random query over the synthetic vocabulary kept
+# small enough that DNF stays tractable.
+query_seeds = st.integers(min_value=0, max_value=10_000)
+spec_seeds = st.integers(min_value=0, max_value=200)
+pair_counts = st.integers(min_value=0, max_value=5)
+
+
+def build_query(seed: int) -> Query:
+    rng = random.Random(seed)
+    return random_query(
+        ATTRS,
+        seed=seed,
+        n_constraints=rng.randint(2, 8),
+        max_depth=rng.randint(2, 4),
+        fanout=3,
+    )
+
+
+@settings(max_examples=120, deadline=None)
+@given(qseed=query_seeds, sseed=spec_seeds, pairs=pair_counts)
+def test_tdqm_equals_dnf_baseline(qseed, sseed, pairs):
+    """Theorem 2 by oracle: TDQM and the DNF baseline always agree."""
+    query = build_query(qseed)
+    spec = random_spec(ATTRS, pairs, seed=sseed)
+    assert theory_equivalent(tdqm(query, spec), dnf_map(query, spec))
+
+
+@settings(max_examples=80, deadline=None)
+@given(qseed=query_seeds, sseed=spec_seeds, pairs=pair_counts)
+def test_exact_spec_translation_is_equivalent(qseed, sseed, pairs):
+    """Fully-covered exact specs: S(Q) is *equivalent* to Q, not merely
+    subsuming.
+
+    The theory oracle relates source atoms ``[a0 = 5]`` to their exact
+    emissions ``[t_a0 = "5"]``, so equivalence across the two vocabularies
+    is checkable directly — the strongest end-to-end statement about the
+    whole SCM/PSafe/TDQM pipeline on synthetic workloads.
+    """
+    query = build_query(qseed)
+    spec = random_spec(
+        ATTRS, pairs, seed=sseed, singleton_fraction=1.0, exact=True
+    )
+    mapping = tdqm(query, spec)
+    try:
+        assert theory_equivalent(query, mapping)
+    except ValueError:
+        return  # too many atoms for exhaustive checking; skip this case
+
+
+@settings(max_examples=80, deadline=None)
+@given(qseed=query_seeds, sseed=spec_seeds, pairs=pair_counts)
+def test_translation_subsumes_original(qseed, sseed, pairs):
+    """Definition 1: S(Q) ⊇ Q, even with partial vocabulary coverage."""
+    from repro.core.subsume import evaluate_assignment
+    from itertools import product as _product
+    from repro.workloads.generator import _atom_bindings, _consistent
+
+    query = build_query(qseed)
+    spec = random_spec(
+        ATTRS, pairs, seed=sseed, singleton_fraction=0.5, exact=True
+    )
+    mapping = tdqm(query, spec)
+    atoms = sorted(query.constraints() | mapping.constraints(), key=str)
+    if len(atoms) > 16:
+        return
+    parts = {atom: _atom_bindings(atom) for atom in atoms}
+    for bits in _product((False, True), repeat=len(atoms)):
+        assignment = dict(zip(atoms, bits))
+        if not _consistent(assignment, parts):
+            continue
+        if evaluate_assignment(query, assignment):
+            assert evaluate_assignment(mapping, assignment)
+
+
+@settings(max_examples=100, deadline=None)
+@given(qseed=query_seeds)
+def test_parser_printer_round_trip(qseed):
+    query = build_query(qseed)
+    assert parse_query(to_text(query)) == query
+
+
+@settings(max_examples=100, deadline=None)
+@given(qseed=query_seeds)
+def test_normalize_idempotent(qseed):
+    query = build_query(qseed)
+    assert normalize(normalize(query)) == normalize(query)
+
+
+@settings(max_examples=100, deadline=None)
+@given(qseed=query_seeds)
+def test_dnf_equivalence(qseed):
+    query = build_query(qseed)
+    assert prop_equivalent(query, to_dnf(query))
+
+
+@settings(max_examples=100, deadline=None)
+@given(qseed=query_seeds)
+def test_disjunctivize_equivalence(qseed):
+    query = build_query(qseed)
+    if not isinstance(query, And):
+        return
+    conjuncts = list(query.children)
+    assert prop_equivalent(conj(conjuncts), disjunctivize(conjuncts))
+
+
+@settings(max_examples=60, deadline=None)
+@given(qseed=query_seeds, sseed=spec_seeds, pairs=pair_counts)
+def test_psafe_blocks_partition_conjuncts(qseed, sseed, pairs):
+    """PSafe returns a true partition: disjoint blocks covering 1..n."""
+    query = build_query(qseed)
+    if not isinstance(query, And):
+        return
+    spec = random_spec(ATTRS, pairs, seed=sseed)
+    conjuncts = list(query.children)
+    blocks = psafe_partition(conjuncts, spec.matcher())
+    flat = sorted(i for block in blocks for i in block)
+    assert flat == list(range(len(conjuncts)))
+
+
+@settings(max_examples=60, deadline=None)
+@given(qseed=query_seeds, sseed=spec_seeds, pairs=pair_counts)
+def test_psafe_blocks_translate_like_whole(qseed, sseed, pairs):
+    """Theorem 6: S(Q̂) = S(∧B1) ... S(∧Bm) for the PSafe partition."""
+    query = build_query(qseed)
+    if not isinstance(query, And):
+        return
+    spec = random_spec(ATTRS, pairs, seed=sseed)
+    conjuncts = list(query.children)
+    matcher = spec.matcher()
+    blocks = psafe_partition(conjuncts, matcher)
+    per_block = conj(
+        tdqm(conj(conjuncts[i] for i in block), matcher) for block in blocks
+    )
+    whole = dnf_map(query, spec)
+    assert theory_equivalent(per_block, whole)
+
+
+@settings(max_examples=40, deadline=None)
+@given(qseed=query_seeds, sseed=spec_seeds, pairs=pair_counts)
+def test_lemma3_ednf_equals_full_dnf_partition(qseed, sseed, pairs):
+    """Lemma 3: partitioning over EDNF == partitioning over full DNF.
+
+    We emulate the full-DNF variant by replacing each conjunct with its
+    raw DNF disjunction before calling PSafe; the resulting blocks must
+    translate identically (the partitions themselves may differ only in
+    ways that do not change the mapping).
+    """
+    query = build_query(qseed)
+    if not isinstance(query, And):
+        return
+    spec = random_spec(ATTRS, pairs, seed=sseed)
+    conjuncts = list(query.children)
+
+    matcher_e = spec.matcher()
+    blocks_e = psafe_partition(conjuncts, matcher_e)
+
+    expanded = [
+        disj(conj(sorted(term, key=str)) for term in dnf_terms(child))
+        for child in conjuncts
+    ]
+    matcher_d = spec.matcher()
+    blocks_d = psafe_partition(expanded, matcher_d)
+
+    mapped_e = conj(
+        tdqm(conj(conjuncts[i] for i in block), matcher_e) for block in blocks_e
+    )
+    mapped_d = conj(
+        tdqm(conj(expanded[i] for i in block), matcher_d) for block in blocks_d
+    )
+    assert theory_equivalent(mapped_e, mapped_d)
+
+
+@settings(max_examples=60, deadline=None)
+@given(qseed=query_seeds, sseed=spec_seeds, pairs=pair_counts)
+def test_matching_is_monotone(qseed, sseed, pairs):
+    """M(Q̂', K) = {m ∈ M(Q̂, K) : m ⊆ C(Q̂')} — the prematch's foundation."""
+    import random as _random
+
+    from repro.core.matching import match_rule
+
+    query = build_query(qseed)
+    spec = random_spec(ATTRS, pairs, seed=sseed)
+    constraints = sorted(query.constraints(), key=str)
+    rng = _random.Random(qseed ^ sseed)
+    subset = [c for c in constraints if rng.random() < 0.6]
+
+    direct = []
+    for r in spec.rules:
+        direct.extend(m.constraints for m in match_rule(r, subset))
+
+    matcher = spec.matcher()
+    matcher.potential(constraints)
+    filtered = [m.constraints for m in matcher.matchings(subset)]
+    assert sorted(direct, key=str) == sorted(filtered, key=str)
+
+
+@settings(max_examples=40, deadline=None)
+@given(qseed=st.integers(min_value=0, max_value=500))
+def test_mediated_equals_direct_on_random_books(qseed):
+    """Eq. 1 ≡ Eq. 2 on randomized bookstore queries (subsumption + filter)."""
+    from repro.mediator import bookstore_mediator
+    from repro.workloads.datasets import random_books
+
+    rng = random.Random(qseed)
+    lasts = ["Clancy", "Klancy", "Smith", "Chang"]
+    firsts = ["Tom", "John", "Kevin"]
+    parts = []
+    if rng.random() < 0.8:
+        parts.append(C("ln", "=", rng.choice(lasts)))
+    if rng.random() < 0.6:
+        parts.append(C("fn", "=", rng.choice(firsts)))
+    if rng.random() < 0.5:
+        parts.append(C("pyear", "=", rng.randint(1995, 1998)))
+    if rng.random() < 0.4:
+        parts.append(C("pmonth", "=", rng.randint(1, 12)))
+    if not parts:
+        parts.append(C("ln", "=", "Smith"))
+    query = conj(parts) if rng.random() < 0.7 else disj(parts)
+
+    med = bookstore_mediator("amazon", rows=random_books(40, seed=qseed % 5))
+    assert med.check_equivalence(query)
+
+
+@settings(max_examples=100, deadline=None)
+@given(qseed=query_seeds)
+def test_json_round_trip(qseed):
+    """The wire format is loss-free on random query trees."""
+    from repro.core.json_io import dumps, loads
+
+    query = build_query(qseed)
+    assert loads(dumps(query)) == query
+
+
+@settings(max_examples=150, deadline=None)
+@given(text=st.text(max_size=60))
+def test_parser_never_crashes(text):
+    """Arbitrary input either parses or raises ParseError — nothing else."""
+    from repro.core.errors import ParseError
+
+    try:
+        parse_query(text)
+    except ParseError:
+        pass

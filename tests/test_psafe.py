@@ -1,0 +1,110 @@
+"""Tests for Algorithm PSafe (repro.core.psafe) — Figure 11, Examples 12-14."""
+
+from repro.core.ast import C, Or, conj, disj
+from repro.core.psafe import psafe, psafe_partition
+from repro.rules import K_AMAZON, K_MAP
+from repro.workloads.generator import synthetic_spec
+from repro.workloads.paper_queries import (
+    example13_qa,
+    example13_qb,
+    example13_spec,
+    qbook,
+)
+
+
+class TestExample12:
+    """Partitioning Q̂_book: {{Č1}, {Č2, Č3}}."""
+
+    def test_partition(self):
+        q = qbook()
+        blocks = psafe_partition(list(q.children), K_AMAZON.matcher())
+        assert blocks == [[0], [1, 2]]
+
+    def test_cross_matchings_found(self):
+        q = qbook()
+        result = psafe(list(q.children), K_AMAZON.matcher())
+        sets = {m.constraints for m in result.cross_matchings}
+        assert sets == {
+            frozenset({C("pyear", "=", 1997), C("pmonth", "=", 5)}),
+            frozenset({C("pyear", "=", 1997), C("pmonth", "=", 6)}),
+        }
+
+    def test_not_fully_separable(self):
+        q = qbook()
+        assert not psafe(list(q.children), K_AMAZON.matcher()).is_fully_separable
+
+
+class TestExample13And14:
+    """Q̂a = (x)(y)(yu ∨ v) vs Q̂b = (x)(y ∨ u)(y ∨ v)."""
+
+    def test_qa_partition(self):
+        spec = example13_spec()
+        qa = example13_qa()
+        blocks = psafe_partition(list(qa.children), spec.matcher())
+        # Only {Č1, Č2} is needed; Č3 separates (Example 13).
+        assert blocks == [[0, 1], [2]]
+
+    def test_qb_partition_merges_everything(self):
+        spec = example13_spec()
+        qb = example13_qb()
+        blocks = psafe_partition(list(qb.children), spec.matcher())
+        assert blocks == [[0, 1, 2]]
+
+    def test_qb_needs_both_candidate_blocks(self):
+        spec = example13_spec()
+        qb = example13_qb()
+        result = psafe(list(qb.children), spec.matcher())
+        chosen = {tuple(sorted(block)) for block in result.chosen_blocks}
+        assert chosen == {(0, 1), (0, 2)}
+
+
+class TestSeparableCases:
+    def test_independent_conjuncts_all_singletons(self):
+        spec = synthetic_spec([], singletons=["a", "b", "c"])
+        conjuncts = [
+            disj([C("a", "=", 1), C("b", "=", 1)]),
+            C("c", "=", 1),
+        ]
+        result = psafe(conjuncts, spec.matcher())
+        assert result.is_fully_separable
+        assert result.blocks == ((0,), (1,))
+
+    def test_single_conjunct(self):
+        spec = synthetic_spec([], singletons=["a"])
+        result = psafe([C("a", "=", 1)], spec.matcher())
+        assert result.blocks == ((0,),)
+
+    def test_pair_rule_within_one_conjunct_is_fine(self):
+        # The dependent pair lives inside Č1, so no cross-matching exists.
+        spec = synthetic_spec([("a", "b")], singletons=["a", "b", "c"])
+        conjuncts = [
+            conj([C("a", "=", 1), C("b", "=", 1)]),
+            C("c", "=", 1),
+        ]
+        # conj() of two leaves is a simple conjunction — wrap in a
+        # disjunction to make it a realistic non-leaf conjunct.
+        conjuncts[0] = disj([conjuncts[0], C("c", "=", 2)])
+        result = psafe(conjuncts, spec.matcher())
+        assert result.is_fully_separable
+
+
+class TestMapSourceConjunction:
+    """Example 8 under the *safety* (not precise) test: the redundant
+    cross-matchings force a merge — the paper's acknowledged extra cost."""
+
+    def test_ranges_conjunction_merges(self):
+        conjuncts = [
+            disj([conj([C("x_min", "=", 10), C("x_max", "=", 30)]), C("zz", "=", 1)]),
+            disj([conj([C("y_min", "=", 20), C("y_max", "=", 40)]), C("ww", "=", 1)]),
+        ]
+        result = psafe(conjuncts, K_MAP.matcher())
+        assert result.blocks == ((0, 1),)
+        assert not result.is_fully_separable
+
+
+class TestDeterminism:
+    def test_same_input_same_partition(self):
+        q = qbook()
+        a = psafe_partition(list(q.children), K_AMAZON.matcher())
+        b = psafe_partition(list(q.children), K_AMAZON.matcher())
+        assert a == b

@@ -1,0 +1,66 @@
+"""The public API surface: every exported name exists and is documented."""
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.core",
+    "repro.rules",
+    "repro.engine",
+    "repro.mediator",
+    "repro.text",
+    "repro.workloads",
+    "repro.conversions",
+]
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_all_exports_resolve(package):
+    module = importlib.import_module(package)
+    assert hasattr(module, "__all__"), f"{package} has no __all__"
+    for name in module.__all__:
+        assert hasattr(module, name), f"{package}.{name} missing"
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_package_docstrings(package):
+    module = importlib.import_module(package)
+    assert module.__doc__ and module.__doc__.strip(), f"{package} undocumented"
+
+
+def test_public_callables_are_documented():
+    import repro
+
+    undocumented = []
+    for name in repro.__all__:
+        obj = getattr(repro, name)
+        if callable(obj) and not isinstance(obj, type):
+            if not (obj.__doc__ or "").strip():
+                undocumented.append(name)
+    assert not undocumented, f"undocumented public callables: {undocumented}"
+
+
+def test_public_classes_are_documented():
+    import repro
+
+    undocumented = []
+    for name in repro.__all__:
+        obj = getattr(repro, name)
+        if isinstance(obj, type) and not (obj.__doc__ or "").strip():
+            undocumented.append(name)
+    assert not undocumented, f"undocumented public classes: {undocumented}"
+
+
+def test_version_is_exposed():
+    import repro
+
+    assert repro.__version__ == "1.0.0"
+
+
+def test_cli_module_importable():
+    from repro.cli import build_arg_parser
+
+    parser = build_arg_parser()
+    assert parser.prog == "repro"

@@ -1,0 +1,103 @@
+"""Tests for the realty scenario: inequality mapping with conversions."""
+
+import pytest
+
+from repro.core.parser import parse_query
+from repro.core.printer import to_text
+from repro.core.scm import scm, scm_translate
+from repro.core.values import Range
+from repro.mediator import realty_mediator
+from repro.rules.library_realty import K_REALTY, make_listings_source, sqft_to_m2
+
+
+class TestMonotoneConversion:
+    @pytest.mark.parametrize(
+        "op", ["<=", ">=", "<", ">", "="]
+    )
+    def test_price_keeps_operator(self, op):
+        q = parse_query(f"[price-usd {op} 500000]")
+        mapping = scm(q, K_REALTY)
+        assert to_text(mapping) == f"[price_cents {op} 50000000]"
+
+    def test_price_is_exact(self):
+        q = parse_query("[price-usd <= 500000]")
+        assert scm_translate(q, K_REALTY).exact
+
+
+class TestOrderReversingConversion:
+    @pytest.mark.parametrize(
+        "op,flipped",
+        [("<=", ">="), (">=", "<="), ("<", ">"), (">", "<"), ("=", "=")],
+    )
+    def test_rank_flips_operator(self, op, flipped):
+        q = parse_query(f"[quality-rank {op} 10]")
+        mapping = scm(q, K_REALTY)
+        assert to_text(mapping) == f"[score {flipped} 91]"
+
+    def test_best_rank_is_top_score(self):
+        mapping = scm(parse_query("[quality-rank = 1]"), K_REALTY)
+        assert to_text(mapping) == "[score = 100]"
+
+
+class TestAreaPair:
+    def test_pair_becomes_one_range(self):
+        q = parse_query("[area-min-sqft = 700] and [area-max-sqft = 1500]")
+        mapping = scm(q, K_REALTY)
+        assert to_text(mapping) == (
+            f"[area_m2 = ({sqft_to_m2(700)}:{sqft_to_m2(1500)})]"
+        )
+
+    def test_pair_suppresses_lone_min_rule(self):
+        q = parse_query("[area-min-sqft = 700] and [area-max-sqft = 1500]")
+        result = scm_translate(q, K_REALTY)
+        assert [m.rule_name for m in result.kept_matchings] == ["Ra_band"]
+
+    def test_lone_min_open_topped(self):
+        mapping = scm(parse_query("[area-min-sqft = 900]"), K_REALTY)
+        assert isinstance(mapping.rhs, Range)
+        assert mapping.rhs.lo == sqft_to_m2(900)
+
+    def test_lone_max_is_uncovered(self):
+        from repro.core.ast import TRUE
+
+        assert scm(parse_query("[area-max-sqft = 1500]"), K_REALTY) is TRUE
+
+
+class TestEndToEnd:
+    QUERIES = [
+        "[price-usd <= 600000]",
+        '[price-usd > 500000] and [city = "palo alto"]',
+        "[quality-rank <= 10]",
+        "[quality-rank > 30] or [price-usd < 300000]",
+        "[area-min-sqft = 700] and [area-max-sqft = 1500]",
+        "[area-min-sqft = 900]",
+        "[area-max-sqft = 800]",  # uncovered: runs as a filter
+        '([city = "palo alto"] or [city = "menlo park"]) and '
+        "[price-usd < 800000] and [quality-rank <= 20]",
+        "not [city = sunnyvale] and [price-usd >= 400000]",
+    ]
+
+    @pytest.mark.parametrize("text", QUERIES)
+    def test_equivalence(self, text):
+        mediator = realty_mediator()
+        assert mediator.check_equivalence(parse_query(text)), text
+
+    def test_source_enforces_vocabulary(self):
+        from repro.core.errors import CapabilityError
+
+        source = make_listings_source()
+        with pytest.raises(CapabilityError):
+            source.select_rows("listings", parse_query("[price-usd <= 5]"))
+
+    def test_rank_results_exact_set(self):
+        # rank = 101 - score, so rank <= 2 <=> score >= 99: only L7 (99).
+        mediator = realty_mediator()
+        answer = mediator.answer_mediated(parse_query("[quality-rank <= 2]"))
+        ids = {dict(row[0][2])["id"] for row in answer.rows}
+        assert ids == {"L7"}
+
+    def test_rank_six_includes_l1(self):
+        mediator = realty_mediator()
+        answer = mediator.answer_mediated(parse_query("[quality-rank <= 6]"))
+        ids = {dict(row[0][2])["id"] for row in answer.rows}
+        assert ids == {"L7", "L1"}  # scores 99, 95

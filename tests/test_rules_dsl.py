@@ -1,0 +1,152 @@
+"""Unit tests for the rule DSL and specifications (repro.rules)."""
+
+import pytest
+
+from repro.core.ast import C, Constraint, attr
+from repro.core.errors import RuleError, SpecificationError
+from repro.core.matching import RejectMatch, ViewInstance
+from repro.rules.dsl import (
+    V,
+    ap,
+    attr_in,
+    attr_is,
+    cpat,
+    distinct,
+    rule,
+    same_view,
+    table_lookup,
+    value_is,
+    where,
+)
+from repro.rules.spec import MappingSpecification, audit_vocabulary
+
+
+class TestCpat:
+    def test_bare_string(self):
+        pattern = cpat("pyear", "=", V("Y"))
+        assert pattern.lhs.attr == "pyear"
+        assert pattern.lhs.view is None
+
+    def test_qualified_string(self):
+        pattern = cpat("fac.dept", "=", V("D"))
+        assert pattern.lhs.view == "fac"
+        assert pattern.lhs.attr == "dept"
+
+    def test_too_deep_rejected(self):
+        with pytest.raises(RuleError):
+            cpat("a.b.c", "=", V("X"))
+
+    def test_var_lhs_passthrough(self):
+        assert cpat(V("A"), "=", V("N")).lhs == V("A")
+
+    def test_ap_passthrough(self):
+        pattern = ap("ln", view=V("V1"), index=V("i"))
+        assert cpat(pattern, "=", V("N")).lhs is pattern
+
+
+class TestConditions:
+    def test_value_is(self):
+        check = value_is("N")
+        assert check({"N": "plain"})
+        assert not check({"N": attr("fac.ln")})
+
+    def test_attr_is(self):
+        check = attr_is("N")
+        assert check({"N": attr("fac.ln")})
+        assert not check({"N": 42})
+
+    def test_attr_in_with_ref(self):
+        check = attr_in("A", {"ln", "fn"})
+        assert check({"A": attr("fac.ln")})
+        assert not check({"A": attr("fac.dept")})
+
+    def test_attr_in_with_name_string(self):
+        check = attr_in("A", {"ln", "fn"})
+        assert check({"A": "fn"})
+        assert not check({"A": "dept"})
+
+    def test_distinct(self):
+        check = distinct("i", "j")
+        assert check({"i": 1, "j": 2})
+        assert not check({"i": 1, "j": 1})
+
+    def test_same_view(self):
+        check = same_view("A", "B")
+        assert check({"A": attr("fac.ln"), "B": attr("fac.fn")})
+        assert not check({"A": attr("fac.ln"), "B": attr("pub.fn")})
+        assert check({"A": ViewInstance("fac", 1), "B": attr("fac[1].ln")})
+
+    def test_same_view_type_error(self):
+        with pytest.raises(RuleError):
+            same_view("A")({"A": 42})
+
+    def test_where_passthrough(self):
+        fn = lambda b: True  # noqa: E731
+        assert where(fn) is fn
+
+
+class TestTableLookup:
+    def test_hit(self):
+        lookup = table_lookup({"cs": 230}, lambda b: b["D"])
+        assert lookup({"D": "cs"}) == 230
+
+    def test_miss_vetoes(self):
+        lookup = table_lookup({"cs": 230}, lambda b: b["D"])
+        with pytest.raises(RejectMatch):
+            lookup({"D": "astrology"})
+
+
+class TestSpecification:
+    def _rule(self, name):
+        return rule(
+            name,
+            patterns=[cpat("a", "=", V("X"))],
+            emit=lambda b: C("t", "=", b["X"]),
+        )
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SpecificationError):
+            MappingSpecification(
+                "K", "T", rules=(self._rule("R1"), self._rule("R1"))
+            )
+
+    def test_get_rule(self):
+        spec = MappingSpecification("K", "T", rules=(self._rule("R1"),))
+        assert spec.get_rule("R1").name == "R1"
+        with pytest.raises(KeyError):
+            spec.get_rule("R9")
+
+    def test_len_iter_str(self):
+        spec = MappingSpecification("K", "T", rules=(self._rule("R1"),))
+        assert len(spec) == 1
+        assert [r.name for r in spec] == ["R1"]
+        assert "K" in str(spec)
+
+    def test_fresh_matchers(self):
+        spec = MappingSpecification("K", "T", rules=(self._rule("R1"),))
+        assert spec.matcher() is not spec.matcher()
+
+
+class TestAudit:
+    def test_coverage_report(self):
+        spec = MappingSpecification(
+            "K",
+            "T",
+            rules=(
+                rule(
+                    "Ra",
+                    patterns=[cpat("a", "=", V("X"))],
+                    emit=lambda b: C("t", "=", b["X"]),
+                ),
+            ),
+        )
+        covered = C("a", "=", 1)
+        uncovered = C("zzz", "=", 1)
+        report = audit_vocabulary(spec, [covered, uncovered])
+        assert covered in report.covered
+        assert uncovered in report.uncovered
+        assert report.coverage == 0.5
+
+    def test_empty_audit(self):
+        spec = MappingSpecification("K", "T", rules=())
+        assert audit_vocabulary(spec, []).coverage == 1.0

@@ -1,0 +1,153 @@
+"""Tests for safety and separability (repro.core.safety) — Section 7.1."""
+
+from repro.core.ast import C, conj, disj
+from repro.core.safety import (
+    base_cross_matchings,
+    is_safe,
+    is_safe_base,
+    is_separable_base,
+    is_separable_general,
+)
+from repro.core.subsume import empirical_subsumes
+from repro.engine.eval import evaluate_row
+from repro.engine.sources_builtin import MAP_SOURCE_VIRTUALS
+from repro.rules import K_AMAZON, K_MAP
+from repro.rules.dsl import V, cpat, rule, value_is
+from repro.rules.spec import MappingSpecification
+from repro.workloads.datasets import grid_points
+from repro.workloads.paper_queries import qbook
+
+F_L = C("ln", "=", "Smith")
+F_F = C("fn", "=", "John")
+F_Y = C("pyear", "=", 1997)
+F_M1 = C("pmonth", "=", 5)
+
+F1 = C("x_min", "=", 10)
+F2 = C("x_max", "=", 30)
+F3 = C("y_min", "=", 20)
+F4 = C("y_max", "=", 40)
+
+
+class TestExample7:
+    """Q̂ = (f_l f_f)(f_y)(f_m1) is unsafe: cross-matching {f_y, f_m1}."""
+
+    def test_cross_matching_detected(self):
+        conjuncts = [frozenset({F_L, F_F}), frozenset({F_Y}), frozenset({F_M1})]
+        delta = base_cross_matchings(conjuncts, K_AMAZON.matcher())
+        assert delta == [frozenset({F_Y, F_M1})]
+
+    def test_unsafe(self):
+        conjuncts = [frozenset({F_L, F_F}), frozenset({F_Y}), frozenset({F_M1})]
+        assert not is_safe_base(conjuncts, K_AMAZON.matcher())
+
+    def test_safe_without_month(self):
+        conjuncts = [frozenset({F_L, F_F}), frozenset({F_Y})]
+        assert is_safe_base(conjuncts, K_AMAZON.matcher())
+
+
+def _map_subsumes(broad, narrow):
+    """Semantic subsumption over the coordinate grid (Figure 9)."""
+    rows = grid_points(step=5, limit=60)
+    virtuals = dict(MAP_SOURCE_VIRTUALS)
+    return empirical_subsumes(
+        broad, narrow, rows, lambda q, row: evaluate_row(q, row, virtuals)
+    )
+
+
+class TestExample8:
+    """Theorem 3 on the map source: redundant vs essential cross-matchings."""
+
+    def test_ranges_pairing_has_cross_matchings(self):
+        conjuncts = [frozenset({F1, F2}), frozenset({F3, F4})]
+        delta = base_cross_matchings(conjuncts, K_MAP.matcher())
+        assert {frozenset({F1, F3}), frozenset({F2, F4})} == set(delta)
+
+    def test_ranges_pairing_unsafe_but_separable(self):
+        conjuncts = [frozenset({F1, F2}), frozenset({F3, F4})]
+        matcher = K_MAP.matcher()
+        assert not is_safe_base(conjuncts, matcher)
+        # Both cross-matchings are redundant: Eq. 6 holds semantically.
+        assert is_separable_base(conjuncts, matcher, subsumes=_map_subsumes)
+
+    def test_mixed_pairing_not_separable(self):
+        conjuncts = [frozenset({F1, F4}), frozenset({F2, F3})]
+        matcher = K_MAP.matcher()
+        assert not is_safe_base(conjuncts, matcher)
+        assert not is_separable_base(conjuncts, matcher, subsumes=_map_subsumes)
+
+    def test_propositional_default_is_conservative(self):
+        # Without semantic knowledge, the redundant cross-matchings look
+        # essential: precise degenerates to safety.
+        conjuncts = [frozenset({F1, F2}), frozenset({F3, F4})]
+        assert not is_separable_base(conjuncts, K_MAP.matcher())
+
+
+class TestGeneralSafety:
+    def test_qbook_unsafe(self):
+        q = qbook()
+        assert not is_safe(list(q.children), K_AMAZON.matcher())
+
+    def test_independent_conjunction_safe(self):
+        q = conj(
+            [
+                disj([C("ln", "=", "a"), C("ln", "=", "b")]),
+                disj([C("publisher", "=", "x"), C("publisher", "=", "y")]),
+            ]
+        )
+        assert is_safe(list(q.children), K_AMAZON.matcher())
+
+    def test_single_conjunct_trivially_safe(self):
+        assert is_safe([C("ln", "=", "a")], K_AMAZON.matcher())
+
+
+def _anomaly_spec() -> MappingSpecification:
+    """The Section 7.1.2 anomaly: matchings {y,z} and {z}, nothing for x."""
+    r_yz = rule(
+        "Ryz",
+        patterns=[cpat("y", "=", V("A")), cpat("z", "=", V("B"))],
+        where=[value_is("A", "B")],
+        emit=lambda b: conj([C("t_z", "=", b["B"]), C("t_y", "=", b["A"])]),
+        exact=True,
+    )
+    r_z = rule(
+        "Rz",
+        patterns=[cpat("z", "=", V("B"))],
+        where=[value_is("B")],
+        emit=lambda b: C("t_z", "=", b["B"]),
+        exact=True,
+    )
+    return MappingSpecification("K_anom", "abstract", rules=(r_yz, r_z))
+
+
+class TestTheorem4Anomaly:
+    """S((x ∨ y)(z)) = S(x ∨ y)S(z) even though (y)(z) is unsafe."""
+
+    def test_unsafe_yet_separable(self):
+        spec = _anomaly_spec()
+        x, y, z = C("x", "=", 1), C("y", "=", 1), C("z", "=", 1)
+        conjuncts = [disj([x, y]), z]
+        matcher = spec.matcher()
+        assert not is_safe(conjuncts, matcher)
+        # The unsafe term's contribution is masked by S(xz) = S(z).
+        assert is_separable_general(conjuncts, matcher)
+
+    def test_anomaly_gone_when_x_mapped(self):
+        # Give x its own rule: now S(x) != True and separability fails.
+        extra = rule(
+            "Rx",
+            patterns=[cpat("x", "=", V("A"))],
+            where=[value_is("A")],
+            emit=lambda b: C("t_x", "=", b["A"]),
+            exact=True,
+        )
+        base = _anomaly_spec()
+        spec = MappingSpecification(
+            "K_anom2", "abstract", rules=base.rules + (extra,)
+        )
+        x, y, z = C("x", "=", 1), C("y", "=", 1), C("z", "=", 1)
+        conjuncts = [disj([x, y]), z]
+        assert not is_separable_general(conjuncts, spec.matcher())
+
+    def test_single_conjunct_trivially_separable(self):
+        spec = _anomaly_spec()
+        assert is_separable_general([C("z", "=", 1)], spec.matcher())

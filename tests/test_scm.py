@@ -1,0 +1,117 @@
+"""Tests for Algorithm SCM (repro.core.scm) — Figure 4, Example 4."""
+
+import pytest
+
+from repro.core.ast import FALSE, TRUE, C, conj, disj
+from repro.core.errors import TranslationError
+from repro.core.matching import Matching
+from repro.core.printer import to_text
+from repro.core.scm import scm, scm_translate, suppress_submatchings
+from repro.rules import K_AMAZON
+from repro.workloads.paper_queries import figure2_q1
+
+
+def _matching(*constraints, rule="R", emission=None, exact=False):
+    return Matching(
+        frozenset(constraints),
+        rule,
+        emission or C("t", "=", 1),
+        exact=exact,
+    )
+
+
+class TestSuppression:
+    def test_proper_subset_removed(self):
+        a, b = C("a", "=", 1), C("b", "=", 1)
+        small = _matching(a, rule="R7")
+        big = _matching(a, b, rule="R6")
+        kept = suppress_submatchings([small, big])
+        assert kept == [big]
+
+    def test_equal_sets_both_kept(self):
+        a = C("a", "=", 1)
+        m1 = _matching(a, rule="Rx", emission=C("t1", "=", 1))
+        m2 = _matching(a, rule="Ry", emission=C("t2", "=", 1))
+        assert len(suppress_submatchings([m1, m2])) == 2
+
+    def test_disjoint_sets_kept(self):
+        m1 = _matching(C("a", "=", 1))
+        m2 = _matching(C("b", "=", 1))
+        assert len(suppress_submatchings([m1, m2])) == 2
+
+    def test_chain_of_subsets(self):
+        a, b, c = (C(x, "=", 1) for x in "abc")
+        kept = suppress_submatchings(
+            [_matching(a), _matching(a, b), _matching(a, b, c)]
+        )
+        assert [len(m.constraints) for m in kept] == [3]
+
+
+class TestExample4:
+    """The paper's step-by-step SCM trace on Q̂1."""
+
+    def test_step1_matchings(self):
+        result = scm_translate(figure2_q1(), K_AMAZON)
+        assert sorted(m.rule_name for m in result.all_matchings) == [
+            "R3", "R4", "R6", "R7", "R8",
+        ]
+
+    def test_step2_submatching_suppressed(self):
+        result = scm_translate(figure2_q1(), K_AMAZON)
+        kept = sorted(m.rule_name for m in result.kept_matchings)
+        assert kept == ["R3", "R4", "R6", "R8"]  # R7 ⊂ R6 removed
+
+    def test_step3_output(self):
+        result = scm_translate(figure2_q1(), K_AMAZON)
+        assert to_text(result.mapping) == (
+            '[author = "Smith"] and [ti-word contains java (and) jdk] and '
+            "[pdate during May/97] and "
+            "([ti-word contains www] or [subject-word contains www])"
+        )
+
+
+class TestScmBasics:
+    def test_single_constraint(self):
+        mapping = scm(C("ln", "=", "Clancy"), K_AMAZON)
+        assert mapping == C("author", "=", "Clancy")
+
+    def test_uncovered_constraint_maps_to_true(self):
+        mapping = scm(C("fn", "=", "Tom"), K_AMAZON)
+        assert mapping is TRUE
+
+    def test_true_false_pass_through(self):
+        assert scm(TRUE, K_AMAZON) is TRUE
+        assert scm(FALSE, K_AMAZON) is FALSE
+
+    def test_frozenset_input(self):
+        constraints = frozenset([C("ln", "=", "Clancy"), C("fn", "=", "Tom")])
+        mapping = scm(constraints, K_AMAZON)
+        assert mapping == C("author", "=", "Clancy, Tom")
+
+    def test_complex_query_rejected(self):
+        q = disj([C("a", "=", 1), C("b", "=", 2)])
+        with pytest.raises(TranslationError):
+            scm(q, K_AMAZON)
+
+    def test_nested_and_rejected(self):
+        q = conj([disj([C("a", "=", 1), C("b", "=", 2)]), C("c", "=", 3)])
+        with pytest.raises(TranslationError):
+            scm(q, K_AMAZON)
+
+
+class TestExactness:
+    def test_exact_when_exact_matchings_cover(self):
+        q = conj([C("ln", "=", "Clancy"), C("fn", "=", "Tom")])
+        assert scm_translate(q, K_AMAZON).exact  # R2 is exact and covers both
+
+    def test_inexact_when_constraint_uncovered(self):
+        assert not scm_translate(C("fn", "=", "Tom"), K_AMAZON).exact
+
+    def test_inexact_when_only_relaxed_rule_covers(self):
+        from repro.core.parser import parse_query
+
+        q = parse_query("[ti contains java (near) jdk]")
+        assert not scm_translate(q, K_AMAZON).exact
+
+    def test_constants_are_exact(self):
+        assert scm_translate(TRUE, K_AMAZON).exact

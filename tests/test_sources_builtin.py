@@ -1,0 +1,144 @@
+"""Tests for the simulated sources (repro.engine.sources_builtin)."""
+
+import pytest
+
+from repro.core.errors import CapabilityError
+from repro.core.parser import parse_query
+from repro.engine.sources_builtin import (
+    make_amazon,
+    make_clbooks,
+    make_map_source,
+    make_t1,
+    make_t2,
+)
+
+
+class TestAmazon:
+    def test_author_full_name_match(self):
+        src = make_amazon()
+        rows = src.select_rows("catalog", parse_query('[author = "Clancy, Tom"]'))
+        assert {r["title"] for r in rows} == {
+            "WWW and Web Services",
+            "Hunt for Data Mining",
+        }
+
+    def test_author_last_name_match(self):
+        # "Clancy" matches every Clancy (Example 2's semantics) but not
+        # "Clancy, Joe Tom" being matched as plain "clancy, joe tom".
+        src = make_amazon()
+        rows = src.select_rows("catalog", parse_query('[author = "Clancy"]'))
+        assert {r["author"] for r in rows} == {"Clancy, Tom", "Clancy, Joe Tom"}
+
+    def test_author_exact_beats_partial(self):
+        src = make_amazon()
+        rows = src.select_rows("catalog", parse_query('[author = "Smith"]'))
+        # Both "Smith" and "Smith, John" have last name Smith.
+        assert len(rows) == 2
+
+    def test_ti_word_search(self):
+        src = make_amazon()
+        rows = src.select_rows(
+            "catalog", parse_query("[ti-word contains java (and) jdk]")
+        )
+        assert {r["title"] for r in rows} == {"The Java JDK Handbook", "JDK for Java"}
+
+    def test_pdate_during_month(self):
+        src = make_amazon()
+        rows = src.select_rows("catalog", parse_query("[pdate during May/97]"))
+        assert all(r["year"] == 1997 and r["month"] == 5 for r in rows)
+        assert len(rows) == 4
+
+    def test_pdate_during_year(self):
+        src = make_amazon()
+        rows = src.select_rows("catalog", parse_query("[pdate during 97]"))
+        assert all(r["year"] == 1997 for r in rows)
+
+    def test_title_starts(self):
+        src = make_amazon()
+        rows = src.select_rows("catalog", parse_query('[title starts "jdk for"]'))
+        assert [r["title"] for r in rows] == ["JDK for Java"]
+
+    def test_near_rejected_by_capability(self):
+        src = make_amazon()
+        with pytest.raises(CapabilityError):
+            src.select_rows(
+                "catalog", parse_query("[ti-word contains java (near) jdk]")
+            )
+
+    def test_mediator_vocabulary_rejected(self):
+        src = make_amazon()
+        with pytest.raises(CapabilityError):
+            src.select_rows("catalog", parse_query('[ln = "Clancy"]'))
+
+
+class TestClbooks:
+    def test_author_word_search(self):
+        src = make_clbooks()
+        rows = src.select_rows("catalog", parse_query("[author contains tom]"))
+        # Word matching reaches first names and middle names alike.
+        assert {r["author"] for r in rows} == {
+            "Clancy, Tom", "Klancy, Tom", "Clancy, Joe Tom",
+        }
+
+    def test_example1_false_positives(self):
+        # Q_c = [author contains Tom] ∧ [author contains Clancy] keeps
+        # "Clancy, Joe Tom" — the false positive Example 1 predicts.
+        src = make_clbooks()
+        q = parse_query("[author contains tom] and [author contains clancy]")
+        rows = src.select_rows("catalog", q)
+        assert {r["author"] for r in rows} == {"Clancy, Tom", "Clancy, Joe Tom"}
+
+    def test_equality_not_supported(self):
+        src = make_clbooks()
+        with pytest.raises(CapabilityError):
+            src.select_rows("catalog", parse_query('[author = "Clancy, Tom"]'))
+
+
+class TestT1T2:
+    def test_bib_keyword_search(self):
+        src = make_t1()
+        q = parse_query("[bib contains data (and) mining]")
+        rows = src.select_rows("aubib", q)
+        assert len(rows) == 3
+
+    def test_bib_near_rejected(self):
+        src = make_t1()
+        with pytest.raises(CapabilityError):
+            src.select_rows("aubib", parse_query("[bib contains data (near) mining]"))
+
+    def test_prof_dept_code(self):
+        src = make_t2()
+        rows = src.select_rows("prof", parse_query("[dept = 230]"))
+        assert {r["ln"] for r in rows} == {"Ullman", "Molina", "Han"}
+
+
+class TestMapSource:
+    def test_range_query(self):
+        src = make_map_source()
+        q = parse_query("[X_range = (10:30)] and [Y_range = (20:40)]")
+        rows = src.select_rows("points", q)
+        assert all(10 <= r["x"] <= 30 and 20 <= r["y"] <= 40 for r in rows)
+        assert len(rows) == 9
+
+    def test_corner_query_is_open_region(self):
+        # Figure 9: C_ll selects the whole shaded quadrant.
+        src = make_map_source()
+        rows = src.select_rows("points", parse_query("[C_ll = (10, 20)]"))
+        assert all(r["x"] >= 10 and r["y"] >= 20 for r in rows)
+        corner_count = len(rows)
+        rect = src.select_rows(
+            "points", parse_query("[X_range = (10:30)] and [Y_range = (20:40)]")
+        )
+        assert corner_count > len(rect)
+
+    def test_figure9_witness_point(self):
+        # The point (50, 30) is in g3 but not in g1 g2.
+        src = make_map_source()
+        in_corner = src.select_rows("points", parse_query("[C_ll = (10, 20)]"))
+        in_rect = src.select_rows(
+            "points", parse_query("[X_range = (10:30)] and [Y_range = (20:40)]")
+        )
+        ids_corner = {r["id"] for r in in_corner}
+        ids_rect = {r["id"] for r in in_rect}
+        assert "p50_30" in ids_corner and "p50_30" not in ids_rect
+        assert ids_rect <= ids_corner

@@ -1,0 +1,77 @@
+"""Tests for subsumption checks (repro.core.subsume)."""
+
+from repro.core.ast import FALSE, TRUE, C, conj, disj
+from repro.core.subsume import (
+    empirical_equivalent,
+    empirical_subsumes,
+    evaluate_assignment,
+    prop_equivalent,
+    prop_implies,
+)
+from repro.engine.eval import evaluate_row
+
+A, B, Cc = C("a", "=", 1), C("b", "=", 1), C("c", "=", 1)
+
+
+class TestEvaluateAssignment:
+    def test_basic(self):
+        q = conj([A, disj([B, Cc])])
+        assert evaluate_assignment(q, {A: True, B: False, Cc: True})
+        assert not evaluate_assignment(q, {A: False, B: True, Cc: True})
+
+    def test_constants(self):
+        assert evaluate_assignment(TRUE, {})
+        assert not evaluate_assignment(FALSE, {})
+
+
+class TestPropositional:
+    def test_conjunction_implies_conjunct(self):
+        assert prop_implies(conj([A, B]), A)
+        assert not prop_implies(A, conj([A, B]))
+
+    def test_disjunct_implies_disjunction(self):
+        assert prop_implies(A, disj([A, B]))
+        assert not prop_implies(disj([A, B]), A)
+
+    def test_distribution_equivalence(self):
+        left = conj([disj([A, B]), Cc])
+        right = disj([conj([A, Cc]), conj([B, Cc])])
+        assert prop_equivalent(left, right)
+
+    def test_absorption(self):
+        assert prop_equivalent(disj([A, conj([A, B])]), A)
+
+    def test_true_false(self):
+        assert prop_implies(FALSE, A)
+        assert prop_implies(A, TRUE)
+        assert not prop_equivalent(TRUE, FALSE)
+
+    def test_inequivalent_atoms(self):
+        assert not prop_equivalent(A, B)
+
+    def test_large_atom_count_randomized(self):
+        # 24 atoms exceeds the exhaustive limit; the sampled check should
+        # still accept a tautological implication.
+        atoms = [C(f"x{i}", "=", 1) for i in range(24)]
+        big = conj(atoms)
+        assert prop_implies(big, disj(atoms))
+
+
+class TestEmpirical:
+    ROWS = [{"x": x} for x in range(10)]
+
+    @staticmethod
+    def _eval(query, row):
+        return evaluate_row(query, row)
+
+    def test_subsumption_over_dataset(self):
+        narrow = C("x", "=", 3)
+        broad = C("x", ">=", 2)
+        assert empirical_subsumes(broad, narrow, self.ROWS, self._eval)
+        assert not empirical_subsumes(narrow, broad, self.ROWS, self._eval)
+
+    def test_equivalence_over_dataset(self):
+        left = conj([C("x", ">=", 2), C("x", "<=", 4)])
+        right = disj([C("x", "=", 2), C("x", "=", 3), C("x", "=", 4)])
+        assert empirical_equivalent(left, right, self.ROWS, self._eval)
+        assert not empirical_equivalent(left, C("x", "=", 3), self.ROWS, self._eval)

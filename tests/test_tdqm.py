@@ -1,0 +1,169 @@
+"""Tests for Algorithm TDQM (repro.core.tdqm) — Figure 8, Examples 2/6."""
+
+import pytest
+
+from repro.core.ast import FALSE, TRUE, C, And, Or, conj, disj
+from repro.core.dnf_mapper import dnf_map
+from repro.core.errors import TranslationError
+from repro.core.printer import to_text
+from repro.core.subsume import prop_equivalent
+from repro.core.tdqm import disjunctivize, tdqm, tdqm_translate
+from repro.rules import K_AMAZON, K_CLBOOKS, K_MAP
+from repro.workloads.generator import synthetic_spec
+from repro.workloads.paper_queries import (
+    example2_query,
+    example13_qa,
+    example13_qb,
+    example13_spec,
+    figure2_q1,
+    figure2_q2,
+    qbook,
+)
+
+
+class TestDisjunctivize:
+    def test_single_conjunct_passthrough(self):
+        q = disj([C("a", "=", 1), C("b", "=", 1)])
+        assert disjunctivize([q]) is q
+
+    def test_distributes_one_level(self):
+        a, b, c = C("a", "=", 1), C("b", "=", 1), C("c", "=", 1)
+        out = disjunctivize([disj([a, b]), c])
+        assert out == disj([conj([a, c]), conj([b, c])])
+
+    def test_all_leaves_gives_conjunction(self):
+        a, b = C("a", "=", 1), C("b", "=", 1)
+        assert disjunctivize([a, b]) == conj([a, b])
+
+    def test_preserves_equivalence(self):
+        a, b, c, d = (C(x, "=", 1) for x in "abcd")
+        conjuncts = [disj([a, b]), disj([c, d])]
+        assert prop_equivalent(conj(conjuncts), disjunctivize(conjuncts))
+
+    def test_empty_rejected(self):
+        with pytest.raises(TranslationError):
+            disjunctivize([])
+
+
+class TestExample2:
+    def test_minimal_mapping(self):
+        mapping = tdqm(example2_query(), K_AMAZON)
+        assert to_text(mapping) == (
+            '[author = "Clancy, Tom"] or [author = "Klancy, Tom"]'
+        )
+
+    def test_agrees_with_dnf_baseline(self):
+        q = example2_query()
+        assert prop_equivalent(tdqm(q, K_AMAZON), dnf_map(q, K_AMAZON))
+
+
+class TestExample6:
+    """The Q̂_book walkthrough: local rewriting only of {Č2, Č3}."""
+
+    def test_mapping(self):
+        result = tdqm_translate(qbook(), K_AMAZON)
+        assert to_text(result.mapping) == (
+            '([author = "Smith, John"] or '
+            "[ti-word contains www] or [subject-word contains www] or "
+            "[ti-word contains web] or [subject-word contains web]) and "
+            "([pdate during May/97] or [pdate during Jun/97])"
+        )
+
+    def test_stats(self):
+        result = tdqm_translate(qbook(), K_AMAZON)
+        stats = result.stats
+        assert stats.psafe_calls == 1
+        assert stats.blocks_rewritten == 1  # only {Č2, Č3}
+        assert stats.scm_calls == 5  # 3 disjuncts of Č1 + 2 rewritten terms
+
+    def test_more_compact_than_dnf(self):
+        q = qbook()
+        tdqm_nodes = tdqm(q, K_AMAZON).node_count()
+        dnf_nodes = dnf_map(q, K_AMAZON).node_count()
+        assert tdqm_nodes < dnf_nodes
+
+    def test_equivalent_to_dnf(self):
+        q = qbook()
+        assert prop_equivalent(tdqm(q, K_AMAZON), dnf_map(q, K_AMAZON))
+
+
+class TestCases:
+    def test_simple_conjunctions_delegate_to_scm(self):
+        for q in (figure2_q1(), figure2_q2()):
+            assert prop_equivalent(tdqm(q, K_AMAZON), dnf_map(q, K_AMAZON))
+
+    def test_constants(self):
+        assert tdqm(TRUE, K_AMAZON) is TRUE
+        assert tdqm(FALSE, K_AMAZON) is FALSE
+
+    def test_single_constraint(self):
+        assert tdqm(C("ln", "=", "Clancy"), K_AMAZON) == C("author", "=", "Clancy")
+
+    def test_pure_disjunction(self):
+        q = disj([C("ln", "=", "a"), C("ln", "=", "b")])
+        assert to_text(tdqm(q, K_AMAZON)) == '[author = "a"] or [author = "b"]'
+
+    def test_deep_nesting(self):
+        q = conj(
+            [
+                disj(
+                    [
+                        conj([C("ln", "=", "a"), disj([C("pyear", "=", 1997), C("pyear", "=", 1998)])]),
+                        C("kwd", "contains", "www"),
+                    ]
+                ),
+                disj([C("pmonth", "=", 5), C("pmonth", "=", 6)]),
+            ]
+        )
+        assert prop_equivalent(tdqm(q, K_AMAZON), dnf_map(q, K_AMAZON))
+
+    def test_example13_queries(self):
+        spec = example13_spec()
+        for q in (example13_qa(), example13_qb()):
+            assert prop_equivalent(tdqm(q, spec), dnf_map(q, spec))
+
+    def test_map_vocabulary(self):
+        q = conj(
+            [
+                disj([C("x_min", "=", 10), C("x_min", "=", 15)]),
+                C("x_max", "=", 30),
+                C("y_min", "=", 20),
+                C("y_max", "=", 40),
+            ]
+        )
+        assert prop_equivalent(tdqm(q, K_MAP), dnf_map(q, K_MAP))
+
+
+class TestExactness:
+    def test_exact_conjunction(self):
+        q = conj([C("ln", "=", "Clancy"), C("fn", "=", "Tom")])
+        assert tdqm_translate(q, K_AMAZON).exact
+
+    def test_inexact_at_clbooks(self):
+        q = conj([C("ln", "=", "Clancy"), C("fn", "=", "Tom")])
+        assert not tdqm_translate(q, K_CLBOOKS).exact
+
+    def test_exact_disjunction(self):
+        q = disj([C("ln", "=", "a"), C("ln", "=", "b")])
+        assert tdqm_translate(q, K_AMAZON).exact
+
+    def test_inexact_propagates_up(self):
+        q = disj([C("ln", "=", "a"), C("fn", "=", "b")])  # fn uncovered
+        assert not tdqm_translate(q, K_AMAZON).exact
+
+
+class TestNoRewriteWhenIndependent:
+    def test_independent_blocks_untouched(self):
+        spec = synthetic_spec([], singletons=[f"a{i}" for i in range(6)])
+        q = conj(
+            [
+                disj([C("a0", "=", 1), C("a1", "=", 1)]),
+                disj([C("a2", "=", 1), C("a3", "=", 1)]),
+                disj([C("a4", "=", 1), C("a5", "=", 1)]),
+            ]
+        )
+        result = tdqm_translate(q, spec)
+        assert result.stats.blocks_rewritten == 0
+        # Output keeps the conjunction-of-disjunctions shape.
+        assert isinstance(result.mapping, And)
+        assert all(isinstance(child, Or) for child in result.mapping.children)

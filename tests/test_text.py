@@ -1,0 +1,175 @@
+"""Unit tests for the text-pattern substrate (repro.text)."""
+
+import pytest
+
+from repro.core.errors import ParseError
+from repro.text import (
+    AndPat,
+    NearPat,
+    OrPat,
+    PhrasePat,
+    TextCapability,
+    Word,
+    matches,
+    parse_pattern,
+    pattern_operators,
+    rewrite_text_pattern,
+    tokenize,
+)
+from repro.text.match import match_positions
+
+
+class TestParsePattern:
+    def test_single_word(self):
+        assert parse_pattern("java") == Word("java")
+
+    def test_near(self):
+        p = parse_pattern("java (near) jdk")
+        assert isinstance(p, NearPat)
+        assert p.parts == (Word("java"), Word("jdk"))
+
+    def test_near_with_window(self):
+        p = parse_pattern("java (near/3) jdk")
+        assert p.window == 3
+
+    def test_and_or_symbols(self):
+        assert isinstance(parse_pattern("a (∧) b"), AndPat)
+        assert isinstance(parse_pattern("a (∨) b"), OrPat)
+
+    def test_precedence_and_tighter_than_near(self):
+        p = parse_pattern("a (and) b (near) c")
+        assert isinstance(p, NearPat)
+        assert isinstance(p.parts[0], AndPat)
+
+    def test_or_loosest(self):
+        p = parse_pattern("a (near) b (or) c")
+        assert isinstance(p, OrPat)
+
+    def test_grouping(self):
+        p = parse_pattern("(a (or) b) (and) c")
+        assert isinstance(p, AndPat)
+        assert isinstance(p.parts[0], OrPat)
+
+    def test_phrase(self):
+        p = parse_pattern('"data mining"')
+        assert p == PhrasePat(("data", "mining"))
+
+    def test_quoted_single_word_is_word(self):
+        assert parse_pattern('"java"') == Word("java")
+
+    @pytest.mark.parametrize("bad", ["", "(near)", "a (near)", "((a)", "a ) b"])
+    def test_errors(self, bad):
+        with pytest.raises(ParseError):
+            parse_pattern(bad)
+
+    def test_case_folding(self):
+        assert parse_pattern("JAVA") == Word("java")
+
+
+class TestMatching:
+    def test_tokenize(self):
+        assert tokenize("The JDK, for Java!") == ["the", "jdk", "for", "java"]
+
+    def test_word(self):
+        assert matches(Word("java"), "Java programming")
+        assert not matches(Word("java"), "javascript programming")
+
+    def test_phrase(self):
+        p = PhrasePat(("data", "mining"))
+        assert matches(p, "a data mining guide")
+        assert not matches(p, "mining of data")
+
+    def test_and(self):
+        p = parse_pattern("data (and) mining")
+        assert matches(p, "mining comes before data here")
+        assert not matches(p, "just mining")
+
+    def test_or(self):
+        p = parse_pattern("www (or) web")
+        assert matches(p, "the web era")
+        assert not matches(p, "the internet era")
+
+    def test_near_window(self):
+        p = parse_pattern("java (near) jdk")  # default window 5
+        assert matches(p, "java a b c d jdk")
+        assert not matches(p, "java a b c d e f jdk")
+
+    def test_near_is_narrower_than_and(self):
+        near = parse_pattern("java (near) jdk")
+        conj = parse_pattern("java (and) jdk")
+        text = "java " + "filler " * 10 + "jdk"
+        assert matches(conj, text) and not matches(near, text)
+
+    def test_match_positions(self):
+        tokens = tokenize("java jdk java")
+        assert match_positions(Word("java"), tokens) == [0, 2]
+
+
+class TestRewrite:
+    def test_near_relaxes_to_and(self):
+        result = rewrite_text_pattern(
+            parse_pattern("java (near) jdk"),
+            TextCapability(supports_near=False),
+        )
+        assert isinstance(result.pattern, AndPat)
+        assert not result.exact
+
+    def test_and_relaxes_to_or(self):
+        result = rewrite_text_pattern(
+            parse_pattern("a (and) b"),
+            TextCapability(supports_and=False),
+        )
+        assert isinstance(result.pattern, OrPat)
+        assert not result.exact
+
+    def test_supported_pattern_is_exact(self):
+        pattern = parse_pattern("java (and) jdk")
+        result = rewrite_text_pattern(pattern, TextCapability())
+        assert result.pattern == pattern
+        assert result.exact
+
+    def test_phrase_relaxes_to_near(self):
+        result = rewrite_text_pattern(
+            parse_pattern('"data mining"'),
+            TextCapability(supports_phrase=False),
+        )
+        assert isinstance(result.pattern, NearPat)
+        assert not result.exact
+
+    def test_nested_relaxation(self):
+        pattern = parse_pattern("(a (near) b) (or) c")
+        result = rewrite_text_pattern(pattern, TextCapability(supports_near=False))
+        assert isinstance(result.pattern, OrPat)
+        assert isinstance(result.pattern.parts[0], AndPat)
+        assert not result.exact
+
+    def test_no_rewrite_possible(self):
+        with pytest.raises(ValueError):
+            rewrite_text_pattern(
+                parse_pattern("a (and) b"),
+                TextCapability(supports_and=False, supports_or=False),
+            )
+
+    def test_rewrite_subsumes_original(self):
+        # Every text matching the original must match the relaxation.
+        texts = [
+            "java jdk",
+            "java x x x x x x x jdk",
+            "jdk before java",
+            "only java",
+            "neither",
+        ]
+        original = parse_pattern("java (near) jdk")
+        relaxed = rewrite_text_pattern(
+            original, TextCapability(supports_near=False)
+        ).pattern
+        for text in texts:
+            if matches(original, text):
+                assert matches(relaxed, text)
+
+
+class TestPatternOperators:
+    def test_collects_kinds(self):
+        pattern = parse_pattern('("a b" (near) c) (or) d')
+        kinds = pattern_operators(pattern)
+        assert kinds == {"phrase", "near", "or", "word"}

@@ -1,0 +1,130 @@
+"""Tests for the reference-[20] rewrite extensions: stopwords, bounded
+proximity windows, and the MATCH_ALL collapse."""
+
+import pytest
+
+from repro.core.ast import TRUE, C
+from repro.core.parser import parse_query
+from repro.core.printer import to_text
+from repro.core.tdqm import tdqm
+from repro.rules.dsl import V, cpat, rule
+from repro.rules.library import _rewriter, _contains_or_true
+from repro.rules.spec import MappingSpecification
+from repro.text import (
+    MATCH_ALL,
+    MatchAll,
+    TextCapability,
+    matches,
+    parse_pattern,
+    rewrite_text_pattern,
+)
+from repro.text.patterns import AndPat, NearPat, OrPat, Word
+
+
+class TestMatchAll:
+    def test_matches_everything(self):
+        assert matches(MATCH_ALL, "anything at all")
+        assert matches(MATCH_ALL, "")
+
+    def test_inside_compounds(self):
+        assert matches(AndPat((MATCH_ALL, Word("java"))), "java time")
+        assert not matches(AndPat((MATCH_ALL, Word("java"))), "no match")
+        assert matches(OrPat((MATCH_ALL, Word("java"))), "no match")
+
+    def test_str(self):
+        assert str(MATCH_ALL) == "*any*"
+
+
+class TestStopwords:
+    CAP = TextCapability(stopwords=frozenset({"the", "of", "a"}))
+
+    def test_stopword_word_becomes_match_all(self):
+        result = rewrite_text_pattern(Word("the"), self.CAP)
+        assert isinstance(result.pattern, MatchAll)
+        assert not result.exact
+
+    def test_and_drops_stopword_parts(self):
+        result = rewrite_text_pattern(parse_pattern("the (and) java"), self.CAP)
+        assert result.pattern == Word("java")
+        assert not result.exact
+
+    def test_or_with_stopword_collapses_entirely(self):
+        # Dropping only the stopword disjunct would NARROW the query.
+        result = rewrite_text_pattern(parse_pattern("the (or) java"), self.CAP)
+        assert isinstance(result.pattern, MatchAll)
+        assert not result.exact
+
+    def test_near_drops_stopword_anchor(self):
+        result = rewrite_text_pattern(parse_pattern("java (near) the"), self.CAP)
+        assert result.pattern == Word("java")
+
+    def test_all_stopwords_collapse(self):
+        result = rewrite_text_pattern(parse_pattern("the (and) of"), self.CAP)
+        assert isinstance(result.pattern, MatchAll)
+
+    def test_phrase_skips_stopwords(self):
+        cap = TextCapability(supports_phrase=False, stopwords=frozenset({"of"}))
+        result = rewrite_text_pattern(parse_pattern('"mining of data"'), cap)
+        assert isinstance(result.pattern, NearPat)
+        assert result.pattern.words() == frozenset({"mining", "data"})
+
+    def test_subsumption_property(self):
+        texts = ["the java guide", "java", "guide to the rest", ""]
+        for raw in ("the (and) java", "java (near) the", "the (or) java"):
+            original = parse_pattern(raw)
+            relaxed = rewrite_text_pattern(original, self.CAP).pattern
+            for text in texts:
+                if matches(original, text):
+                    assert matches(relaxed, text), (raw, text)
+
+
+class TestBoundedWindow:
+    def test_wide_near_relaxes_to_and(self):
+        cap = TextCapability(max_near_window=3)
+        result = rewrite_text_pattern(parse_pattern("java (near/8) jdk"), cap)
+        assert isinstance(result.pattern, AndPat)
+        assert not result.exact
+
+    def test_narrow_near_kept_exact(self):
+        cap = TextCapability(max_near_window=3)
+        result = rewrite_text_pattern(parse_pattern("java (near/2) jdk"), cap)
+        assert isinstance(result.pattern, NearPat)
+        assert result.exact
+
+    def test_boundary_window(self):
+        cap = TextCapability(max_near_window=5)
+        result = rewrite_text_pattern(parse_pattern("java (near/5) jdk"), cap)
+        assert isinstance(result.pattern, NearPat)
+        assert result.exact
+
+
+class TestRuleIntegration:
+    def _spec(self, capability):
+        return MappingSpecification(
+            "K_txt",
+            "txt",
+            rules=(
+                rule(
+                    "Rt",
+                    patterns=[cpat("body", "contains", V("P1"))],
+                    let={"RW": _rewriter(capability)},
+                    emit=lambda b: _contains_or_true("text", b["RW"]),
+                    exact=lambda b: b["RW"].exact,
+                ),
+            ),
+        )
+
+    def test_all_stopword_pattern_maps_to_true(self):
+        spec = self._spec(TextCapability(stopwords=frozenset({"the"})))
+        q = parse_query("[body contains the]")
+        assert tdqm(q, spec) is TRUE
+
+    def test_partial_stopword_pattern_keeps_rest(self):
+        spec = self._spec(TextCapability(stopwords=frozenset({"the"})))
+        q = parse_query("[body contains the (and) java]")
+        assert to_text(tdqm(q, spec)) == "[text contains java]"
+
+    def test_or_with_stopword_maps_to_true(self):
+        spec = self._spec(TextCapability(stopwords=frozenset({"the"})))
+        q = parse_query("[body contains the (or) java]")
+        assert tdqm(q, spec) is TRUE

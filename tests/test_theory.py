@@ -1,0 +1,194 @@
+"""Tests for the constraint theory and mapping minimizer (repro.core.theory)."""
+
+import pytest
+
+from repro.core.ast import FALSE, C, Constraint, attr, conj, disj
+from repro.core.parser import parse_query
+from repro.core.printer import to_text
+from repro.core.theory import (
+    conjunction_satisfiable,
+    constraint_implies,
+    query_implies,
+    simplify_query,
+)
+from repro.core.values import Month, Year
+from repro.text import parse_pattern
+
+
+class TestConstraintImplies:
+    def test_identity(self):
+        c = C("a", "=", 5)
+        assert constraint_implies(c, c)
+
+    def test_numeric_equality_implies_bounds(self):
+        assert constraint_implies(C("a", "=", 5), C("a", ">=", 3))
+        assert constraint_implies(C("a", "=", 5), C("a", "<", 9))
+        assert not constraint_implies(C("a", "=", 5), C("a", ">", 5))
+        assert constraint_implies(C("a", "=", 5), C("a", ">=", 5))
+
+    def test_interval_containment(self):
+        assert constraint_implies(C("a", ">", 5), C("a", ">", 3))
+        assert constraint_implies(C("a", ">", 5), C("a", ">=", 5))
+        assert not constraint_implies(C("a", ">=", 5), C("a", ">", 5))
+        assert constraint_implies(C("a", "<=", 2), C("a", "<", 3))
+
+    def test_different_attributes_never_related(self):
+        assert not constraint_implies(C("a", "=", 5), C("b", ">=", 3))
+
+    def test_equality_implies_membership(self):
+        assert constraint_implies(C("d", "=", "cs"), C("d", "in", ("cs", "ee")))
+        assert not constraint_implies(C("d", "=", "me"), C("d", "in", ("cs", "ee")))
+
+    def test_membership_subset(self):
+        assert constraint_implies(C("d", "in", ("cs",)), C("d", "in", ("cs", "ee")))
+        assert not constraint_implies(C("d", "in", ("cs", "me")), C("d", "in", ("cs", "ee")))
+
+    def test_equality_implies_inequality(self):
+        assert constraint_implies(C("a", "=", "x"), C("a", "!=", "y"))
+        assert not constraint_implies(C("a", "=", "x"), C("a", "!=", "X"))
+
+    def test_prefix_chain(self):
+        assert constraint_implies(C("t", "starts", "jdk for"), C("t", "starts", "jdk"))
+        assert not constraint_implies(C("t", "starts", "jdk"), C("t", "starts", "jdk for"))
+
+    def test_equality_implies_prefix(self):
+        assert constraint_implies(C("t", "=", "jdk for java"), C("t", "starts", "jdk"))
+
+    def test_month_implies_year(self):
+        may = C("pdate", "during", Month(1997, 5))
+        year = C("pdate", "during", Year(1997))
+        assert constraint_implies(may, year)
+        assert not constraint_implies(year, may)
+        assert not constraint_implies(may, C("pdate", "during", Year(1996)))
+
+    def test_contains_word_subset(self):
+        both = C("ti", "contains", parse_pattern("java (and) jdk"))
+        one = C("ti", "contains", parse_pattern("java"))
+        assert constraint_implies(both, one)
+        assert not constraint_implies(one, both)
+
+    def test_near_implies_and(self):
+        near = C("ti", "contains", parse_pattern("java (near) jdk"))
+        both = C("ti", "contains", parse_pattern("java (and) jdk"))
+        assert constraint_implies(near, both)
+
+    def test_phrase_implies_words(self):
+        phrase = C("ti", "contains", parse_pattern('"data mining"'))
+        word = C("ti", "contains", parse_pattern("mining"))
+        assert constraint_implies(phrase, word)
+
+    def test_or_pattern_guarantees_nothing(self):
+        either = C("ti", "contains", parse_pattern("java (or) jdk"))
+        one = C("ti", "contains", parse_pattern("java"))
+        assert not constraint_implies(either, one)
+
+    def test_joins_only_syntactic(self):
+        j1 = Constraint(attr("a.x"), "=", attr("b.y"))
+        j2 = Constraint(attr("a.x"), "=", attr("b.z"))
+        assert constraint_implies(j1, j1)
+        assert not constraint_implies(j1, j2)
+
+
+class TestSatisfiability:
+    def test_conflicting_equalities(self):
+        assert not conjunction_satisfiable([C("a", "=", 1), C("a", "=", 4)])
+        assert not conjunction_satisfiable([C("a", "=", "x"), C("a", "=", "y")])
+
+    def test_empty_interval(self):
+        assert not conjunction_satisfiable([C("a", ">", 5), C("a", "<", 3)])
+        assert not conjunction_satisfiable([C("a", ">", 5), C("a", "<=", 5)])
+
+    def test_touching_bounds_ok(self):
+        assert conjunction_satisfiable([C("a", ">=", 5), C("a", "<=", 5)])
+
+    def test_equality_vs_exclusion(self):
+        assert not conjunction_satisfiable([C("a", "=", "x"), C("a", "!=", "x")])
+        assert conjunction_satisfiable([C("a", "=", "x"), C("a", "!=", "y")])
+
+    def test_equality_vs_membership(self):
+        assert not conjunction_satisfiable([C("a", "=", "me"), C("a", "in", ("cs", "ee"))])
+        assert conjunction_satisfiable([C("a", "=", "cs"), C("a", "in", ("cs", "ee"))])
+
+    def test_disjoint_periods(self):
+        assert not conjunction_satisfiable(
+            [C("d", "during", Month(1997, 5)), C("d", "during", Month(1997, 6))]
+        )
+        assert conjunction_satisfiable(
+            [C("d", "during", Month(1997, 5)), C("d", "during", Year(1997))]
+        )
+        assert not conjunction_satisfiable(
+            [C("d", "during", Month(1997, 5)), C("d", "during", Year(1998))]
+        )
+
+    def test_different_attributes_independent(self):
+        assert conjunction_satisfiable([C("a", "=", 1), C("b", "=", 4)])
+
+    def test_view_instances_kept_apart(self):
+        c1 = Constraint(attr("fac[1].ln"), "=", "A")
+        c2 = Constraint(attr("fac[2].ln"), "=", "B")
+        assert conjunction_satisfiable([c1, c2])
+
+
+class TestSimplifyQuery:
+    def test_drop_entailed_conjunct(self):
+        q = parse_query("[a = 5] and [a >= 3] and [b = 1]")
+        assert to_text(simplify_query(q)) == "[a = 5] and [b = 1]"
+
+    def test_unsat_conjunction_is_false(self):
+        q = parse_query("[a = 1] and [a = 4]")
+        assert simplify_query(q) is FALSE
+
+    def test_month_absorbs_year(self):
+        q = parse_query("[pdate during 97] and [pdate during May/97]")
+        assert to_text(simplify_query(q)) == "[pdate during May/97]"
+
+    def test_absorption_in_disjunction(self):
+        q = parse_query("[a = 1] or ([a = 1] and [b = 2])")
+        assert to_text(simplify_query(q)) == "[a = 1]"
+
+    def test_theory_absorption_in_disjunction(self):
+        q = parse_query("[a >= 3] or [a = 5]")
+        assert to_text(simplify_query(q)) == "[a >= 3]"
+
+    def test_unsat_disjunct_disappears(self):
+        q = parse_query("([a = 1] and [a = 2]) or [b = 3]")
+        assert to_text(simplify_query(q)) == "[b = 3]"
+
+    def test_untouched_when_independent(self):
+        q = parse_query("([a = 1] or [b = 2]) and [c = 3]")
+        assert simplify_query(q) == q
+
+    def test_mutual_entailment_keeps_one(self):
+        q = conj([C("d", "=", "cs"), C("d", "in", ("cs",))])
+        simplified = simplify_query(q)
+        assert simplified in (C("d", "=", "cs"), C("d", "in", ("cs",)))
+
+    def test_no_absorb_flag(self):
+        q = parse_query("[a = 1] or ([a = 1] and [b = 2])")
+        assert simplify_query(q, absorb=False) == q
+
+    def test_nested_structure(self):
+        q = parse_query(
+            "([a = 5] and [a >= 3] and ([b = 1] or [c = 2])) or ([a = 9] and [a = 8])"
+        )
+        simplified = simplify_query(q)
+        assert to_text(simplified) == "[a = 5] and ([b = 1] or [c = 2])"
+
+
+class TestQueryImplies:
+    def test_conjunct_weakening(self):
+        narrow = parse_query("[a = 5] and [b = 1]")
+        broad = parse_query("[a >= 3]")
+        assert query_implies(narrow, broad)
+        assert not query_implies(broad, narrow)
+
+    def test_disjunction_direction(self):
+        assert query_implies(parse_query("[a = 1]"), parse_query("[a = 1] or [b = 2]"))
+
+    def test_conflicting_narrow_implies_anything(self):
+        narrow = parse_query("[a = 1] and [a = 2]")
+        assert query_implies(narrow, parse_query("[z = 9]"))
+
+    def test_atom_limit(self):
+        narrow = conj([C(f"x{i}", "=", 1) for i in range(20)])
+        assert not query_implies(narrow, C("x0", "=", 1), limit=10)

@@ -1,0 +1,121 @@
+"""Property tests: the constraint theory is sound w.r.t. evaluation.
+
+If :func:`constraint_implies` claims ``c1 ⟹ c2``, then every row the
+engine accepts for ``c1`` must also satisfy ``c2``; if
+:func:`conjunction_satisfiable` says "provably unsatisfiable", no row may
+satisfy all constraints; and :func:`simplify_query` must preserve the
+selected set exactly.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.ast import C, Query, conj, disj
+from repro.core.theory import (
+    conjunction_satisfiable,
+    constraint_implies,
+    simplify_query,
+)
+from repro.core.values import Month, Year
+from repro.engine.eval import evaluate_row
+
+ATTRS = ("a", "b")
+OPS = ("=", "!=", "<", "<=", ">", ">=")
+
+
+def random_constraint(rng: random.Random):
+    attr_name = rng.choice(ATTRS)
+    roll = rng.random()
+    if roll < 0.7:
+        return C(attr_name, rng.choice(OPS), rng.randint(0, 6))
+    if roll < 0.8:
+        return C(attr_name, "in", tuple(sorted({rng.randint(0, 6) for _ in range(2)})))
+    if roll < 0.9:
+        return C(attr_name, "=", rng.choice(["x", "y", "z"]))
+    period = Month(1997, rng.randint(1, 3)) if rng.random() < 0.5 else Year(1997)
+    return C(attr_name, "during", period)
+
+
+def random_rows(rng: random.Random) -> list[dict]:
+    from repro.core.values import Date
+
+    rows = []
+    for a in range(-1, 8):
+        for b in ("x", "y", 0, 3, 6):
+            rows.append({"a": a, "b": b})
+    for month in (1, 2, 3, 7):
+        rows.append({"a": Date(1997, month), "b": Date(1996, month)})
+    return rows
+
+
+def _safe_eval(constraint, row) -> bool | None:
+    from repro.core.errors import EvaluationError
+
+    try:
+        return evaluate_row(constraint, row)
+    except EvaluationError:
+        return None  # incomparable types for this row: skip
+
+
+@settings(max_examples=200, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=100_000))
+def test_constraint_implies_is_sound(seed):
+    rng = random.Random(seed)
+    c1 = random_constraint(rng)
+    c2 = random_constraint(rng)
+    if not constraint_implies(c1, c2):
+        return
+    for row in random_rows(rng):
+        v1 = _safe_eval(c1, row)
+        v2 = _safe_eval(c2, row)
+        if v1 is True:
+            assert v2 is True, (str(c1), str(c2), row)
+
+
+@settings(max_examples=200, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=100_000))
+def test_unsat_verdicts_are_sound(seed):
+    rng = random.Random(seed)
+    constraints = [random_constraint(rng) for _ in range(rng.randint(2, 4))]
+    if conjunction_satisfiable(constraints):
+        return
+    for row in random_rows(rng):
+        values = [_safe_eval(c, row) for c in constraints]
+        assert not all(v is True for v in values), (
+            [str(c) for c in constraints],
+            row,
+        )
+
+
+@settings(max_examples=150, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=100_000))
+def test_simplify_preserves_selected_set(seed):
+    rng = random.Random(seed)
+
+    def build(depth: int) -> Query:
+        if depth >= 2 or rng.random() < 0.4:
+            return random_constraint(rng)
+        parts = [build(depth + 1) for _ in range(rng.randint(2, 3))]
+        return conj(parts) if rng.random() < 0.5 else disj(parts)
+
+    query = build(0)
+    simplified = simplify_query(query)
+    for row in random_rows(rng):
+        original = _eval_query(query, row)
+        reduced = _eval_query(simplified, row)
+        if original is None or reduced is None:
+            continue
+        assert original == reduced, (str(query), str(simplified), row)
+
+
+def _eval_query(query, row) -> bool | None:
+    from repro.core.errors import EvaluationError
+
+    try:
+        return evaluate_row(query, row)
+    except EvaluationError:
+        return None

@@ -1,0 +1,73 @@
+"""Unit tests for structured values (repro.core.values)."""
+
+import pytest
+
+from repro.core.values import Date, Month, Point, Range, Year, month_name
+
+
+class TestMonthName:
+    def test_known_months(self):
+        assert month_name(1) == "Jan"
+        assert month_name(5) == "May"
+        assert month_name(12) == "Dec"
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            month_name(0)
+        with pytest.raises(ValueError):
+            month_name(13)
+
+
+class TestDate:
+    def test_ordering(self):
+        assert Date(1997, 5, 1) < Date(1997, 6, 1) < Date(1998, 1, 1)
+
+    def test_str(self):
+        assert str(Date(1997, 5, 3)) == "1997-05-03"
+
+
+class TestYearPeriod:
+    def test_covers_date(self):
+        assert Year(1997).covers(Date(1997, 5))
+        assert not Year(1997).covers(Date(1996, 12))
+
+    def test_covers_bare_year(self):
+        assert Year(1997).covers(1997)
+        assert not Year(1997).covers(1998)
+
+    def test_paper_rendering(self):
+        assert str(Year(1997)) == "97"
+
+
+class TestMonthPeriod:
+    def test_covers(self):
+        period = Month(1997, 5)
+        assert period.covers(Date(1997, 5, 20))
+        assert not period.covers(Date(1997, 6, 1))
+        assert not period.covers(Date(1996, 5, 1))
+
+    def test_paper_rendering(self):
+        assert str(Month(1997, 5)) == "May/97"
+
+
+class TestRange:
+    def test_contains_boundaries(self):
+        r = Range(10, 30)
+        assert r.contains(10) and r.contains(30) and r.contains(20)
+        assert not r.contains(9.99) and not r.contains(31)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Range(5, 1)
+
+    def test_paper_rendering(self):
+        assert str(Range(10, 30)) == "(10:30)"
+        assert str(Range(1.5, 2.25)) == "(1.5:2.25)"
+
+
+class TestPoint:
+    def test_rendering(self):
+        assert str(Point(10, 20)) == "(10, 20)"
+
+    def test_hashable(self):
+        assert Point(1, 2) in {Point(1, 2)}

@@ -1,0 +1,114 @@
+"""Tests for mechanical spec validation (repro.rules.vocabulary)."""
+
+import pytest
+
+from repro.core.ast import C
+from repro.engine.capabilities import Capability
+from repro.engine.sources_builtin import make_amazon
+from repro.rules import K_AMAZON, MappingSpecification
+from repro.rules.dsl import V, cpat, rule, value_is
+from repro.rules.vocabulary import (
+    AttributeSpec,
+    ContextVocabulary,
+    ValidationReport,
+    validate_spec,
+)
+from repro.text.patterns import NearPat, Word
+
+#: The book view's declared vocabulary, matching Figure 2's constraints.
+BOOK_VOCABULARY = ContextVocabulary(
+    attributes=(
+        AttributeSpec("ln", ("=",), {"=": "Smith"}),
+        AttributeSpec("fn", ("=",), {"=": "John"}),
+        AttributeSpec("ti", ("=", "contains"),
+                      {"=": "jdk for java",
+                       "contains": NearPat((Word("java"), Word("jdk")))}),
+        AttributeSpec("pyear", ("=",), {"=": 1997}),
+        AttributeSpec("pmonth", ("=",), {"=": 5}),
+        AttributeSpec("kwd", ("contains",), {"contains": Word("www")}),
+        AttributeSpec("publisher", ("=",), {"=": "oreilly"}),
+        AttributeSpec("id-no", ("=",), {"=": "081815181Y"}),
+        AttributeSpec("category", ("=",), {"=": "D.3"}),
+    ),
+    groups=(("ln", "fn"), ("pyear", "pmonth")),
+)
+
+
+class TestAttributeSpec:
+    def test_constraints_use_samples(self):
+        spec = AttributeSpec("pyear", ("=", ">"), {"=": 1997})
+        cs = spec.constraints()
+        assert cs[0] == C("pyear", "=", 1997)
+        assert cs[1].op == ">"
+
+    def test_default_samples_per_operator(self):
+        spec = AttributeSpec("x", ("contains", "in", "during", "<"))
+        ops = {c.op: c.rhs for c in spec.constraints()}
+        assert isinstance(ops["contains"], Word)
+        assert isinstance(ops["in"], tuple)
+
+
+class TestValidateAmazon:
+    def test_clean_validation(self):
+        report = validate_spec(
+            K_AMAZON, BOOK_VOCABULARY, make_amazon().capability
+        )
+        assert report.ok, str(report)
+
+    def test_fn_alone_is_expected_gap(self):
+        # fn participates only via the group rule — it is "covered" because
+        # R2 can touch it; a vocabulary WITHOUT ln would flag it.
+        lonely = ContextVocabulary(
+            attributes=(AttributeSpec("fn", ("=",), {"=": "Tom"}),)
+        )
+        report = validate_spec(K_AMAZON, lonely)
+        assert len(report.uncovered) == 1
+        assert not report.ok
+
+    def test_missing_group_rule_detected(self):
+        vocabulary = ContextVocabulary(
+            attributes=(
+                AttributeSpec("ln", ("=",), {"=": "Smith"}),
+                AttributeSpec("pyear", ("=",), {"=": 1997}),
+            ),
+            groups=(("ln", "pyear"),),  # nobody maps this pair jointly
+        )
+        report = validate_spec(K_AMAZON, vocabulary)
+        assert ("ln", "pyear") in report.unmatched_groups
+
+    def test_inexpressible_emission_detected(self):
+        # A broken rule emitting vocabulary Amazon does not support.
+        bad = rule(
+            "R_bad",
+            patterns=[cpat("ln", "=", V("L"))],
+            where=[value_is("L")],
+            emit=lambda b: C("shoe-size", "=", b["L"]),
+        )
+        spec = MappingSpecification("K_bad", "Amazon", rules=(bad,))
+        vocabulary = ContextVocabulary(
+            attributes=(AttributeSpec("ln", ("=",), {"=": "Smith"}),)
+        )
+        report = validate_spec(spec, vocabulary, make_amazon().capability)
+        assert report.inexpressible
+        assert report.inexpressible[0][0] == "R_bad"
+
+    def test_no_capability_skips_expressibility(self):
+        report = validate_spec(K_AMAZON, BOOK_VOCABULARY, capability=None)
+        assert report.inexpressible == ()
+
+    def test_report_str_lists_problems(self):
+        vocabulary = ContextVocabulary(
+            attributes=(AttributeSpec("zzz", ("=",)),),
+            groups=(("zzz",),),
+        )
+        report = validate_spec(K_AMAZON, vocabulary)
+        text = str(report)
+        assert "UNCOVERED" in text and "MISSING RULE" in text
+
+    def test_unknown_attribute_in_group(self):
+        vocabulary = ContextVocabulary(
+            attributes=(AttributeSpec("ln", ("=",)),),
+            groups=(("ln", "ghost"),),
+        )
+        with pytest.raises(KeyError):
+            validate_spec(K_AMAZON, vocabulary)

@@ -1,0 +1,115 @@
+"""Tests for the synthetic workload generators (repro.workloads)."""
+
+import pytest
+
+from repro.core.ast import And, Or
+from repro.core.dnf import dnf_term_count
+from repro.workloads.datasets import (
+    grid_points,
+    random_books,
+    random_papers_and_aubib,
+    random_profs,
+)
+from repro.workloads.generator import (
+    chain_query,
+    dependent_conjunction,
+    random_query,
+    random_spec,
+    simple_conjunction,
+    synthetic_spec,
+    vocabulary,
+)
+
+
+class TestVocabularyAndSpecs:
+    def test_vocabulary(self):
+        assert vocabulary(3) == ["a0", "a1", "a2"]
+
+    def test_synthetic_spec_rules(self):
+        spec = synthetic_spec([("a0", "a1")], singletons=["a2"])
+        assert {r.name for r in spec.rules} == {"R_a0_a1", "R_a2"}
+
+    def test_group_rule_matches_jointly(self):
+        from repro.core.ast import C
+
+        spec = synthetic_spec([("a0", "a1")])
+        matcher = spec.matcher()
+        both = matcher.matchings([C("a0", "=", 1), C("a1", "=", 2)])
+        assert len(both) == 1
+        assert both[0].emission.rhs == "1|2"
+        assert matcher.matchings([C("a0", "=", 1)]) == []
+
+    def test_random_spec_deterministic(self):
+        attrs = vocabulary(6)
+        a = random_spec(attrs, 3, seed=5)
+        b = random_spec(attrs, 3, seed=5)
+        assert [r.name for r in a.rules] == [r.name for r in b.rules]
+
+
+class TestQueryGenerators:
+    def test_random_query_deterministic(self):
+        attrs = vocabulary(6)
+        assert random_query(attrs, seed=3) == random_query(attrs, seed=3)
+
+    def test_random_query_constraint_budget(self):
+        attrs = vocabulary(6)
+        q = random_query(attrs, seed=1, n_constraints=10)
+        assert 1 <= len(list(q.iter_constraints())) <= 14
+
+    def test_simple_conjunction(self):
+        q = simple_conjunction(vocabulary(4), 0)
+        assert isinstance(q, And)
+        assert len(q.children) == 4
+
+    def test_chain_query_shape(self):
+        q = chain_query(5)
+        assert isinstance(q, And)
+        assert all(isinstance(child, Or) for child in q.children)
+        assert dnf_term_count(q) == 2**5
+
+    def test_dependent_conjunction_degree_zero(self):
+        q, spec = dependent_conjunction(3, 3, 0, seed=1)
+        assert isinstance(q, And)
+        assert all(r.name.startswith("R_") for r in spec.rules)
+        # No pair rules: every rule has a single pattern.
+        assert all(len(r.patterns) == 1 for r in spec.rules)
+
+    def test_dependent_conjunction_degree_e(self):
+        q, spec = dependent_conjunction(3, 3, 2, seed=1)
+        pair_rules = [r for r in spec.rules if len(r.patterns) == 2]
+        assert len(pair_rules) == (3 - 1) * 2
+
+    def test_e_cannot_exceed_k(self):
+        with pytest.raises(ValueError):
+            dependent_conjunction(3, 2, 5)
+
+
+class TestDatasets:
+    def test_random_books_shape(self):
+        rows = random_books(10, seed=1)
+        assert len(rows) == 10
+        assert set(rows[0]) == {
+            "title", "author", "year", "month", "publisher", "isbn", "subject",
+        }
+
+    def test_random_books_deterministic(self):
+        assert random_books(5, seed=2) == random_books(5, seed=2)
+
+    def test_papers_and_aubib_consistent(self):
+        papers, aubib = random_papers_and_aubib(5, papers_per_author=2, seed=1)
+        names = {a["name"] for a in aubib}
+        assert len(aubib) == 5
+        assert len(papers) == 10
+        assert all(p["au"] in names for p in papers)
+
+    def test_profs_overlap_aubib(self):
+        _, aubib = random_papers_and_aubib(6, seed=2)
+        profs = random_profs(aubib, seed=3)
+        aubib_lasts = {a["name"].split(",")[0] for a in aubib}
+        overlapping = [p for p in profs if p["ln"] in aubib_lasts]
+        assert overlapping  # the fac join is non-empty
+
+    def test_grid_points(self):
+        points = grid_points(step=10, limit=30)
+        assert len(points) == 9
+        assert {"id", "x", "y"} == set(points[0])
