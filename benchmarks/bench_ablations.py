@@ -13,7 +13,7 @@
   non-compact: Disjunctivize cascades into a full DNF conversion.
 """
 
-import time
+from obs_harness import best_of
 
 from repro.core.ast import conj, disj
 from repro.core.matching import Matcher, match_rule
@@ -83,12 +83,7 @@ def test_ablate_prematch_cache(benchmark, report):
     query = qbook()
 
     def timed(matcher_factory):
-        best = float("inf")
-        for _ in range(5):
-            start = time.perf_counter()
-            tdqm_translate(query, matcher_factory())
-            best = min(best, time.perf_counter() - start)
-        return best
+        return best_of(lambda: tdqm_translate(query, matcher_factory()))
 
     cached = timed(K_AMAZON.matcher)
     uncached = timed(lambda: NoCacheMatcher(K_AMAZON.rules))
@@ -114,12 +109,10 @@ def test_ablate_ednf(benchmark, report):
         conjuncts = list(query.children)
 
         def timed(use_ednf):
-            best = float("inf")
-            for _ in range(3):
-                start = time.perf_counter()
-                psafe(conjuncts, spec.matcher(), use_ednf=use_ednf)
-                best = min(best, time.perf_counter() - start)
-            return best
+            return best_of(
+                lambda: psafe(conjuncts, spec.matcher(), use_ednf=use_ednf),
+                repeat=3,
+            )
 
         same = (
             psafe(conjuncts, spec.matcher()).blocks

@@ -7,7 +7,7 @@ plus the PSafe partition character.  A compact, reproducible restatement
 of Sections 5, 6, and 8 in a single view.
 """
 
-import time
+from obs_harness import best_of
 
 from repro.core.ast import And
 from repro.core.dnf_mapper import dnf_map
@@ -41,12 +41,7 @@ def _workloads():
 
 
 def _time(fn, repeat=3):
-    best = float("inf")
-    for _ in range(repeat):
-        start = time.perf_counter()
-        fn()
-        best = min(best, time.perf_counter() - start)
-    return best * 1e3
+    return best_of(fn, repeat=repeat) * 1e3
 
 
 def test_algorithm_matrix(benchmark, report):

@@ -3,9 +3,12 @@
 Runs the full mediation pipeline (translate -> execute natively ->
 convert -> filter) on randomized bookstore and faculty datasets, timing
 the mediated path and verifying it returns exactly the direct answer.
+Per-query wall-clock, rows, and pipeline counters (rows scanned/emitted
+per source, post-filter selectivity) go to ``BENCH_mediator_*.json``.
 """
 
 import pytest
+from obs_harness import BenchRecorder, best_of, traced
 
 from repro.core.parser import parse_query
 from repro.core.printer import to_text
@@ -25,6 +28,24 @@ BOOK_QUERIES = [
 ]
 
 
+def _record_queries(recorder, mediator, queries):
+    """One trajectory point per query: wall-clock + pipeline counters."""
+    for query in queries:
+        seconds = best_of(lambda q=query: mediator.answer_mediated(q), repeat=3)
+        answer, counters = traced(lambda q=query: mediator.answer_mediated(q))
+        candidates = counters.get("mediator.filter_candidates", 0)
+        recorder.add(
+            query=to_text(query),
+            seconds=seconds,
+            rows=len(answer.rows),
+            rows_scanned=counters.get("source.rows_scanned", 0),
+            rows_emitted=counters.get("source.rows_emitted", 0),
+            filter_selectivity=(
+                round(len(answer.rows) / candidates, 4) if candidates else None
+            ),
+        )
+
+
 @pytest.mark.parametrize("n_books", [50, 200])
 def test_bookstore_pipeline(benchmark, report, n_books):
     mediator = bookstore_mediator("amazon", rows=random_books(n_books, seed=13))
@@ -42,6 +63,12 @@ def test_bookstore_pipeline(benchmark, report, n_books):
             f"  {to_text(query)[:58]:<60} rows={len(answer.rows):>4}  "
             f"F={to_text(answer.plan.filter)[:40]}"
         )
+    recorder = BenchRecorder(
+        f"mediator_bookstore_{n_books}",
+        f"Eq.1 == Eq.2: Amazon bookstore, {n_books} books",
+    )
+    _record_queries(recorder, mediator, queries)
+    recorder.write(n_books=n_books)
     report(f"Eq.1 == Eq.2: Amazon bookstore, {n_books} books", rows)
 
 
@@ -68,4 +95,9 @@ def test_faculty_pipeline(benchmark, report):
         rows.append(
             f"  {to_text(query)[:58]:<60} rows={len(answer.rows):>4}"
         )
+    recorder = BenchRecorder(
+        "mediator_faculty", "Eq.1 == Eq.2: faculty mediator (T1 + T2)"
+    )
+    _record_queries(recorder, mediator, queries)
+    recorder.write()
     report("Eq.1 == Eq.2: faculty mediator (T1 + T2), randomized data", rows)

@@ -5,8 +5,6 @@ sane as data grows: translation cost is independent of store size, and
 mediated answering stays proportional to the native result volume.
 """
 
-import time
-
 import pytest
 
 from repro.core.parser import parse_query

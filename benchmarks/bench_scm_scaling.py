@@ -4,12 +4,13 @@ Sweeps the number of query constraints N (at fixed rule count) and the
 number of rules R (at fixed N), timing Algorithm SCM including the rule
 prematch.  The recorded table shows time growing roughly linearly — the
 time-per-unit column should stay flat — while the quadratic M term stays
-invisible because realistic matchings are sparse.
+invisible because realistic matchings are sparse.  Each sweep also
+writes a machine-readable ``BENCH_scm_scaling_*.json`` trajectory
+(wall-clock plus the matcher's own work counters) via the obs harness.
 """
 
-import time
-
 import pytest
+from obs_harness import BenchRecorder, best_of, traced
 
 from repro.core.scm import scm
 from repro.workloads.generator import simple_conjunction, synthetic_spec, vocabulary
@@ -23,24 +24,24 @@ def _spec_with_rules(r_count: int):
     return synthetic_spec([], singletons=attrs, name=f"K_{r_count}")
 
 
-def _time(fn, repeat: int = 5) -> float:
-    best = float("inf")
-    for _ in range(repeat):
-        start = time.perf_counter()
-        fn()
-        best = min(best, time.perf_counter() - start)
-    return best
-
-
 def test_scm_linear_in_n(benchmark, report):
     spec = _spec_with_rules(128)
     rows = ["   N    time(ms)   time/N (us)"]
     times = {}
+    recorder = BenchRecorder("scm_scaling_n", "Section 4.4: SCM time vs N (R = 128)")
     for n in N_SWEEP:
         query = simple_conjunction(vocabulary(n), 0)
-        elapsed = _time(lambda q=query: scm(q, spec.matcher()))
+        elapsed = best_of(lambda q=query: scm(q, spec.matcher()))
+        _, counters = traced(lambda q=query: scm(q, spec.matcher()))
         times[n] = elapsed
         rows.append(f"{n:>4}    {elapsed * 1e3:8.3f}   {elapsed / n * 1e6:10.2f}")
+        recorder.add(
+            n=n,
+            seconds=elapsed,
+            matchings=counters.get("matcher.matchings", 0),
+            suppressed=counters.get("scm.submatchings_suppressed", 0),
+        )
+    recorder.write(rules=128)
     report("Section 4.4: SCM time vs N (R = 128 rules)", rows)
     # Shape check: doubling N should not cost anything near quadratic.
     assert times[128] < times[4] * (128 / 4) ** 1.7
@@ -53,11 +54,20 @@ def test_scm_linear_in_r(benchmark, report):
     query = simple_conjunction(vocabulary(16), 0)
     rows = ["   R    time(ms)   time/R (us)"]
     times = {}
+    recorder = BenchRecorder("scm_scaling_r", "Section 4.4: SCM time vs R (N = 16)")
     for r in R_SWEEP:
         spec = _spec_with_rules(r)
-        elapsed = _time(lambda s=spec: scm(query, s.matcher()))
+        elapsed = best_of(lambda s=spec: scm(query, s.matcher()))
+        _, counters = traced(lambda s=spec: scm(query, s.matcher()))
         times[r] = elapsed
         rows.append(f"{r:>4}    {elapsed * 1e3:8.3f}   {elapsed / r * 1e6:10.2f}")
+        recorder.add(
+            r=r,
+            seconds=elapsed,
+            rules_tried=counters.get("matcher.rules_tried", 0),
+            matchings=counters.get("matcher.matchings", 0),
+        )
+    recorder.write(constraints=16)
     report("Section 4.4: SCM time vs R (N = 16 constraints)", rows)
     assert times[80] < times[5] * (80 / 5) ** 1.7
 

@@ -3,12 +3,13 @@ converts locally and only when necessary.
 
 Times both algorithms on growing independent chain queries (DNF explodes,
 TDQM stays flat) and on random trees with moderate dependencies (both
-correct; TDQM cheaper and more compact).
+correct; TDQM cheaper and more compact).  The chain sweep writes a
+``BENCH_tdqm_vs_dnf.json`` trajectory pairing wall-clock with the
+algorithms' own work counters (Disjunctivize calls vs DNF terms).
 """
 
-import time
-
 import pytest
+from obs_harness import BenchRecorder, best_of, traced
 
 from repro.core.dnf_mapper import dnf_map
 from repro.core.subsume import prop_equivalent
@@ -23,28 +24,34 @@ from repro.workloads.generator import (
 )
 
 
-def _time(fn, repeat: int = 3) -> float:
-    best = float("inf")
-    for _ in range(repeat):
-        start = time.perf_counter()
-        fn()
-        best = min(best, time.perf_counter() - start)
-    return best
-
-
 def test_wall_clock_crossover(benchmark, report):
     rows = ["   n   TDQM (ms)   DNF (ms)   DNF/TDQM"]
     speedups = {}
+    recorder = BenchRecorder(
+        "tdqm_vs_dnf", "Section 5: wall-clock, TDQM vs Algorithm DNF on (a∨b)^n"
+    )
     for n in (4, 6, 8, 10, 12):
         spec = synthetic_spec([], singletons=vocabulary(2 * n), name=f"K_{n}")
         query = chain_query(n)
-        t_time = _time(lambda: tdqm(query, spec.matcher()))
-        d_time = _time(lambda: dnf_map(query, spec.matcher()))
+        t_time = best_of(lambda: tdqm(query, spec.matcher()), repeat=3)
+        d_time = best_of(lambda: dnf_map(query, spec.matcher()), repeat=3)
+        _, t_counters = traced(lambda: tdqm(query, spec.matcher()))
+        _, d_counters = traced(lambda: dnf_map(query, spec.matcher()))
         speedups[n] = d_time / t_time
         rows.append(
             f"{n:>4}   {t_time * 1e3:>8.2f}   {d_time * 1e3:>8.2f}   "
             f"{d_time / t_time:>8.1f}x"
         )
+        recorder.add(
+            n=n,
+            tdqm_seconds=t_time,
+            dnf_seconds=d_time,
+            disjunctivize_calls=t_counters.get("tdqm.disjunctivize_calls", 0),
+            tdqm_scm_calls=t_counters.get("scm.calls", 0),
+            dnf_terms=d_counters.get("dnf.terms", 0),
+            dnf_scm_calls=d_counters.get("scm.calls", 0),
+        )
+    recorder.write()
     report("Section 5: wall-clock, TDQM vs Algorithm DNF on (a∨b)^n", rows)
     # The gap must widen with n.
     assert speedups[12] > speedups[4]

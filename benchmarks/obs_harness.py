@@ -1,0 +1,70 @@
+"""Shared timing + machine-readable trajectory harness for the benches.
+
+Replaces the copy-pasted ``time.perf_counter()`` loops: every bench gets
+
+* :func:`best_of` — best-of-N wall-clock timing of a callable;
+* :func:`traced` — run a callable under a fresh tracer and return its
+  result together with the aggregate counter set (so benches can record
+  *algorithm* work — matchings, Disjunctivize calls, rows scanned — next
+  to wall-clock numbers);
+* :class:`BenchRecorder` — accumulates measurement points and writes a
+  machine-readable ``benchmarks/results/BENCH_<slug>.json`` trajectory,
+  the artifact regression tooling diffs across commits.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import platform
+import time
+
+from repro.obs import tracing
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+__all__ = ["RESULTS_DIR", "best_of", "traced", "BenchRecorder"]
+
+
+def best_of(fn, repeat: int = 5) -> float:
+    """Best (minimum) wall-clock seconds of ``fn()`` over ``repeat`` runs."""
+    best = float("inf")
+    for _ in range(repeat):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def traced(fn):
+    """Run ``fn()`` under a fresh tracer; return ``(result, counters)``."""
+    with tracing("bench") as tracer:
+        result = fn()
+    return result, dict(sorted(tracer.counters.items()))
+
+
+class BenchRecorder:
+    """Accumulates measurement points for one ``BENCH_<slug>.json`` file."""
+
+    def __init__(self, slug: str, title: str):
+        self.slug = slug
+        self.title = title
+        self.points: list[dict] = []
+
+    def add(self, **point) -> None:
+        """Record one measurement point (arbitrary JSON-compatible fields)."""
+        self.points.append(point)
+
+    def write(self, **extra) -> pathlib.Path:
+        """Write the trajectory to ``results/BENCH_<slug>.json``."""
+        RESULTS_DIR.mkdir(exist_ok=True)
+        payload = {
+            "bench": self.slug,
+            "title": self.title,
+            "python": platform.python_version(),
+            "points": self.points,
+        }
+        payload.update(extra)
+        path = RESULTS_DIR / f"BENCH_{self.slug}.json"
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        return path

@@ -18,6 +18,12 @@ Commands
 
         python -m repro filter K1,K2 '[fac.dept = cs]'
 
+``stats``
+    Run the fully-traced pipeline (translate, filter, execute when the
+    specs name a built-in scenario) and emit the span tree + counter set::
+
+        python -m repro stats K_Amazon '[ln = "Clancy"] and [fn = "Tom"]' --json
+
 ``specs``
     List the built-in mapping specifications and their rules.
 
@@ -25,19 +31,26 @@ Commands
     Report which of a query's constraints no rule can touch::
 
         python -m repro audit K_Amazon '[ln = "x"] and [shoe-size = 9]'
+
+Every command additionally accepts ``--trace`` (print the span tree to
+stderr) and ``--stats`` (print the aggregate counters to stderr); see
+``docs/observability.md`` for the counter glossary.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.core.errors import VocabMapError
 from repro.core.explain import explain_translation
 from repro.core.filters import build_filter
+from repro.core.json_io import query_to_json
 from repro.core.parser import parse_query
 from repro.core.printer import to_text
 from repro.core.tdqm import tdqm_translate
+from repro.obs import counters_table, current_tracer, render_span, tracing
 from repro.rules import audit_vocabulary, builtin_specifications
 
 __all__ = ["main", "build_arg_parser"]
@@ -45,8 +58,6 @@ __all__ = ["main", "build_arg_parser"]
 
 def _spec(name: str, spec_file: str | None = None):
     if spec_file is not None:
-        import json
-
         from repro.rules.declarative import spec_from_dict
 
         with open(spec_file) as handle:
@@ -69,9 +80,27 @@ def _spec(name: str, spec_file: str | None = None):
     return specs[name]
 
 
+def _json_counters(payload: dict) -> dict:
+    """Attach the active tracer's counters to a ``--json`` payload."""
+    tracer = current_tracer()
+    if tracer is not None:
+        payload["counters"] = dict(sorted(tracer.counters.items()))
+    return payload
+
+
 def _cmd_translate(args) -> int:
     query = parse_query(args.query)
     result = tdqm_translate(query, _spec(args.spec, args.spec_file))
+    if args.json:
+        payload = {
+            "spec": args.spec,
+            "query": to_text(query),
+            "mapping": query_to_json(result.mapping),
+            "mapping_text": to_text(result.mapping),
+            "exact": result.exact,
+        }
+        print(json.dumps(_json_counters(payload), indent=2, sort_keys=True))
+        return 0
     print(to_text(result.mapping))
     if args.verbose:
         print(f"exact: {result.exact}", file=sys.stderr)
@@ -88,9 +117,44 @@ def _cmd_filter(args) -> int:
     query = parse_query(args.query)
     specs = {name: _spec(name) for name in args.specs.split(",")}
     plan = build_filter(query, specs)
+    if args.json:
+        payload = {
+            "query": to_text(query),
+            "mappings": {
+                name: {
+                    "text": to_text(mapping),
+                    "json": query_to_json(mapping),
+                }
+                for name, mapping in sorted(plan.mappings.items())
+            },
+            "filter": {
+                "text": to_text(plan.filter),
+                "json": query_to_json(plan.filter),
+            },
+        }
+        print(json.dumps(_json_counters(payload), indent=2, sort_keys=True))
+        return 0
     for name in sorted(plan.mappings):
         print(f"S({name}) = {to_text(plan.mappings[name])}")
     print(f"F = {to_text(plan.filter)}")
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    from repro.obs.stats import (
+        builtin_mediator,
+        collect_stats,
+        render_stats,
+        stats_to_dict,
+    )
+
+    specs = {name: _spec(name, args.spec_file) for name in args.spec.split(",")}
+    mediator = None if args.no_execute else builtin_mediator(set(specs))
+    report = collect_stats(args.query, specs, mediator)
+    if args.json:
+        print(json.dumps(stats_to_dict(report), indent=2, sort_keys=True))
+    else:
+        print(render_stats(report))
     return 0
 
 
@@ -113,6 +177,19 @@ def _cmd_audit(args) -> int:
     return 0 if not report.uncovered else 1
 
 
+def _add_obs_flags(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--trace",
+        action="store_true",
+        help="print the span tree (per-stage wall-times) to stderr",
+    )
+    p.add_argument(
+        "--stats",
+        action="store_true",
+        help="print the aggregate counters to stderr",
+    )
+
+
 def build_arg_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -125,27 +202,49 @@ def build_arg_parser() -> argparse.ArgumentParser:
     p.add_argument("query", help="query in the paper's textual notation")
     p.add_argument("-v", "--verbose", action="store_true")
     p.add_argument("-f", "--spec-file", help="load the spec from a declarative JSON file")
+    p.add_argument("--json", action="store_true", help="emit the mapping as JSON")
+    _add_obs_flags(p)
     p.set_defaults(fn=_cmd_translate)
 
     p = sub.add_parser("explain", help="narrate the TDQM run")
     p.add_argument("spec")
     p.add_argument("query")
     p.add_argument("-f", "--spec-file", help="load the spec from a declarative JSON file")
+    _add_obs_flags(p)
     p.set_defaults(fn=_cmd_explain)
 
     p = sub.add_parser("filter", help="per-source mappings + residue filter")
     p.add_argument("specs", help="comma-separated specification names")
     p.add_argument("query")
+    p.add_argument("--json", action="store_true", help="emit mappings + filter as JSON")
+    _add_obs_flags(p)
     p.set_defaults(fn=_cmd_filter)
+
+    p = sub.add_parser(
+        "stats", help="traced pipeline report: span tree + counter set"
+    )
+    p.add_argument("spec", help="specification name(s), comma-separated")
+    p.add_argument("query")
+    p.add_argument("-f", "--spec-file", help="load the spec from a declarative JSON file")
+    p.add_argument("--json", action="store_true", help="emit the report as JSON")
+    p.add_argument(
+        "--no-execute",
+        action="store_true",
+        help="skip executing the built-in simulated sources",
+    )
+    _add_obs_flags(p)
+    p.set_defaults(fn=_cmd_stats)
 
     p = sub.add_parser("specs", help="list built-in specifications")
     p.add_argument("-v", "--verbose", action="store_true")
+    _add_obs_flags(p)
     p.set_defaults(fn=_cmd_specs)
 
     p = sub.add_parser("audit", help="flag constraints no rule can touch")
     p.add_argument("spec")
     p.add_argument("query")
     p.add_argument("-f", "--spec-file", help="load the spec from a declarative JSON file")
+    _add_obs_flags(p)
     p.set_defaults(fn=_cmd_audit)
 
     return parser
@@ -155,8 +254,22 @@ def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_arg_parser()
     args = parser.parse_args(argv)
+    want_trace = getattr(args, "trace", False)
+    want_stats = getattr(args, "stats", False)
     try:
-        return args.fn(args)
+        if not (want_trace or want_stats):
+            return args.fn(args)
+        with tracing(f"repro.{args.command}") as tracer:
+            code = args.fn(args)
+        if want_trace:
+            print("spans:", file=sys.stderr)
+            for line in render_span(tracer.root):
+                print("  " + line, file=sys.stderr)
+        if want_stats:
+            print("counters:", file=sys.stderr)
+            for line in counters_table(tracer):
+                print("  " + line, file=sys.stderr)
+        return code
     except VocabMapError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -19,6 +19,7 @@ from repro.core.dnf import dnf_terms
 from repro.core.matching import Matcher
 from repro.core.normalize import normalize
 from repro.core.scm import scm_translate
+from repro.obs import trace as obs
 from repro.rules.spec import MappingSpecification
 
 __all__ = ["DNFMapResult", "dnf_map", "dnf_map_translate"]
@@ -49,6 +50,7 @@ def dnf_map_translate(
     if not terms:
         return DNFMapResult(FALSE, exact=True, disjunct_count=0, scm_calls=0, constraint_slots=0)
 
+    obs.count("dnf.terms", len(terms))
     mappings = []
     exact = True
     slots = 0

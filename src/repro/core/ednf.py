@@ -33,6 +33,7 @@ from itertools import product
 from repro.core.ast import And, BoolConst, Constraint, Or, Query
 from repro.core.errors import TranslationError
 from repro.core.matching import Matcher
+from repro.obs import trace as obs
 
 __all__ = ["Term", "EdnfInfo", "ednf", "format_terms", "combine_conjunct_ednf"]
 
@@ -78,6 +79,17 @@ def ednf(query: Query, matcher: Matcher) -> EdnfInfo:
     ``matcher`` supplies the potential matchings ``M_p`` over the query's
     full constraint set (line 1 of Figure 10).
     """
+    if not obs.enabled():
+        return _ednf(query, matcher)
+    with obs.span("ednf"):
+        obs.count("ednf.calls")
+        info = _ednf(query, matcher)
+        obs.count("ednf.dnf_terms", len(info.dnf))
+        obs.count("ednf.essential_terms", len(info.essential))
+        return info
+
+
+def _ednf(query: Query, matcher: Matcher) -> EdnfInfo:
     potential = [m.constraints for m in matcher.potential(query.constraints())]
     # Only distinct constraint sets matter for safety, and singletons are
     # handled by rule b.1.

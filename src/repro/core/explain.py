@@ -14,6 +14,8 @@ from repro.core.matching import Matcher
 from repro.core.normalize import normalize
 from repro.core.printer import render_tree, to_text
 from repro.core.tdqm import tdqm_translate
+from repro.obs.export import counters_table
+from repro.obs.trace import tracing
 from repro.rules.spec import MappingSpecification
 
 __all__ = ["explain_translation"]
@@ -43,7 +45,8 @@ def explain_translation(query, spec: MappingSpecification) -> str:
     lines.append("")
     lines.append("traversal:")
     trace: list[str] = []
-    result = tdqm_translate(normalized, matcher, trace=trace)
+    with tracing("explain") as tracer:
+        result = tdqm_translate(normalized, matcher, trace=trace)
     lines.extend("  " + line for line in trace)
     lines.append("")
     lines.append(f"mapping   : {to_text(result.mapping)}")
@@ -60,4 +63,7 @@ def explain_translation(query, spec: MappingSpecification) -> str:
         f"size      : {result.mapping.node_count()} nodes "
         f"(input {normalized.node_count()})"
     )
+    lines.append("")
+    lines.append(f"counters  : ({tracer.root.elapsed_ms:.3f} ms traced)")
+    lines.extend("  " + line for line in counters_table(tracer))
     return "\n".join(lines)

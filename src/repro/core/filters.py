@@ -30,6 +30,7 @@ from repro.core.matching import Matcher
 from repro.core.normalize import normalize
 from repro.core.psafe import psafe_partition
 from repro.core.tdqm import tdqm_translate
+from repro.obs import trace as obs
 from repro.rules.spec import MappingSpecification
 
 __all__ = ["FilterPlan", "build_filter", "translate_for_sources"]
@@ -59,21 +60,26 @@ def build_filter(
     query: Query, specs: dict[str, MappingSpecification]
 ) -> FilterPlan:
     """Translate ``query`` for every source and derive the residue filter."""
-    query = normalize(query)
-    conjuncts = list(query.children) if isinstance(query, And) else [query]
+    with obs.span("build_filter", sources=len(specs)):
+        query = normalize(query)
+        conjuncts = list(query.children) if isinstance(query, And) else [query]
 
-    matchers: dict[str, Matcher] = {name: spec.matcher() for name, spec in specs.items()}
-    mappings = {
-        name: tdqm_translate(query, matcher).mapping
-        for name, matcher in matchers.items()
-    }
+        matchers: dict[str, Matcher] = {
+            name: spec.matcher() for name, spec in specs.items()
+        }
+        mappings: dict[str, Query] = {}
+        droppable: set[int] = set()
+        for name, matcher in matchers.items():
+            with obs.span("filter.source", source=name):
+                mappings[name] = tdqm_translate(query, matcher).mapping
+                for block in psafe_partition(conjuncts, matcher):
+                    sub = conj(conjuncts[i] for i in block)
+                    if tdqm_translate(sub, matcher).exact:
+                        droppable.update(block)
+                        obs.count("filter.exact_blocks")
+                    else:
+                        obs.count("filter.relaxed_blocks")
 
-    droppable: set[int] = set()
-    for matcher in matchers.values():
-        for block in psafe_partition(conjuncts, matcher):
-            sub = conj(conjuncts[i] for i in block)
-            if tdqm_translate(sub, matcher).exact:
-                droppable.update(block)
-
-    residue = [c for i, c in enumerate(conjuncts) if i not in droppable]
-    return FilterPlan(query=query, mappings=mappings, filter=conj(residue))
+        residue = [c for i, c in enumerate(conjuncts) if i not in droppable]
+        obs.count("filter.residue_conjuncts", len(residue))
+        return FilterPlan(query=query, mappings=mappings, filter=conj(residue))

@@ -27,6 +27,7 @@ from typing import Callable, Iterable, Mapping, Sequence
 
 from repro.core.ast import AttrRef, Constraint, Query
 from repro.core.errors import RuleError
+from repro.obs import trace as obs
 
 __all__ = [
     "Var",
@@ -368,17 +369,28 @@ class Matcher:
         """
         universe = frozenset(constraints) | (self._universe or frozenset())
         if universe != self._universe:
+            if obs.enabled():
+                obs.count("matcher.prematch.misses")
+                obs.count("matcher.rules_tried", len(self.rules))
             ordered = sorted(universe, key=str)
             found: list[Matching] = []
             for rule in self.rules:
                 found.extend(match_rule(rule, ordered))
             self._universe = universe
             self._potential = found
+            obs.count("matcher.matchings", len(found))
+        else:
+            obs.count("matcher.prematch.hits")
         return list(self._potential)
 
     def matchings(self, constraints: Iterable[Constraint]) -> list[Matching]:
         """``M(Q̂, K)`` for the conjunction of ``constraints``."""
         subset = frozenset(constraints)
-        if self._universe is None or not subset <= self._universe:
+        cached = self._universe is not None and subset <= self._universe
+        if obs.enabled():
+            obs.count("matcher.subset_queries")
+            if cached:
+                obs.count("matcher.prematch.hits")
+        if not cached:
             self.potential(subset | (self._universe or frozenset()))
         return [m for m in self._potential if m.constraints <= subset]

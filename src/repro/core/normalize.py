@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from repro.core.ast import And, AttrRef, BoolConst, Constraint, Or, Query, conj, disj
 from repro.core.operators import get_operator
+from repro.obs import trace as obs
 
 __all__ = ["normalize", "normalize_constraint"]
 
@@ -35,9 +36,11 @@ def normalize(query: Query) -> Query:
     """
     from repro.core.negation import has_negation, push_negations
 
-    if has_negation(query):
-        query = push_negations(query)
-    return _normalize_positive(query)
+    with obs.span("normalize"):
+        if has_negation(query):
+            obs.count("normalize.negations_pushed")
+            query = push_negations(query)
+        return _normalize_positive(query)
 
 
 def _normalize_positive(query: Query) -> Query:

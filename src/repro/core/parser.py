@@ -36,6 +36,7 @@ import re
 from repro.core.ast import FALSE, TRUE, Constraint, Query, attr, conj, disj
 from repro.core.errors import ParseError
 from repro.core.values import MONTH_NAMES, Month, Point, Range, Year
+from repro.obs import trace as obs
 
 __all__ = ["parse_query", "parse_rhs", "parse_period"]
 
@@ -47,12 +48,15 @@ _NUMBER_RE = re.compile(r"-?\d+(?:\.\d+)?")
 
 def parse_query(text: str) -> Query:
     """Parse the paper-style textual notation into a query tree."""
-    parser = _QueryParser(text)
-    query = parser.or_expr()
-    parser.skip_ws()
-    if parser.pos != len(text):
-        raise ParseError("trailing input after query", text, parser.pos)
-    return query
+    with obs.span("parse"):
+        parser = _QueryParser(text)
+        query = parser.or_expr()
+        parser.skip_ws()
+        if parser.pos != len(text):
+            raise ParseError("trailing input after query", text, parser.pos)
+        if obs.enabled():
+            obs.gauge("parse.nodes", query.node_count())
+        return query
 
 
 class _QueryParser:

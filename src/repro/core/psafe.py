@@ -27,6 +27,7 @@ from repro.core.ast import Constraint, Query
 from repro.core.ednf import Term, ednf
 from repro.core.errors import TranslationError
 from repro.core.matching import Matcher
+from repro.obs import trace as obs
 
 __all__ = ["CrossMatching", "PSafeResult", "psafe", "psafe_partition"]
 
@@ -74,6 +75,23 @@ def psafe(
     n = len(conjuncts)
     if n == 0:
         raise TranslationError("psafe needs at least one conjunct")
+    if not obs.enabled():
+        return _psafe(conjuncts, matcher, use_ednf, n)
+    with obs.span("psafe", conjuncts=n):
+        obs.count("psafe.calls")
+        result = _psafe(conjuncts, matcher, use_ednf, n)
+        obs.count("psafe.cross_matchings", len(result.cross_matchings))
+        obs.count("psafe.blocks", len(result.blocks))
+        if result.chosen_blocks:
+            obs.gauge_max(
+                "psafe.cover_size_max", max(len(b) for b in result.chosen_blocks)
+            )
+        return result
+
+
+def _psafe(
+    conjuncts: list[Query], matcher: Matcher, use_ednf: bool, n: int
+) -> PSafeResult:
     # Seed M_p with the whole conjunction's constraints before computing
     # any per-conjunct EDNF — a conjunct's essential constraints are the
     # ones participating in matchings that may reach *outside* it.

@@ -25,6 +25,7 @@ from repro.core.ast import BoolConst, Constraint, Query, conj
 from repro.core.dnf import is_simple_conjunction
 from repro.core.errors import TranslationError
 from repro.core.matching import Matcher, Matching
+from repro.obs import trace as obs
 from repro.rules.spec import MappingSpecification
 
 __all__ = ["SCMResult", "scm", "scm_translate", "suppress_submatchings"]
@@ -63,6 +64,16 @@ def scm_translate(
     spec: MappingSpecification | Matcher,
 ) -> SCMResult:
     """Run Algorithm SCM, returning the mapping plus its trace."""
+    if not obs.enabled():
+        return _scm_translate(query, spec)
+    with obs.span("scm"):
+        return _scm_translate(query, spec)
+
+
+def _scm_translate(
+    query: Query | frozenset[Constraint],
+    spec: MappingSpecification | Matcher,
+) -> SCMResult:
     if isinstance(query, frozenset):
         constraints = query
         order = {c: i for i, c in enumerate(sorted(constraints, key=str))}
@@ -81,6 +92,11 @@ def scm_translate(
     matcher = spec.matcher() if isinstance(spec, MappingSpecification) else spec
     all_matchings = matcher.matchings(constraints)
     kept = suppress_submatchings(all_matchings)
+    if obs.enabled():
+        obs.count("scm.calls")
+        obs.count("scm.matchings", len(all_matchings))
+        obs.count("scm.matchings_conjoined", len(kept))
+        obs.count("scm.submatchings_suppressed", len(all_matchings) - len(kept))
     # Emit in query order (the paper's figures list emissions this way).
     kept.sort(key=lambda m: min(order[c] for c in m.constraints))
     mapping = conj(matching.emission for matching in kept)

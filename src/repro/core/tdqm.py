@@ -29,6 +29,7 @@ from repro.core.matching import Matcher
 from repro.core.normalize import normalize
 from repro.core.psafe import psafe
 from repro.core.scm import scm_translate
+from repro.obs import trace as obs
 from repro.rules.spec import MappingSpecification
 
 __all__ = ["TdqmStats", "TranslationResult", "tdqm", "tdqm_translate", "disjunctivize"]
@@ -64,12 +65,14 @@ def disjunctivize(conjuncts: list[Query]) -> Query:
         raise TranslationError("disjunctivize needs at least one conjunct")
     if len(conjuncts) == 1:
         return conjuncts[0]
+    obs.count("tdqm.disjunctivize_calls")
     alternatives = [
         list(child.children) if isinstance(child, Or) else [child]
         for child in conjuncts
     ]
     terms: list[Query] = []
     _distribute(alternatives, 0, [], terms)
+    obs.count("tdqm.disjunctivize_terms", len(terms))
     return disj(terms)
 
 
@@ -99,6 +102,17 @@ def tdqm_translate(
     (case taken, partitions, rewrites, matchings) is appended to it — the
     machinery behind :func:`repro.core.explain.explain_translation`.
     """
+    if not obs.enabled():
+        return _translate(query, spec, trace)
+    with obs.span("tdqm"):
+        return _translate(query, spec, trace)
+
+
+def _translate(
+    query: Query,
+    spec: MappingSpecification | Matcher,
+    trace: list[str] | None,
+) -> TranslationResult:
     query = normalize(query)
     matcher = spec.matcher() if isinstance(spec, MappingSpecification) else spec
     matcher.potential(query.constraints())  # prematch M_p once (Section 7.1.3)
@@ -125,8 +139,14 @@ def _tdqm(
         if trace is not None:
             trace.append(pad + message)
 
+    traced = obs.enabled()
+    if traced:
+        obs.gauge_max("tdqm.subtree_nodes_max", query.node_count())
+
     # Case 3 first: constraints, constants, and ANDs of leaves.
     if is_simple_conjunction(query):
+        if traced:
+            obs.count("tdqm.case3_scm")
         stats.scm_calls += 1
         if not isinstance(query, BoolConst):
             stats.constraint_slots += len(query.constraints())
@@ -144,6 +164,8 @@ def _tdqm(
 
     # Case 1: disjunctive query.
     if isinstance(query, Or):
+        if traced:
+            obs.count("tdqm.case1_or")
         note(f"case 1 (∨-node, {len(query.children)} disjuncts): "
              f"disjuncts are always separable")
         mapped = []
@@ -156,6 +178,8 @@ def _tdqm(
 
     # Case 2: conjunctive query with at least one non-leaf child.
     if isinstance(query, And):
+        if traced:
+            obs.count("tdqm.case2_psafe")
         stats.psafe_calls += 1
         partition = psafe(list(query.children), matcher)
         if trace is not None:

@@ -22,6 +22,7 @@ from repro.core.errors import EvaluationError
 from repro.engine.capabilities import Capability
 from repro.engine.eval import RowEnv, Virtual, evaluate
 from repro.engine.relation import Relation
+from repro.obs import trace as obs
 
 __all__ = ["Source"]
 
@@ -65,18 +66,25 @@ class Source:
         source.  The result is one dict per surviving combination, keyed
         the same way — the source's contribution to Eq. 2's cross product.
         """
-        self.capability.check(query, target=f"source {self.name!r}")
-        if self.grammar is not None:
-            self.grammar.check(query, target=f"source {self.name!r}")
-        keys = list(instances)
-        pools = [self.relation(instances[key]).rows() for key in keys]
-        out: list[dict] = []
-        for combo in product(*pools):
-            bound = dict(zip(keys, combo))
-            env = RowEnv(bound, self.virtuals)
-            if evaluate(query, env):
-                out.append(bound)
-        return out
+        with obs.span("source.select", source=self.name):
+            self.capability.check(query, target=f"source {self.name!r}")
+            if self.grammar is not None:
+                self.grammar.check(query, target=f"source {self.name!r}")
+            keys = list(instances)
+            pools = [self.relation(instances[key]).rows() for key in keys]
+            out: list[dict] = []
+            for combo in product(*pools):
+                bound = dict(zip(keys, combo))
+                env = RowEnv(bound, self.virtuals)
+                if evaluate(query, env):
+                    out.append(bound)
+            if obs.enabled():
+                scanned = 1
+                for pool in pools:
+                    scanned *= len(pool)
+                obs.count("source.rows_scanned", scanned)
+                obs.count("source.rows_emitted", len(out))
+            return out
 
     def execute(
         self,

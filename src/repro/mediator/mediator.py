@@ -31,6 +31,7 @@ from repro.core.normalize import normalize
 from repro.engine.eval import RowEnv, Virtual, evaluate
 from repro.engine.source import Source
 from repro.engine.views import UnionViewDef, ViewDef
+from repro.obs import trace as obs
 from repro.rules.spec import MappingSpecification
 
 __all__ = ["Mediator", "MediatedAnswer"]
@@ -119,23 +120,30 @@ class Mediator:
 
     def answer_direct(self, query: Query) -> list[ResultRow]:
         """Ground truth: evaluate Q over materialized view extensions."""
-        query = normalize(query)
-        instances = self.view_instances(query)
-        extensions = {
-            view: self.views[view].materialize(self.sources)
-            for view in {v for v, _ in instances}
-        }
-        out: list[ResultRow] = []
-        pools = [extensions[view] for view, _ in instances]
-        for combo in product(*pools):
-            env_rows = {
-                ((view,), index): row
-                for (view, index), row in zip(instances, combo)
+        with obs.span("mediator.answer_direct"):
+            query = normalize(query)
+            instances = self.view_instances(query)
+            extensions = {
+                view: self.views[view].materialize(self.sources)
+                for view in {v for v, _ in instances}
             }
-            env = RowEnv(env_rows, self.view_virtuals)
-            if evaluate(query, env):
-                out.append(_canonical(instances, combo))
-        return out
+            out: list[ResultRow] = []
+            pools = [extensions[view] for view, _ in instances]
+            for combo in product(*pools):
+                env_rows = {
+                    ((view,), index): row
+                    for (view, index), row in zip(instances, combo)
+                }
+                env = RowEnv(env_rows, self.view_virtuals)
+                if evaluate(query, env):
+                    out.append(_canonical(instances, combo))
+            if obs.enabled():
+                scanned = 1
+                for pool in pools:
+                    scanned *= len(pool)
+                obs.count("mediator.direct_rows_scanned", scanned)
+                obs.count("mediator.direct_rows_emitted", len(out))
+            return out
 
     # -- Eq. 2: translated evaluation -------------------------------------------
 
@@ -153,27 +161,30 @@ class Mediator:
         computed per choice: a conjunct may be exactly enforced by one
         component's source but not another's.
         """
-        query = normalize(query)
-        instances = self.view_instances(query)
-        choice_lists = [self._components_of(view) for view, _ in instances]
+        with obs.span("mediator.answer_mediated"):
+            query = normalize(query)
+            instances = self.view_instances(query)
+            choice_lists = [self._components_of(view) for view, _ in instances]
 
-        rows: list[ResultRow] = []
-        plans: list[FilterPlan] = []
-        for choice in product(*choice_lists):
-            components = dict(zip(instances, choice))
-            involved = set()
-            for component in choice:
-                involved |= component.sources()
-            specs = {name: self.specs[name] for name in sorted(involved)}
-            plan = build_filter(query, specs)
-            plans.append(plan)
-            rows.extend(self._run_choice(query, plan, instances, components))
-        if not plans:
-            # Constant query over zero instances: nothing to execute.
-            plans.append(build_filter(query, self.specs))
-            if evaluate(plans[0].filter, RowEnv({}, self.view_virtuals)):
-                rows.append(())
-        return MediatedAnswer(rows, plans)
+            rows: list[ResultRow] = []
+            plans: list[FilterPlan] = []
+            for choice in product(*choice_lists):
+                obs.count("mediator.choices")
+                components = dict(zip(instances, choice))
+                involved = set()
+                for component in choice:
+                    involved |= component.sources()
+                specs = {name: self.specs[name] for name in sorted(involved)}
+                plan = build_filter(query, specs)
+                plans.append(plan)
+                rows.extend(self._run_choice(query, plan, instances, components))
+            if not plans:
+                # Constant query over zero instances: nothing to execute.
+                plans.append(build_filter(query, self.specs))
+                if evaluate(plans[0].filter, RowEnv({}, self.view_virtuals)):
+                    rows.append(())
+            obs.count("mediator.rows_emitted", len(rows))
+            return MediatedAnswer(rows, plans)
 
     def _run_choice(
         self,
@@ -196,11 +207,15 @@ class Mediator:
             if not keys:
                 per_source.append([{}])
                 continue
-            per_source.append(source.execute(keys, plan.mappings[source_name]))
+            with obs.span("mediator.execute", source=source_name):
+                executed = source.execute(keys, plan.mappings[source_name])
+                obs.count("mediator.source_rows", len(executed))
+            per_source.append(executed)
 
         # Reassemble view tuples through the conversion functions and apply
         # the residue filter F.
         out: list[ResultRow] = []
+        filtered = 0
         for parts in product(*per_source):
             merged: dict = {}
             for part in parts:
@@ -225,6 +240,7 @@ class Mediator:
                 view_rows.append(view_row)
             if not ok:
                 continue
+            filtered += 1
             env = RowEnv(
                 {
                     ((view,), index): row
@@ -234,6 +250,10 @@ class Mediator:
             )
             if evaluate(plan.filter, env):
                 out.append(_canonical(instances, view_rows))
+        if obs.enabled():
+            # Post-filter selectivity: candidates that reached F vs survivors.
+            obs.count("mediator.filter_candidates", filtered)
+            obs.count("mediator.filter_survivors", len(out))
         return out
 
     # -- verification ------------------------------------------------------------

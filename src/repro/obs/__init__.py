@@ -1,0 +1,52 @@
+"""Observability: tracing spans, counters/gauges, and exporters.
+
+A zero-dependency instrumentation core for the translation and mediation
+pipeline.  The design constraint is the ROADMAP's "fast as the hardware
+allows": instrumentation must cost (almost) nothing when disabled, so
+
+* :func:`tracing` installs a thread-local :class:`Tracer`; until then
+  every hook — :func:`span`, :func:`count`, :func:`gauge` — is a no-op
+  that performs one attribute lookup and one ``is None`` test;
+* instrumented hot loops aggregate locally and report once (a single
+  ``count(name, n)``), never per iteration.
+
+The high-level ``repro stats`` pipeline lives in :mod:`repro.obs.stats`
+(imported lazily by the CLI — it depends on :mod:`repro.core`, while this
+package is imported *by* :mod:`repro.core` and must stay dependency-free).
+"""
+
+from repro.obs.export import (
+    counters_table,
+    render_report,
+    render_span,
+    report_to_dict,
+    span_to_dict,
+)
+from repro.obs.trace import (
+    Span,
+    Tracer,
+    count,
+    current_tracer,
+    enabled,
+    gauge,
+    gauge_max,
+    span,
+    tracing,
+)
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "tracing",
+    "current_tracer",
+    "enabled",
+    "span",
+    "count",
+    "gauge",
+    "gauge_max",
+    "span_to_dict",
+    "report_to_dict",
+    "render_span",
+    "render_report",
+    "counters_table",
+]

@@ -1,0 +1,84 @@
+"""Exporters for traces: JSON-compatible dicts and human-readable text.
+
+The JSON form is stable and self-describing so ``repro stats --json``
+output (and the ``BENCH_*.json`` trajectories built on it) can be diffed
+and post-processed in scripts; the text form is what ``--trace`` and
+``--stats`` print for humans.
+"""
+
+from __future__ import annotations
+
+from repro.obs.trace import Span, Tracer
+
+__all__ = [
+    "span_to_dict",
+    "report_to_dict",
+    "render_span",
+    "render_report",
+    "counters_table",
+]
+
+
+def span_to_dict(span: Span) -> dict:
+    """Encode one span subtree as JSON-compatible plain data."""
+    out: dict = {"name": span.name, "elapsed_ms": round(span.elapsed_ms, 3)}
+    if span.attrs:
+        out["attrs"] = {k: _plain(v) for k, v in span.attrs.items()}
+    if span.counters:
+        out["counters"] = dict(sorted(span.counters.items()))
+    if span.gauges:
+        out["gauges"] = {k: _plain(v) for k, v in sorted(span.gauges.items())}
+    if span.children:
+        out["children"] = [span_to_dict(child) for child in span.children]
+    return out
+
+
+def report_to_dict(tracer: Tracer) -> dict:
+    """The whole trace: span tree plus aggregate counters and gauges."""
+    return {
+        "span_tree": span_to_dict(tracer.root),
+        "counters": dict(sorted(tracer.counters.items())),
+        "gauges": {k: _plain(v) for k, v in sorted(tracer.gauges.items())},
+    }
+
+
+def _plain(value: object) -> object:
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    return str(value)
+
+
+def render_span(span: Span, indent: int = 0) -> list[str]:
+    """Render one span subtree as indented text lines."""
+    attrs = "".join(f" {k}={v}" for k, v in span.attrs.items())
+    metrics = dict(sorted(span.counters.items()))
+    metrics.update(sorted(span.gauges.items()))
+    inline = (
+        "  [" + " ".join(f"{k}={v}" for k, v in metrics.items()) + "]"
+        if metrics
+        else ""
+    )
+    lines = [f"{'  ' * indent}{span.name}{attrs}  {span.elapsed_ms:.3f}ms{inline}"]
+    for child in span.children:
+        lines.extend(render_span(child, indent + 1))
+    return lines
+
+
+def counters_table(tracer: Tracer) -> list[str]:
+    """Aggregate counters + gauges as aligned ``name value`` lines."""
+    rows = sorted(tracer.counters.items())
+    rows += [(k, v) for k, v in sorted(tracer.gauges.items())]
+    if not rows:
+        return ["(no counters recorded)"]
+    width = max(len(name) for name, _ in rows)
+    return [f"{name:<{width}}  {value}" for name, value in rows]
+
+
+def render_report(tracer: Tracer) -> str:
+    """Full human-readable report: span tree, then the counter table."""
+    lines = ["spans:"]
+    lines.extend("  " + line for line in render_span(tracer.root))
+    lines.append("")
+    lines.append("counters:")
+    lines.extend("  " + line for line in counters_table(tracer))
+    return "\n".join(lines)

@@ -1,0 +1,202 @@
+"""Tracing core: hierarchical spans plus a counter/gauge registry.
+
+One :class:`Tracer` records one activity (a translation, a mediation run,
+a CLI invocation) as a tree of :class:`Span`\\ s.  Every span carries its
+wall-clock time, free-form attributes, and the counters/gauges recorded
+while it was the innermost open span; the tracer additionally aggregates
+all counters and gauges globally, so a report can show both the per-stage
+breakdown and the run totals.
+
+The tracer is installed per *thread* (:func:`tracing`); library code never
+receives it explicitly — it calls the module-level hooks, which resolve
+the current tracer or do nothing.  That keeps instrumentation to single
+lines at the call sites and makes the disabled path trivially cheap.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "tracing",
+    "current_tracer",
+    "enabled",
+    "span",
+    "count",
+    "gauge",
+    "gauge_max",
+]
+
+
+class Span:
+    """One timed stage: name, attributes, children, and local metrics."""
+
+    __slots__ = ("name", "attrs", "start", "elapsed", "children", "counters", "gauges")
+
+    def __init__(self, name: str, attrs: dict | None = None):
+        self.name = name
+        self.attrs = dict(attrs) if attrs else {}
+        self.start = 0.0
+        self.elapsed = 0.0
+        self.children: list[Span] = []
+        self.counters: dict[str, int] = {}
+        self.gauges: dict[str, object] = {}
+
+    @property
+    def elapsed_ms(self) -> float:
+        return self.elapsed * 1e3
+
+    def total(self, counter: str) -> int:
+        """Sum of ``counter`` over this span and its whole subtree."""
+        value = self.counters.get(counter, 0)
+        for child in self.children:
+            value += child.total(counter)
+        return value
+
+    def find(self, name: str) -> "Span | None":
+        """First span named ``name`` in this subtree (pre-order)."""
+        if self.name == name:
+            return self
+        for child in self.children:
+            found = child.find(name)
+            if found is not None:
+                return found
+        return None
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Span({self.name}, {self.elapsed_ms:.3f}ms)"
+
+
+class Tracer:
+    """Collects one span tree plus aggregate counters and gauges."""
+
+    def __init__(self, name: str = "trace"):
+        self.root = Span(name)
+        self.counters: dict[str, int] = {}
+        self.gauges: dict[str, object] = {}
+        self._stack: list[Span] = [self.root]
+
+    @property
+    def current(self) -> Span:
+        return self._stack[-1]
+
+    @contextmanager
+    def span(self, name: str, **attrs) -> Iterator[Span]:
+        """Open a child span under the innermost open span."""
+        child = Span(name, attrs)
+        self._stack[-1].children.append(child)
+        self._stack.append(child)
+        child.start = time.perf_counter()
+        try:
+            yield child
+        finally:
+            child.elapsed = time.perf_counter() - child.start
+            self._stack.pop()
+
+    def count(self, name: str, n: int = 1) -> None:
+        """Add ``n`` to counter ``name`` on the current span and globally."""
+        local = self._stack[-1].counters
+        local[name] = local.get(name, 0) + n
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    def gauge(self, name: str, value: object) -> None:
+        """Record a point-in-time value (last write wins)."""
+        self._stack[-1].gauges[name] = value
+        self.gauges[name] = value
+
+    def gauge_max(self, name: str, value) -> None:
+        """Record a high-water-mark gauge (max of all writes)."""
+        local = self._stack[-1].gauges
+        if name not in local or local[name] < value:
+            local[name] = value
+        if name not in self.gauges or self.gauges[name] < value:  # type: ignore[operator]
+            self.gauges[name] = value
+
+
+# ---------------------------------------------------------------------------
+# Thread-local installation + no-op module-level hooks
+# ---------------------------------------------------------------------------
+
+_tls = threading.local()
+
+
+class _NoopSpan:
+    """Context manager handed out when tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NOOP_SPAN = _NoopSpan()
+
+
+def current_tracer() -> Tracer | None:
+    """The tracer installed on this thread, or ``None``."""
+    return getattr(_tls, "tracer", None)
+
+
+def enabled() -> bool:
+    """True when a tracer is active on this thread.
+
+    Use to guard instrumentation whose *inputs* are expensive to compute
+    (e.g. ``query.node_count()``); the plain hooks below already guard
+    themselves.
+    """
+    return getattr(_tls, "tracer", None) is not None
+
+
+@contextmanager
+def tracing(name: str = "trace") -> Iterator[Tracer]:
+    """Install a fresh :class:`Tracer` on this thread for the block.
+
+    Nested ``tracing`` blocks shadow the outer tracer (and restore it on
+    exit) — each block observes only its own activity.
+    """
+    tracer = Tracer(name)
+    previous = getattr(_tls, "tracer", None)
+    _tls.tracer = tracer
+    tracer.root.start = time.perf_counter()
+    try:
+        yield tracer
+    finally:
+        tracer.root.elapsed = time.perf_counter() - tracer.root.start
+        _tls.tracer = previous
+
+
+def span(name: str, **attrs):
+    """Open a span on the current tracer; a shared no-op when disabled."""
+    tracer = getattr(_tls, "tracer", None)
+    if tracer is None:
+        return _NOOP_SPAN
+    return tracer.span(name, **attrs)
+
+
+def count(name: str, n: int = 1) -> None:
+    """Bump a counter on the current tracer; no-op when disabled."""
+    tracer = getattr(_tls, "tracer", None)
+    if tracer is not None:
+        tracer.count(name, n)
+
+
+def gauge(name: str, value: object) -> None:
+    """Set a gauge on the current tracer; no-op when disabled."""
+    tracer = getattr(_tls, "tracer", None)
+    if tracer is not None:
+        tracer.gauge(name, value)
+
+
+def gauge_max(name: str, value) -> None:
+    """Raise a high-water-mark gauge on the current tracer; no-op when disabled."""
+    tracer = getattr(_tls, "tracer", None)
+    if tracer is not None:
+        tracer.gauge_max(name, value)

@@ -1,0 +1,258 @@
+"""Tests for the tracing/metrics core (repro.obs).
+
+Covers the Span/Tracer data model, the thread-local installation
+semantics, the disabled (no-op) fast path, the exporters — and the
+tentpole guarantee that instrumentation never changes behaviour:
+translations, filters, and mediated answers are byte-identical with
+tracing on and off.
+"""
+
+import threading
+
+from repro.core.filters import build_filter
+from repro.core.parser import parse_query
+from repro.core.printer import to_text
+from repro.core.tdqm import tdqm_translate
+from repro.mediator import bookstore_mediator, faculty_mediator
+from repro.obs import (
+    Span,
+    count,
+    counters_table,
+    current_tracer,
+    enabled,
+    gauge,
+    gauge_max,
+    render_span,
+    report_to_dict,
+    span,
+    span_to_dict,
+    tracing,
+)
+from repro.obs.trace import _NOOP_SPAN
+from repro.rules import K1, K2, K_AMAZON, K_CLBOOKS
+from repro.workloads.paper_queries import example2_query, qbook
+
+
+class TestSpan:
+    def test_elapsed_ms(self):
+        s = Span("x")
+        s.elapsed = 0.25
+        assert s.elapsed_ms == 250.0
+
+    def test_total_sums_subtree(self):
+        root = Span("root")
+        child = Span("child")
+        grandchild = Span("grandchild")
+        root.children.append(child)
+        child.children.append(grandchild)
+        root.counters["n"] = 1
+        grandchild.counters["n"] = 4
+        assert root.total("n") == 5
+        assert child.total("n") == 4
+        assert root.total("absent") == 0
+
+    def test_find_preorder(self):
+        root = Span("root")
+        a, b = Span("stage"), Span("stage")
+        a.attrs["which"] = "first"
+        root.children.extend([a, b])
+        assert root.find("stage") is a
+        assert root.find("missing") is None
+
+
+class TestTracer:
+    def test_span_nesting(self):
+        with tracing("t") as tracer:
+            with span("outer"):
+                with span("inner"):
+                    pass
+            with span("sibling"):
+                pass
+        outer, sibling = tracer.root.children
+        assert outer.name == "outer"
+        assert [c.name for c in outer.children] == ["inner"]
+        assert sibling.name == "sibling"
+        assert outer.elapsed >= outer.children[0].elapsed >= 0.0
+
+    def test_count_local_and_global(self):
+        with tracing() as tracer:
+            count("hits")
+            with span("stage"):
+                count("hits", 2)
+        assert tracer.counters["hits"] == 3
+        assert tracer.root.counters["hits"] == 1
+        assert tracer.root.children[0].counters["hits"] == 2
+        assert tracer.root.total("hits") == 3
+
+    def test_gauge_last_write_wins(self):
+        with tracing() as tracer:
+            gauge("size", 3)
+            gauge("size", 7)
+        assert tracer.gauges["size"] == 7
+
+    def test_gauge_max_keeps_high_water_mark(self):
+        with tracing() as tracer:
+            gauge_max("depth", 5)
+            gauge_max("depth", 2)
+            gauge_max("depth", 9)
+        assert tracer.gauges["depth"] == 9
+
+    def test_root_is_timed(self):
+        with tracing("timed") as tracer:
+            pass
+        assert tracer.root.name == "timed"
+        assert tracer.root.elapsed >= 0.0
+
+
+class TestInstallation:
+    def test_no_tracer_outside_block(self):
+        assert current_tracer() is None
+        assert not enabled()
+        with tracing() as tracer:
+            assert current_tracer() is tracer
+            assert enabled()
+        assert current_tracer() is None
+
+    def test_nested_tracing_shadows_and_restores(self):
+        with tracing("outer") as outer:
+            count("outer.only")
+            with tracing("inner") as inner:
+                assert current_tracer() is inner
+                count("inner.only")
+            assert current_tracer() is outer
+        assert outer.counters == {"outer.only": 1}
+        assert inner.counters == {"inner.only": 1}
+
+    def test_tracer_is_thread_local(self):
+        seen = {}
+
+        def worker():
+            seen["tracer"] = current_tracer()
+            seen["enabled"] = enabled()
+
+        with tracing():
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        assert seen["tracer"] is None
+        assert seen["enabled"] is False
+
+    def test_tracer_restored_after_exception(self):
+        try:
+            with tracing():
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert current_tracer() is None
+
+
+class TestNoopPath:
+    """The disabled branch: every hook must be a cheap, silent no-op."""
+
+    def test_span_returns_shared_noop(self):
+        assert current_tracer() is None
+        handle = span("anything", attr=1)
+        assert handle is _NOOP_SPAN
+        with handle:
+            pass  # usable as a context manager
+
+    def test_count_gauge_noop_without_tracer(self):
+        count("orphan", 5)
+        gauge("orphan.gauge", 1)
+        gauge_max("orphan.max", 2)
+        # Nothing was recorded anywhere — a later tracer starts clean.
+        with tracing() as tracer:
+            pass
+        assert tracer.counters == {}
+        assert tracer.gauges == {}
+
+
+class TestTracingDoesNotChangeResults:
+    """Byte-identical outputs with tracing on vs off (tentpole guarantee)."""
+
+    QUERIES = [
+        '[ln = "Clancy"] and [fn = "Tom"]',
+        '([ln = "Clancy"] or [ln = "Klancy"]) and [pyear = 1997]',
+        "[ti contains java (near) jdk] and [pmonth = 5]",
+        'not [ln = "Smith"] and [pyear = 1997]',
+    ]
+
+    def test_translations_identical(self):
+        for spec in (K_AMAZON, K_CLBOOKS):
+            for text in self.QUERIES + [to_text(qbook()), to_text(example2_query())]:
+                query = parse_query(text)
+                off = tdqm_translate(query, spec)
+                with tracing():
+                    on = tdqm_translate(query, spec)
+                assert to_text(on.mapping) == to_text(off.mapping)
+                assert on.exact == off.exact
+
+    def test_filter_plans_identical(self):
+        specs = {"K1": K1, "K2": K2}
+        query = parse_query("[fac.bib contains data (near) mining] and [fac.dept = cs]")
+        off = build_filter(query, specs)
+        with tracing():
+            on = build_filter(query, specs)
+        assert to_text(on.filter) == to_text(off.filter)
+        assert {n: to_text(m) for n, m in on.mappings.items()} == {
+            n: to_text(m) for n, m in off.mappings.items()
+        }
+
+    def test_mediated_answers_identical(self):
+        for mediator in (bookstore_mediator("amazon"), faculty_mediator()):
+            for text in self.QUERIES[:2]:
+                query = parse_query(text)
+                try:
+                    off = mediator.answer_mediated(query)
+                except Exception:
+                    continue  # query not in this mediator's vocabulary
+                with tracing():
+                    on = mediator.answer_mediated(query)
+                assert on.rows == off.rows
+
+
+class TestExport:
+    def test_span_to_dict_shape(self):
+        with tracing("run") as tracer:
+            with span("stage", kind="demo"):
+                count("n", 3)
+                gauge("g", 7)
+        data = span_to_dict(tracer.root)
+        assert data["name"] == "run"
+        assert isinstance(data["elapsed_ms"], float)
+        (child,) = data["children"]
+        assert child["attrs"] == {"kind": "demo"}
+        assert child["counters"] == {"n": 3}
+        assert child["gauges"] == {"g": 7}
+        assert "children" not in child
+
+    def test_report_to_dict_aggregates(self):
+        with tracing() as tracer:
+            count("b")
+            count("a", 2)
+            gauge("z", 1)
+        report = report_to_dict(tracer)
+        assert list(report["counters"]) == ["a", "b"]  # sorted
+        assert report["gauges"] == {"z": 1}
+        assert report["span_tree"]["name"] == "trace"
+
+    def test_render_span_lines(self):
+        with tracing("run") as tracer:
+            with span("stage", source="S"):
+                count("n")
+        lines = render_span(tracer.root)
+        assert lines[0].startswith("run  ")
+        assert lines[1].startswith("  stage source=S  ")
+        assert lines[1].endswith("[n=1]")
+
+    def test_counters_table_empty(self):
+        with tracing() as tracer:
+            pass
+        assert counters_table(tracer) == ["(no counters recorded)"]
+
+    def test_counters_table_aligned(self):
+        with tracing() as tracer:
+            count("short")
+            count("a.much.longer.counter")
+        lines = counters_table(tracer)
+        assert lines == ["a.much.longer.counter  1", "short                  1"]

@@ -10,6 +10,7 @@ PACKAGES = [
     "repro.rules",
     "repro.engine",
     "repro.mediator",
+    "repro.obs",
     "repro.text",
     "repro.workloads",
     "repro.conversions",
