@@ -1,0 +1,63 @@
+"""vocablint — static analysis of mapping specifications.
+
+The paper (Definitions 3/4) leaves soundness and completeness of a
+mapping specification ``K`` to human judgement.  This package mechanizes
+everything short of that judgement: it synthesizes head bindings for
+every rule, replays the matcher over them, and checks the results
+against the subsumption, safety, and capability machinery — *without
+executing a single query*.
+
+Findings carry stable ``VM0xx`` codes (see
+:data:`~repro.analysis.diagnostics.CATALOG` and
+``docs/static_analysis.md``), severities, and rule-level locations.
+Surface: :func:`lint_specification` in code, ``repro lint`` on the
+command line.
+"""
+
+from repro.analysis.checks import (
+    LintContext,
+    SubsumptionVerdict,
+    classify_subsumption,
+    prepare_context,
+)
+from repro.analysis.diagnostics import (
+    CATALOG,
+    CodeInfo,
+    Diagnostic,
+    LintReport,
+    Severity,
+    catalog_entry,
+)
+from repro.analysis.linter import (
+    capability_from_dict,
+    lint_many,
+    lint_specification,
+    vocabulary_from_dict,
+)
+from repro.analysis.sampling import (
+    RuleSamples,
+    SpecLiterals,
+    harvest_literals,
+    sample_rule,
+)
+
+__all__ = [
+    "CATALOG",
+    "CodeInfo",
+    "Diagnostic",
+    "LintContext",
+    "LintReport",
+    "RuleSamples",
+    "Severity",
+    "SpecLiterals",
+    "SubsumptionVerdict",
+    "capability_from_dict",
+    "catalog_entry",
+    "classify_subsumption",
+    "harvest_literals",
+    "lint_many",
+    "lint_specification",
+    "prepare_context",
+    "sample_rule",
+    "vocabulary_from_dict",
+]

@@ -1,0 +1,548 @@
+"""The vocablint check suite (codes VM001–VM012).
+
+Each check is a function ``(LintContext) -> list[Diagnostic]`` over a
+prepared :class:`LintContext` (the spec, its synthesized rule samples,
+and the optional vocabulary/capability/oracle).  The registry at the
+bottom maps codes to checks; :func:`repro.analysis.linter.
+lint_specification` runs them all and merges the findings.
+
+Soundness verdicts (Definition 3) are three-valued:
+
+* ``CONFIRMED`` — the violation is provable: the emission is built from
+  the matched constraints themselves (same atoms, so propositional
+  implication is decisive, the Theorem 1 setting) yet fails to subsume
+  them; or a caller-supplied semantic oracle produced a counterexample.
+* ``SUSPECTED`` — the emission shares *some* atoms with the group and
+  fails propositionally; unshared atoms could semantically rescue it,
+  so a human should look.
+* ``UNVERIFIABLE`` — the emission lives entirely in the target's
+  vocabulary; without a semantic oracle no mechanical check applies
+  (the "only a human expert can certify" residue of Definition 3).
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.core.ast import Constraint, Query, conj
+from repro.core.matching import AttrPattern, Matching, Rule
+from repro.core.subsume import prop_equivalent, prop_implies, prop_satisfiable
+from repro.engine.capabilities import Capability
+from repro.rules.spec import MappingSpecification, audit_vocabulary
+from repro.rules.vocabulary import ContextVocabulary
+
+from repro.analysis.diagnostics import Diagnostic, Severity, catalog_entry
+from repro.analysis.sampling import RuleSamples, harvest_literals, sample_rule
+
+__all__ = [
+    "LintContext",
+    "SubsumptionVerdict",
+    "classify_subsumption",
+    "prepare_context",
+    "ALL_CHECKS",
+]
+
+#: ``oracle(broad, narrow) -> bool | None`` — semantic subsumption when the
+#: caller can decide it (e.g. empirically over a dataset); ``None`` = unknown.
+Oracle = Callable[[Query, Query], bool | None]
+
+
+class SubsumptionVerdict(enum.Enum):
+    """Outcome of checking one matching's emission against its group."""
+
+    SOUND = "sound"
+    CONFIRMED = "confirmed"
+    SUSPECTED = "suspected"
+    UNVERIFIABLE = "unverifiable"
+
+
+@dataclass
+class LintContext:
+    """Everything the checks need, prepared once per lint run."""
+
+    spec: MappingSpecification
+    samples: dict[str, RuleSamples]
+    vocabulary: ContextVocabulary | None = None
+    capability: Capability | None = None
+    oracle: Oracle | None = None
+    counters: dict[str, int] = field(default_factory=dict)
+
+    def bump(self, name: str, n: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    def diagnostic(
+        self,
+        code: str,
+        message: str,
+        rule: str | None = None,
+        where: str = "",
+        severity: Severity | None = None,
+        **details: object,
+    ) -> Diagnostic:
+        info = catalog_entry(code)
+        return Diagnostic(
+            code=code,
+            severity=severity if severity is not None else info.severity,
+            spec=self.spec.name,
+            message=message,
+            rule=rule,
+            field=where,
+            details=tuple(sorted((k, str(v)) for k, v in details.items())),
+        )
+
+
+def prepare_context(
+    spec: MappingSpecification,
+    vocabulary: ContextVocabulary | None = None,
+    capability: Capability | None = None,
+    oracle: Oracle | None = None,
+) -> LintContext:
+    """Harvest literals and synthesize samples for every rule."""
+    literals = harvest_literals(spec)
+    samples = {
+        rule.name: sample_rule(rule, literals, vocabulary) for rule in spec.rules
+    }
+    context = LintContext(
+        spec=spec,
+        samples=samples,
+        vocabulary=vocabulary,
+        capability=capability,
+        oracle=oracle,
+    )
+    context.bump("lint.rules", len(spec.rules))
+    context.bump(
+        "lint.sampled_matchings",
+        sum(len(s.matchings) for s in samples.values()),
+    )
+    context.bump(
+        "lint.sample_combos",
+        sum(s.combos_tried for s in samples.values()),
+    )
+    return context
+
+
+# ---------------------------------------------------------------------------
+# VM001 / VM002 — vocabulary reference checks
+# ---------------------------------------------------------------------------
+
+
+def _vocab_names(vocabulary: ContextVocabulary) -> set[str]:
+    names = set()
+    for spec in vocabulary.attributes:
+        names.add(spec.name)
+        names.add(spec.name.split(".")[-1])
+    return names
+
+
+def _head_attr_names(rule: Rule) -> list[str]:
+    """Literal attribute names a rule head can match (patterns + hints)."""
+    names: list[str] = []
+    for pattern in rule.patterns:
+        if isinstance(pattern.lhs, AttrPattern) and isinstance(pattern.lhs.attr, str):
+            names.append(pattern.lhs.attr)
+        if isinstance(pattern.rhs, AttrPattern) and isinstance(pattern.rhs.attr, str):
+            names.append(pattern.rhs.attr)
+    for condition in rule.conditions:
+        hint = getattr(condition, "vocablint_hint", None)
+        if isinstance(hint, dict) and hint.get("kind") == "attr_in":
+            names.extend(sorted(hint.get("allowed", ())))
+    return names
+
+
+def check_vocabulary_references(context: LintContext) -> list[Diagnostic]:
+    """VM001 unknown attributes, VM002 undeclared operators."""
+    if context.vocabulary is None:
+        return []
+    known = _vocab_names(context.vocabulary)
+    by_attr = {
+        spec.name.split(".")[-1]: set(spec.operators)
+        for spec in context.vocabulary.attributes
+    }
+    out: list[Diagnostic] = []
+    for rule in context.spec.rules:
+        unknown = sorted(
+            {name for name in _head_attr_names(rule) if name not in known}
+        )
+        for name in unknown:
+            out.append(
+                context.diagnostic(
+                    "VM001",
+                    f"head references attribute {name!r}, which the declared "
+                    f"vocabulary does not contain",
+                    rule=rule.name,
+                    where="head",
+                    attribute=name,
+                )
+            )
+        for pattern in rule.patterns:
+            if not isinstance(pattern.op, str):
+                continue
+            lhs = pattern.lhs
+            if not (isinstance(lhs, AttrPattern) and isinstance(lhs.attr, str)):
+                continue
+            declared = by_attr.get(lhs.attr)
+            if declared is not None and pattern.op not in declared:
+                out.append(
+                    context.diagnostic(
+                        "VM002",
+                        f"head constrains {lhs.attr!r} with {pattern.op!r}, "
+                        f"but the vocabulary declares only "
+                        f"{sorted(declared)}",
+                        rule=rule.name,
+                        where="head",
+                        attribute=lhs.attr,
+                        operator=pattern.op,
+                    )
+                )
+    return out
+
+
+# ---------------------------------------------------------------------------
+# VM003 / VM004 — emission-subsumption soundness
+# ---------------------------------------------------------------------------
+
+
+def classify_subsumption(
+    matching: Matching, oracle: Oracle | None = None
+) -> SubsumptionVerdict:
+    """Does the emission subsume the matched group (Definition 3)?
+
+    The matched group conjoined must imply the emission.  Propositional
+    reasoning is decisive only where atoms coincide; a semantic oracle
+    extends the verdict across vocabularies.
+    """
+    group = conj(sorted(matching.constraints, key=str))
+    emission = matching.emission
+    emission_atoms = emission.constraints()
+
+    if oracle is not None:
+        answer = oracle(emission, group)
+        if answer is True:
+            return SubsumptionVerdict.SOUND
+        if answer is False:
+            return SubsumptionVerdict.CONFIRMED
+
+    if not emission_atoms:
+        # A constant emission: True subsumes everything, False nothing.
+        if prop_implies(group, emission):
+            return SubsumptionVerdict.SOUND
+        return SubsumptionVerdict.CONFIRMED
+
+    shared = emission_atoms & matching.constraints
+    if not shared:
+        return SubsumptionVerdict.UNVERIFIABLE
+    if prop_implies(group, emission):
+        return SubsumptionVerdict.SOUND
+    if emission_atoms <= matching.constraints:
+        # Emission built purely from the matched constraints — the
+        # propositional counterexample is genuine (Theorem 1 setting).
+        return SubsumptionVerdict.CONFIRMED
+    return SubsumptionVerdict.SUSPECTED
+
+
+def check_emission_soundness(context: LintContext) -> list[Diagnostic]:
+    """VM003 confirmed / VM004 suspected soundness violations."""
+    out: list[Diagnostic] = []
+    for rule in context.spec.rules:
+        samples = context.samples[rule.name]
+        flagged: set[str] = set()
+        for matching in samples.matchings:
+            verdict = classify_subsumption(matching, context.oracle)
+            context.bump(f"lint.subsumption.{verdict.value}")
+            if verdict is SubsumptionVerdict.CONFIRMED and "VM003" not in flagged:
+                flagged.add("VM003")
+                out.append(
+                    context.diagnostic(
+                        "VM003",
+                        "emission does not subsume the matched group "
+                        f"(CONFIRMED on sampled binding): "
+                        f"{matching.emission} fails for group "
+                        f"{{{', '.join(sorted(map(str, matching.constraints)))}}}",
+                        rule=rule.name,
+                        where="emit",
+                        emission=matching.emission,
+                        group=sorted(map(str, matching.constraints)),
+                    )
+                )
+            elif verdict is SubsumptionVerdict.SUSPECTED and "VM004" not in flagged:
+                flagged.add("VM004")
+                out.append(
+                    context.diagnostic(
+                        "VM004",
+                        "emission shares constraints with the matched group "
+                        "but does not propositionally subsume it (SUSPECTED; "
+                        f"verify semantically): {matching.emission}",
+                        rule=rule.name,
+                        where="emit",
+                        emission=matching.emission,
+                        group=sorted(map(str, matching.constraints)),
+                    )
+                )
+    return out
+
+
+# ---------------------------------------------------------------------------
+# VM005 / VM011 — dead and crashing rules
+# ---------------------------------------------------------------------------
+
+
+def check_dead_rules(context: LintContext) -> list[Diagnostic]:
+    """VM005 rules that never fired, VM011 rules that only crashed."""
+    out: list[Diagnostic] = []
+    for rule in context.spec.rules:
+        samples = context.samples[rule.name]
+        if samples.fired:
+            continue
+        if samples.raised:
+            combo, exc = samples.raised[0]
+            out.append(
+                context.diagnostic(
+                    "VM011",
+                    f"every sampled head binding raised instead of matching; "
+                    f"e.g. {type(exc).__name__}: {exc} on "
+                    f"{{{', '.join(map(str, combo))}}} — conversion "
+                    f"functions should veto via RejectMatch",
+                    rule=rule.name,
+                    where="let",
+                    exception=f"{type(exc).__name__}: {exc}",
+                )
+            )
+            continue
+        severity = (
+            Severity.WARNING if context.vocabulary is not None else Severity.INFO
+        )
+        out.append(
+            context.diagnostic(
+                "VM005",
+                f"no matching found across {samples.combos_tried} synthesized "
+                "head bindings — the rule looks unreachable"
+                + (
+                    ""
+                    if context.vocabulary is not None
+                    else " (no vocabulary declared; sampled from defaults)"
+                ),
+                rule=rule.name,
+                where="head",
+                severity=severity,
+                combos_tried=samples.combos_tried,
+            )
+        )
+    return out
+
+
+# ---------------------------------------------------------------------------
+# VM006 / VM007 / VM008 — same-group interactions
+# ---------------------------------------------------------------------------
+
+
+def _matchings_by_group(
+    context: LintContext,
+) -> dict[frozenset[Constraint], list[Matching]]:
+    by_group: dict[frozenset[Constraint], list[Matching]] = {}
+    for samples in context.samples.values():
+        for matching in samples.matchings:
+            by_group.setdefault(matching.constraints, []).append(matching)
+    return by_group
+
+
+def check_group_conflicts(context: LintContext) -> list[Diagnostic]:
+    """VM007 duplicate and VM008 conflicting matchings on one group."""
+    out: list[Diagnostic] = []
+    seen_pairs: set[tuple[str, str, str]] = set()
+    for group, matchings in _matchings_by_group(context).items():
+        rules = {m.rule_name for m in matchings}
+        if len(rules) < 2:
+            continue
+        group_text = ", ".join(sorted(map(str, group)))
+        for i, left in enumerate(matchings):
+            for right in matchings[i + 1 :]:
+                if left.rule_name == right.rule_name:
+                    continue
+                a, b = sorted((left.rule_name, right.rule_name))
+                if prop_equivalent(left.emission, right.emission):
+                    key = ("VM007", a, b)
+                    if key in seen_pairs:
+                        continue
+                    seen_pairs.add(key)
+                    out.append(
+                        context.diagnostic(
+                            "VM007",
+                            f"rules {a} and {b} emit equivalent mappings for "
+                            f"the same group {{{group_text}}} — one is "
+                            "redundant",
+                            rule=a,
+                            where="emit",
+                            other_rule=b,
+                            group=group_text,
+                        )
+                    )
+                elif not prop_satisfiable(
+                    conj([left.emission, right.emission])
+                ):
+                    key = ("VM008", a, b)
+                    if key in seen_pairs:
+                        continue
+                    seen_pairs.add(key)
+                    out.append(
+                        context.diagnostic(
+                            "VM008",
+                            f"rules {a} and {b} emit contradictory mappings "
+                            f"for the same group {{{group_text}}}: "
+                            f"({left.emission}) and ({right.emission}) "
+                            "cannot hold together",
+                            rule=a,
+                            where="emit",
+                            other_rule=b,
+                            group=group_text,
+                        )
+                    )
+    return out
+
+
+def check_shadowed_rules(context: LintContext) -> list[Diagnostic]:
+    """VM006: every matching of a rule is absorbed by some other rule's."""
+    by_group = _matchings_by_group(context)
+    out: list[Diagnostic] = []
+    for rule in context.spec.rules:
+        samples = context.samples[rule.name]
+        if not samples.fired:
+            continue
+        shadowers: set[str] = set()
+        for matching in samples.matchings:
+            absorbed_by = None
+            for other in by_group[matching.constraints]:
+                if other.rule_name == rule.name:
+                    continue
+                # ``other`` makes ``matching`` redundant when its emission
+                # is at least as strong: conjoining both adds nothing.
+                if prop_implies(other.emission, matching.emission):
+                    absorbed_by = other.rule_name
+                    break
+            if absorbed_by is None:
+                shadowers = set()
+                break
+            shadowers.add(absorbed_by)
+        if shadowers:
+            others = ", ".join(sorted(shadowers))
+            out.append(
+                context.diagnostic(
+                    "VM006",
+                    f"every sampled matching is absorbed by {others}; the "
+                    "rule never changes a minimal subsuming mapping",
+                    rule=rule.name,
+                    where="head",
+                    shadowed_by=others,
+                )
+            )
+    return out
+
+
+# ---------------------------------------------------------------------------
+# VM009 — vocabulary coverage gaps
+# ---------------------------------------------------------------------------
+
+
+def check_coverage(context: LintContext) -> list[Diagnostic]:
+    """VM009: declared constraints no rule can touch (maps to True)."""
+    if context.vocabulary is None:
+        return []
+    report = audit_vocabulary(context.spec, context.vocabulary.all_constraints())
+    out = []
+    for constraint in report.uncovered:
+        out.append(
+            context.diagnostic(
+                "VM009",
+                f"vocabulary constraint {constraint} participates in no "
+                "matching; every query using it silently maps it to True",
+                rule=None,
+                where="vocabulary",
+                constraint=constraint,
+            )
+        )
+    return out
+
+
+# ---------------------------------------------------------------------------
+# VM010 — cross-matching hazards
+# ---------------------------------------------------------------------------
+
+
+def check_cross_matching_hazards(context: LintContext) -> list[Diagnostic]:
+    """VM010: attribute pairs whose joint rules break conjunct safety.
+
+    For every sampled matching spanning >= 2 distinct attributes, splitting
+    the group across conjuncts yields a cross-matching (Definition 5): a
+    conjunction placing those attributes in different conjuncts is unsafe
+    and TDQM must Disjunctivize.  Reported per attribute pair.
+    """
+    out: list[Diagnostic] = []
+    seen: set[tuple[str, str]] = set()
+    for rule in context.spec.rules:
+        for matching in context.samples[rule.name].matchings:
+            attrs = sorted({str(c.lhs) for c in matching.constraints})
+            if len(attrs) < 2:
+                continue
+            for i, left in enumerate(attrs):
+                for right in attrs[i + 1 :]:
+                    pair = (left, right)
+                    if pair in seen:
+                        continue
+                    seen.add(pair)
+                    out.append(
+                        context.diagnostic(
+                            "VM010",
+                            f"rule {matching.rule_name} matches "
+                            f"{left!r} and {right!r} jointly: conjunctions "
+                            "separating them have cross-matchings "
+                            "(Definition 5) and translate via Disjunctivize",
+                            rule=matching.rule_name,
+                            where="head",
+                            attributes=f"{left}, {right}",
+                        )
+                    )
+    return out
+
+
+# ---------------------------------------------------------------------------
+# VM012 — inexpressible emissions
+# ---------------------------------------------------------------------------
+
+
+def check_inexpressible(context: LintContext) -> list[Diagnostic]:
+    """VM012: emissions the target capability cannot evaluate."""
+    if context.capability is None:
+        return []
+    out: list[Diagnostic] = []
+    for rule in context.spec.rules:
+        reported: set[Constraint] = set()
+        for matching in context.samples[rule.name].matchings:
+            for bad in context.capability.violations(matching.emission):
+                if bad in reported:
+                    continue
+                reported.add(bad)
+                out.append(
+                    context.diagnostic(
+                        "VM012",
+                        f"emission {bad} is not supported by the target "
+                        "capability; the rule would fail at query time",
+                        rule=rule.name,
+                        where="emit",
+                        constraint=bad,
+                    )
+                )
+    return out
+
+
+#: Check registry in execution order; codes listed for documentation.
+ALL_CHECKS: tuple[tuple[str, Callable[[LintContext], list[Diagnostic]]], ...] = (
+    ("VM001/VM002", check_vocabulary_references),
+    ("VM003/VM004", check_emission_soundness),
+    ("VM005/VM011", check_dead_rules),
+    ("VM007/VM008", check_group_conflicts),
+    ("VM006", check_shadowed_rules),
+    ("VM009", check_coverage),
+    ("VM010", check_cross_matching_hazards),
+    ("VM012", check_inexpressible),
+)

@@ -1,0 +1,295 @@
+"""Diagnostic model for the ``vocablint`` static analyzer.
+
+A :class:`Diagnostic` is one finding about a mapping specification: a
+stable code (``VM001`` … ``VM012``), a :class:`Severity`, a source
+location (rule name + field), a human message, and machine-readable
+details.  :class:`LintReport` aggregates the findings of one lint run
+with filtering, rendering, and JSON export.
+
+The full catalog, with the paper definitions each code mechanizes, lives
+in :data:`CATALOG` and is documented in ``docs/static_analysis.md``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Severity",
+    "Diagnostic",
+    "LintReport",
+    "CodeInfo",
+    "CATALOG",
+    "catalog_entry",
+]
+
+
+class Severity(enum.IntEnum):
+    """Diagnostic severity; comparable so thresholds are ``>=`` tests."""
+
+    INFO = 10
+    WARNING = 20
+    ERROR = 30
+
+    def __str__(self) -> str:
+        return self.name.lower()
+
+    @classmethod
+    def parse(cls, text: str) -> Severity:
+        try:
+            return cls[text.upper()]
+        except KeyError:
+            known = ", ".join(s.name.lower() for s in cls)
+            raise ValueError(f"unknown severity {text!r}; one of: {known}") from None
+
+
+@dataclass(frozen=True)
+class CodeInfo:
+    """Catalog entry for one diagnostic code."""
+
+    code: str
+    severity: Severity
+    title: str
+    summary: str
+
+
+#: The VM0xx catalog.  Codes are stable: never renumber, only append.
+CATALOG: dict[str, CodeInfo] = {
+    info.code: info
+    for info in (
+        CodeInfo(
+            "VM001",
+            Severity.ERROR,
+            "unknown-attribute",
+            "a rule head references an attribute the declared vocabulary "
+            "does not contain (likely a typo; the rule can never fire)",
+        ),
+        CodeInfo(
+            "VM002",
+            Severity.WARNING,
+            "unknown-operator",
+            "a rule head uses an operator the vocabulary does not declare "
+            "for that attribute",
+        ),
+        CodeInfo(
+            "VM003",
+            Severity.ERROR,
+            "unsound-emission",
+            "CONFIRMED soundness violation: on a sampled binding the "
+            "emission provably fails to subsume the matched group "
+            "(Definition 3)",
+        ),
+        CodeInfo(
+            "VM004",
+            Severity.WARNING,
+            "suspect-emission",
+            "SUSPECTED soundness violation: the emission shares atoms with "
+            "the matched group but does not propositionally subsume it",
+        ),
+        CodeInfo(
+            "VM005",
+            Severity.WARNING,
+            "dead-rule",
+            "no synthesized head binding produces a matching — the rule "
+            "appears unreachable for the declared vocabulary",
+        ),
+        CodeInfo(
+            "VM006",
+            Severity.WARNING,
+            "shadowed-rule",
+            "every sampled matching of the rule is subsumed by another "
+            "rule's matching of the same group; the rule contributes "
+            "nothing to any minimal subsuming mapping",
+        ),
+        CodeInfo(
+            "VM007",
+            Severity.WARNING,
+            "duplicate-matching",
+            "two rules produce equivalent emissions for the same "
+            "indecomposable constraint group",
+        ),
+        CodeInfo(
+            "VM008",
+            Severity.ERROR,
+            "conflicting-matching",
+            "two rules match the same constraint group with contradictory "
+            "emissions — their conjunction is unsatisfiable, so the "
+            "translation of that group is empty",
+        ),
+        CodeInfo(
+            "VM009",
+            Severity.ERROR,
+            "coverage-gap",
+            "a declared vocabulary constraint participates in no matching "
+            "and silently maps to True (the Definition 4 completeness "
+            "symptom audit_vocabulary detects)",
+        ),
+        CodeInfo(
+            "VM010",
+            Severity.INFO,
+            "cross-matching-hazard",
+            "an attribute pair is matched jointly by some rule, so "
+            "conjunctions separating the pair are unsafe (Definition 5) "
+            "and force TDQM through Disjunctivize",
+        ),
+        CodeInfo(
+            "VM011",
+            Severity.WARNING,
+            "rule-raised",
+            "every sampled head binding made the rule raise instead of "
+            "matching or vetoing via RejectMatch — conversion functions "
+            "should reject, not crash",
+        ),
+        CodeInfo(
+            "VM012",
+            Severity.ERROR,
+            "inexpressible-emission",
+            "a rule emission uses vocabulary the target capability cannot "
+            "evaluate (Definition 1's expressibility requirement)",
+        ),
+    )
+}
+
+
+def catalog_entry(code: str) -> CodeInfo:
+    try:
+        return CATALOG[code]
+    except KeyError:
+        raise KeyError(f"unknown diagnostic code {code!r}") from None
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding: code + severity + location + message + details."""
+
+    code: str
+    severity: Severity
+    spec: str
+    message: str
+    rule: str | None = None
+    field: str = ""
+    details: tuple[tuple[str, str], ...] = ()
+
+    @property
+    def title(self) -> str:
+        return catalog_entry(self.code).title
+
+    @property
+    def location(self) -> str:
+        """``spec:rule[field]`` — the closest thing rules have to a line."""
+        where = self.spec
+        if self.rule is not None:
+            where += f":{self.rule}"
+        if self.field:
+            where += f"[{self.field}]"
+        return where
+
+    def to_dict(self) -> dict:
+        return {
+            "code": self.code,
+            "title": self.title,
+            "severity": str(self.severity),
+            "spec": self.spec,
+            "rule": self.rule,
+            "field": self.field,
+            "message": self.message,
+            "details": dict(self.details),
+        }
+
+    def __str__(self) -> str:
+        return f"{self.code} {str(self.severity):<7} {self.location}: {self.message}"
+
+
+def _sort_key(diagnostic: Diagnostic) -> tuple:
+    return (
+        -int(diagnostic.severity),
+        diagnostic.code,
+        diagnostic.rule or "",
+        diagnostic.message,
+    )
+
+
+@dataclass(frozen=True)
+class LintReport:
+    """Outcome of one ``lint_specification`` run."""
+
+    spec: str
+    diagnostics: tuple[Diagnostic, ...]
+    stats: tuple[tuple[str, int], ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        ordered = tuple(sorted(self.diagnostics, key=_sort_key))
+        object.__setattr__(self, "diagnostics", ordered)
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    def __iter__(self):
+        return iter(self.diagnostics)
+
+    @property
+    def errors(self) -> tuple[Diagnostic, ...]:
+        return self.filter(severity=Severity.ERROR).diagnostics
+
+    @property
+    def warnings(self) -> tuple[Diagnostic, ...]:
+        return tuple(
+            d for d in self.diagnostics if d.severity == Severity.WARNING
+        )
+
+    @property
+    def max_severity(self) -> Severity | None:
+        if not self.diagnostics:
+            return None
+        return max(d.severity for d in self.diagnostics)
+
+    def filter(
+        self,
+        severity: Severity | None = None,
+        codes: frozenset[str] | set[str] | None = None,
+    ) -> LintReport:
+        """Keep diagnostics at/above ``severity`` and within ``codes``."""
+        kept = self.diagnostics
+        if severity is not None:
+            kept = tuple(d for d in kept if d.severity >= severity)
+        if codes:
+            kept = tuple(d for d in kept if d.code in codes)
+        return LintReport(spec=self.spec, diagnostics=kept, stats=self.stats)
+
+    def counts(self) -> dict[str, int]:
+        out = {"error": 0, "warning": 0, "info": 0}
+        for diagnostic in self.diagnostics:
+            out[str(diagnostic.severity)] += 1
+        return out
+
+    def to_dict(self) -> dict:
+        counts = self.counts()
+        return {
+            "spec": self.spec,
+            "summary": counts,
+            "ok": counts["error"] == 0,
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+            "stats": dict(self.stats),
+        }
+
+    def render(self, verbose: bool = False) -> str:
+        counts = self.counts()
+        head = (
+            f"{self.spec}: {len(self.diagnostics)} diagnostic"
+            f"{'' if len(self.diagnostics) == 1 else 's'}"
+            f" ({counts['error']} error, {counts['warning']} warning,"
+            f" {counts['info']} info)"
+        )
+        lines = [head]
+        for diagnostic in self.diagnostics:
+            lines.append(f"  {diagnostic}")
+            if verbose:
+                for key, value in diagnostic.details:
+                    lines.append(f"      {key}: {value}")
+        if not self.diagnostics:
+            lines.append("  clean")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()

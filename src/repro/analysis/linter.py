@@ -1,0 +1,113 @@
+"""vocablint entry point: run the check suite over a specification.
+
+:func:`lint_specification` is the library API behind ``repro lint``; it
+prepares a :class:`~repro.analysis.checks.LintContext` (harvesting
+literals and synthesizing head bindings once) and runs every registered
+check, producing a :class:`~repro.analysis.diagnostics.LintReport`.
+
+The run is instrumented with :mod:`repro.obs` like the rest of the
+stack: a ``lint.spec`` span wrapping per-check child spans, plus the
+``lint.*`` counters (rules, sampled matchings, subsumption verdicts,
+diagnostics per code).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.engine.capabilities import Capability
+from repro.obs import trace as obs
+from repro.rules.spec import MappingSpecification
+from repro.rules.vocabulary import AttributeSpec, ContextVocabulary
+
+from repro.analysis.checks import ALL_CHECKS, Oracle, prepare_context
+from repro.analysis.diagnostics import Diagnostic, LintReport
+
+__all__ = [
+    "lint_specification",
+    "lint_many",
+    "vocabulary_from_dict",
+    "capability_from_dict",
+]
+
+
+def lint_specification(
+    spec: MappingSpecification,
+    vocabulary: ContextVocabulary | None = None,
+    capability: Capability | None = None,
+    oracle: Oracle | None = None,
+) -> LintReport:
+    """Statically analyze ``spec``; returns the full diagnostic report.
+
+    ``vocabulary`` enables the reference and coverage checks (VM001,
+    VM002, VM009) and sharpens head-binding synthesis; ``capability``
+    enables the expressibility check (VM012); ``oracle`` extends the
+    soundness check (VM003) across vocabularies.
+    """
+    with obs.span("lint.spec", spec=spec.name, rules=len(spec.rules)):
+        with obs.span("lint.sample"):
+            context = prepare_context(spec, vocabulary, capability, oracle)
+        diagnostics: list[Diagnostic] = []
+        for codes, check in ALL_CHECKS:
+            with obs.span(f"lint.check.{check.__name__}", codes=codes):
+                found = check(context)
+            diagnostics.extend(found)
+            for diagnostic in found:
+                context.bump(f"lint.diagnostics.{diagnostic.code}")
+        context.bump("lint.diagnostics", len(diagnostics))
+        if obs.enabled():
+            for name, value in sorted(context.counters.items()):
+                obs.count(name, value)
+        return LintReport(
+            spec=spec.name,
+            diagnostics=tuple(diagnostics),
+            stats=tuple(sorted(context.counters.items())),
+        )
+
+
+def lint_many(
+    specs: Mapping[str, MappingSpecification],
+    vocabulary: ContextVocabulary | None = None,
+    capability: Capability | None = None,
+    oracle: Oracle | None = None,
+) -> dict[str, LintReport]:
+    """Lint several specifications; reports keyed like ``specs``."""
+    return {
+        name: lint_specification(spec, vocabulary, capability, oracle)
+        for name, spec in specs.items()
+    }
+
+
+def vocabulary_from_dict(data: Mapping) -> ContextVocabulary:
+    """Build a :class:`ContextVocabulary` from its JSON form.
+
+    Expected shape::
+
+        {"attributes": [{"name": "price", "operators": ["=", "<="],
+                         "samples": {"=": 100}}, ...],
+         "groups": [["area-min", "area-max"], ...]}
+    """
+    attributes = tuple(
+        AttributeSpec(
+            name=entry["name"],
+            operators=tuple(entry.get("operators", ("=",))),
+            samples=dict(entry.get("samples", {})),
+        )
+        for entry in data.get("attributes", ())
+    )
+    groups = tuple(tuple(group) for group in data.get("groups", ()))
+    return ContextVocabulary(attributes=attributes, groups=groups)
+
+
+def capability_from_dict(data: Mapping) -> Capability:
+    """Build a :class:`Capability` from its JSON form.
+
+    Expected shape::
+
+        {"selections": [["price_cents", "<="], ...],
+         "joins": [["name", "name", "="], ...]}
+    """
+    return Capability.of(
+        selections=[tuple(pair) for pair in data.get("selections", ())],
+        joins=[tuple(triple) for triple in data.get("joins", ())],
+    )

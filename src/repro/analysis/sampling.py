@@ -1,0 +1,312 @@
+"""Head-binding synthesis: make rules fire without a real query.
+
+Static checks on a mapping rule need *matchings* — but a matching only
+exists relative to concrete constraints.  This module manufactures them:
+for each pattern of a rule it enumerates candidate constraints built from
+
+* the pattern's own literals (attribute, view, operator, value);
+* ``vocablint_hint`` metadata left by the DSL factories
+  (:func:`~repro.rules.dsl.attr_in` allowed-name sets,
+  :func:`~repro.rules.dsl.table_lookup` key samples);
+* the declared :class:`~repro.rules.vocabulary.ContextVocabulary`
+  (attribute names, operators, per-operator sample values);
+* literals harvested from the *other* rules of the specification (view
+  names, attribute names, operators) — a rule library is its own best
+  value dictionary;
+* per-operator default values (a word pattern for ``contains``, a year
+  for ``during``, numbers for comparisons, …).
+
+Each combination of one candidate per pattern is offered to
+:func:`~repro.core.matching.match_rule`; conditions and ``let`` veto the
+bad ones.  Exceptions other than :class:`RejectMatch` are recorded — a
+conversion function crashing on an odd value is itself a finding
+(``VM011``) when *no* combination matches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import islice, product
+
+from repro.core.ast import AttrRef, Constraint
+from repro.core.matching import (
+    AttrPattern,
+    ConstraintPattern,
+    Matching,
+    RejectMatch,
+    Rule,
+    Var,
+    match_rule,
+)
+from repro.core.values import Month, Range, Year
+from repro.rules.spec import MappingSpecification
+from repro.rules.vocabulary import ContextVocabulary
+from repro.text.patterns import Word
+
+__all__ = ["RuleSamples", "SpecLiterals", "harvest_literals", "sample_rule"]
+
+#: Hard caps keeping the synthesis cheap on adversarial rule shapes.
+MAX_CANDIDATES_PER_PATTERN = 24
+MAX_COMBOS = 512
+MAX_MATCHINGS = 16
+
+
+@dataclass(frozen=True)
+class SpecLiterals:
+    """Literal material harvested from a whole specification."""
+
+    attrs: tuple[str, ...]
+    views: tuple[str, ...]
+    ops: tuple[str, ...]
+    values: tuple[object, ...]
+
+
+@dataclass
+class RuleSamples:
+    """Synthesized matchings (and failures) for one rule."""
+
+    rule: Rule
+    matchings: list[Matching] = field(default_factory=list)
+    raised: list[tuple[tuple[Constraint, ...], BaseException]] = field(
+        default_factory=list
+    )
+    combos_tried: int = 0
+
+    @property
+    def fired(self) -> bool:
+        return bool(self.matchings)
+
+
+def _rule_hints(rule: Rule) -> list[dict]:
+    hints = []
+    for condition in rule.conditions:
+        hint = getattr(condition, "vocablint_hint", None)
+        if isinstance(hint, dict):
+            hints.append(hint)
+    for _, fn in rule.let:
+        hint = getattr(fn, "vocablint_hint", None)
+        if isinstance(hint, dict):
+            hints.append(hint)
+    return hints
+
+
+def harvest_literals(spec: MappingSpecification) -> SpecLiterals:
+    """Collect the literal attrs/views/ops/values the spec itself mentions."""
+    attrs: list[str] = []
+    views: list[str] = []
+    ops: list[str] = []
+    values: list[object] = []
+
+    def _see(pool: list, item: object) -> None:
+        if item not in pool:
+            pool.append(item)
+
+    def _see_attr_pattern(pattern: AttrPattern) -> None:
+        if isinstance(pattern.attr, str):
+            _see(attrs, pattern.attr)
+        if isinstance(pattern.view, str):
+            _see(views, pattern.view)
+
+    for rule in spec.rules:
+        for pattern in rule.patterns:
+            if isinstance(pattern.lhs, AttrPattern):
+                _see_attr_pattern(pattern.lhs)
+            if isinstance(pattern.op, str):
+                _see(ops, pattern.op)
+            if isinstance(pattern.rhs, AttrPattern):
+                _see_attr_pattern(pattern.rhs)
+            elif not isinstance(pattern.rhs, Var):
+                _see(values, pattern.rhs)
+        for hint in _rule_hints(rule):
+            if hint.get("kind") == "attr_in":
+                for name in sorted(hint.get("allowed", ())):
+                    _see(attrs, name)
+    return SpecLiterals(
+        attrs=tuple(attrs), views=tuple(views), ops=tuple(ops), values=tuple(values)
+    )
+
+
+def _default_values(op: str) -> list[object]:
+    """Representative right-hand sides per operator shape."""
+    if op == "contains":
+        return [Word("sample")]
+    if op == "during":
+        return [Year(1997), Month(1997, 5)]
+    if op == "in":
+        return [("sample",)]
+    if op in ("<", "<=", ">", ">=", "!="):
+        return [10, 2.5]
+    # Equality and anything unknown: cover strings, ints (a year and a
+    # small month-like number), floats, and a range value.
+    return ["sample", 1997, 3, 2.5, Range(1.0, 2.0)]
+
+
+def _attr_candidates(
+    component: object,
+    var_hints: dict[str, list[str]],
+    literals: SpecLiterals,
+    vocabulary: ContextVocabulary | None,
+) -> list[str]:
+    if isinstance(component, str):
+        return [component]
+    if isinstance(component, Var) and component.name in var_hints:
+        return list(var_hints[component.name])
+    if vocabulary is not None:
+        return [spec.name.split(".")[-1] for spec in vocabulary.attributes][:8]
+    if literals.attrs:
+        return list(literals.attrs[:8])
+    return ["attr"]
+
+
+def _view_candidates(component: object, literals: SpecLiterals) -> list[str | None]:
+    if component is None:
+        return [None]
+    if isinstance(component, str):
+        return [component]
+    # A Var view requires a qualified reference; try the spec's own views.
+    return list(literals.views[:4]) or ["v"]
+
+
+def _index_candidates(component: object) -> list[int | None]:
+    if component is None:
+        return [None]
+    if isinstance(component, Var):
+        return [None, 1, 2]
+    return [component]  # type: ignore[list-item]
+
+
+def _op_candidates(component: object, literals: SpecLiterals) -> list[str]:
+    if isinstance(component, str):
+        return [component]
+    ordered = list(literals.ops[:6])
+    if "=" not in ordered:
+        ordered.append("=")
+    return ordered
+
+
+def _value_candidates(
+    op: str,
+    attr_name: str,
+    table_keys: list[object],
+    literals: SpecLiterals,
+    vocabulary: ContextVocabulary | None,
+) -> list[object]:
+    values: list[object] = []
+    if vocabulary is not None:
+        for spec in vocabulary.attributes:
+            if spec.name.split(".")[-1] == attr_name:
+                sample = spec.samples.get(op)
+                if sample is not None:
+                    values.append(sample)
+    values.extend(table_keys)
+    for value in literals.values[:4]:
+        if value not in values:
+            values.append(value)
+    for value in _default_values(op):
+        if value not in values:
+            values.append(value)
+    return values
+
+
+def _build_refs(
+    pattern: AttrPattern,
+    var_hints: dict[str, list[str]],
+    literals: SpecLiterals,
+    vocabulary: ContextVocabulary | None,
+) -> list[AttrRef]:
+    refs: list[AttrRef] = []
+    for name in _attr_candidates(pattern.attr, var_hints, literals, vocabulary):
+        for view in _view_candidates(pattern.view, literals):
+            for index in _index_candidates(pattern.index):
+                path = (name,) if view is None else (view, name)
+                ref = AttrRef(path, index if view is not None else None)
+                if ref not in refs:
+                    refs.append(ref)
+    return refs
+
+
+def _pattern_candidates(
+    pattern: ConstraintPattern,
+    var_hints: dict[str, list[str]],
+    table_keys: list[object],
+    literals: SpecLiterals,
+    vocabulary: ContextVocabulary | None,
+) -> list[Constraint]:
+    if isinstance(pattern.lhs, Var):
+        # A whole-reference variable accepts any qualification: offer the
+        # bare attribute plus each view the specification mentions.
+        names = _attr_candidates(pattern.lhs, var_hints, literals, vocabulary)
+        lhs_refs = [AttrRef((name,)) for name in names]
+        for view in literals.views[:2]:
+            lhs_refs.extend(AttrRef((view, name)) for name in names)
+    else:
+        lhs_refs = _build_refs(pattern.lhs, var_hints, literals, vocabulary)
+
+    candidates: list[Constraint] = []
+    for op in _op_candidates(pattern.op, literals):
+        for lhs in lhs_refs:
+            if isinstance(pattern.rhs, AttrPattern):
+                rhs_pool: list[object] = list(
+                    _build_refs(pattern.rhs, var_hints, literals, vocabulary)
+                )
+            elif isinstance(pattern.rhs, Var):
+                rhs_pool = _value_candidates(
+                    op, lhs.attr, table_keys, literals, vocabulary
+                )
+            else:
+                rhs_pool = [pattern.rhs]
+            for rhs in rhs_pool:
+                candidates.append(Constraint(lhs, op, rhs))
+                if len(candidates) >= MAX_CANDIDATES_PER_PATTERN:
+                    return candidates
+    return candidates
+
+
+def _collect_var_hints(rule: Rule) -> tuple[dict[str, list[str]], list[object]]:
+    """Per-variable allowed attribute names, plus table key samples."""
+    var_hints: dict[str, list[str]] = {}
+    table_keys: list[object] = []
+    for hint in _rule_hints(rule):
+        kind = hint.get("kind")
+        if kind == "attr_in":
+            var_hints[hint["var"]] = sorted(hint.get("allowed", ()))
+        elif kind == "table":
+            for key in hint.get("keys", ()):
+                if key not in table_keys:
+                    table_keys.append(key)
+    return var_hints, table_keys
+
+
+def sample_rule(
+    rule: Rule,
+    literals: SpecLiterals,
+    vocabulary: ContextVocabulary | None = None,
+) -> RuleSamples:
+    """Synthesize head bindings for ``rule`` and collect its matchings."""
+    var_hints, table_keys = _collect_var_hints(rule)
+    pools = [
+        _pattern_candidates(pattern, var_hints, table_keys, literals, vocabulary)
+        for pattern in rule.patterns
+    ]
+    samples = RuleSamples(rule=rule)
+    seen: set[tuple[frozenset[Constraint], object]] = set()
+    for combo in islice(product(*pools), MAX_COMBOS):
+        if len(set(combo)) != len(combo):
+            continue  # matchings assign patterns to distinct constraints
+        samples.combos_tried += 1
+        try:
+            found = match_rule(rule, combo)
+        except RejectMatch:  # pragma: no cover - match_rule handles these
+            continue
+        except Exception as exc:  # noqa: BLE001 - rule code is arbitrary
+            if len(samples.raised) < 4:
+                samples.raised.append((combo, exc))
+            continue
+        for matching in found:
+            key = (matching.constraints, matching.emission)
+            if key not in seen:
+                seen.add(key)
+                samples.matchings.append(matching)
+        if len(samples.matchings) >= MAX_MATCHINGS:
+            break
+    return samples

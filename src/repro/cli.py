@@ -32,6 +32,17 @@ Commands
 
         python -m repro audit K_Amazon '[ln = "x"] and [shoe-size = 9]'
 
+``lint``
+    Statically analyze mapping specifications (vocablint)::
+
+        python -m repro lint all
+        python -m repro lint K_Amazon,K_map --severity info
+        python -m repro lint shop -f spec.json --vocab vocab.json --json
+
+    Exit code 0 when clean, 1 when any diagnostic reaches the
+    ``--fail-on`` severity (default ``error``); see
+    ``docs/static_analysis.md`` for the VM0xx catalog.
+
 Every command additionally accepts ``--trace`` (print the span tree to
 stderr) and ``--stats`` (print the aggregate counters to stderr); see
 ``docs/observability.md`` for the counter glossary.
@@ -43,7 +54,7 @@ import argparse
 import json
 import sys
 
-from repro.core.errors import VocabMapError
+from repro.core.errors import SpecificationError, VocabMapError
 from repro.core.explain import explain_translation
 from repro.core.filters import build_filter
 from repro.core.json_io import query_to_json
@@ -168,6 +179,90 @@ def _cmd_specs(args) -> int:
     return 0
 
 
+def _lintable_specifications() -> dict:
+    """Built-ins plus the realty library — everything ``lint`` can name."""
+    from repro.rules.library_realty import K_REALTY
+
+    specs = builtin_specifications()
+    specs[K_REALTY.name] = K_REALTY
+    return specs
+
+
+def _cmd_lint(args) -> int:
+    from repro.analysis import (
+        Severity,
+        capability_from_dict,
+        lint_specification,
+        vocabulary_from_dict,
+    )
+
+    vocabulary = None
+    if args.vocab:
+        with open(args.vocab) as handle:
+            vocabulary = vocabulary_from_dict(json.load(handle))
+    capability = None
+    if args.capability:
+        with open(args.capability) as handle:
+            capability = capability_from_dict(json.load(handle))
+
+    if args.spec_file is not None:
+        with open(args.spec_file) as handle:
+            data = json.load(handle)
+        from repro.rules.declarative import spec_from_dict
+
+        entries = data if isinstance(data, list) else [data]
+        loaded = {entry["name"]: spec_from_dict(entry) for entry in entries}
+        if args.specs in ("all", "", "-"):
+            selected = loaded
+        else:
+            selected = {}
+            for name in args.specs.split(","):
+                if name not in loaded:
+                    known = ", ".join(sorted(loaded))
+                    raise SpecificationError(
+                        f"{args.spec_file} defines {known}, not {name!r}"
+                    )
+                selected[name] = loaded[name]
+    else:
+        available = _lintable_specifications()
+        if args.specs == "all":
+            selected = available
+        else:
+            selected = {}
+            for name in args.specs.split(","):
+                if name not in available:
+                    known = ", ".join(sorted(available))
+                    raise SpecificationError(
+                        f"unknown specification {name!r}; built-ins: {known}"
+                    )
+                selected[name] = available[name]
+
+    try:
+        show_at = Severity.parse(args.severity)
+        fail_at = Severity.parse(args.fail_on)
+    except ValueError as exc:
+        raise SpecificationError(str(exc)) from None
+    codes = frozenset(args.code or ())
+
+    failed = False
+    payloads = []
+    for name, spec in selected.items():
+        report = lint_specification(spec, vocabulary=vocabulary, capability=capability)
+        # --code narrows the run's scope; --severity only trims the display.
+        scoped = report.filter(codes=codes or None)
+        if any(d.severity >= fail_at for d in scoped):
+            failed = True
+        shown = scoped.filter(severity=show_at)
+        if args.json:
+            payloads.append(shown.to_dict())
+        else:
+            print(shown.render(verbose=args.verbose))
+    if args.json:
+        out = payloads[0] if len(payloads) == 1 else payloads
+        print(json.dumps(out, indent=2, sort_keys=True))
+    return 1 if failed else 0
+
+
 def _cmd_audit(args) -> int:
     query = parse_query(args.query)
     report = audit_vocabulary(
@@ -246,6 +341,50 @@ def build_arg_parser() -> argparse.ArgumentParser:
     p.add_argument("-f", "--spec-file", help="load the spec from a declarative JSON file")
     _add_obs_flags(p)
     p.set_defaults(fn=_cmd_audit)
+
+    p = sub.add_parser(
+        "lint", help="statically analyze mapping specifications (vocablint)"
+    )
+    p.add_argument(
+        "specs",
+        help="comma-separated specification names, or 'all' for every "
+        "lintable specification",
+    )
+    p.add_argument(
+        "-f", "--spec-file", help="load the spec(s) from a declarative JSON file"
+    )
+    p.add_argument(
+        "--vocab",
+        help="declared original-context vocabulary (JSON file); enables the "
+        "reference and coverage checks",
+    )
+    p.add_argument(
+        "--capability",
+        help="target capability description (JSON file); enables the "
+        "expressibility check",
+    )
+    p.add_argument(
+        "--severity",
+        default="info",
+        help="minimum severity to report (info, warning, error)",
+    )
+    p.add_argument(
+        "--fail-on",
+        default="error",
+        help="exit non-zero when a diagnostic reaches this severity",
+    )
+    p.add_argument(
+        "--code",
+        action="append",
+        metavar="VMXXX",
+        help="only report these diagnostic codes (repeatable)",
+    )
+    p.add_argument("--json", action="store_true", help="emit reports as JSON")
+    p.add_argument(
+        "-v", "--verbose", action="store_true", help="include diagnostic details"
+    )
+    _add_obs_flags(p)
+    p.set_defaults(fn=_cmd_lint)
 
     return parser
 

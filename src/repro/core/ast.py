@@ -21,7 +21,7 @@ of constraints (matchings, cross-matchings) throughout.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Iterator
+from collections.abc import Iterable, Iterator
 
 __all__ = [
     "AttrRef",

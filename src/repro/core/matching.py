@@ -23,7 +23,7 @@ Key facts exploited here:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterable, Mapping, Sequence
+from collections.abc import Callable, Sequence
 
 from repro.core.ast import AttrRef, Constraint, Query
 from repro.core.errors import RuleError

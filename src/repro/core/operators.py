@@ -17,7 +17,7 @@ evaluate and normalize through this registry.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from collections.abc import Callable
 
 from repro.core.errors import EvaluationError
 from repro.core.values import DatePeriod

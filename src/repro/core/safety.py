@@ -19,7 +19,7 @@ i.e. precise degenerates to safety, the paper's expected common case.
 from __future__ import annotations
 
 from itertools import product
-from typing import Callable
+from collections.abc import Callable
 
 from repro.core.ast import Constraint, Query, conj
 from repro.core.matching import Matcher

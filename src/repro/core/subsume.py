@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import random
 from itertools import product
-from typing import Callable, Iterable, Mapping
+from collections.abc import Callable, Mapping
 
 from repro.core.ast import And, BoolConst, Constraint, Not, Or, Query
 
@@ -28,6 +28,7 @@ __all__ = [
     "evaluate_assignment",
     "prop_implies",
     "prop_equivalent",
+    "prop_satisfiable",
     "empirical_subsumes",
     "empirical_equivalent",
     "EXACT_ATOM_LIMIT",
@@ -91,6 +92,22 @@ def prop_equivalent(left: Query, right: Query) -> bool:
         ):
             return False
     return True
+
+
+def prop_satisfiable(query: Query) -> bool:
+    """Does any Boolean assignment to the constraints satisfy ``query``?
+
+    Exhaustive up to :data:`EXACT_ATOM_LIMIT` atoms, randomized beyond —
+    above the limit a ``False`` answer means "no model found", the same
+    one-sided caveat as :func:`prop_implies`.  Used by the static analyzer
+    to flag rule pairs whose conjoined emissions are contradictory.
+    """
+    atoms = sorted(query.constraints(), key=str)
+    exhaustive = len(atoms) <= EXACT_ATOM_LIMIT
+    for assignment in _assignments(atoms, exhaustive):
+        if evaluate_assignment(query, assignment):
+            return True
+    return False
 
 
 def empirical_subsumes(

@@ -10,8 +10,8 @@ returning garbage (the expressibility requirement of Definition 1).
 
 from __future__ import annotations
 
+from collections.abc import Iterable
 from dataclasses import dataclass, field
-from typing import Iterable
 
 from repro.core.ast import And, AttrRef, BoolConst, Constraint, Or, Query
 from repro.core.errors import CapabilityError
@@ -45,7 +45,7 @@ class Capability:
         selections: Iterable[tuple[str, str]],
         joins: Iterable[tuple[str, str, str]] = (),
         text: TextCapability | None = None,
-    ) -> "Capability":
+    ) -> Capability:
         """Convenience constructor from plain iterables."""
         return Capability(
             selections=frozenset(selections),

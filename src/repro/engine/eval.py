@@ -16,7 +16,7 @@ Example 8) are all virtuals.  A virtual is a callable
 
 from __future__ import annotations
 
-from typing import Callable, Mapping
+from collections.abc import Callable, Mapping
 
 from repro.core.ast import And, AttrRef, BoolConst, Constraint, Not, Or, Query
 from repro.core.errors import EvaluationError

@@ -28,8 +28,8 @@ are duplicate-free (the simulated stores are).
 
 from __future__ import annotations
 
+from collections.abc import Mapping
 from dataclasses import dataclass
-from typing import Mapping
 
 from repro.core.ast import And, BoolConst, Constraint, Or, Query, conj
 from repro.core.dnf import dnf_terms

@@ -14,8 +14,8 @@ server, a legacy database).  Its executor
 
 from __future__ import annotations
 
+from collections.abc import Mapping
 from itertools import product
-from typing import Mapping
 
 from repro.core.ast import Query
 from repro.core.errors import EvaluationError

@@ -13,7 +13,7 @@ the paper's running examples) and returns a ready :class:`Source`.
 
 from __future__ import annotations
 
-from typing import Iterable, Mapping
+from collections.abc import Iterable, Mapping
 
 from repro.core.errors import EvaluationError
 from repro.core.values import Date, DatePeriod, Point, Range

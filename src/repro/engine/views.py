@@ -10,9 +10,9 @@ view tuple (or ``None`` when the bases do not join).
 
 from __future__ import annotations
 
+from collections.abc import Callable, Mapping
 from dataclasses import dataclass
 from itertools import product
-from typing import Callable, Mapping
 
 from repro.core.errors import SchemaError
 from repro.engine.source import Source

@@ -15,7 +15,7 @@ emission — the symmetry Section 3 discusses.
 
 from __future__ import annotations
 
-from typing import Iterable, Mapping
+from collections.abc import Iterable, Mapping
 
 from repro.conversions import DEPT_CODES, name_to_ln_fn
 from repro.conversions.codes import CATEGORY_TO_SUBJECT

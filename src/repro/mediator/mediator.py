@@ -21,8 +21,8 @@ bench run on every workload.
 from __future__ import annotations
 
 from collections import Counter
+from collections.abc import Mapping
 from itertools import product
-from typing import Mapping
 
 from repro.core.ast import AttrRef, Query
 from repro.core.errors import EvaluationError, TranslationError

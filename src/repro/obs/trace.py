@@ -17,8 +17,8 @@ from __future__ import annotations
 
 import threading
 import time
+from collections.abc import Iterator
 from contextlib import contextmanager
-from typing import Iterator
 
 __all__ = [
     "Span",
@@ -58,7 +58,7 @@ class Span:
             value += child.total(counter)
         return value
 
-    def find(self, name: str) -> "Span | None":
+    def find(self, name: str) -> Span | None:
         """First span named ``name`` in this subtree (pre-order)."""
         if self.name == name:
             return self
@@ -130,7 +130,7 @@ class _NoopSpan:
 
     __slots__ = ()
 
-    def __enter__(self) -> "_NoopSpan":
+    def __enter__(self) -> _NoopSpan:
         return self
 
     def __exit__(self, *exc) -> bool:

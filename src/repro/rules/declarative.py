@@ -43,7 +43,7 @@ Conventions:
   the match on a missing key, or ``{"rewrite": pattern-ref,
   "capability": {...}}`` running ``RewriteTextPat``;
 * ``emit``: one constraint object, ``{"all": [...]}`` / ``{"any": [...]}``
-  compounds, or the string ``"true"``;
+  / ``{"not": ...}`` compounds, or the string ``"true"``;
 * ``exact``: a boolean, or ``{"from": "RW"}`` to take the exactness of a
   rewrite result bound by a ``let`` step.
 
@@ -53,7 +53,7 @@ The default function registry exposes :mod:`repro.conversions`; pass
 
 from __future__ import annotations
 
-from typing import Callable, Mapping
+from collections.abc import Callable, Mapping
 
 from repro.conversions import (
     category_to_subject,
@@ -65,7 +65,7 @@ from repro.conversions import (
     name_last,
     year_period,
 )
-from repro.core.ast import AttrRef, Constraint, Query, TRUE, attr, conj, disj
+from repro.core.ast import AttrRef, Constraint, Query, TRUE, attr, conj, disj, neg
 from repro.core.errors import SpecificationError
 from repro.core.matching import AttrPattern, ConstraintPattern, RejectMatch, Var
 from repro.rules.dsl import (
@@ -223,6 +223,10 @@ def _parse_let(data: Mapping, functions: Mapping[str, Callable]):
             except (KeyError, TypeError):
                 raise RejectMatch(f"no table entry for {key!r}") from None
 
+        lookup.vocablint_hint = {  # type: ignore[attr-defined]
+            "kind": "table",
+            "keys": tuple(sorted(table, key=str)[:16]),
+        }
         return name, lookup
 
     if "rewrite" in data:
@@ -268,6 +272,8 @@ def _build_emit(data: object, bindings: Mapping) -> Query:
         return conj(_build_emit(item, bindings) for item in data["all"])
     if "any" in data:
         return disj(_build_emit(item, bindings) for item in data["any"])
+    if "not" in data:
+        return neg(_build_emit(data["not"], bindings))
     ref = _build_emit_ref(data, bindings)
     op = str(_substitute(data.get("op", "="), bindings))
     if "value" in data:
@@ -308,12 +314,14 @@ def rule_from_dict(
         return _build_emit(_template, bindings)
 
     exact_spec = data.get("exact", False)
+    exact: bool | Callable
     if isinstance(exact_spec, Mapping) and "from" in exact_spec:
         source_var = exact_spec["from"]
 
-        def exact(bindings, _v=source_var):
+        def _exact_from(bindings, _v=source_var):
             return bool(getattr(bindings[_v], "exact", False))
 
+        exact = _exact_from
     else:
         exact = bool(exact_spec)
 

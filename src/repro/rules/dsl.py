@@ -24,11 +24,18 @@ Conditions (:func:`value_is`, :func:`attr_is`, :func:`attr_in`,
 :func:`distinct`, :func:`same_view`, :func:`where`) are small predicate
 factories over the binding dict, mirroring the paper's ``Value(N)``,
 ``LnOrFn(A1)``-style head conditions.
+
+Every factory additionally annotates the predicate/let callable it
+returns with a ``vocablint_hint`` attribute — a small dict describing the
+condition declaratively (kind, variables, allowed names, table keys).
+The static analyzer (:mod:`repro.analysis`) reads these hints to
+synthesize sample bindings that actually satisfy a rule's head; rules
+remain plain callables and nothing else inspects the attribute.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Mapping
+from collections.abc import Callable, Mapping
 
 from repro.core.ast import AttrRef, Query
 from repro.core.errors import RuleError
@@ -117,13 +124,19 @@ def rule(
 # ---------------------------------------------------------------------------
 
 
+def _hinted(fn: Callable, **hint: object) -> Callable:
+    """Attach the declarative ``vocablint_hint`` metadata to a callable."""
+    fn.vocablint_hint = hint  # type: ignore[attr-defined]
+    return fn
+
+
 def value_is(*names: str) -> Callable[[Mapping], bool]:
     """The paper's ``Value(N)``: the variables bound plain values, not attrs."""
 
     def check(bindings: Mapping) -> bool:
         return all(not isinstance(bindings[name], AttrRef) for name in names)
 
-    return check
+    return _hinted(check, kind="value_is", vars=names)
 
 
 def attr_is(*names: str) -> Callable[[Mapping], bool]:
@@ -132,7 +145,7 @@ def attr_is(*names: str) -> Callable[[Mapping], bool]:
     def check(bindings: Mapping) -> bool:
         return all(isinstance(bindings[name], AttrRef) for name in names)
 
-    return check
+    return _hinted(check, kind="attr_is", vars=names)
 
 
 def attr_in(name: str, allowed: Iterable[str]) -> Callable[[Mapping], bool]:
@@ -151,7 +164,7 @@ def attr_in(name: str, allowed: Iterable[str]) -> Callable[[Mapping], bool]:
             return bound.attr in allowed_set
         return bound in allowed_set
 
-    return check
+    return _hinted(check, kind="attr_in", var=name, allowed=allowed_set)
 
 
 def distinct(*names: str) -> Callable[[Mapping], bool]:
@@ -161,7 +174,7 @@ def distinct(*names: str) -> Callable[[Mapping], bool]:
         values = [bindings[name] for name in names]
         return len(values) == len({repr(v) for v in values})
 
-    return check
+    return _hinted(check, kind="distinct", vars=names)
 
 
 def same_view(*names: str) -> Callable[[Mapping], bool]:
@@ -178,7 +191,7 @@ def same_view(*names: str) -> Callable[[Mapping], bool]:
         keys = {key(bindings[name]) for name in names}
         return len(keys) == 1
 
-    return check
+    return _hinted(check, kind="same_view", vars=names)
 
 
 def where(fn: Callable[[Mapping], bool]) -> Callable[[Mapping], bool]:
@@ -206,4 +219,4 @@ def table_lookup(table: Mapping, key_fn: Callable[[Mapping], object]) -> Callabl
         except KeyError:
             raise RejectMatch(f"no table entry for {key!r}") from None
 
-    return lookup
+    return _hinted(lookup, kind="table", keys=tuple(sorted(table, key=str)[:16]))

@@ -16,7 +16,7 @@ R7 pyear alone, R8 kwd, R9 category.
 
 from __future__ import annotations
 
-from typing import Mapping
+from collections.abc import Mapping
 
 from repro.conversions import (
     CATEGORY_TO_SUBJECT,
@@ -69,7 +69,7 @@ CLBOOKS_TEXT = TextCapability(supports_phrase=False, supports_near=True)
 T1_TEXT = TextCapability(supports_phrase=False, supports_near=False)
 
 
-def _contains_or_true(attr_name: str, rewrite) -> "object":
+def _contains_or_true(attr_name: str, rewrite) -> object:
     """Emit ``[attr contains P]`` — or ``True`` when P matched everything.
 
     A rewrite can collapse to :class:`MatchAll` when every word is a

@@ -15,7 +15,9 @@ a human expert can certify; what the library can do mechanically is
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.core.ast import Constraint
 from repro.core.errors import SpecificationError
@@ -33,13 +35,23 @@ class MappingSpecification:
     rules: tuple[Rule, ...]
     description: str = ""
 
+    if TYPE_CHECKING:
+        # Populated in __post_init__; not a dataclass field (the guard keeps
+        # it out of __annotations__ at runtime).
+        _rules_by_name: dict[str, Rule]
+
     def __post_init__(self) -> None:
-        names = [rule.name for rule in self.rules]
-        duplicates = {n for n in names if names.count(n) > 1}
+        counts = Counter(rule.name for rule in self.rules)
+        duplicates = sorted(name for name, seen in counts.items() if seen > 1)
         if duplicates:
             raise SpecificationError(
-                f"specification {self.name!r} has duplicate rule names: {sorted(duplicates)}"
+                f"specification {self.name!r} has duplicate rule names: {duplicates}"
             )
+        # Rule lookup index; names are unique, so this is total.  The
+        # dataclass is frozen, hence the object.__setattr__ back door.
+        object.__setattr__(
+            self, "_rules_by_name", {rule.name: rule for rule in self.rules}
+        )
 
     def matcher(self) -> Matcher:
         """A fresh :class:`Matcher` over this specification's rules.
@@ -50,10 +62,12 @@ class MappingSpecification:
         return Matcher(self.rules)
 
     def get_rule(self, name: str) -> Rule:
-        for rule in self.rules:
-            if rule.name == name:
-                return rule
-        raise KeyError(f"no rule named {name!r} in specification {self.name!r}")
+        try:
+            return self._rules_by_name[name]
+        except KeyError:
+            raise KeyError(
+                f"no rule named {name!r} in specification {self.name!r}"
+            ) from None
 
     def __len__(self) -> int:
         return len(self.rules)

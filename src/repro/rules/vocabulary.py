@@ -22,7 +22,7 @@ original context's vocabulary:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping
+from collections.abc import Mapping
 
 from repro.core.ast import Constraint, attr
 from repro.engine.capabilities import Capability

@@ -24,8 +24,8 @@ constraint values inside matchings.
 from __future__ import annotations
 
 import re
+from collections.abc import Iterator
 from dataclasses import dataclass
-from typing import Iterator
 
 from repro.core.errors import ParseError
 

@@ -15,7 +15,7 @@ vocabulary ``t_...``.  Everything is seeded for reproducibility.
 from __future__ import annotations
 
 import random
-from typing import Iterable, Sequence
+from collections.abc import Iterable, Sequence
 
 from repro.core.ast import C, Query, conj, disj
 from repro.rules.dsl import V, cpat, rule, value_is

@@ -1,0 +1,328 @@
+"""Tests for the vocablint static analyzer (repro.analysis)."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    CATALOG,
+    Diagnostic,
+    LintReport,
+    Severity,
+    SubsumptionVerdict,
+    capability_from_dict,
+    catalog_entry,
+    classify_subsumption,
+    harvest_literals,
+    lint_many,
+    lint_specification,
+    sample_rule,
+    vocabulary_from_dict,
+)
+from repro.core.ast import C, Constraint, attr, conj, disj, neg
+from repro.core.matching import Matching
+from repro.rules import K_AMAZON, builtin_specifications
+from repro.rules.declarative import spec_from_dict
+from repro.rules.library_realty import K_REALTY
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def load_fixture(name):
+    return json.loads((FIXTURES / name).read_text())
+
+
+def lint_fixture(name, vocab=None, capability=None):
+    spec = spec_from_dict(load_fixture(name))
+    vocabulary = vocabulary_from_dict(load_fixture(vocab)) if vocab else None
+    cap = capability_from_dict(load_fixture(capability)) if capability else None
+    return lint_specification(spec, vocabulary=vocabulary, capability=cap)
+
+
+class TestCatalog:
+    def test_twelve_codes(self):
+        assert sorted(CATALOG) == [f"VM{n:03d}" for n in range(1, 13)]
+
+    def test_entries_complete(self):
+        for code, info in CATALOG.items():
+            assert info.code == code
+            assert info.title and info.summary
+            assert isinstance(info.severity, Severity)
+
+    def test_catalog_entry_unknown(self):
+        with pytest.raises(KeyError):
+            catalog_entry("VM999")
+
+
+class TestSeverity:
+    def test_ordering(self):
+        assert Severity.INFO < Severity.WARNING < Severity.ERROR
+
+    def test_str_lowercase(self):
+        assert str(Severity.ERROR) == "error"
+
+    def test_parse(self):
+        assert Severity.parse("warning") is Severity.WARNING
+        assert Severity.parse("ERROR") is Severity.ERROR
+
+    def test_parse_unknown(self):
+        with pytest.raises(ValueError):
+            Severity.parse("fatal")
+
+
+class TestDiagnostic:
+    def _diag(self, **kw):
+        base = dict(
+            code="VM003",
+            severity=Severity.ERROR,
+            spec="K_demo",
+            message="boom",
+            rule="R1",
+            field="emit",
+        )
+        base.update(kw)
+        return Diagnostic(**base)
+
+    def test_location(self):
+        assert self._diag().location == "K_demo:R1[emit]"
+        assert self._diag(rule=None, field="").location == "K_demo"
+
+    def test_str_contains_code_and_severity(self):
+        text = str(self._diag())
+        assert text.startswith("VM003 error")
+        assert "K_demo:R1[emit]: boom" in text
+
+    def test_to_dict(self):
+        data = self._diag(details=(("hint", "x"),)).to_dict()
+        assert data["code"] == "VM003"
+        assert data["severity"] == "error"
+        assert data["title"] == CATALOG["VM003"].title
+        assert data["details"] == {"hint": "x"}
+
+
+class TestLintReport:
+    def _report(self):
+        mk = lambda code, sev, msg: Diagnostic(
+            code=code, severity=sev, spec="K", message=msg
+        )
+        return LintReport(
+            spec="K",
+            diagnostics=(
+                mk("VM010", Severity.INFO, "c"),
+                mk("VM003", Severity.ERROR, "a"),
+                mk("VM005", Severity.WARNING, "b"),
+            ),
+            stats=(),
+        )
+
+    def test_sorted_most_severe_first(self):
+        report = self._report()
+        assert [d.code for d in report.diagnostics] == ["VM003", "VM005", "VM010"]
+
+    def test_errors_warnings_max(self):
+        report = self._report()
+        assert [d.code for d in report.errors] == ["VM003"]
+        assert [d.code for d in report.warnings] == ["VM005"]
+        assert report.max_severity is Severity.ERROR
+
+    def test_filter(self):
+        report = self._report()
+        warm = report.filter(severity=Severity.WARNING)
+        assert [d.code for d in warm.diagnostics] == ["VM003", "VM005"]
+        only = report.filter(codes=frozenset({"VM010"}))
+        assert [d.code for d in only.diagnostics] == ["VM010"]
+
+    def test_counts_and_render(self):
+        report = self._report()
+        assert report.counts() == {"error": 1, "warning": 1, "info": 1}
+        text = report.render()
+        assert "VM003" in text and "3 diagnostics" in text
+        empty = LintReport(spec="K", diagnostics=(), stats=())
+        assert "clean" in empty.render()
+        assert empty.max_severity is None
+
+
+class TestClassifySubsumption:
+    def _matching(self, emission, constraints=(C("t", "=", 1),)):
+        return Matching(
+            constraints=frozenset(constraints), rule_name="R", emission=emission
+        )
+
+    def test_sound_identity(self):
+        group = C("t", "=", 1)
+        verdict = classify_subsumption(self._matching(group))
+        assert verdict is SubsumptionVerdict.SOUND
+
+    def test_sound_weakening(self):
+        emission = disj([C("t", "=", 1), C("u", "=", 2)])
+        assert (
+            classify_subsumption(self._matching(emission))
+            is SubsumptionVerdict.SOUND
+        )
+
+    def test_confirmed_negation(self):
+        emission = neg(C("t", "=", 1))
+        assert (
+            classify_subsumption(self._matching(emission))
+            is SubsumptionVerdict.CONFIRMED
+        )
+
+    def test_suspected_extra_atom(self):
+        emission = conj([C("t", "=", 1), C("u", "=", 2)])
+        assert (
+            classify_subsumption(self._matching(emission))
+            is SubsumptionVerdict.SUSPECTED
+        )
+
+    def test_unverifiable_disjoint_vocabulary(self):
+        emission = C("author", "=", "x")
+        assert (
+            classify_subsumption(self._matching(emission))
+            is SubsumptionVerdict.UNVERIFIABLE
+        )
+
+    def test_oracle_overrides(self):
+        emission = C("author", "=", "x")
+        says_no = lambda broad, narrow: False
+        says_yes = lambda broad, narrow: True
+        assert (
+            classify_subsumption(self._matching(emission), says_no)
+            is SubsumptionVerdict.CONFIRMED
+        )
+        assert (
+            classify_subsumption(self._matching(emission), says_yes)
+            is SubsumptionVerdict.SOUND
+        )
+
+
+class TestSampling:
+    def test_harvest_literals_amazon(self):
+        literals = harvest_literals(K_AMAZON)
+        assert "ln" in literals.attrs
+        assert "=" in literals.ops
+
+    def test_every_builtin_rule_fires(self):
+        # The synthesizer must find at least one matching per builtin rule;
+        # a false VM005 on the reference library would drown real findings.
+        for spec in list(builtin_specifications().values()) + [K_REALTY]:
+            literals = harvest_literals(spec)
+            for rule in spec.rules:
+                samples = sample_rule(rule, literals)
+                assert samples.fired, f"{spec.name}:{rule.name} never fired"
+
+    def test_matchings_are_deduplicated(self):
+        literals = harvest_literals(K_AMAZON)
+        samples = sample_rule(K_AMAZON.get_rule("R3"), literals)
+        keys = [(m.constraints, m.emission) for m in samples.matchings]
+        assert len(keys) == len(set(keys))
+
+
+class TestBuiltinSelfCheck:
+    def test_builtins_have_no_errors_or_warnings(self):
+        reports = lint_many(builtin_specifications())
+        reports["K_realty"] = lint_specification(K_REALTY)
+        for name, report in reports.items():
+            assert report.errors == (), f"{name}: {report.render()}"
+            assert report.warnings == (), f"{name}: {report.render()}"
+
+    def test_only_cross_matching_infos_remain(self):
+        report = lint_specification(K_AMAZON)
+        assert {d.code for d in report.diagnostics} <= {"VM010"}
+        pairs = {dict(d.details)["attributes"] for d in report.diagnostics}
+        assert "fn, ln" in pairs  # Example 8's joint rule
+
+    def test_stats_counters_present(self):
+        report = lint_specification(K_AMAZON)
+        stats = dict(report.stats)
+        assert stats["lint.rules"] == len(K_AMAZON.rules)
+        assert stats["lint.sampled_matchings"] > 0
+
+
+class TestFixtures:
+    """Each VM0xx code must fire on its known-bad fixture."""
+
+    def test_vm003_vm004_unsound(self):
+        report = lint_fixture("vm_unsound.json")
+        fired = {(d.code, d.rule) for d in report.diagnostics}
+        assert ("VM003", "Rneg") in fired
+        assert ("VM004", "Rextra") in fired
+        assert report.max_severity is Severity.ERROR
+
+    def test_vm005_vm011_dead(self):
+        report = lint_fixture("vm_dead.json")
+        fired = {(d.code, d.rule) for d in report.diagnostics}
+        assert ("VM005", "Rdead") in fired
+        assert ("VM011", "Rcrash") in fired
+
+    def test_vm006_vm007_vm008_vm010_overlap(self):
+        report = lint_fixture("vm_overlap.json")
+        fired = {(d.code, d.rule) for d in report.diagnostics}
+        assert ("VM007", "Ra") in fired  # Ra/Rb duplicate pair
+        assert ("VM008", "Ra") in fired  # Ra vs Rd contradiction
+        assert ("VM006", "Rc") in fired  # weaker any-emission shadowed
+        assert ("VM010", "Rj") in fired  # joint two-attribute head
+
+    def test_vm001_vm002_vm009_vocab(self):
+        report = lint_fixture("vm_vocab_spec.json", vocab="vm_vocab.json")
+        fired = {(d.code, d.rule) for d in report.diagnostics}
+        assert ("VM001", "Rt") in fired
+        assert ("VM002", "Rq") in fired
+        assert ("VM009", None) in fired
+        orphaned = [
+            d for d in report.diagnostics
+            if d.code == "VM009" and "orphan" in d.message
+        ]
+        assert orphaned
+
+    def test_vm012_inexpressible(self):
+        report = lint_fixture(
+            "vm_inexpressible.json", capability="vm_capability.json"
+        )
+        assert {(d.code, d.rule) for d in report.diagnostics} >= {
+            ("VM012", "Rp")
+        }
+
+    def test_dead_rule_warns_with_vocabulary(self):
+        # Without a vocabulary VM005 is informational (sampling may just be
+        # blind); with one declared, an unreachable rule is a WARNING.
+        spec = spec_from_dict(load_fixture("vm_dead.json"))
+        quiet = lint_specification(spec)
+        loud = lint_specification(
+            spec,
+            vocabulary=vocabulary_from_dict(
+                {"attributes": [{"name": "t", "operators": ["="]}]}
+            ),
+        )
+        severity = {
+            d.rule: d.severity for d in quiet.diagnostics if d.code == "VM005"
+        }
+        assert severity["Rdead"] is Severity.INFO
+        severity = {
+            d.rule: d.severity for d in loud.diagnostics if d.code == "VM005"
+        }
+        assert severity["Rdead"] is Severity.WARNING
+
+
+class TestLoaders:
+    def test_vocabulary_from_dict(self):
+        vocabulary = vocabulary_from_dict(
+            {
+                "attributes": [
+                    {"name": "price", "operators": ["<="], "samples": {"<=": 9}}
+                ],
+                "groups": [["a", "b"]],
+            }
+        )
+        assert vocabulary.attribute("price").samples["<="] == 9
+        assert vocabulary.groups == (("a", "b"),)
+
+    def test_capability_from_dict(self):
+        cap = capability_from_dict(
+            {"selections": [["cents", "<="]], "joins": [["a", "b", "="]]}
+        )
+        assert cap.supports(C("cents", "<=", 5))
+        assert not cap.supports(C("cents", "=", 5))
+        assert cap.supports(Constraint(attr("a"), "=", attr("b")))

@@ -1,0 +1,113 @@
+"""Tests for the ``repro lint`` command."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.cli import main
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+class TestLintCli:
+    def test_builtins_all_clean(self, capsys):
+        code = main(["lint", "all"])
+        assert code == 0
+        out = capsys.readouterr().out
+        for name in ("K_Amazon", "K_Clbooks", "K1", "K2", "K_map", "K_realty"):
+            assert f"{name}:" in out
+        assert "0 error" in out
+
+    def test_single_spec(self, capsys):
+        assert main(["lint", "K_Clbooks"]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_comma_separated_specs(self, capsys):
+        assert main(["lint", "K1,K2"]) == 0
+        out = capsys.readouterr().out
+        assert "K1:" in out and "K2:" in out
+
+    def test_unknown_spec(self, capsys):
+        assert main(["lint", "K_nope"]) == 2
+        assert "unknown specification" in capsys.readouterr().err
+
+    def test_fail_on_threshold(self, capsys):
+        # Builtins carry VM010 infos: failing at info flips the exit code.
+        assert main(["lint", "K_Amazon", "--fail-on", "info"]) == 1
+        capsys.readouterr()
+        assert main(["lint", "K_Amazon", "--fail-on", "error"]) == 0
+
+    def test_bad_severity_value(self, capsys):
+        assert main(["lint", "K_Amazon", "--severity", "fatal"]) == 2
+        assert "unknown severity" in capsys.readouterr().err
+
+    def test_spec_file_with_errors_fails(self, capsys):
+        code = main(["lint", "-f", str(FIXTURES / "vm_unsound.json"), "all"])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "VM003" in out and "VM004" in out
+
+    def test_severity_filter_hides_infos(self, capsys):
+        assert main(["lint", "K_Amazon", "--severity", "warning"]) == 0
+        assert "VM010" not in capsys.readouterr().out
+
+    def test_code_filter(self, capsys):
+        code = main(
+            [
+                "lint",
+                "-f",
+                str(FIXTURES / "vm_unsound.json"),
+                "all",
+                "--code",
+                "VM004",
+            ]
+        )
+        assert code == 0  # VM003 filtered out, only the warning remains
+        out = capsys.readouterr().out
+        assert "VM004" in out and "VM003" not in out
+
+    def test_json_output(self, capsys):
+        assert main(["lint", "K_Amazon", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["spec"] == "K_Amazon"
+        assert payload["ok"] is True
+        assert all(d["code"] == "VM010" for d in payload["diagnostics"])
+
+    def test_json_multiple_specs_is_a_list(self, capsys):
+        assert main(["lint", "K1,K2", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert [report["spec"] for report in payload] == ["K1", "K2"]
+
+    def test_vocab_enables_reference_checks(self, capsys):
+        code = main(
+            [
+                "lint",
+                "-f",
+                str(FIXTURES / "vm_vocab_spec.json"),
+                "all",
+                "--vocab",
+                str(FIXTURES / "vm_vocab.json"),
+            ]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "VM001" in out and "VM002" in out and "VM009" in out
+
+    def test_capability_enables_expressibility(self, capsys):
+        code = main(
+            [
+                "lint",
+                "-f",
+                str(FIXTURES / "vm_inexpressible.json"),
+                "all",
+                "--capability",
+                str(FIXTURES / "vm_capability.json"),
+            ]
+        )
+        assert code == 1
+        assert "VM012" in capsys.readouterr().out
+
+    def test_verbose_prints_details(self, capsys):
+        assert main(["lint", "K_Amazon", "-v"]) == 0
+        assert "attributes: fn, ln" in capsys.readouterr().out

@@ -1,0 +1,122 @@
+"""Property-based tests (hypothesis) for the vocablint analyzer.
+
+The headline property mechanizes the acceptance bar for the builtin
+libraries: they lint clean, so on *randomized* head bindings — not just
+the deterministic ones the sampler synthesizes — no rule may produce a
+matching whose emission provably (or even propositionally) fails to
+subsume the matched group (Definition 3).  A second property checks the
+report container's ordering/filtering invariants on arbitrary
+diagnostics.
+"""
+
+from __future__ import annotations
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    CATALOG,
+    Diagnostic,
+    LintReport,
+    Severity,
+    SubsumptionVerdict,
+    classify_subsumption,
+    harvest_literals,
+)
+from repro.analysis.sampling import _collect_var_hints, _pattern_candidates
+from repro.core.ast import Constraint
+from repro.core.matching import RejectMatch, match_rule
+from repro.rules import builtin_specifications
+from repro.rules.library_realty import K_REALTY
+from repro.text.patterns import Word
+
+SPECS = list(builtin_specifications().values()) + [K_REALTY]
+LITERALS = {spec.name: harvest_literals(spec) for spec in SPECS}
+
+#: (spec, rule) pairs with the candidate pool for each head pattern.
+CASES = []
+for spec in SPECS:
+    literals = LITERALS[spec.name]
+    for rule in spec.rules:
+        var_hints, table_keys = _collect_var_hints(rule)
+        pools = [
+            _pattern_candidates(pattern, var_hints, table_keys, literals, None)
+            for pattern in rule.patterns
+        ]
+        CASES.append((spec.name, rule, pools))
+
+words = st.text(alphabet="abcdefghijklmnop", min_size=1, max_size=8)
+
+
+def _randomize(constraint: Constraint, data) -> Constraint:
+    """Optionally swap a textual rhs for a hypothesis-drawn one."""
+    rhs = constraint.rhs
+    if isinstance(rhs, str):
+        rhs = data.draw(st.one_of(st.just(rhs), words), label="rhs")
+    elif isinstance(rhs, Word):
+        drawn = data.draw(st.one_of(st.none(), words), label="word")
+        if drawn is not None:
+            rhs = Word(drawn)
+    else:
+        return constraint
+    return Constraint(constraint.lhs, constraint.op, rhs)
+
+
+class TestBuiltinSoundness:
+    @given(data=st.data())
+    @settings(max_examples=300, deadline=None)
+    def test_no_builtin_rule_emits_unsoundly(self, data):
+        spec_name, rule, pools = data.draw(st.sampled_from(CASES), label="rule")
+        combo = tuple(
+            _randomize(data.draw(st.sampled_from(pool), label=f"p{i}"), data)
+            for i, pool in enumerate(pools)
+        )
+        assume(len(set(combo)) == len(combo))
+        try:
+            matchings = match_rule(rule, combo)
+        except RejectMatch:
+            return
+        except Exception:  # noqa: BLE001
+            # An off-type candidate crashed a conversion function.  The
+            # sampler tolerates these (they become VM011 only when no
+            # binding at all fires); the soundness property is about
+            # matchings that DO exist.
+            return
+        for matching in matchings:
+            verdict = classify_subsumption(matching)
+            assert verdict not in (
+                SubsumptionVerdict.CONFIRMED,
+                SubsumptionVerdict.SUSPECTED,
+            ), (
+                f"{spec_name}:{rule.name} emitted {matching.emission} for "
+                f"group {sorted(map(str, matching.constraints))} "
+                f"({verdict.value})"
+            )
+
+
+diagnostics = st.builds(
+    Diagnostic,
+    code=st.sampled_from(sorted(CATALOG)),
+    severity=st.sampled_from(list(Severity)),
+    spec=st.just("K"),
+    message=words,
+    rule=st.one_of(st.none(), words),
+)
+
+
+class TestReportInvariants:
+    @given(items=st.lists(diagnostics, max_size=12))
+    @settings(deadline=None)
+    def test_ordering_and_filters(self, items):
+        report = LintReport(spec="K", diagnostics=tuple(items), stats=())
+        severities = [d.severity for d in report.diagnostics]
+        assert severities == sorted(severities, reverse=True)
+        assert len(report.errors) + len(report.warnings) + report.counts()[
+            "info"
+        ] == len(report)
+        for threshold in Severity:
+            kept = report.filter(severity=threshold)
+            assert all(d.severity >= threshold for d in kept)
+            # Filtering is idempotent and never invents diagnostics.
+            assert kept.filter(severity=threshold).diagnostics == kept.diagnostics
+            assert set(kept.diagnostics) <= set(report.diagnostics)

@@ -2,11 +2,12 @@
 
 import pytest
 
-from repro.core.ast import C
+from repro.core.ast import C, Constraint, attr
 from repro.engine.capabilities import Capability
 from repro.engine.sources_builtin import make_amazon
 from repro.rules import K_AMAZON, MappingSpecification
-from repro.rules.dsl import V, cpat, rule, value_is
+from repro.rules.dsl import V, ap, cpat, rule, value_is
+from repro.rules.spec import audit_vocabulary
 from repro.rules.vocabulary import (
     AttributeSpec,
     ContextVocabulary,
@@ -112,3 +113,46 @@ class TestValidateAmazon:
         )
         with pytest.raises(KeyError):
             validate_spec(K_AMAZON, vocabulary)
+
+
+class TestAuditVocabularyEdgeCases:
+    def test_empty_rule_set_covers_nothing(self):
+        spec = MappingSpecification("K_empty", "T", rules=())
+        report = audit_vocabulary(spec, [C("x", "=", 1), C("y", "=", 2)])
+        assert report.covered == ()
+        assert len(report.uncovered) == 2
+        assert report.coverage == 0.0
+
+    def test_empty_rule_set_empty_vocabulary(self):
+        spec = MappingSpecification("K_empty", "T", rules=())
+        report = audit_vocabulary(spec, [])
+        assert report.coverage == 1.0
+
+    def test_constraint_covered_only_via_joint_matching(self):
+        # [fn = "Tom"] participates in no single-constraint matching of
+        # K_Amazon; only R2's joint {ln, fn} group touches it.  The audit
+        # must still count it as covered (it is matchable, Definition 2).
+        ln, fn = C("ln", "=", "Clancy"), C("fn", "=", "Tom")
+        report = audit_vocabulary(K_AMAZON, [ln, fn])
+        assert report.uncovered == ()
+        assert set(report.covered) == {ln, fn}
+
+    def test_attribute_to_attribute_constraints(self):
+        join_rule = rule(
+            "Rjoin",
+            patterns=[
+                cpat(
+                    ap("id", view=V("V1")),
+                    "=",
+                    ap("id", view=V("V2")),
+                )
+            ],
+            emit=lambda b: Constraint(attr("a.key"), "=", attr("b.key")),
+        )
+        spec = MappingSpecification("K_join", "T", rules=(join_rule,))
+        join = Constraint(attr("orders.id"), "=", attr("users.id"))
+        other = Constraint(attr("orders.ref"), "=", attr("users.ref"))
+        report = audit_vocabulary(spec, [join, other])
+        assert join in report.covered
+        assert other in report.uncovered
+        assert 0.0 < report.coverage < 1.0
