@@ -8,7 +8,7 @@ per source, post-filter selectivity) go to ``BENCH_mediator_*.json``.
 """
 
 import pytest
-from obs_harness import BenchRecorder, best_of, traced
+from obs_harness import BenchRecorder, best_of, sweep, traced
 
 from repro.core.parser import parse_query
 from repro.core.printer import to_text
@@ -46,7 +46,7 @@ def _record_queries(recorder, mediator, queries):
         )
 
 
-@pytest.mark.parametrize("n_books", [50, 200])
+@pytest.mark.parametrize("n_books", sweep((50, 200), quick=(50,)))
 def test_bookstore_pipeline(benchmark, report, n_books):
     mediator = bookstore_mediator("amazon", rows=random_books(n_books, seed=13))
     queries = [parse_query(text) for text in BOOK_QUERIES]

@@ -3,27 +3,54 @@
 Replaces the copy-pasted ``time.perf_counter()`` loops: every bench gets
 
 * :func:`best_of` — best-of-N wall-clock timing of a callable;
+* :func:`median_of` — median-of-N wall-clock timing (the statistic the
+  CI regression gate compares, because medians are stable on shared
+  runners where minima and means are not);
+* :func:`quick_mode` / :func:`sweep` — honor ``REPRO_BENCH_QUICK=1``
+  (set by the CI bench job) by trimming sweeps to a pinned subset so the
+  job finishes in seconds while measuring the same code paths;
 * :func:`traced` — run a callable under a fresh tracer and return its
   result together with the aggregate counter set (so benches can record
   *algorithm* work — matchings, Disjunctivize calls, rows scanned — next
   to wall-clock numbers);
 * :class:`BenchRecorder` — accumulates measurement points and writes a
   machine-readable ``benchmarks/results/BENCH_<slug>.json`` trajectory,
-  the artifact regression tooling diffs across commits.
+  the artifact ``tools/bench_gate.py`` diffs against the committed
+  baselines in ``benchmarks/results/baseline/``.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import pathlib
 import platform
+import statistics
 import time
 
 from repro.obs import tracing
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
-__all__ = ["RESULTS_DIR", "best_of", "traced", "BenchRecorder"]
+__all__ = [
+    "RESULTS_DIR",
+    "best_of",
+    "median_of",
+    "quick_mode",
+    "sweep",
+    "traced",
+    "BenchRecorder",
+]
+
+
+def quick_mode() -> bool:
+    """Is the quick (CI) profile active?  Set ``REPRO_BENCH_QUICK=1``."""
+    return os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+
+
+def sweep(full: tuple, quick: tuple) -> tuple:
+    """Pick the full or the quick parameter sweep per :func:`quick_mode`."""
+    return quick if quick_mode() else full
 
 
 def best_of(fn, repeat: int = 5) -> float:
@@ -34,6 +61,21 @@ def best_of(fn, repeat: int = 5) -> float:
         fn()
         best = min(best, time.perf_counter() - start)
     return best
+
+
+def median_of(fn, repeat: int = 5) -> float:
+    """Median wall-clock seconds of ``fn()`` over ``repeat`` runs.
+
+    The regression gate compares medians: on noisy shared runners the
+    minimum rewards lucky runs and the mean is dragged by scheduler
+    hiccups; the median is the stable middle ground.
+    """
+    samples = []
+    for _ in range(repeat):
+        start = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - start)
+    return statistics.median(samples)
 
 
 def traced(fn):
@@ -62,6 +104,7 @@ class BenchRecorder:
             "bench": self.slug,
             "title": self.title,
             "python": platform.python_version(),
+            "quick": quick_mode(),
             "points": self.points,
         }
         payload.update(extra)

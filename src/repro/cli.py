@@ -24,6 +24,13 @@ Commands
 
         python -m repro stats K_Amazon '[ln = "Clancy"] and [fn = "Tom"]' --json
 
+``batch``
+    Translate many queries for many specifications in one pass, sharing
+    normalization, compiled rule indexes, and the translation cache::
+
+        python -m repro batch K_Amazon,K_map '[ln = "Clancy"]' '[subject = "war"]'
+        python -m repro batch K_Amazon --queries-file queries.txt --json
+
 ``specs``
     List the built-in mapping specifications and their rules.
 
@@ -148,6 +155,60 @@ def _cmd_filter(args) -> int:
     for name in sorted(plan.mappings):
         print(f"S({name}) = {to_text(plan.mappings[name])}")
     print(f"F = {to_text(plan.filter)}")
+    return 0
+
+
+def _cmd_batch(args) -> int:
+    from repro.perf import TranslationCache, translate_batch
+
+    specs = {name: _spec(name, args.spec_file) for name in args.specs.split(",")}
+    texts = list(args.queries)
+    if args.queries_file:
+        handle = sys.stdin if args.queries_file == "-" else open(args.queries_file)
+        with handle:
+            texts.extend(
+                line.strip() for line in handle
+                if line.strip() and not line.lstrip().startswith("#")
+            )
+    if not texts:
+        raise SystemExit("batch: no queries given (positional args or --queries-file)")
+    queries = [parse_query(text) for text in texts]
+    cache = TranslationCache()
+    results = translate_batch(queries, specs, cache=cache)
+    if args.json:
+        payload = {
+            "specs": sorted(specs),
+            "results": [
+                {
+                    "query": text,
+                    "mappings": {
+                        name: {
+                            "text": to_text(result.mapping),
+                            "json": query_to_json(result.mapping),
+                            "exact": result.exact,
+                        }
+                        for name, result in sorted(per_spec.items())
+                    },
+                }
+                for text, per_spec in zip(texts, results)
+            ],
+            "cache": cache.stats.to_dict(),
+        }
+        print(json.dumps(_json_counters(payload), indent=2, sort_keys=True))
+        return 0
+    for text, per_spec in zip(texts, results):
+        print(f"Q = {text}")
+        for name in sorted(per_spec):
+            result = per_spec[name]
+            exact = "exact" if result.exact else "subsuming"
+            print(f"  S({name}) = {to_text(result.mapping)}  [{exact}]")
+    if args.verbose:
+        stats = cache.stats
+        print(
+            f"cache: {stats.hits} hits, {stats.misses} misses "
+            f"({stats.hit_rate:.0%} hit rate)",
+            file=sys.stderr,
+        )
     return 0
 
 
@@ -314,6 +375,24 @@ def build_arg_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true", help="emit mappings + filter as JSON")
     _add_obs_flags(p)
     p.set_defaults(fn=_cmd_filter)
+
+    p = sub.add_parser(
+        "batch", help="translate many queries for many specs in one pass"
+    )
+    p.add_argument("specs", help="comma-separated specification names")
+    p.add_argument("queries", nargs="*", help="queries in the paper's textual notation")
+    p.add_argument(
+        "--queries-file",
+        help="read additional queries, one per line, from a file ('-' = stdin; "
+        "blank lines and '#' comments skipped)",
+    )
+    p.add_argument("-f", "--spec-file", help="load the spec(s) from a declarative JSON file")
+    p.add_argument("--json", action="store_true", help="emit mappings + cache stats as JSON")
+    p.add_argument(
+        "-v", "--verbose", action="store_true", help="print cache statistics to stderr"
+    )
+    _add_obs_flags(p)
+    p.set_defaults(fn=_cmd_batch)
 
     p = sub.add_parser(
         "stats", help="traced pipeline report: span tree + counter set"

@@ -57,9 +57,16 @@ def translate_for_sources(
 
 
 def build_filter(
-    query: Query, specs: dict[str, MappingSpecification]
+    query: Query, specs: dict[str, MappingSpecification], cache=None
 ) -> FilterPlan:
-    """Translate ``query`` for every source and derive the residue filter."""
+    """Translate ``query`` for every source and derive the residue filter.
+
+    ``cache`` (a :class:`repro.perf.TranslationCache`) memoizes the
+    per-source translations *and* the per-block exactness probes — the
+    hottest part of the mediation path for repeated queries.  The plan is
+    identical with or without it: translation is a pure function of the
+    (normalized) query and the specification's rule-set version.
+    """
     with obs.span("build_filter", sources=len(specs)):
         query = normalize(query)
         conjuncts = list(query.children) if isinstance(query, And) else [query]
@@ -70,11 +77,18 @@ def build_filter(
         mappings: dict[str, Query] = {}
         droppable: set[int] = set()
         for name, matcher in matchers.items():
+            spec = specs[name]
+
+            def translate(q: Query):
+                if cache is not None:
+                    return cache.tdqm(q, spec)
+                return tdqm_translate(q, matcher)
+
             with obs.span("filter.source", source=name):
-                mappings[name] = tdqm_translate(query, matcher).mapping
+                mappings[name] = translate(query).mapping
                 for block in psafe_partition(conjuncts, matcher):
                     sub = conj(conjuncts[i] for i in block)
-                    if tdqm_translate(sub, matcher).exact:
+                    if translate(sub).exact:
                         droppable.update(block)
                         obs.count("filter.exact_blocks")
                     else:

@@ -260,13 +260,21 @@ def _quick_compatible(pattern: ConstraintPattern, constraint: Constraint) -> boo
     return True
 
 
-def match_rule(rule: Rule, constraints: Sequence[Constraint]) -> list[Matching]:
+def match_rule(
+    rule: Rule,
+    constraints: Sequence[Constraint],
+    pools: list[list[Constraint]] | None = None,
+) -> list[Matching]:
     """All matchings of ``rule`` among ``constraints``.
 
     Patterns are assigned to *distinct* constraints (a matching is a set);
     different assignments yielding the same set and emission collapse.
+    ``pools`` lets an index-equipped caller supply the per-pattern
+    candidate pools it already computed (see
+    :class:`repro.perf.index.CompiledRuleIndex`); the screen is identical
+    either way, and unification re-checks everything regardless.
     """
-    candidates = [
+    candidates = pools if pools is not None else [
         [c for c in constraints if _quick_compatible(pattern, c)]
         for pattern in rule.patterns
     ]
@@ -351,10 +359,23 @@ class Matcher:
     ``matchings(subset)`` then answers any subset query by filtering, which
     is valid because matching is monotone (rules neither consume constraints
     nor look outside the matched group).
+
+    ``index`` (a :class:`repro.perf.index.CompiledRuleIndex` built over
+    the *same* rule tuple) narrows each prematch to the rules whose head
+    signatures can bind the universe — results are identical, only the
+    fruitless probes are skipped.  ``MappingSpecification.matcher()``
+    attaches it automatically; an index probed after its specification
+    mutated raises :class:`~repro.core.errors.StaleIndexError`.
     """
 
-    def __init__(self, rules: Sequence[Rule]):
+    def __init__(self, rules: Sequence[Rule], index=None):
         self.rules = tuple(rules)
+        if index is not None and len(index) != len(self.rules):
+            raise RuleError(
+                f"compiled index covers {len(index)} rules but the matcher "
+                f"got {len(self.rules)}"
+            )
+        self._index = index
         self._universe: frozenset[Constraint] | None = None
         self._potential: list[Matching] = []
 
@@ -369,13 +390,27 @@ class Matcher:
         """
         universe = frozenset(constraints) | (self._universe or frozenset())
         if universe != self._universe:
-            if obs.enabled():
-                obs.count("matcher.prematch.misses")
-                obs.count("matcher.rules_tried", len(self.rules))
             ordered = sorted(universe, key=str)
             found: list[Matching] = []
-            for rule in self.rules:
-                found.extend(match_rule(rule, ordered))
+            if self._index is not None:
+                by_attr: dict[str, list[Constraint]] = {}
+                for constraint in ordered:
+                    by_attr.setdefault(constraint.lhs.attr, []).append(constraint)
+                candidates = self._index.candidate_ids(by_attr)
+                if obs.enabled():
+                    obs.count("matcher.prematch.misses")
+                    obs.count("matcher.rules_tried", len(candidates))
+                for rule_id in candidates:
+                    pools = self._index.pools(rule_id, by_attr, ordered)
+                    if pools is None:
+                        continue
+                    found.extend(match_rule(self.rules[rule_id], ordered, pools=pools))
+            else:
+                if obs.enabled():
+                    obs.count("matcher.prematch.misses")
+                    obs.count("matcher.rules_tried", len(self.rules))
+                for rule in self.rules:
+                    found.extend(match_rule(rule, ordered))
             self._universe = universe
             self._potential = found
             obs.count("matcher.matchings", len(found))

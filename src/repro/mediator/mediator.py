@@ -21,20 +21,25 @@ bench run on every workload.
 from __future__ import annotations
 
 from collections import Counter
-from collections.abc import Mapping
+from collections.abc import Mapping, Sequence
 from itertools import product
 
 from repro.core.ast import AttrRef, Query
 from repro.core.errors import EvaluationError, TranslationError
 from repro.core.filters import FilterPlan, build_filter
 from repro.core.normalize import normalize
+from repro.core.tdqm import TranslationResult
 from repro.engine.eval import RowEnv, Virtual, evaluate
 from repro.engine.source import Source
 from repro.engine.views import UnionViewDef, ViewDef
 from repro.obs import trace as obs
+from repro.perf import TranslationCache, translate_batch
 from repro.rules.spec import MappingSpecification
 
 __all__ = ["Mediator", "MediatedAnswer"]
+
+#: Sentinel: "construct a default TranslationCache" (pass None to disable).
+_DEFAULT_CACHE = object()
 
 #: One result: ((view, index) -> view tuple) frozen for comparison.
 ResultRow = tuple
@@ -71,11 +76,19 @@ class Mediator:
         sources: Mapping[str, Source],
         specs: Mapping[str, MappingSpecification],
         view_virtuals: Mapping[str, Virtual] | None = None,
+        translation_cache: TranslationCache | None = _DEFAULT_CACHE,  # type: ignore[assignment]
     ):
         self.views = dict(views)
         self.sources = dict(sources)
         self.specs = dict(specs)
         self.view_virtuals = dict(view_virtuals or {})
+        # Hot-path memo of whole translations (repro.perf).  Safe by
+        # construction — cache keys pin each specification's version
+        # stamp — so it is on by default; pass None to disable or your
+        # own TranslationCache to share one across mediators.
+        if translation_cache is _DEFAULT_CACHE:
+            translation_cache = TranslationCache()
+        self.translation_cache = translation_cache
         unknown = set(self.specs) - set(self.sources)
         if unknown:
             raise TranslationError(
@@ -175,12 +188,12 @@ class Mediator:
                 for component in choice:
                     involved |= component.sources()
                 specs = {name: self.specs[name] for name in sorted(involved)}
-                plan = build_filter(query, specs)
+                plan = build_filter(query, specs, cache=self.translation_cache)
                 plans.append(plan)
                 rows.extend(self._run_choice(query, plan, instances, components))
             if not plans:
                 # Constant query over zero instances: nothing to execute.
-                plans.append(build_filter(query, self.specs))
+                plans.append(build_filter(query, self.specs, cache=self.translation_cache))
                 if evaluate(plans[0].filter, RowEnv({}, self.view_virtuals)):
                     rows.append(())
             obs.count("mediator.rows_emitted", len(rows))
@@ -255,6 +268,42 @@ class Mediator:
             obs.count("mediator.filter_candidates", filtered)
             obs.count("mediator.filter_survivors", len(out))
         return out
+
+    # -- batch translation -------------------------------------------------------
+
+    def translate_many(
+        self,
+        queries: Sequence[Query | str],
+        sources: Sequence[str] | None = None,
+    ) -> list[dict[str, TranslationResult]]:
+        """Translate a batch of queries for every (or the named) sources.
+
+        The batch path shares everything shareable: each query is parsed,
+        normalized, and fingerprinted once (not once per source), each
+        source's compiled rule index is built once up front, and all
+        translations go through this mediator's :class:`TranslationCache`
+        — duplicate queries in the batch, and queries answered before,
+        cost a cache lookup.
+
+        Returns one ``{source name: TranslationResult}`` dict per query,
+        in input order.
+        """
+        from repro.core.parser import parse_query
+
+        if sources is None:
+            selected = dict(self.specs)
+        else:
+            unknown = set(sources) - set(self.specs)
+            if unknown:
+                raise TranslationError(
+                    f"translate_many: unknown sources {sorted(unknown)}"
+                )
+            selected = {name: self.specs[name] for name in sources}
+        parsed = [
+            parse_query(query) if isinstance(query, str) else query
+            for query in queries
+        ]
+        return translate_batch(parsed, selected, cache=self.translation_cache)
 
     # -- verification ------------------------------------------------------------
 

@@ -1,0 +1,235 @@
+"""LRU translation cache — memoized whole-query translations.
+
+A mediator serving heavy traffic re-translates the same canonical
+queries against the same specifications constantly.  Translation is pure
+(a function of the normalized query and the specification's rule set),
+so whole results can be memoized:
+
+* **Key** — ``(algorithm, specification name, specification version,
+  query fingerprint)``.  The version stamp is bumped by every
+  ``add_rule``/``remove_rule``, so entries built against an outdated
+  rule set can never be served; the fingerprint collapses ∧/∨
+  commutativity and join orientation (see :mod:`repro.perf.fingerprint`).
+* **Value** — the full :class:`~repro.core.tdqm.TranslationResult` /
+  :class:`~repro.core.dnf_mapper.DNFMapResult`, shared by reference
+  (results are immutable in practice: never mutate a cached result).
+* **Eviction** — least-recently-used beyond ``maxsize`` entries.
+
+Counters (``perf.cache.hits`` / ``misses`` / ``evictions`` /
+``invalidations``) are exported through :mod:`repro.obs` whenever a
+tracer is active, and are always available locally via :attr:`
+TranslationCache.stats`.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.core.ast import Query
+from repro.core.normalize import normalize
+from repro.obs import trace as obs
+from repro.perf.fingerprint import query_fingerprint
+from repro.rules.spec import MappingSpecification
+
+if TYPE_CHECKING:
+    from repro.core.dnf_mapper import DNFMapResult
+    from repro.core.tdqm import TranslationResult
+
+__all__ = ["CacheStats", "TranslationCache", "translate_batch"]
+
+#: Cache key: (algorithm, spec name, spec version, query fingerprint).
+_Key = tuple[str, str, int, str]
+
+_MISS = object()
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """A point-in-time snapshot of one cache's counters."""
+
+    hits: int
+    misses: int
+    evictions: int
+    invalidations: int
+    size: int
+    maxsize: int
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return 0.0 if total == 0 else self.hits / total
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+            "size": self.size,
+            "maxsize": self.maxsize,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+
+class TranslationCache:
+    """An LRU memo of whole translations (see module docstring).
+
+    One cache may serve any number of specifications; keys embed the
+    specification name *and* version, so mutation invalidates logically
+    (stale entries become unreachable) while :meth:`invalidate` reclaims
+    the memory eagerly.
+    """
+
+    def __init__(self, maxsize: int = 1024):
+        if maxsize < 1:
+            raise ValueError(f"TranslationCache maxsize must be >= 1, got {maxsize}")
+        self.maxsize = maxsize
+        self._entries: OrderedDict[_Key, object] = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._invalidations = 0
+
+    # -- bookkeeping -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: _Key) -> bool:
+        return key in self._entries
+
+    @property
+    def stats(self) -> CacheStats:
+        """A snapshot of hit/miss/eviction/size counters."""
+        return CacheStats(
+            hits=self._hits,
+            misses=self._misses,
+            evictions=self._evictions,
+            invalidations=self._invalidations,
+            size=len(self._entries),
+            maxsize=self.maxsize,
+        )
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept)."""
+        self._invalidations += len(self._entries)
+        self._entries.clear()
+
+    def invalidate(self, spec: MappingSpecification | str | None = None) -> int:
+        """Eagerly drop entries for ``spec`` (by name), or all when ``None``.
+
+        Version-stamped keys already make stale entries unreachable after
+        a mutation; this reclaims their slots.  Returns the number of
+        entries dropped.
+        """
+        if spec is None:
+            dropped = len(self._entries)
+            self._entries.clear()
+        else:
+            name = spec if isinstance(spec, str) else spec.name
+            stale = [key for key in self._entries if key[1] == name]
+            for key in stale:
+                del self._entries[key]
+            dropped = len(stale)
+        self._invalidations += dropped
+        if dropped:
+            obs.count("perf.cache.invalidations", dropped)
+        return dropped
+
+    # -- the LRU core ----------------------------------------------------------
+
+    def _lookup(self, key: _Key) -> object:
+        entry = self._entries.get(key, _MISS)
+        if entry is _MISS:
+            self._misses += 1
+            obs.count("perf.cache.misses")
+            return _MISS
+        self._entries.move_to_end(key)
+        self._hits += 1
+        obs.count("perf.cache.hits")
+        return entry
+
+    def _store(self, key: _Key, value: object) -> None:
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+            self._evictions += 1
+            obs.count("perf.cache.evictions")
+
+    # -- cached translation entry points --------------------------------------
+
+    def tdqm(self, query: Query, spec: MappingSpecification) -> "TranslationResult":
+        """Cached :func:`repro.core.tdqm.tdqm_translate` for ``query``."""
+        prepared = normalize(query)
+        return self.tdqm_prepared(
+            prepared, query_fingerprint(prepared, normalized=True), spec
+        )
+
+    def tdqm_prepared(
+        self, normalized_query: Query, fingerprint: str, spec: MappingSpecification
+    ) -> "TranslationResult":
+        """Cached TDQM where the caller pre-normalized and fingerprinted.
+
+        The batch path uses this to share normalization and fingerprinting
+        across every specification a query is translated for.
+        """
+        from repro.core.tdqm import tdqm_translate
+
+        key = ("tdqm", spec.name, spec.version, fingerprint)
+        entry = self._lookup(key)
+        if entry is not _MISS:
+            return entry  # type: ignore[return-value]
+        result = tdqm_translate(normalized_query, spec)
+        self._store(key, result)
+        return result
+
+    def dnf(self, query: Query, spec: MappingSpecification) -> "DNFMapResult":
+        """Cached :func:`repro.core.dnf_mapper.dnf_map_translate`."""
+        from repro.core.dnf_mapper import dnf_map_translate
+
+        prepared = normalize(query)
+        key = (
+            "dnf",
+            spec.name,
+            spec.version,
+            query_fingerprint(prepared, normalized=True),
+        )
+        entry = self._lookup(key)
+        if entry is not _MISS:
+            return entry  # type: ignore[return-value]
+        result = dnf_map_translate(prepared, spec)
+        self._store(key, result)
+        return result
+
+
+def translate_batch(
+    queries: Sequence[Query],
+    specs: Mapping[str, MappingSpecification],
+    cache: TranslationCache | None = None,
+) -> "list[dict[str, TranslationResult]]":
+    """Translate many queries for many specifications, sharing the setup.
+
+    Normalization and fingerprinting run once per query (not once per
+    (query, spec) pair), each specification's compiled rule index is
+    built once up front, and all translations funnel through one
+    :class:`TranslationCache` — so duplicate queries in the batch, and
+    queries seen by an earlier batch using the same cache, cost a lookup.
+
+    Returns one ``{spec name: TranslationResult}`` dict per input query,
+    in input order.
+    """
+    cache = cache if cache is not None else TranslationCache()
+    with obs.span("translate_batch", queries=len(queries), specs=len(specs)):
+        prepared = [normalize(query) for query in queries]
+        fingerprints = [query_fingerprint(q, normalized=True) for q in prepared]
+        out: list[dict[str, TranslationResult]] = [{} for _ in prepared]
+        for name in sorted(specs):
+            spec = specs[name]
+            spec.compiled_index()  # build once, before the query loop
+            for i, (query, fingerprint) in enumerate(zip(prepared, fingerprints)):
+                out[i][name] = cache.tdqm_prepared(query, fingerprint, spec)
+        return out

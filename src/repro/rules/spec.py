@@ -15,6 +15,7 @@ a human expert can certify; what the library can do mechanically is
 
 from __future__ import annotations
 
+import itertools
 from collections import Counter
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
@@ -23,7 +24,16 @@ from repro.core.ast import Constraint
 from repro.core.errors import SpecificationError
 from repro.core.matching import Matcher, Rule
 
+if TYPE_CHECKING:
+    from repro.perf.index import CompiledRuleIndex
+
 __all__ = ["MappingSpecification", "AuditReport", "audit_vocabulary"]
+
+#: Global version-stamp source.  Every specification construction *and*
+#: every mutation draws a fresh stamp, so (name, version) pairs uniquely
+#: identify one rule-set state across all live specifications — exactly
+#: what the translation-cache keys need.
+_VERSION_STAMPS = itertools.count(1)
 
 
 @dataclass(frozen=True)
@@ -36,9 +46,11 @@ class MappingSpecification:
     description: str = ""
 
     if TYPE_CHECKING:
-        # Populated in __post_init__; not a dataclass field (the guard keeps
-        # it out of __annotations__ at runtime).
+        # Populated in __post_init__; not dataclass fields (the guard keeps
+        # them out of __annotations__ at runtime).
         _rules_by_name: dict[str, Rule]
+        _version: int
+        _compiled_index: CompiledRuleIndex | None
 
     def __post_init__(self) -> None:
         counts = Counter(rule.name for rule in self.rules)
@@ -52,14 +64,83 @@ class MappingSpecification:
         object.__setattr__(
             self, "_rules_by_name", {rule.name: rule for rule in self.rules}
         )
+        object.__setattr__(self, "_version", next(_VERSION_STAMPS))
+        object.__setattr__(self, "_compiled_index", None)
+
+    # -- versioning + compiled index -------------------------------------------
+
+    @property
+    def version(self) -> int:
+        """The rule-set version stamp this specification currently carries.
+
+        Globally unique per (specification, mutation state): construction
+        draws a stamp and every :meth:`add_rule`/:meth:`remove_rule`
+        draws a fresh one.  Translation-cache keys and compiled rule
+        indexes pin this stamp, so anything built against an outdated
+        rule set misses (cache) or raises (index) instead of silently
+        answering wrong.
+        """
+        return self._version
+
+    def _bump_version(self) -> None:
+        object.__setattr__(self, "_version", next(_VERSION_STAMPS))
+        object.__setattr__(self, "_compiled_index", None)
+
+    def compiled_index(self) -> CompiledRuleIndex:
+        """The :class:`CompiledRuleIndex` for the current rule set.
+
+        Built lazily on first use and shared by every subsequent
+        :meth:`matcher` until the specification mutates, which detaches
+        it (stale handles raise on their next probe).
+        """
+        index = self._compiled_index
+        if index is None or index.version != self._version:
+            from repro.perf.index import CompiledRuleIndex
+
+            index = CompiledRuleIndex(self)
+            object.__setattr__(self, "_compiled_index", index)
+        return index
+
+    # -- mutation --------------------------------------------------------------
+
+    def add_rule(self, rule: Rule) -> None:
+        """Append ``rule``, bumping the version stamp.
+
+        The specification object mutates in place (all frozen-dataclass
+        invariants except the rule tuple are preserved); cached
+        translations keyed on the old version become unreachable and any
+        previously built compiled index goes stale.
+        """
+        if rule.name in self._rules_by_name:
+            raise SpecificationError(
+                f"specification {self.name!r} already has a rule named {rule.name!r}"
+            )
+        object.__setattr__(self, "rules", (*self.rules, rule))
+        self._rules_by_name[rule.name] = rule
+        self._bump_version()
+
+    def remove_rule(self, name: str) -> Rule:
+        """Remove and return the rule called ``name``, bumping the version."""
+        if name not in self._rules_by_name:
+            raise SpecificationError(
+                f"no rule named {name!r} in specification {self.name!r}"
+            )
+        removed = self._rules_by_name.pop(name)
+        object.__setattr__(
+            self, "rules", tuple(rule for rule in self.rules if rule.name != name)
+        )
+        self._bump_version()
+        return removed
 
     def matcher(self) -> Matcher:
         """A fresh :class:`Matcher` over this specification's rules.
 
         Each translation call should use its own matcher so the prematch
-        cache is scoped to one query's constraint universe.
+        cache is scoped to one query's constraint universe.  The matcher
+        carries the specification's compiled rule index, so it probes
+        only rules whose heads can bind the constraint group.
         """
-        return Matcher(self.rules)
+        return Matcher(self.rules, index=self.compiled_index())
 
     def get_rule(self, name: str) -> Rule:
         try:

@@ -11,6 +11,7 @@ PACKAGES = [
     "repro.engine",
     "repro.mediator",
     "repro.obs",
+    "repro.perf",
     "repro.text",
     "repro.workloads",
     "repro.conversions",
