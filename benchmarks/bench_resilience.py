@@ -1,0 +1,118 @@
+"""Resilient mediation: concurrent fan-out vs serial under latency spikes.
+
+A federated plan touches every mapped source; when one of them stalls,
+a serial loop pays the sum of the stalls while the thread-pool fan-out
+in :meth:`Mediator.answer_mediated` pays only the worst one.  This
+bench pins ISSUE 4's acceptance criterion — on a three-source
+federation where *every* source takes a deterministic latency spike
+(:meth:`FaultPolicy.latency_spike`, real sleeps), the concurrent
+fan-out must beat the serial fan-out by at least 2x — and records a
+degradation curve: answer latency as the number of spiked sources
+grows stays pinned to the worst single source, not the sum.
+
+Results go to ``BENCH_resilience.json``; the CI gate watches the raw
+latencies and the recorded speedup.
+"""
+
+from obs_harness import BenchRecorder, median_of, sweep
+
+from repro.core.ast import C, conj
+from repro.mediator import synthetic_federation
+from repro.resilience import FaultPolicy, ResilienceConfig, RetryPolicy
+
+N_SOURCES = 3
+
+#: One row per source (value 2 exists in every S_i), so the federated
+#: cross product is non-empty and every source is actually consulted.
+QUERY = conj([C(f"v{i}.a{i}", "=", 2) for i in range(N_SOURCES)])
+
+
+def _spiked_config(max_workers, spike: float, spiked: int = N_SOURCES):
+    """Resilience config where the first ``spiked`` sources sleep ``spike``s."""
+    return ResilienceConfig(
+        retry=RetryPolicy(retries=0, jitter=0.0),
+        max_workers=max_workers,
+        fault_policies={
+            f"S{i}": FaultPolicy.latency_spike(spike) for i in range(spiked)
+        },
+    )
+
+
+def test_concurrent_fanout_speedup(benchmark, report):
+    """Concurrent fan-out must beat serial >= 2x when all sources stall."""
+    spike = sweep((0.04,), quick=(0.02,))[0]
+    serial = synthetic_federation(resilience=_spiked_config(1, spike))
+    concurrent = synthetic_federation(resilience=_spiked_config(None, spike))
+
+    # Same rows, both complete — resilience never changes the answer.
+    serial_answer = serial.answer_mediated(QUERY)
+    concurrent_answer = concurrent.answer_mediated(QUERY)
+    assert serial_answer.complete and concurrent_answer.complete
+    assert sorted(serial_answer.rows) == sorted(concurrent_answer.rows)
+
+    serial_seconds = median_of(lambda: serial.answer_mediated(QUERY), repeat=5)
+    concurrent_seconds = median_of(
+        lambda: concurrent.answer_mediated(QUERY), repeat=5
+    )
+    speedup = serial_seconds / concurrent_seconds
+
+    recorder = BenchRecorder(
+        "resilience", "repro.resilience: concurrent fan-out vs serial"
+    )
+    recorder.add(
+        sources=N_SOURCES,
+        spike_seconds=spike,
+        serial_seconds=serial_seconds,
+        concurrent_seconds=concurrent_seconds,
+        speedup=round(speedup, 2),
+    )
+    recorder.write()
+    report(
+        "repro.resilience: concurrent fan-out vs serial",
+        [
+            f"  spike      : {spike * 1e3:8.3f} ms per source "
+            f"({N_SOURCES} sources)",
+            f"  serial     : {serial_seconds * 1e3:8.3f} ms",
+            f"  concurrent : {concurrent_seconds * 1e3:8.3f} ms",
+            f"  speedup    : {speedup:.1f}x",
+        ],
+    )
+    assert speedup >= 2.0, f"concurrent fan-out only {speedup:.2f}x faster"
+
+    benchmark(lambda: concurrent.answer_mediated(QUERY))
+
+
+def test_degradation_curve(report):
+    """Fan-out latency tracks the *worst* source, not the sum of them.
+
+    With k of the three sources spiked, the serial loop degrades
+    linearly in k while the concurrent fan-out stays flat at one spike
+    — graceful degradation under partially slow federations.
+    """
+    spike = sweep((0.04,), quick=(0.02,))[0]
+    recorder = BenchRecorder(
+        "resilience_degradation",
+        "repro.resilience: latency vs number of slow sources",
+    )
+    lines = []
+    flat = []
+    for spiked in range(N_SOURCES + 1):
+        mediator = synthetic_federation(
+            resilience=_spiked_config(None, spike, spiked=spiked)
+        )
+        answer = mediator.answer_mediated(QUERY)
+        assert answer.complete
+        seconds = median_of(lambda: mediator.answer_mediated(QUERY), repeat=3)
+        flat.append(seconds)
+        recorder.add(
+            slow_sources=spiked, spike_seconds=spike, answer_seconds=seconds
+        )
+        lines.append(
+            f"  {spiked} slow source(s): {seconds * 1e3:8.3f} ms"
+        )
+    recorder.write()
+    report("repro.resilience: latency vs number of slow sources", lines)
+    # Flat curve: three slow sources must not cost ~3x one slow source.
+    assert flat[3] < 2.0 * flat[1], (
+        f"fan-out degraded linearly: 1 slow={flat[1]:.4f}s 3 slow={flat[3]:.4f}s"
+    )

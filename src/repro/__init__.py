@@ -73,6 +73,15 @@ from repro.mediator import (
     bookstore_mediator,
     faculty_mediator,
     map_mediator,
+    synthetic_federation,
+)
+from repro.resilience import (
+    CircuitBreaker,
+    FaultPolicy,
+    ResilienceConfig,
+    RetryPolicy,
+    SourceAdapter,
+    SourceOutcome,
 )
 from repro.rules import (
     K1,
@@ -108,7 +117,10 @@ __all__ = [
     "K_AMAZON", "K_CLBOOKS", "K1", "K2", "K_MAP",
     # mediation
     "Mediator", "bookstore_mediator", "bookstore_federation",
-    "faculty_mediator", "map_mediator",
+    "faculty_mediator", "map_mediator", "synthetic_federation",
+    # resilience
+    "ResilienceConfig", "SourceAdapter", "SourceOutcome",
+    "CircuitBreaker", "RetryPolicy", "FaultPolicy",
     # errors
     "VocabMapError", "ParseError", "RuleError", "TranslationError",
     "CapabilityError",

@@ -24,6 +24,19 @@ Commands
 
         python -m repro stats K_Amazon '[ln = "Clancy"] and [fn = "Tom"]' --json
 
+    Resilience flags (``--timeout/--retries/--backoff/--strict``, plus
+    ``--fault NAME=SPEC`` for deterministic fault injection) run the
+    mediated execution through fault-tolerant source adapters and add a
+    per-source outcome section to the report; see
+    ``docs/fault_tolerance.md``.
+
+``sources``
+    Health-check the built-in simulated sources through the resilience
+    layer (retry/breaker semantics apply) and list row counts::
+
+        python -m repro sources
+        python -m repro sources --fault 'Amazon=fail:3' --retries 1 --json
+
 ``batch``
     Translate many queries for many specifications in one pass, sharing
     normalization, compiled rule indexes, and the translation cache::
@@ -212,6 +225,42 @@ def _cmd_batch(args) -> int:
     return 0
 
 
+def _resilience_from_args(args):
+    """A ResilienceConfig from CLI flags, or None when none were given."""
+    used = (
+        args.timeout is not None
+        or args.retries is not None
+        or args.backoff is not None
+        or args.strict
+        or args.fault
+    )
+    if not used:
+        return None
+    from repro.resilience import FaultPolicy, ResilienceConfig, RetryPolicy
+
+    fault_policies = {}
+    for entry in args.fault or ():
+        name, eq, spec = entry.partition("=")
+        if not eq or not name or not spec:
+            raise SystemExit(
+                f"bad --fault {entry!r}: expected NAME=SPEC, e.g. 'Amazon=fail:2'"
+            )
+        try:
+            fault_policies[name] = FaultPolicy.parse(spec)
+        except ValueError as exc:
+            raise SystemExit(f"bad --fault {entry!r}: {exc}") from None
+    retry = RetryPolicy(
+        retries=args.retries if args.retries is not None else 2,
+        backoff_base=args.backoff if args.backoff is not None else 0.05,
+    )
+    return ResilienceConfig(
+        timeout=args.timeout,
+        retry=retry,
+        strict=args.strict,
+        fault_policies=fault_policies,
+    )
+
+
 def _cmd_stats(args) -> int:
     from repro.obs.stats import (
         builtin_mediator,
@@ -222,12 +271,84 @@ def _cmd_stats(args) -> int:
 
     specs = {name: _spec(name, args.spec_file) for name in args.spec.split(",")}
     mediator = None if args.no_execute else builtin_mediator(set(specs))
-    report = collect_stats(args.query, specs, mediator)
+    resilience = _resilience_from_args(args)
+    report = collect_stats(args.query, specs, mediator, resilience=resilience)
     if args.json:
         print(json.dumps(stats_to_dict(report), indent=2, sort_keys=True))
     else:
         print(render_stats(report))
     return 0
+
+
+def _builtin_sources() -> dict:
+    """Every simulated source the built-in scenarios define, by name."""
+    from repro.mediator import (
+        bookstore_federation,
+        faculty_mediator,
+        map_mediator,
+        realty_mediator,
+    )
+
+    sources: dict = {}
+    for factory in (bookstore_federation, faculty_mediator, realty_mediator, map_mediator):
+        for name, source in factory().sources.items():
+            sources.setdefault(name, source)
+    return sources
+
+
+def _cmd_sources(args) -> int:
+    from repro.core.errors import SourceUnavailableError
+    from repro.resilience import ResilienceConfig
+
+    config = _resilience_from_args(args) or ResilienceConfig()
+    reports = []
+    healthy = True
+    for name, source in sorted(_builtin_sources().items()):
+        adapter = config.adapter_for(source)
+        try:
+            info = adapter.ping()
+            outcome = adapter.last_outcome
+            reports.append(
+                {
+                    "source": name,
+                    "healthy": True,
+                    "rows": info["rows"],
+                    "relations": info["relations"],
+                    "outcome": outcome.to_dict() if outcome else None,
+                }
+            )
+        except SourceUnavailableError as exc:
+            healthy = False
+            outcome = exc.outcomes[0] if exc.outcomes else None
+            reports.append(
+                {
+                    "source": name,
+                    "healthy": False,
+                    "rows": None,
+                    "relations": {},
+                    "outcome": outcome.to_dict() if outcome else None,
+                }
+            )
+    if args.json:
+        print(json.dumps(_json_counters({"sources": reports}), indent=2, sort_keys=True))
+    else:
+        for report in reports:
+            outcome = report["outcome"] or {}
+            if report["healthy"]:
+                rels = ", ".join(
+                    f"{rel}={count}" for rel, count in sorted(report["relations"].items())
+                )
+                detail = f"{report['rows']} rows ({rels})"
+            else:
+                detail = f"{outcome.get('status', 'failed')}: {outcome.get('error')}"
+            state = "up  " if report["healthy"] else "DOWN"
+            attempts = outcome.get("attempts", 1)
+            breaker = outcome.get("breaker_state", "closed")
+            print(
+                f"{report['source']:<10} {state}  {detail}  "
+                f"[attempts={attempts} breaker={breaker}]"
+            )
+    return 0 if healthy else 1
 
 
 def _cmd_specs(args) -> int:
@@ -333,6 +454,36 @@ def _cmd_audit(args) -> int:
     return 0 if not report.uncovered else 1
 
 
+def _add_resilience_flags(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--timeout",
+        type=float,
+        help="per-source deadline in seconds (includes backoff waits)",
+    )
+    p.add_argument(
+        "--retries",
+        type=int,
+        help="retries per source call on transient failure (default 2)",
+    )
+    p.add_argument(
+        "--backoff",
+        type=float,
+        help="base backoff delay in seconds (doubles per retry; default 0.05)",
+    )
+    p.add_argument(
+        "--strict",
+        action="store_true",
+        help="raise instead of returning a partial answer when a source fails",
+    )
+    p.add_argument(
+        "--fault",
+        action="append",
+        metavar="NAME=SPEC",
+        help="inject a deterministic fault into one source: fail:N, "
+        "latency:SECONDS[:EVERY], or flaky:RATE[:SEED] (repeatable)",
+    )
+
+
 def _add_obs_flags(p: argparse.ArgumentParser) -> None:
     p.add_argument(
         "--trace",
@@ -406,8 +557,17 @@ def build_arg_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip executing the built-in simulated sources",
     )
+    _add_resilience_flags(p)
     _add_obs_flags(p)
     p.set_defaults(fn=_cmd_stats)
+
+    p = sub.add_parser(
+        "sources", help="health-check the built-in sources (resilience layer)"
+    )
+    p.add_argument("--json", action="store_true", help="emit the health report as JSON")
+    _add_resilience_flags(p)
+    _add_obs_flags(p)
+    p.set_defaults(fn=_cmd_sources)
 
     p = sub.add_parser("specs", help="list built-in specifications")
     p.add_argument("-v", "--verbose", action="store_true")

@@ -17,6 +17,8 @@ __all__ = [
     "TranslationError",
     "EvaluationError",
     "SchemaError",
+    "SourceUnavailableError",
+    "TransientSourceError",
 ]
 
 
@@ -74,3 +76,30 @@ class EvaluationError(VocabMapError):
 
 class SchemaError(VocabMapError):
     """A relation, view, or tuple does not conform to its declared schema."""
+
+
+class SourceUnavailableError(VocabMapError):
+    """A source could not be reached within the resilience policy's budget.
+
+    Raised by :class:`~repro.resilience.SourceAdapter` when retries are
+    exhausted, a deadline passed, or the circuit breaker is open — and by
+    strict-mode mediation when any required source failed.  Carries the
+    per-source :class:`~repro.resilience.SourceOutcome` records describing
+    what went wrong where.
+    """
+
+    def __init__(self, message: str, outcomes: tuple = ()):
+        super().__init__(message)
+        self.outcomes = tuple(outcomes)
+
+
+class TransientSourceError(SourceUnavailableError):
+    """A single source call failed in a way a retry may fix.
+
+    This is what :class:`~repro.resilience.FaultPolicy` injects to
+    simulate network blips; real wrappers should raise it (or
+    ``TimeoutError`` / ``ConnectionError`` / ``OSError``) for transient
+    conditions so the adapter's retry loop engages.  Permanent errors
+    (:class:`CapabilityError`, :class:`EvaluationError`) are never
+    retried.
+    """

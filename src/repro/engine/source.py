@@ -116,6 +116,23 @@ class Source:
         key = ((), None)
         return [bound[key] for bound in self.execute({key: relation}, query)]
 
+    def ping(self) -> dict:
+        """Health probe: relation row counts, no query involved.
+
+        Deliberately bypasses :meth:`select` — a grammar-restricted
+        interface would reject an unconstrained probe query, but a health
+        check only needs to prove the source answers at all.  The
+        resilience layer (``repro sources``) runs this through a
+        :class:`~repro.resilience.SourceAdapter` so probes get the same
+        retry/breaker treatment as real calls.
+        """
+        counts = {name: len(rel.rows()) for name, rel in sorted(self.relations.items())}
+        return {
+            "source": self.name,
+            "relations": counts,
+            "rows": sum(counts.values()),
+        }
+
     def __str__(self) -> str:
         rels = ", ".join(sorted(self.relations))
         return f"Source({self.name}: {rels})"

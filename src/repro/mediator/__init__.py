@@ -6,6 +6,7 @@ from repro.mediator.builtin import (
     faculty_mediator,
     map_mediator,
     realty_mediator,
+    synthetic_federation,
 )
 from repro.mediator.mediator import MediatedAnswer, Mediator
 
@@ -17,4 +18,5 @@ __all__ = [
     "faculty_mediator",
     "map_mediator",
     "realty_mediator",
+    "synthetic_federation",
 ]

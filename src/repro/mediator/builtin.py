@@ -44,6 +44,7 @@ __all__ = [
     "faculty_mediator",
     "realty_mediator",
     "map_mediator",
+    "synthetic_federation",
 ]
 
 _SUBJECT_TO_CATEGORY = {subject: code for code, subject in CATEGORY_TO_SUBJECT.items()}
@@ -283,6 +284,81 @@ def realty_mediator(rows=None) -> Mediator:
         sources={"listings": source},
         specs={"listings": K_REALTY},
         view_virtuals=virtuals,
+    )
+
+
+def synthetic_federation(
+    n_sources: int = 3,
+    rows_per_source: int = 6,
+    *,
+    resilience=None,
+) -> Mediator:
+    """An n-source federation for resilience tests and benchmarks.
+
+    Source ``Si`` exposes one relation ``r`` with a single attribute
+    ``a{i}`` (values ``0..rows_per_source-1``) behind view ``v{i}``; its
+    specification maps ``a{i}`` through identically and exactly.  Each
+    view deliberately uses a *distinct* attribute name: a bare pattern
+    like ``cpat("a", ...)`` matches any view qualification, so shared
+    names would cross-match between specifications and produce unsound
+    plans.
+
+    A query such as ``[v0.a0 = 2] and [v1.a1 = 3] and [v2.a2 = 4]``
+    touches every source exactly once — the shape the fan-out and
+    fault-injection scenarios need.
+
+    ``resilience`` is an optional
+    :class:`~repro.resilience.ResilienceConfig` passed to the mediator.
+    """
+    from repro.core.ast import C
+    from repro.engine.capabilities import Capability
+    from repro.engine.relation import Relation
+    from repro.engine.source import Source
+    from repro.rules.dsl import V, cpat, rule, value_is
+    from repro.rules.spec import MappingSpecification
+
+    if n_sources < 1:
+        raise TranslationError(f"synthetic_federation needs >= 1 source, got {n_sources}")
+    views: dict[str, ViewDef] = {}
+    sources: dict[str, Source] = {}
+    specs: dict[str, MappingSpecification] = {}
+    for i in range(n_sources):
+        attr = f"a{i}"
+        source_name = f"S{i}"
+        relation = Relation(
+            "r", (attr,), [{attr: value} for value in range(rows_per_source)]
+        )
+        sources[source_name] = Source(
+            source_name,
+            {"r": relation},
+            Capability.of(selections=[(attr, "=")]),
+        )
+        specs[source_name] = MappingSpecification(
+            name=f"K_{source_name}",
+            target=source_name,
+            rules=(
+                rule(
+                    f"R_{attr}",
+                    patterns=[cpat(attr, "=", V("X"))],
+                    where=[value_is("X")],
+                    emit=lambda b, attr=attr: C(attr, "=", b["X"]),
+                    exact=True,
+                    doc=f"{attr} passes through unchanged.",
+                ),
+            ),
+            description=f"Synthetic identity mapping for source {source_name}.",
+        )
+        views[f"v{i}"] = ViewDef(
+            name=f"v{i}",
+            attributes=(attr,),
+            bases=(BaseRef(source_name, "r"),),
+            combine=lambda by_alias: dict(by_alias["r"]),
+        )
+    return Mediator(
+        views=views,
+        sources=sources,
+        specs=specs,
+        resilience=resilience,
     )
 
 

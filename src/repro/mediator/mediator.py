@@ -22,10 +22,11 @@ from __future__ import annotations
 
 from collections import Counter
 from collections.abc import Mapping, Sequence
+from concurrent.futures import ThreadPoolExecutor
 from itertools import product
 
 from repro.core.ast import AttrRef, Query
-from repro.core.errors import EvaluationError, TranslationError
+from repro.core.errors import EvaluationError, SourceUnavailableError, TranslationError
 from repro.core.filters import FilterPlan, build_filter
 from repro.core.normalize import normalize
 from repro.core.tdqm import TranslationResult
@@ -34,6 +35,12 @@ from repro.engine.source import Source
 from repro.engine.views import UnionViewDef, ViewDef
 from repro.obs import trace as obs
 from repro.perf import TranslationCache, translate_batch
+from repro.resilience import (
+    ResilienceConfig,
+    SourceOutcome,
+    record_outcome,
+    wrap_sources,
+)
 from repro.rules.spec import MappingSpecification
 
 __all__ = ["Mediator", "MediatedAnswer"]
@@ -52,16 +59,49 @@ class MediatedAnswer:
     2) the query runs once per component choice and ``plans`` holds one
     :class:`~repro.core.filters.FilterPlan` per choice (the residue filter
     depends on which sources the choice involves).
+
+    Under a resilient mediator the answer additionally carries
+    **partial-answer semantics**: ``outcomes`` lists one
+    :class:`~repro.resilience.SourceOutcome` per source call (status
+    ok / retried / failed / timed-out / skipped-open-circuit) and
+    ``complete`` is ``False`` when any call failed — the surviving rows
+    are then the union of the choices whose sources all answered, never
+    wrong rows, just possibly fewer.
     """
 
-    def __init__(self, rows: list[ResultRow], plans: list[FilterPlan]):
+    def __init__(
+        self,
+        rows: list[ResultRow],
+        plans: list[FilterPlan],
+        outcomes: Sequence[SourceOutcome] | None = None,
+        complete: bool = True,
+    ):
         self.rows = rows
         self.plans = list(plans)
+        #: Per-source-call outcome records (empty for non-resilient runs).
+        self.outcomes: list[SourceOutcome] = list(outcomes or [])
+        #: Did every source call succeed?  Partial answers are sound but
+        #: may be missing the failed sources' contributions.
+        self.complete = complete
 
     @property
     def plan(self) -> FilterPlan:
         """The (first) plan — the only one for non-union mediators."""
+        if not self.plans:
+            raise ValueError(
+                "mediated answer has no plans: zero translation choices "
+                "were executed for this query"
+            )
         return self.plans[0]
+
+    @property
+    def failed_sources(self) -> list[str]:
+        """Names of sources whose calls failed, in outcome order."""
+        seen: list[str] = []
+        for outcome in self.outcomes:
+            if not outcome.ok and outcome.source not in seen:
+                seen.append(outcome.source)
+        return seen
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -77,9 +117,18 @@ class Mediator:
         specs: Mapping[str, MappingSpecification],
         view_virtuals: Mapping[str, Virtual] | None = None,
         translation_cache: TranslationCache | None = _DEFAULT_CACHE,  # type: ignore[assignment]
+        resilience: ResilienceConfig | None = None,
     ):
         self.views = dict(views)
-        self.sources = dict(sources)
+        # With a resilience config every source sits behind its own
+        # SourceAdapter (deadline + retry + breaker); without one the
+        # sources are used as given and mediation is byte-identical to
+        # the pre-resilience pipeline.
+        self.resilience = resilience
+        if resilience is not None:
+            self.sources = wrap_sources(sources, resilience)
+        else:
+            self.sources = dict(sources)
         self.specs = dict(specs)
         self.view_virtuals = dict(view_virtuals or {})
         # Hot-path memo of whole translations (repro.perf).  Safe by
@@ -101,6 +150,25 @@ class Mediator:
                     f"view {view.name!r} uses sources without a mapping "
                     f"specification: {sorted(missing)}"
                 )
+
+    def with_resilience(self, resilience: ResilienceConfig | None) -> Mediator:
+        """This mediator with a different resilience config (or none).
+
+        Adapters never stack: the new mediator wraps the *underlying*
+        sources, and shares views, specs, virtuals, and the translation
+        cache with this one.
+        """
+        return Mediator(
+            views=self.views,
+            sources={
+                name: getattr(source, "source", source)
+                for name, source in self.sources.items()
+            },
+            specs=self.specs,
+            view_virtuals=self.view_virtuals,
+            translation_cache=self.translation_cache,
+            resilience=resilience,
+        )
 
     # -- query analysis --------------------------------------------------------
 
@@ -166,14 +234,25 @@ class Mediator:
             return list(view.components)
         return [view]
 
-    def answer_mediated(self, query: Query) -> MediatedAnswer:
+    def answer_mediated(
+        self, query: Query, *, strict: bool | None = None
+    ) -> MediatedAnswer:
         """Translate per source, execute natively, convert, post-filter.
 
         Union views are processed one component choice at a time (Section
         2), unioning the per-choice results.  The residue filter is
         computed per choice: a conjunct may be exactly enforced by one
         component's source but not another's.
+
+        Under a resilience config, source calls fan out concurrently and
+        failures degrade to a **partial answer** (``complete=False``,
+        per-source outcomes attached): a choice with a failed source
+        contributes no rows — conservative, never wrong.  ``strict=True``
+        (or ``resilience.strict``) raises
+        :class:`~repro.core.errors.SourceUnavailableError` instead.
         """
+        if strict is None:
+            strict = self.resilience.strict if self.resilience is not None else False
         with obs.span("mediator.answer_mediated"):
             query = normalize(query)
             instances = self.view_instances(query)
@@ -181,6 +260,7 @@ class Mediator:
 
             rows: list[ResultRow] = []
             plans: list[FilterPlan] = []
+            outcomes: list[SourceOutcome] = []
             for choice in product(*choice_lists):
                 obs.count("mediator.choices")
                 components = dict(zip(instances, choice))
@@ -190,14 +270,90 @@ class Mediator:
                 specs = {name: self.specs[name] for name in sorted(involved)}
                 plan = build_filter(query, specs, cache=self.translation_cache)
                 plans.append(plan)
-                rows.extend(self._run_choice(query, plan, instances, components))
+                choice_rows, choice_outcomes = self._run_choice(
+                    query, plan, instances, components
+                )
+                rows.extend(choice_rows)
+                outcomes.extend(choice_outcomes)
             if not plans:
                 # Constant query over zero instances: nothing to execute.
                 plans.append(build_filter(query, self.specs, cache=self.translation_cache))
                 if evaluate(plans[0].filter, RowEnv({}, self.view_virtuals)):
                     rows.append(())
+            complete = all(outcome.ok for outcome in outcomes)
+            if not complete:
+                failed = [o for o in outcomes if not o.ok]
+                obs.count("mediator.partial_answers")
+                if strict:
+                    names = sorted({o.source for o in failed})
+                    raise SourceUnavailableError(
+                        f"strict mediation failed: source(s) {names} "
+                        f"unavailable ({', '.join(o.status for o in failed)})",
+                        outcomes=tuple(failed),
+                    )
             obs.count("mediator.rows_emitted", len(rows))
-            return MediatedAnswer(rows, plans)
+            return MediatedAnswer(rows, plans, outcomes=outcomes, complete=complete)
+
+    def _source_keys(
+        self,
+        source_name: str,
+        instances: list[tuple[str, int | None]],
+        components: Mapping[tuple[str, int | None], ViewDef],
+    ) -> dict:
+        """Environment keys a source's relation instances bind in Eq. 2."""
+        keys = {}
+        for view, index in instances:
+            for base in components[(view, index)].bases:
+                if base.source == source_name:
+                    keys[((view, base.relation), index)] = base.relation
+        return keys
+
+    def _execute_resilient(
+        self,
+        plan: FilterPlan,
+        instances: list[tuple[str, int | None]],
+        components: Mapping[tuple[str, int | None], ViewDef],
+    ) -> tuple[list[list[dict]], list[SourceOutcome]]:
+        """Fan the choice's source calls out over a thread pool.
+
+        Each call goes through its :class:`~repro.resilience.SourceAdapter`
+        (deadline/retry/breaker); a failed call contributes an *empty*
+        rowset, so the choice's cross product — and hence its answer
+        contribution — is empty.  Observability is reported here, on the
+        calling thread, because obs tracers are thread-local and would
+        silently drop anything counted inside a pool worker.
+        """
+        assert self.resilience is not None
+        ordered = sorted(plan.mappings)
+        jobs = []  # (position, source adapter, keys, translated query)
+        per_source: list[list[dict]] = [[] for _ in ordered]
+        for position, source_name in enumerate(ordered):
+            keys = self._source_keys(source_name, instances, components)
+            if not keys:
+                per_source[position] = [{}]
+            else:
+                jobs.append(
+                    (position, self.sources[source_name], keys, plan.mappings[source_name])
+                )
+        outcomes: list[SourceOutcome] = []
+        workers = self.resilience.workers_for(len(jobs))
+        with obs.span("mediator.fanout", sources=len(jobs), workers=workers):
+            if workers > 1 and len(jobs) > 1:
+                with ThreadPoolExecutor(max_workers=workers) as pool:
+                    results = list(
+                        pool.map(
+                            lambda job: job[1].call(job[2], job[3]), jobs
+                        )
+                    )
+            else:
+                results = [adapter.call(keys, q) for _, adapter, keys, q in jobs]
+            for (position, adapter, _, _), (rows, outcome) in zip(jobs, results):
+                record_outcome(outcome)
+                outcomes.append(outcome)
+                if rows is not None:
+                    obs.count("mediator.source_rows", len(rows))
+                    per_source[position] = rows
+        return per_source, outcomes
 
     def _run_choice(
         self,
@@ -205,25 +361,25 @@ class Mediator:
         plan: FilterPlan,
         instances: list[tuple[str, int | None]],
         components: Mapping[tuple[str, int | None], ViewDef],
-    ) -> list[ResultRow]:
+    ) -> tuple[list[ResultRow], list[SourceOutcome]]:
         """One Eq. 2 execution with a fixed view-component per instance."""
         # Each source evaluates its mapping over the relation instances it
         # contributes to the queried view instances.
-        per_source: list[list[dict]] = []
-        for source_name in sorted(plan.mappings):
-            source = self.sources[source_name]
-            keys = {}
-            for view, index in instances:
-                for base in components[(view, index)].bases:
-                    if base.source == source_name:
-                        keys[((view, base.relation), index)] = base.relation
-            if not keys:
-                per_source.append([{}])
-                continue
-            with obs.span("mediator.execute", source=source_name):
-                executed = source.execute(keys, plan.mappings[source_name])
-                obs.count("mediator.source_rows", len(executed))
-            per_source.append(executed)
+        outcomes: list[SourceOutcome] = []
+        if self.resilience is not None:
+            per_source, outcomes = self._execute_resilient(plan, instances, components)
+        else:
+            per_source = []
+            for source_name in sorted(plan.mappings):
+                source = self.sources[source_name]
+                keys = self._source_keys(source_name, instances, components)
+                if not keys:
+                    per_source.append([{}])
+                    continue
+                with obs.span("mediator.execute", source=source_name):
+                    executed = source.execute(keys, plan.mappings[source_name])
+                    obs.count("mediator.source_rows", len(executed))
+                per_source.append(executed)
 
         # Reassemble view tuples through the conversion functions and apply
         # the residue filter F.
@@ -267,7 +423,7 @@ class Mediator:
             # Post-filter selectivity: candidates that reached F vs survivors.
             obs.count("mediator.filter_candidates", filtered)
             obs.count("mediator.filter_survivors", len(out))
-        return out
+        return out, outcomes
 
     # -- batch translation -------------------------------------------------------
 

@@ -41,6 +41,10 @@ class StatsReport:
     plan: FilterPlan
     rows: int | None  # mediated row count; None when nothing was executed
     tracer: Tracer
+    #: Per-source outcome records; ``None`` unless the run was resilient.
+    outcomes: list | None = None
+    #: ``False`` when a resilient run lost at least one source.
+    complete: bool = True
 
 
 def builtin_mediator(spec_names: set[str]):
@@ -71,8 +75,18 @@ def collect_stats(
     query,
     specs: dict[str, MappingSpecification],
     mediator=None,
+    *,
+    resilience=None,
+    strict: bool | None = None,
 ) -> StatsReport:
-    """Run the traced pipeline: parse → translate per spec → filter → execute."""
+    """Run the traced pipeline: parse → translate per spec → filter → execute.
+
+    With ``resilience`` (a :class:`~repro.resilience.ResilienceConfig`)
+    the mediated execution goes through fault-tolerant source adapters
+    and the report carries per-source outcomes plus the ``complete``
+    flag; ``strict=True`` turns partial answers into
+    :class:`~repro.core.errors.SourceUnavailableError`.
+    """
     with tracing("repro.stats") as tracer:
         if isinstance(query, str):
             query = parse_query(query)
@@ -92,8 +106,16 @@ def collect_stats(
         plan = build_filter(query, specs)
 
         rows: int | None = None
+        outcomes: list | None = None
+        complete = True
         if mediator is not None:
-            rows = len(mediator.answer_mediated(query).rows)
+            if resilience is not None:
+                mediator = mediator.with_resilience(resilience)
+            answer = mediator.answer_mediated(query, strict=strict)
+            rows = len(answer.rows)
+            if resilience is not None:
+                outcomes = list(answer.outcomes)
+                complete = answer.complete
 
     return StatsReport(
         query=query,
@@ -102,6 +124,8 @@ def collect_stats(
         plan=plan,
         rows=rows,
         tracer=tracer,
+        outcomes=outcomes,
+        complete=complete,
     )
 
 
@@ -124,6 +148,9 @@ def stats_to_dict(report: StatsReport) -> dict:
         },
         "rows": report.rows,
     }
+    if report.outcomes is not None:
+        out["complete"] = report.complete
+        out["sources"] = [outcome.to_dict() for outcome in report.outcomes]
     out.update(report_to_dict(report.tracer))
     return out
 
@@ -140,6 +167,15 @@ def render_stats(report: StatsReport) -> str:
     lines.append(f"F = {to_text(report.plan.filter)}")
     if report.rows is not None:
         lines.append(f"rows = {report.rows}")
+    if report.outcomes is not None:
+        lines.append(f"complete = {report.complete}")
+        lines.append("sources:")
+        for outcome in report.outcomes:
+            lines.append(
+                f"  {outcome.source:<10} {outcome.status:<20} "
+                f"attempts={outcome.attempts} rows={outcome.rows} "
+                f"breaker={outcome.breaker_state}"
+            )
     lines.append("")
     lines.append("spans:")
     lines.extend("  " + line for line in render_span(report.tracer.root))

@@ -1,0 +1,57 @@
+"""Fault-tolerant source access for federated mediation.
+
+The paper's mediator (Section 2, Fig. 1) fronts autonomous sources that
+are, in any real deployment, unreliable network peers.  This package
+gives the engine/mediator stack the standard defenses:
+
+* :class:`SourceAdapter` — per-source deadlines, bounded retries with
+  exponential backoff + jitter, and a circuit breaker, wrapped around
+  :class:`~repro.engine.source.Source` without changing its interface;
+* :class:`CircuitBreaker` / :class:`RetryPolicy` / :class:`BreakerPolicy`
+  — the state machine and its declarative tuning knobs;
+* :class:`FaultPolicy` — deterministic fault injection (fail-N-times,
+  latency spikes, seeded flaky-percent) for tests and benchmarks;
+* :class:`ResilienceConfig` — the bundle a
+  :class:`~repro.mediator.Mediator` takes to turn all of this on,
+  including concurrent fan-out and strict-vs-partial answer semantics.
+
+See ``docs/fault_tolerance.md`` for semantics and recipes and
+``docs/architecture.md`` for where this layer sits in the dataflow.
+"""
+
+from repro.resilience.adapter import (
+    FAILED,
+    OK,
+    RETRIED,
+    RETRYABLE,
+    SKIPPED,
+    TIMED_OUT,
+    SourceAdapter,
+    SourceOutcome,
+    record_outcome,
+)
+from repro.resilience.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+from repro.resilience.config import ResilienceConfig, wrap_sources
+from repro.resilience.faults import FaultPolicy
+from repro.resilience.policy import BreakerPolicy, RetryPolicy
+
+__all__ = [
+    "SourceAdapter",
+    "SourceOutcome",
+    "record_outcome",
+    "RETRYABLE",
+    "OK",
+    "RETRIED",
+    "FAILED",
+    "TIMED_OUT",
+    "SKIPPED",
+    "CircuitBreaker",
+    "CLOSED",
+    "OPEN",
+    "HALF_OPEN",
+    "ResilienceConfig",
+    "wrap_sources",
+    "FaultPolicy",
+    "BreakerPolicy",
+    "RetryPolicy",
+]

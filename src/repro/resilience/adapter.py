@@ -1,0 +1,313 @@
+"""SourceAdapter: deadlines, retries, and a breaker around one source.
+
+The adapter wraps an :class:`~repro.engine.source.Source` and duck-types
+its interface, so everything that talks to a source (the mediator, the
+wrapper machinery, direct callers) can talk to the adapter instead.  One
+call through the adapter gets:
+
+* a **cooperative deadline**: sources here are in-process and cannot be
+  preempted, so the deadline is checked between attempts and a result
+  that lands after it is *discarded* and recorded as timed-out — the
+  semantics a network client with a socket timeout would see;
+* a **bounded retry loop** with exponential backoff + seeded jitter
+  (:class:`~repro.resilience.policy.RetryPolicy`), retrying only
+  transient errors (``RETRYABLE``) — capability and evaluation errors
+  propagate immediately;
+* a **circuit breaker** consulted before every attempt, so once the
+  circuit opens mid-call the remaining retries fail fast;
+* optional **fault injection** (:class:`~repro.resilience.faults.FaultPolicy`)
+  applied before the real call, for tests and benchmarks.
+
+:meth:`call` never raises for source failure — it returns
+``(rows | None, SourceOutcome)`` so the mediator can assemble partial
+answers.  It also never touches :mod:`repro.obs`: obs tracers are
+installed per *thread*, and calls often run in pool workers where the
+hooks are no-ops.  The mediator (or :meth:`execute` for standalone use)
+reports each outcome from the main thread via :func:`record_outcome`.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable, Mapping
+from dataclasses import dataclass, field
+
+from repro.core.ast import Query
+from repro.core.errors import SourceUnavailableError, TransientSourceError
+from repro.engine.source import Source
+from repro.obs import trace as obs
+from repro.resilience.breaker import CircuitBreaker
+from repro.resilience.faults import FaultPolicy
+from repro.resilience.policy import RetryPolicy
+
+__all__ = [
+    "SourceAdapter",
+    "SourceOutcome",
+    "record_outcome",
+    "RETRYABLE",
+    "OK",
+    "RETRIED",
+    "FAILED",
+    "TIMED_OUT",
+    "SKIPPED",
+]
+
+OK = "ok"
+RETRIED = "retried"
+FAILED = "failed"
+TIMED_OUT = "timed-out"
+SKIPPED = "skipped-open-circuit"
+
+#: Errors worth retrying: injected transients plus the OS-level failures a
+#: real network wrapper would surface.  Everything else (CapabilityError,
+#: EvaluationError, bugs) propagates on the first attempt.
+RETRYABLE: tuple[type[BaseException], ...] = (
+    TransientSourceError,
+    TimeoutError,
+    ConnectionError,
+    OSError,
+)
+
+
+@dataclass
+class SourceOutcome:
+    """What happened to one resilient source call."""
+
+    source: str
+    status: str
+    attempts: int = 1
+    retries: int = 0
+    rows: int = 0
+    elapsed: float = 0.0
+    error: str | None = None
+    breaker_state: str | None = None
+    breaker_transitions: list[tuple[str, str]] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """Did the call produce rows (possibly after retries)?"""
+        return self.status in (OK, RETRIED)
+
+    def to_dict(self) -> dict:
+        return {
+            "source": self.source,
+            "status": self.status,
+            "ok": self.ok,
+            "attempts": self.attempts,
+            "retries": self.retries,
+            "rows": self.rows,
+            "elapsed_ms": round(self.elapsed * 1e3, 3),
+            "error": self.error,
+            "breaker_state": self.breaker_state,
+            "breaker_transitions": [list(t) for t in self.breaker_transitions],
+        }
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.source}: {self.status} ({self.attempts} attempts, {self.rows} rows)"
+
+
+def record_outcome(outcome: SourceOutcome) -> None:
+    """Emit one outcome's observability counters (main thread only).
+
+    Kept separate from the retry loop on purpose: obs tracers are
+    thread-local, so counters bumped inside a pool worker would vanish.
+    The mediator gathers outcomes from its futures and reports them here,
+    on the thread that owns the tracer.
+    """
+    if not obs.enabled():
+        return
+    obs.count("resilience.calls")
+    if outcome.retries:
+        obs.count("resilience.retries", outcome.retries)
+    if outcome.status == TIMED_OUT:
+        obs.count("resilience.timeouts")
+    if outcome.status in (FAILED, TIMED_OUT):
+        obs.count("resilience.failures")
+    if outcome.status == SKIPPED:
+        obs.count("resilience.skipped_open_circuit")
+    if outcome.breaker_transitions:
+        obs.count("resilience.breaker_transitions", len(outcome.breaker_transitions))
+    obs.gauge_max(
+        f"resilience.{outcome.source}.latency_ms", round(outcome.elapsed * 1e3, 3)
+    )
+
+
+class SourceAdapter:
+    """A fault-tolerant proxy for one source (duck-types ``Source``)."""
+
+    def __init__(
+        self,
+        source: Source,
+        *,
+        timeout: float | None = None,
+        retry: RetryPolicy | None = None,
+        breaker: CircuitBreaker | None = None,
+        fault_policy: FaultPolicy | None = None,
+        clock: Callable[[], float] = time.monotonic,
+        sleep: Callable[[float], None] = time.sleep,
+    ):
+        self.source = source
+        self.timeout = timeout
+        self.retry = retry or RetryPolicy()
+        self.breaker = breaker or CircuitBreaker(name=source.name, clock=clock)
+        self.fault_policy = fault_policy
+        self._clock = clock
+        self._sleep = sleep
+        #: Outcome of the most recent :meth:`call`/:meth:`execute`/:meth:`ping`.
+        self.last_outcome: SourceOutcome | None = None
+
+    # -- Source interface delegation ----------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self.source.name
+
+    @property
+    def relations(self):
+        return self.source.relations
+
+    @property
+    def capability(self):
+        return self.source.capability
+
+    @property
+    def virtuals(self):
+        return self.source.virtuals
+
+    @property
+    def grammar(self):
+        return self.source.grammar
+
+    def relation(self, name: str):
+        return self.source.relation(name)
+
+    def select(self, instances: Mapping[tuple, str], query: Query) -> list[dict]:
+        return self.source.select(instances, query)
+
+    def select_rows(self, relation: str, query: Query) -> list[dict]:
+        return self.source.select_rows(relation, query)
+
+    def execute_rows(self, relation: str, query: Query) -> list[dict]:
+        key = ((), None)
+        return [bound[key] for bound in self.execute({key: relation}, query)]
+
+    # -- resilient calls -----------------------------------------------------
+
+    def call(
+        self, instances: Mapping[tuple, str], query: Query
+    ) -> tuple[list[dict] | None, SourceOutcome]:
+        """Execute with deadline/retry/breaker; never raises for failure.
+
+        Returns ``(rows, outcome)`` on success and ``(None, outcome)``
+        when the call failed, timed out, or was refused by an open
+        circuit.  Non-retryable exceptions (capability violations,
+        evaluation bugs) still propagate — those are caller errors, not
+        source unavailability.
+        """
+        rows, outcome = self._run(lambda: self.source.execute(instances, query))
+        self.last_outcome = outcome
+        return rows, outcome
+
+    def execute(self, instances: Mapping[tuple, str], query: Query) -> list[dict]:
+        """Drop-in ``Source.execute``: resilient, raising on failure.
+
+        For standalone (non-mediated) use.  Reports its own outcome to
+        the observability layer — callers going through :meth:`call`
+        (the mediator) report outcomes themselves, so nothing is counted
+        twice.
+        """
+        rows, outcome = self.call(instances, query)
+        record_outcome(outcome)
+        if rows is None:
+            raise SourceUnavailableError(
+                f"source {self.name!r} unavailable: {outcome.status}"
+                + (f" ({outcome.error})" if outcome.error else ""),
+                outcomes=(outcome,),
+            )
+        return rows
+
+    def ping(self) -> dict:
+        """Resilient health probe: the source's row counts, or raise.
+
+        Powers the ``repro sources`` health listing.  Failures raise
+        :class:`SourceUnavailableError` after the usual retry budget.
+        """
+        info, outcome = self._run(lambda: self.source.ping())
+        self.last_outcome = outcome
+        record_outcome(outcome)
+        if info is None:
+            raise SourceUnavailableError(
+                f"source {self.name!r} failed health check: {outcome.status}"
+                + (f" ({outcome.error})" if outcome.error else ""),
+                outcomes=(outcome,),
+            )
+        return info
+
+    # -- the retry loop ------------------------------------------------------
+
+    def _run(self, fn: Callable[[], object]) -> tuple[object | None, SourceOutcome]:
+        started = self._clock()
+        transitions_before = self.breaker.transition_count
+        rng = self.retry.rng()
+        attempts = 0
+        last_error: str | None = None
+        status = FAILED
+
+        def finish(result, status: str, rows: int = 0) -> tuple[object, SourceOutcome]:
+            transitions = self.breaker.transitions[transitions_before:]
+            outcome = SourceOutcome(
+                source=self.name,
+                status=status,
+                attempts=attempts,
+                retries=max(0, attempts - 1),
+                rows=rows,
+                elapsed=self._clock() - started,
+                error=last_error,
+                breaker_state=self.breaker.state,
+                breaker_transitions=list(transitions),
+            )
+            return result, outcome
+
+        for attempt in range(self.retry.attempts):
+            # Re-check the breaker before *every* attempt: another thread
+            # (or an earlier retry) may have opened the circuit mid-call.
+            if not self.breaker.allow():
+                if attempts == 0:
+                    return finish(None, SKIPPED)
+                return finish(None, status)
+            if self.timeout is not None and self._clock() - started >= self.timeout:
+                return finish(None, TIMED_OUT)
+            attempts += 1
+            try:
+                if self.fault_policy is not None:
+                    self.fault_policy.before_call()
+                result = fn()
+            except RETRYABLE as exc:
+                last_error = f"{type(exc).__name__}: {exc}"
+                status = FAILED
+                self.breaker.record_failure()
+                if attempt < self.retry.retries:
+                    delay = self.retry.delay(attempt, rng)
+                    if self.timeout is not None:
+                        budget = self.timeout - (self._clock() - started)
+                        if budget <= 0:
+                            return finish(None, TIMED_OUT)
+                        delay = min(delay, budget)
+                    if delay > 0:
+                        self._sleep(delay)
+                continue
+            # Success — unless the deadline already passed, in which case a
+            # real client would have hung up: discard the late result.
+            if self.timeout is not None and self._clock() - started > self.timeout:
+                last_error = last_error or (
+                    f"result arrived after {self.timeout:.3g}s deadline"
+                )
+                self.breaker.record_failure()
+                return finish(None, TIMED_OUT)
+            self.breaker.record_success()
+            rows = len(result) if isinstance(result, list) else 0
+            return finish(result, RETRIED if attempts > 1 else OK, rows)
+        return finish(None, status)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SourceAdapter({self.name}, breaker={self.breaker.state})"

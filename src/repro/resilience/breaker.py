@@ -1,0 +1,109 @@
+"""Circuit breaker: fail fast on a source that keeps failing.
+
+The classic three-state machine:
+
+* **closed** — calls flow; consecutive failures are counted.
+* **open** — after ``failure_threshold`` consecutive failures, calls are
+  refused outright (the mediator records them as skipped) until
+  ``cooldown`` seconds pass.
+* **half-open** — after the cooldown one probe call is admitted; success
+  closes the circuit, failure re-opens it and restarts the cooldown.
+
+The breaker is shared across threads for one source, so all state
+mutation happens under a lock.  Time is injectable (``clock``) so tests
+drive the cooldown without sleeping.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections.abc import Callable
+
+from repro.resilience.policy import BreakerPolicy
+
+__all__ = ["CircuitBreaker", "CLOSED", "OPEN", "HALF_OPEN"]
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Per-source three-state breaker driven by call outcomes."""
+
+    def __init__(
+        self,
+        policy: BreakerPolicy | None = None,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+        name: str = "",
+    ):
+        self.policy = policy or BreakerPolicy()
+        self.name = name
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        #: (from_state, to_state) pairs in order — the audit trail the
+        #: observability layer and ``repro sources`` report.
+        self.transitions: list[tuple[str, str]] = []
+
+    @property
+    def state(self) -> str:
+        """Current state, refreshing open → half-open when cooled down."""
+        with self._lock:
+            self._refresh_locked()
+            return self._state
+
+    @property
+    def transition_count(self) -> int:
+        return len(self.transitions)
+
+    def allow(self) -> bool:
+        """May a call proceed right now?
+
+        Open circuits refuse until the cooldown elapses, then admit one
+        half-open probe (and refuse concurrent probes until it reports).
+        """
+        with self._lock:
+            self._refresh_locked()
+            return self._state in (CLOSED, HALF_OPEN)
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._consecutive_failures = 0
+            if self._state != CLOSED:
+                self._transition_locked(CLOSED)
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._consecutive_failures += 1
+            if self._state == HALF_OPEN:
+                # The probe failed: straight back to open, fresh cooldown.
+                self._opened_at = self._clock()
+                self._transition_locked(OPEN)
+            elif (
+                self._state == CLOSED
+                and self._consecutive_failures >= self.policy.failure_threshold
+            ):
+                self._opened_at = self._clock()
+                self._transition_locked(OPEN)
+
+    # -- internals ----------------------------------------------------------
+
+    def _refresh_locked(self) -> None:
+        if (
+            self._state == OPEN
+            and self._clock() - self._opened_at >= self.policy.cooldown
+        ):
+            self._transition_locked(HALF_OPEN)
+
+    def _transition_locked(self, to_state: str) -> None:
+        self.transitions.append((self._state, to_state))
+        self._state = to_state
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        label = f" {self.name!r}" if self.name else ""
+        return f"CircuitBreaker({label} {self.state}, failures={self._consecutive_failures})"

@@ -1,0 +1,86 @@
+"""ResilienceConfig: one object describing a mediator's fault tolerance.
+
+The config is what users hand to :class:`~repro.mediator.Mediator` (or
+build from CLI flags): a per-source timeout, a shared retry policy, a
+breaker policy instantiated *per source* (breakers hold state, so each
+source gets its own), strictness, the fan-out width, and optional
+per-source fault injection.  :func:`wrap_sources` turns a plain source
+mapping into adapters under one config.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable, Mapping
+from dataclasses import dataclass, field
+
+from repro.engine.source import Source
+from repro.resilience.adapter import SourceAdapter
+from repro.resilience.breaker import CircuitBreaker
+from repro.resilience.faults import FaultPolicy
+from repro.resilience.policy import BreakerPolicy, RetryPolicy
+
+__all__ = ["ResilienceConfig", "wrap_sources"]
+
+#: Upper bound on the default thread-pool width (one worker per source,
+#: capped): mediation calls a handful of sources, not hundreds.
+_MAX_DEFAULT_WORKERS = 8
+
+
+@dataclass
+class ResilienceConfig:
+    """Everything the mediator needs to call sources defensively."""
+
+    #: Whole-call deadline per source, seconds (includes backoff waits).
+    timeout: float | None = None
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    breaker: BreakerPolicy = field(default_factory=BreakerPolicy)
+    #: Raise :class:`~repro.core.errors.SourceUnavailableError` on any
+    #: source failure instead of returning a partial answer.
+    strict: bool = False
+    #: Fan-out width; ``None`` sizes to the source count (capped at 8),
+    #: ``1`` forces serial execution.
+    max_workers: int | None = None
+    #: Per-source fault injection, keyed by source name.
+    fault_policies: Mapping[str, FaultPolicy] = field(default_factory=dict)
+    #: Injectable time for tests (monotonic clock + sleep).
+    clock: Callable[[], float] = time.monotonic
+    sleep: Callable[[float], None] = time.sleep
+
+    def __post_init__(self) -> None:
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValueError(f"timeout must be > 0, got {self.timeout}")
+        if self.max_workers is not None and self.max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {self.max_workers}")
+
+    def adapter_for(self, source: Source) -> SourceAdapter:
+        """A fresh adapter (own breaker) for one source under this config."""
+        return SourceAdapter(
+            source,
+            timeout=self.timeout,
+            retry=self.retry,
+            breaker=CircuitBreaker(self.breaker, clock=self.clock, name=source.name),
+            fault_policy=self.fault_policies.get(source.name),
+            clock=self.clock,
+            sleep=self.sleep,
+        )
+
+    def workers_for(self, n_jobs: int) -> int:
+        """Pool width for ``n_jobs`` concurrent source calls."""
+        if self.max_workers is not None:
+            return min(self.max_workers, max(1, n_jobs))
+        return min(_MAX_DEFAULT_WORKERS, max(1, n_jobs))
+
+
+def wrap_sources(
+    sources: Mapping[str, Source], config: ResilienceConfig
+) -> dict[str, SourceAdapter]:
+    """Wrap every source in its own adapter under one config.
+
+    Already-wrapped sources are re-wrapped around their *underlying*
+    source so a config change never stacks adapters.
+    """
+    return {
+        name: config.adapter_for(getattr(source, "source", source))
+        for name, source in sources.items()
+    }

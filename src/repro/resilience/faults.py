@@ -1,0 +1,135 @@
+"""Deterministic fault injection for tests and benchmarks.
+
+A :class:`FaultPolicy` sits inside a
+:class:`~repro.resilience.adapter.SourceAdapter` and perturbs calls
+*before* they reach the real source:
+
+* ``fail=N`` — the first N calls raise
+  :class:`~repro.core.errors.TransientSourceError` (fail-then-recover);
+* ``latency=S`` (+ ``latency_every=K``) — every K-th call sleeps S
+  seconds first (latency spikes, real sleeps so benches measure them);
+* ``flaky=R`` — each call after the ``fail`` window fails with
+  probability R, drawn from an RNG seeded with ``seed`` so runs are
+  reproducible.
+
+The string form accepted by the CLI's ``--fault NAME=SPEC`` flag is
+parsed by :meth:`FaultPolicy.parse`: ``fail:2``, ``latency:0.05``,
+``latency:0.05:3``, ``flaky:0.3``, ``flaky:0.3:7``.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from collections.abc import Callable
+
+from repro.core.errors import TransientSourceError
+
+__all__ = ["FaultPolicy"]
+
+
+class FaultPolicy:
+    """Injects deterministic failures and latency into source calls."""
+
+    def __init__(
+        self,
+        *,
+        fail: int = 0,
+        error: Exception | None = None,
+        latency: float = 0.0,
+        latency_every: int = 1,
+        flaky: float = 0.0,
+        seed: int = 0,
+        sleep: Callable[[float], None] = time.sleep,
+    ):
+        if fail < 0:
+            raise ValueError(f"fail must be >= 0, got {fail}")
+        if latency < 0:
+            raise ValueError(f"latency must be >= 0, got {latency}")
+        if latency_every < 1:
+            raise ValueError(f"latency_every must be >= 1, got {latency_every}")
+        if not 0.0 <= flaky <= 1.0:
+            raise ValueError(f"flaky must be in [0, 1], got {flaky}")
+        self.fail = fail
+        self.error = error
+        self.latency = latency
+        self.latency_every = latency_every
+        self.flaky = flaky
+        self.seed = seed
+        self._sleep = sleep
+        self._rng = random.Random(seed)
+        self.calls = 0
+        self.failures_injected = 0
+        self.spikes_injected = 0
+
+    def before_call(self) -> None:
+        """Perturb the next source call: sleep and/or raise."""
+        self.calls += 1
+        if self.latency > 0 and self.calls % self.latency_every == 0:
+            self.spikes_injected += 1
+            self._sleep(self.latency)
+        if self.calls <= self.fail:
+            self.failures_injected += 1
+            raise self.error or TransientSourceError(
+                f"injected failure {self.calls}/{self.fail}"
+            )
+        if self.flaky > 0 and self._rng.random() < self.flaky:
+            self.failures_injected += 1
+            raise self.error or TransientSourceError(
+                f"injected flaky failure (rate={self.flaky})"
+            )
+
+    def reset(self) -> None:
+        """Back to call zero with a freshly seeded RNG."""
+        self._rng = random.Random(self.seed)
+        self.calls = 0
+        self.failures_injected = 0
+        self.spikes_injected = 0
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def fail_n(cls, n: int, **kwargs) -> FaultPolicy:
+        """Fail the first ``n`` calls, then behave normally."""
+        return cls(fail=n, **kwargs)
+
+    @classmethod
+    def latency_spike(cls, seconds: float, every: int = 1, **kwargs) -> FaultPolicy:
+        """Sleep ``seconds`` before every ``every``-th call."""
+        return cls(latency=seconds, latency_every=every, **kwargs)
+
+    @classmethod
+    def flaky_percent(cls, rate: float, seed: int = 0, **kwargs) -> FaultPolicy:
+        """Fail each call with probability ``rate`` (seeded)."""
+        return cls(flaky=rate, seed=seed, **kwargs)
+
+    @classmethod
+    def parse(cls, spec: str) -> FaultPolicy:
+        """Build a policy from CLI syntax: ``kind:arg[:extra]``."""
+        parts = spec.split(":")
+        kind = parts[0].strip().lower()
+        try:
+            if kind == "fail" and len(parts) == 2:
+                return cls.fail_n(int(parts[1]))
+            if kind == "latency" and len(parts) in (2, 3):
+                every = int(parts[2]) if len(parts) == 3 else 1
+                return cls.latency_spike(float(parts[1]), every=every)
+            if kind == "flaky" and len(parts) in (2, 3):
+                seed = int(parts[2]) if len(parts) == 3 else 0
+                return cls.flaky_percent(float(parts[1]), seed=seed)
+        except ValueError as exc:
+            raise ValueError(f"bad fault spec {spec!r}: {exc}") from None
+        raise ValueError(
+            f"bad fault spec {spec!r}: expected fail:N, "
+            "latency:SECONDS[:EVERY], or flaky:RATE[:SEED]"
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        bits = []
+        if self.fail:
+            bits.append(f"fail={self.fail}")
+        if self.latency:
+            bits.append(f"latency={self.latency}/{self.latency_every}")
+        if self.flaky:
+            bits.append(f"flaky={self.flaky}@{self.seed}")
+        return f"FaultPolicy({', '.join(bits) or 'noop'})"

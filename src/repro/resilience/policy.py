@@ -1,0 +1,91 @@
+"""Declarative retry and circuit-breaker policies.
+
+Both policies are frozen dataclasses: they describe *what* fault tolerance
+looks like (how many retries, how long a cooldown) and carry no state.
+The moving parts live in :mod:`repro.resilience.adapter` (the retry loop)
+and :mod:`repro.resilience.breaker` (the state machine), which consume
+these descriptions.
+
+Backoff is exponential with seeded jitter: retry ``i`` sleeps
+``min(base * multiplier**i, backoff_max)`` scaled by a random factor in
+``[1, 1 + jitter]``.  The RNG is seeded per policy so schedules are
+reproducible — tests can assert the exact sleep sequence.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+__all__ = ["RetryPolicy", "BreakerPolicy"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How often and how patiently to retry one source call.
+
+    ``retries`` is the number of *re*-tries: a call gets ``retries + 1``
+    attempts total.  ``retries=0`` disables retrying without disabling
+    the adapter's outcome bookkeeping.
+    """
+
+    retries: int = 2
+    backoff_base: float = 0.05
+    backoff_multiplier: float = 2.0
+    backoff_max: float = 2.0
+    #: Extra random fraction added to each delay, drawn from [0, jitter].
+    jitter: float = 0.1
+    #: Seed for the jitter RNG; ``None`` gives a nondeterministic schedule.
+    seed: int | None = 0
+
+    def __post_init__(self) -> None:
+        if self.retries < 0:
+            raise ValueError(f"retries must be >= 0, got {self.retries}")
+        if self.backoff_base < 0 or self.backoff_max < 0:
+            raise ValueError("backoff delays must be >= 0")
+        if self.backoff_multiplier < 1.0:
+            raise ValueError(
+                f"backoff_multiplier must be >= 1, got {self.backoff_multiplier}"
+            )
+        if self.jitter < 0:
+            raise ValueError(f"jitter must be >= 0, got {self.jitter}")
+
+    @property
+    def attempts(self) -> int:
+        """Total attempts one call may use (first try + retries)."""
+        return self.retries + 1
+
+    def rng(self) -> random.Random:
+        """A fresh jitter RNG for one call's schedule."""
+        return random.Random(self.seed)
+
+    def delay(self, retry_index: int, rng: random.Random) -> float:
+        """Sleep before retry ``retry_index`` (0-based)."""
+        raw = self.backoff_base * self.backoff_multiplier**retry_index
+        return min(raw, self.backoff_max) * (1.0 + self.jitter * rng.random())
+
+    def schedule(self, rng: random.Random | None = None) -> list[float]:
+        """The full sleep sequence a maximally unlucky call would see."""
+        rng = rng or self.rng()
+        return [self.delay(i, rng) for i in range(self.retries)]
+
+
+@dataclass(frozen=True)
+class BreakerPolicy:
+    """When a circuit breaker trips and how long it stays open.
+
+    ``failure_threshold`` consecutive failures open the circuit; after
+    ``cooldown`` seconds the next :meth:`~CircuitBreaker.allow` probe is
+    admitted half-open, and its result closes or re-opens the circuit.
+    """
+
+    failure_threshold: int = 5
+    cooldown: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {self.failure_threshold}"
+            )
+        if self.cooldown < 0:
+            raise ValueError(f"cooldown must be >= 0, got {self.cooldown}")

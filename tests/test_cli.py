@@ -130,3 +130,89 @@ class TestSpecFile:
         ])
         assert code == 0
         assert capsys.readouterr().out.strip() == "[pdate during May/97]"
+
+
+class TestSourcesCli:
+    def test_all_builtin_sources_healthy(self, capsys):
+        code = main(["sources"])
+        assert code == 0
+        out = capsys.readouterr().out
+        for name in ("Amazon", "Clbooks", "T1", "T2", "G", "listings"):
+            assert name in out
+        assert "DOWN" not in out
+
+    def test_injected_fault_marks_source_down(self, capsys):
+        code = main(
+            ["sources", "--fault", "Amazon=fail:9", "--retries", "1", "--backoff", "0"]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "DOWN" in out and "Amazon" in out
+
+    def test_json_health_report(self, capsys):
+        import json
+
+        code = main(["sources", "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        by_name = {entry["source"]: entry for entry in payload["sources"]}
+        assert by_name["Amazon"]["healthy"] is True
+        assert by_name["Amazon"]["rows"] == 7
+        assert by_name["Amazon"]["outcome"]["status"] == "ok"
+
+    def test_bad_fault_spec_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["sources", "--fault", "Amazon"])
+        with pytest.raises(SystemExit):
+            main(["sources", "--fault", "Amazon=explode:1"])
+
+
+class TestStatsResilienceCli:
+    QUERY = '[ln = "Clancy"] and [fn = "Tom"]'
+
+    def test_stats_reports_retry_counters(self, capsys):
+        code = main(
+            [
+                "stats", "K_Amazon", self.QUERY,
+                "--fault", "Amazon=fail:2", "--retries", "2", "--backoff", "0",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "complete = True" in out
+        assert "retried" in out
+        assert "resilience.retries" in out and "resilience.calls" in out
+
+    def test_stats_strict_fails_with_exit_2(self, capsys):
+        code = main(
+            [
+                "stats", "K_Amazon", self.QUERY,
+                "--fault", "Amazon=fail:9", "--retries", "0", "--strict",
+            ]
+        )
+        assert code == 2
+        assert "unavailable" in capsys.readouterr().err
+
+    def test_stats_json_includes_sources_section(self, capsys):
+        import json
+
+        code = main(
+            [
+                "stats", "K_Amazon", self.QUERY, "--json",
+                "--fault", "Amazon=fail:1", "--retries", "1", "--backoff", "0",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["complete"] is True
+        assert payload["sources"][0]["source"] == "Amazon"
+        assert payload["sources"][0]["status"] == "retried"
+        assert payload["counters"]["resilience.retries"] == 1
+
+    def test_stats_without_flags_has_no_sources_section(self, capsys):
+        import json
+
+        code = main(["stats", "K_Amazon", self.QUERY, "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "sources" not in payload and "complete" not in payload

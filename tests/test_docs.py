@@ -1,0 +1,107 @@
+"""Tests for the docs gate (tools/docs_check.py) and the docs themselves."""
+
+from __future__ import annotations
+
+import importlib.util
+import pathlib
+
+import pytest
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+
+spec = importlib.util.spec_from_file_location(
+    "docs_check", REPO / "tools" / "docs_check.py"
+)
+docs_check = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(docs_check)
+
+
+class TestSlugify:
+    @pytest.mark.parametrize(
+        "heading,slug",
+        [
+            ("Documentation map", "documentation-map"),
+            ("The CI regression gate", "the-ci-regression-gate"),
+            ("Partial answers: never wrong, possibly fewer",
+             "partial-answers-never-wrong-possibly-fewer"),
+            ("Reading `BENCH_*.json`", "reading-bench_json"),
+            ("6. Operate the integration from the CLI",
+             "6-operate-the-integration-from-the-cli"),
+        ],
+    )
+    def test_github_style_anchors(self, heading, slug):
+        assert docs_check.slugify(heading) == slug
+
+
+class TestStripFenced:
+    def test_blanks_code_blocks_keeps_line_numbers(self):
+        text = "a\n```sh\n[not a](link.md)\n```\nb"
+        lines = docs_check.strip_fenced(text)
+        assert lines == ["a", "", "", "", "b"]
+
+    def test_inline_code_is_not_a_link(self):
+        line = 'query `[ln = "Clancy"]` (inches) stays'
+        assert docs_check.LINK_RE.findall(docs_check.strip_inline_code(line)) == []
+
+
+class TestCheckLinks:
+    def test_broken_file_link_reported(self, tmp_path):
+        doc = tmp_path / "doc.md"
+        doc.write_text("see [ghost](missing.md)\n")
+        problems = docs_check.check_links(doc)
+        assert len(problems) == 1
+        assert "missing.md" in problems[0]
+
+    def test_broken_anchor_reported(self, tmp_path):
+        target = tmp_path / "target.md"
+        target.write_text("# Only heading\n")
+        doc = tmp_path / "doc.md"
+        doc.write_text("see [x](target.md#only-heading) and [y](target.md#nope)\n")
+        problems = docs_check.check_links(doc)
+        assert len(problems) == 1
+        assert "nope" in problems[0]
+
+    def test_external_links_skipped(self, tmp_path):
+        doc = tmp_path / "doc.md"
+        doc.write_text("see [arxiv](https://example.org/missing)\n")
+        assert docs_check.check_links(doc) == []
+
+    def test_same_file_anchor(self, tmp_path):
+        doc = tmp_path / "doc.md"
+        doc.write_text("# Top\n\njump [down](#bottom)\n\n## Bottom\n")
+        assert docs_check.check_links(doc) == []
+        doc.write_text("# Top\n\njump [down](#missing)\n")
+        assert len(docs_check.check_links(doc)) == 1
+
+
+class TestSnippets:
+    def test_extracts_repro_lines_from_sh_fences(self, tmp_path):
+        doc = tmp_path / "doc.md"
+        doc.write_text(
+            "```sh\nrepro specs\nls ignored\n```\n"
+            "```python\nrepro not_this\n```\n"
+            "repro nor_this\n"
+        )
+        assert docs_check.snippet_commands(doc) == ["repro specs"]
+
+    def test_failing_snippet_reported(self, tmp_path):
+        doc = tmp_path / "doc.md"
+        doc.write_text("```sh\nrepro no-such-subcommand\n```\n")
+        problems = docs_check.run_snippets(doc)
+        assert len(problems) == 1
+        assert "no-such-subcommand" in problems[0]
+
+
+class TestRepositoryDocs:
+    """The actual gate: the repo's documentation must pass its own check."""
+
+    def test_docs_gate_passes(self, capsys):
+        assert docs_check.main() == 0
+        out = capsys.readouterr().out
+        assert "docs-check: OK" in out
+
+    def test_tutorial_has_executable_snippets(self):
+        commands = docs_check.snippet_commands(REPO / "docs" / "tutorial.md")
+        assert len(commands) >= 5
+        assert any("sources" in c for c in commands)
+        assert any("--fault" in c for c in commands)

@@ -79,3 +79,20 @@ class TestAnswerShape:
         q = parse_query("[fac.dept = cs]")
         assert med.answer_direct(q) == []
         assert med.answer_mediated(q).rows == []
+
+    def test_plan_with_zero_choices_raises_value_error(self):
+        from repro.mediator import MediatedAnswer
+
+        answer = MediatedAnswer([], [])
+        with pytest.raises(ValueError, match="no plans"):
+            answer.plan
+
+    def test_plan_error_is_not_index_error(self):
+        from repro.mediator import MediatedAnswer
+
+        try:
+            MediatedAnswer([], []).plan
+        except IndexError:  # pragma: no cover - the regression being guarded
+            pytest.fail("zero-choice plan access must raise ValueError, not IndexError")
+        except ValueError:
+            pass

@@ -1,0 +1,513 @@
+"""Unit tests for repro.resilience: policies, breaker, faults, adapter."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import (
+    SourceUnavailableError,
+    TransientSourceError,
+    VocabMapError,
+)
+from repro.core.parser import parse_query
+from repro.engine.sources_builtin import make_amazon
+from repro.obs import trace as obs
+from repro.resilience import (
+    CLOSED,
+    FAILED,
+    HALF_OPEN,
+    OK,
+    OPEN,
+    RETRIED,
+    SKIPPED,
+    TIMED_OUT,
+    BreakerPolicy,
+    CircuitBreaker,
+    FaultPolicy,
+    ResilienceConfig,
+    RetryPolicy,
+    SourceAdapter,
+    record_outcome,
+    wrap_sources,
+)
+
+KEY = ((), None)
+AMAZON_QUERY = parse_query('[author = "Clancy, Tom"]')
+
+
+class FakeTime:
+    """A monotonic clock advanced only by (fake) sleeping."""
+
+    def __init__(self):
+        self.now = 0.0
+        self.sleeps: list[float] = []
+
+    def clock(self) -> float:
+        return self.now
+
+    def sleep(self, seconds: float) -> None:
+        self.sleeps.append(seconds)
+        self.now += seconds
+
+
+class StubSource:
+    """Minimal duck-typed source counting executions."""
+
+    name = "stub"
+    relations: dict = {}
+    capability = None
+    virtuals: dict = {}
+    grammar = None
+
+    def __init__(self, rows=({"k": 1},), error: Exception | None = None):
+        self._rows = list(rows)
+        self._error = error
+        self.calls = 0
+
+    def execute(self, instances, query):
+        self.calls += 1
+        if self._error is not None:
+            raise self._error
+        return list(self._rows)
+
+    def ping(self):
+        return {"source": self.name, "relations": {}, "rows": len(self._rows)}
+
+
+class TestRetryPolicy:
+    def test_attempts_is_retries_plus_one(self):
+        assert RetryPolicy(retries=0).attempts == 1
+        assert RetryPolicy(retries=3).attempts == 4
+
+    def test_schedule_is_deterministic_per_seed(self):
+        policy = RetryPolicy(retries=4, seed=7)
+        assert policy.schedule() == policy.schedule()
+        assert policy.schedule() != RetryPolicy(retries=4, seed=8).schedule()
+
+    def test_schedule_without_jitter_is_exact_doubling(self):
+        policy = RetryPolicy(
+            retries=3, backoff_base=0.1, backoff_multiplier=2.0,
+            backoff_max=10.0, jitter=0.0,
+        )
+        assert policy.schedule() == pytest.approx([0.1, 0.2, 0.4])
+
+    def test_delays_capped_at_backoff_max(self):
+        policy = RetryPolicy(
+            retries=6, backoff_base=1.0, backoff_multiplier=10.0,
+            backoff_max=2.0, jitter=0.0,
+        )
+        assert max(policy.schedule()) == pytest.approx(2.0)
+
+    def test_jitter_bounds(self):
+        policy = RetryPolicy(
+            retries=20, backoff_base=1.0, backoff_multiplier=1.0,
+            backoff_max=1.0, jitter=0.5, seed=3,
+        )
+        for delay in policy.schedule():
+            assert 1.0 <= delay <= 1.5
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"retries": -1},
+            {"backoff_base": -0.1},
+            {"backoff_max": -1.0},
+            {"backoff_multiplier": 0.5},
+            {"jitter": -0.01},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)
+
+
+class TestBreakerPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BreakerPolicy(failure_threshold=0)
+        with pytest.raises(ValueError):
+            BreakerPolicy(cooldown=-1)
+
+
+class TestCircuitBreaker:
+    def make(self, threshold=3, cooldown=10.0):
+        time = FakeTime()
+        breaker = CircuitBreaker(
+            BreakerPolicy(failure_threshold=threshold, cooldown=cooldown),
+            clock=time.clock,
+            name="b",
+        )
+        return breaker, time
+
+    def test_starts_closed_and_allows(self):
+        breaker, _ = self.make()
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+
+    def test_opens_after_consecutive_failures(self):
+        breaker, _ = self.make(threshold=3)
+        for _ in range(2):
+            breaker.record_failure()
+        assert breaker.state == CLOSED
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert not breaker.allow()
+
+    def test_success_resets_consecutive_count(self):
+        breaker, _ = self.make(threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+
+    def test_cooldown_admits_half_open_probe(self):
+        breaker, time = self.make(threshold=1, cooldown=10.0)
+        breaker.record_failure()
+        assert not breaker.allow()
+        time.now += 9.9
+        assert not breaker.allow()
+        time.now += 0.2
+        assert breaker.allow()
+        assert breaker.state == HALF_OPEN
+
+    def test_half_open_success_closes(self):
+        breaker, time = self.make(threshold=1, cooldown=5.0)
+        breaker.record_failure()
+        time.now += 5.0
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+
+    def test_half_open_failure_reopens_with_fresh_cooldown(self):
+        breaker, time = self.make(threshold=1, cooldown=5.0)
+        breaker.record_failure()
+        time.now += 5.0
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        time.now += 4.0
+        assert not breaker.allow()
+        time.now += 1.0
+        assert breaker.allow()
+
+    def test_transitions_recorded(self):
+        breaker, time = self.make(threshold=1, cooldown=5.0)
+        breaker.record_failure()
+        time.now += 5.0
+        breaker.allow()
+        breaker.record_success()
+        assert breaker.transitions == [
+            (CLOSED, OPEN),
+            (OPEN, HALF_OPEN),
+            (HALF_OPEN, CLOSED),
+        ]
+        assert breaker.transition_count == 3
+
+
+class TestFaultPolicy:
+    def test_fail_n_then_recover(self):
+        policy = FaultPolicy.fail_n(2, sleep=lambda s: None)
+        for _ in range(2):
+            with pytest.raises(TransientSourceError):
+                policy.before_call()
+        policy.before_call()  # third call passes
+        assert policy.calls == 3
+        assert policy.failures_injected == 2
+
+    def test_latency_spikes_on_schedule(self):
+        time = FakeTime()
+        policy = FaultPolicy.latency_spike(0.5, every=2, sleep=time.sleep)
+        for _ in range(4):
+            policy.before_call()
+        assert time.sleeps == [0.5, 0.5]
+        assert policy.spikes_injected == 2
+
+    def test_flaky_is_seeded_and_reproducible(self):
+        def run(seed):
+            policy = FaultPolicy.flaky_percent(0.5, seed=seed, sleep=lambda s: None)
+            results = []
+            for _ in range(20):
+                try:
+                    policy.before_call()
+                    results.append(True)
+                except TransientSourceError:
+                    results.append(False)
+            return results
+
+        assert run(3) == run(3)
+        assert run(3) != run(4)
+
+    def test_custom_error_propagates(self):
+        policy = FaultPolicy(fail=1, error=ConnectionError("boom"), sleep=lambda s: None)
+        with pytest.raises(ConnectionError):
+            policy.before_call()
+
+    def test_reset(self):
+        policy = FaultPolicy.fail_n(1, sleep=lambda s: None)
+        with pytest.raises(TransientSourceError):
+            policy.before_call()
+        policy.before_call()
+        policy.reset()
+        assert policy.calls == 0
+        with pytest.raises(TransientSourceError):
+            policy.before_call()
+
+    @pytest.mark.parametrize(
+        "spec,attr,value",
+        [
+            ("fail:2", "fail", 2),
+            ("latency:0.05", "latency", 0.05),
+            ("latency:0.05:3", "latency_every", 3),
+            ("flaky:0.3", "flaky", 0.3),
+            ("flaky:0.3:7", "seed", 7),
+        ],
+    )
+    def test_parse(self, spec, attr, value):
+        assert getattr(FaultPolicy.parse(spec), attr) == value
+
+    @pytest.mark.parametrize(
+        "spec", ["", "fail", "fail:x", "explode:1", "latency:1:2:3", "flaky:two"]
+    )
+    def test_parse_rejects_bad_specs(self, spec):
+        with pytest.raises(ValueError):
+            FaultPolicy.parse(spec)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultPolicy(fail=-1)
+        with pytest.raises(ValueError):
+            FaultPolicy(flaky=1.5)
+        with pytest.raises(ValueError):
+            FaultPolicy(latency_every=0)
+
+
+class TestSourceAdapter:
+    def make(self, source=None, **kwargs):
+        time = FakeTime()
+        kwargs.setdefault("retry", RetryPolicy(retries=2, backoff_base=0.05, jitter=0.0))
+        adapter = SourceAdapter(
+            source or StubSource(),
+            clock=time.clock,
+            sleep=time.sleep,
+            **kwargs,
+        )
+        return adapter, time
+
+    def test_ok_outcome(self):
+        adapter, _ = self.make()
+        rows, outcome = adapter.call({KEY: "r"}, parse_query("true"))
+        assert rows == [{"k": 1}]
+        assert outcome.status == OK and outcome.ok
+        assert outcome.attempts == 1 and outcome.retries == 0
+        assert outcome.rows == 1
+        assert outcome.breaker_state == CLOSED
+        assert adapter.last_outcome is outcome
+
+    def test_retries_through_transient_failures(self):
+        time = FakeTime()
+        adapter = SourceAdapter(
+            StubSource(),
+            retry=RetryPolicy(retries=2, backoff_base=0.05, jitter=0.0),
+            fault_policy=FaultPolicy.fail_n(2, sleep=time.sleep),
+            clock=time.clock,
+            sleep=time.sleep,
+        )
+        rows, outcome = adapter.call({KEY: "r"}, parse_query("true"))
+        assert rows is not None
+        assert outcome.status == RETRIED and outcome.ok
+        assert outcome.attempts == 3 and outcome.retries == 2
+        # Exponential backoff between the three attempts: base, then 2x.
+        assert time.sleeps == pytest.approx([0.05, 0.1])
+
+    def test_fails_when_retries_exhausted(self):
+        adapter, _ = self.make(
+            fault_policy=FaultPolicy.fail_n(100, sleep=lambda s: None),
+        )
+        rows, outcome = adapter.call({KEY: "r"}, parse_query("true"))
+        assert rows is None
+        assert outcome.status == FAILED and not outcome.ok
+        assert outcome.attempts == 3
+        assert "TransientSourceError" in outcome.error
+
+    def test_non_retryable_error_propagates(self):
+        adapter, _ = self.make(StubSource(error=ValueError("bug")))
+        with pytest.raises(ValueError):
+            adapter.call({KEY: "r"}, parse_query("true"))
+
+    def test_late_result_discarded_as_timed_out(self):
+        time = FakeTime()
+        adapter = SourceAdapter(
+            StubSource(),
+            timeout=0.3,
+            retry=RetryPolicy(retries=2, jitter=0.0),
+            fault_policy=FaultPolicy.latency_spike(0.5, sleep=time.sleep),
+            clock=time.clock,
+            sleep=time.sleep,
+        )
+        rows, outcome = adapter.call({KEY: "r"}, parse_query("true"))
+        assert rows is None
+        assert outcome.status == TIMED_OUT
+
+    def test_deadline_bounds_backoff(self):
+        time = FakeTime()
+        adapter = SourceAdapter(
+            StubSource(),
+            timeout=0.2,
+            retry=RetryPolicy(retries=5, backoff_base=0.15, jitter=0.0),
+            fault_policy=FaultPolicy.fail_n(100, sleep=time.sleep),
+            clock=time.clock,
+            sleep=time.sleep,
+        )
+        rows, outcome = adapter.call({KEY: "r"}, parse_query("true"))
+        assert rows is None
+        assert outcome.status == TIMED_OUT
+        assert time.now <= 0.2 + 1e-9
+
+    def test_open_breaker_skips_without_calling_source(self):
+        time = FakeTime()
+        source = StubSource()
+        breaker = CircuitBreaker(
+            BreakerPolicy(failure_threshold=1, cooldown=100.0), clock=time.clock
+        )
+        breaker.record_failure()
+        adapter = SourceAdapter(
+            source, breaker=breaker, clock=time.clock, sleep=time.sleep
+        )
+        rows, outcome = adapter.call({KEY: "r"}, parse_query("true"))
+        assert rows is None
+        assert outcome.status == SKIPPED
+        assert source.calls == 0
+
+    def test_breaker_opens_mid_call_stops_retries(self):
+        time = FakeTime()
+        source = StubSource()
+        adapter = SourceAdapter(
+            source,
+            retry=RetryPolicy(retries=5, backoff_base=0.0, jitter=0.0),
+            breaker=CircuitBreaker(
+                BreakerPolicy(failure_threshold=2, cooldown=100.0), clock=time.clock
+            ),
+            fault_policy=FaultPolicy.fail_n(100, sleep=time.sleep),
+            clock=time.clock,
+            sleep=time.sleep,
+        )
+        rows, outcome = adapter.call({KEY: "r"}, parse_query("true"))
+        assert rows is None
+        assert outcome.status == FAILED
+        assert outcome.attempts == 2  # third attempt refused by the open circuit
+        assert outcome.breaker_state == OPEN
+        assert (CLOSED, OPEN) in outcome.breaker_transitions
+
+    def test_execute_raises_source_unavailable(self):
+        adapter, _ = self.make(
+            retry=RetryPolicy(retries=0, jitter=0.0),
+            fault_policy=FaultPolicy.fail_n(100, sleep=lambda s: None),
+        )
+        with pytest.raises(SourceUnavailableError) as excinfo:
+            adapter.execute({KEY: "r"}, parse_query("true"))
+        assert excinfo.value.outcomes[0].status == FAILED
+        assert isinstance(excinfo.value, VocabMapError)
+
+    def test_execute_returns_rows_on_success(self):
+        adapter, _ = self.make()
+        assert adapter.execute({KEY: "r"}, parse_query("true")) == [{"k": 1}]
+
+    def test_ping_success_and_failure(self):
+        adapter, _ = self.make()
+        assert adapter.ping()["source"] == "stub"
+        failing, _ = self.make(
+            retry=RetryPolicy(retries=0, jitter=0.0),
+            fault_policy=FaultPolicy.fail_n(100, sleep=lambda s: None),
+        )
+        with pytest.raises(SourceUnavailableError):
+            failing.ping()
+
+    def test_delegates_source_interface(self):
+        amazon = make_amazon()
+        adapter = SourceAdapter(amazon)
+        assert adapter.name == amazon.name
+        assert adapter.relations is amazon.relations
+        assert adapter.capability is amazon.capability
+        assert adapter.virtuals is amazon.virtuals
+        assert adapter.grammar is amazon.grammar
+        assert adapter.relation("catalog") is amazon.relation("catalog")
+        direct = amazon.select({KEY: "catalog"}, AMAZON_QUERY)
+        assert adapter.select({KEY: "catalog"}, AMAZON_QUERY) == direct
+        assert adapter.select_rows("catalog", AMAZON_QUERY) == [
+            row[KEY] for row in direct
+        ]
+        assert adapter.execute_rows("catalog", AMAZON_QUERY) == [
+            row[KEY] for row in direct
+        ]
+
+    def test_record_outcome_counters(self):
+        adapter, _ = self.make(
+            fault_policy=FaultPolicy.fail_n(2, sleep=lambda s: None),
+        )
+        _, outcome = adapter.call({KEY: "r"}, parse_query("true"))
+        with obs.tracing("t") as tracer:
+            record_outcome(outcome)
+        assert tracer.counters["resilience.calls"] == 1
+        assert tracer.counters["resilience.retries"] == 2
+        assert "resilience.stub.latency_ms" in tracer.gauges
+
+    def test_record_outcome_noop_without_tracer(self):
+        adapter, _ = self.make()
+        _, outcome = adapter.call({KEY: "r"}, parse_query("true"))
+        record_outcome(outcome)  # must not raise
+
+    def test_outcome_to_dict_roundtrips_fields(self):
+        adapter, _ = self.make()
+        _, outcome = adapter.call({KEY: "r"}, parse_query("true"))
+        data = outcome.to_dict()
+        assert data["source"] == "stub" and data["status"] == OK
+        assert data["ok"] is True and data["rows"] == 1
+
+
+class TestResilienceConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ResilienceConfig(timeout=0)
+        with pytest.raises(ValueError):
+            ResilienceConfig(max_workers=0)
+
+    def test_workers_for(self):
+        assert ResilienceConfig().workers_for(3) == 3
+        assert ResilienceConfig().workers_for(50) == 8
+        assert ResilienceConfig(max_workers=1).workers_for(5) == 1
+        assert ResilienceConfig(max_workers=4).workers_for(2) == 2
+        assert ResilienceConfig().workers_for(0) == 1
+
+    def test_adapter_for_gives_each_source_its_own_breaker(self):
+        config = ResilienceConfig()
+        amazon = make_amazon()
+        first, second = config.adapter_for(amazon), config.adapter_for(amazon)
+        assert first.breaker is not second.breaker
+
+    def test_wrap_sources_never_stacks_adapters(self):
+        config = ResilienceConfig()
+        amazon = make_amazon()
+        wrapped = wrap_sources({"Amazon": amazon}, config)
+        rewrapped = wrap_sources(wrapped, ResilienceConfig(timeout=1.0))
+        assert rewrapped["Amazon"].source is amazon
+
+    def test_fault_policies_assigned_by_name(self):
+        fault = FaultPolicy.fail_n(1)
+        config = ResilienceConfig(fault_policies={"Amazon": fault})
+        amazon = make_amazon()
+        assert config.adapter_for(amazon).fault_policy is fault
+        other = StubSource()
+        assert config.adapter_for(other).fault_policy is None
+
+
+class TestSourcePing:
+    def test_ping_counts_relation_rows(self):
+        info = make_amazon().ping()
+        assert info == {
+            "source": "Amazon",
+            "relations": {"catalog": 7},
+            "rows": 7,
+        }

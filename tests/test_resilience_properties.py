@@ -1,0 +1,170 @@
+"""Property-based tests (hypothesis) for the resilience layer.
+
+The headline property is the satellite requirement of ISSUE 4: with
+faults disabled, a *resilient* mediator (adapters + concurrent fan-out)
+answers every query row-identically to the plain ``answer_mediated``
+pipeline, on the seed specification suite.  Supporting properties pin
+down the backoff schedule and the breaker state machine.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.ast import C, conj, disj
+from repro.mediator import bookstore_mediator, synthetic_federation
+from repro.resilience import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    BreakerPolicy,
+    CircuitBreaker,
+    ResilienceConfig,
+    RetryPolicy,
+)
+
+# -- faults-off equivalence --------------------------------------------------
+
+#: Constraint pool over the seed bookstore catalog: known hits, known
+#: misses, and attributes every rule family touches.
+BOOK_CONSTRAINTS = [
+    C("ln", "=", "Clancy"),
+    C("ln", "=", "Chang"),
+    C("ln", "=", "Nobody"),
+    C("fn", "=", "Tom"),
+    C("fn", "=", "Kevin"),
+    C("pyear", "=", 1997),
+    C("pyear", "=", 1998),
+    C("publisher", "=", "mit"),
+    C("publisher", "=", "aw"),
+    C("subject", "=", "war"),
+    C("subject", "=", "databases"),
+]
+
+
+def _random_book_query(seed: int):
+    rng = random.Random(seed)
+    picks = rng.sample(BOOK_CONSTRAINTS, rng.randint(1, 4))
+    groups = []
+    while picks:
+        take = rng.randint(1, len(picks))
+        groups.append(disj(picks[:take]))
+        picks = picks[take:]
+    return conj(groups)
+
+
+def _quick_resilience(max_workers=None):
+    return ResilienceConfig(
+        retry=RetryPolicy(retries=2, backoff_base=0.0, jitter=0.0),
+        max_workers=max_workers,
+        sleep=lambda s: None,
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_resilient_answers_identical_with_faults_off(seed):
+    query = _random_book_query(seed)
+    plain = bookstore_mediator("amazon")
+    resilient = plain.with_resilience(_quick_resilience())
+    expected = plain.answer_mediated(query)
+    answer = resilient.answer_mediated(query)
+    assert answer.complete
+    assert Counter(answer.rows) == Counter(expected.rows)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    values=st.lists(
+        st.integers(min_value=-1, max_value=6), min_size=3, max_size=3
+    ),
+    workers=st.sampled_from([1, 2, 8]),
+)
+def test_synthetic_federation_fanout_equivalence(values, workers):
+    """Serial and concurrent fan-out agree with Eq. 1 on every query."""
+    query = conj([C(f"v{i}.a{i}", "=", v) for i, v in enumerate(values)])
+    mediator = synthetic_federation(resilience=_quick_resilience(max_workers=workers))
+    answer = mediator.answer_mediated(query)
+    assert answer.complete
+    assert Counter(answer.rows) == Counter(mediator.answer_direct(query))
+
+
+# -- backoff schedule --------------------------------------------------------
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    retries=st.integers(min_value=0, max_value=8),
+    base=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    multiplier=st.floats(min_value=1.0, max_value=4.0, allow_nan=False),
+    cap=st.floats(min_value=0.01, max_value=5.0, allow_nan=False),
+    jitter=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    seed=st.integers(min_value=0, max_value=1_000),
+)
+def test_backoff_schedule_properties(retries, base, multiplier, cap, jitter, seed):
+    policy = RetryPolicy(
+        retries=retries,
+        backoff_base=base,
+        backoff_multiplier=multiplier,
+        backoff_max=cap,
+        jitter=jitter,
+        seed=seed,
+    )
+    schedule = policy.schedule()
+    # Deterministic per seed, one delay per retry.
+    assert schedule == policy.schedule()
+    assert len(schedule) == retries
+    # Every delay within [0, cap * (1 + jitter)].
+    for delay in schedule:
+        assert 0.0 <= delay <= cap * (1.0 + jitter) + 1e-9
+    # Without jitter, delays never decrease (exponential until the cap).
+    if jitter == 0.0:
+        assert all(a <= b + 1e-12 for a, b in zip(schedule, schedule[1:]))
+
+
+# -- breaker state machine ---------------------------------------------------
+
+VALID_TRANSITIONS = {
+    (CLOSED, OPEN),
+    (OPEN, HALF_OPEN),
+    (HALF_OPEN, CLOSED),
+    (HALF_OPEN, OPEN),
+}
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    ops=st.lists(
+        st.sampled_from(["fail", "succeed", "wait", "probe"]),
+        min_size=1,
+        max_size=40,
+    ),
+    threshold=st.integers(min_value=1, max_value=5),
+)
+def test_breaker_only_makes_legal_transitions(ops, threshold):
+    clock = {"now": 0.0}
+    breaker = CircuitBreaker(
+        BreakerPolicy(failure_threshold=threshold, cooldown=10.0),
+        clock=lambda: clock["now"],
+    )
+    for op in ops:
+        if op == "fail":
+            if breaker.allow():
+                breaker.record_failure()
+        elif op == "succeed":
+            if breaker.allow():
+                breaker.record_success()
+        elif op == "wait":
+            clock["now"] += 11.0
+        else:  # probe: just consult the breaker
+            breaker.allow()
+        assert breaker.state in (CLOSED, OPEN, HALF_OPEN)
+    assert set(breaker.transitions) <= VALID_TRANSITIONS
+    # An open breaker with an elapsed cooldown must admit a probe.
+    if breaker.state == OPEN:
+        clock["now"] += 10.0
+        assert breaker.allow()

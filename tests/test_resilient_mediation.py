@@ -1,0 +1,264 @@
+"""Integration tests: resilient mediation end to end (partial answers,
+strict mode, fan-out, breaker behaviour, stats surfacing)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import SourceUnavailableError
+from repro.core.parser import parse_query
+from repro.mediator import bookstore_federation, faculty_mediator, synthetic_federation
+from repro.obs import trace as obs
+from repro.obs.stats import collect_stats, render_stats, stats_to_dict
+from repro.resilience import (
+    FAILED,
+    OK,
+    RETRIED,
+    SKIPPED,
+    TIMED_OUT,
+    BreakerPolicy,
+    FaultPolicy,
+    ResilienceConfig,
+    RetryPolicy,
+)
+from repro.rules import K_AMAZON
+
+THREE_SOURCE_QUERY = parse_query("[v0.a0 = 2] and [v1.a1 = 3] and [v2.a2 = 4]")
+
+
+def no_sleep(seconds: float) -> None:
+    pass
+
+
+def quick_config(**kwargs) -> ResilienceConfig:
+    """A config that never really sleeps (tests stay fast)."""
+    kwargs.setdefault("retry", RetryPolicy(retries=2, backoff_base=0.0, jitter=0.0))
+    kwargs.setdefault("sleep", no_sleep)
+    return ResilienceConfig(**kwargs)
+
+
+def fail_twice() -> FaultPolicy:
+    return FaultPolicy.fail_n(2, sleep=no_sleep)
+
+
+class TestAcceptanceScenario:
+    """ISSUE 4's acceptance criterion: one of three sources fails twice
+    then recovers."""
+
+    def test_default_mode_partial_then_recovered(self):
+        config = quick_config(
+            retry=RetryPolicy(retries=0, jitter=0.0),
+            fault_policies={"S1": fail_twice()},
+        )
+        mediator = synthetic_federation(resilience=config)
+
+        first = mediator.answer_mediated(THREE_SOURCE_QUERY)
+        assert not first.complete
+        assert first.rows == []
+        assert first.failed_sources == ["S1"]
+        by_source = {o.source: o for o in first.outcomes}
+        assert by_source["S0"].status == OK
+        assert by_source["S1"].status == FAILED
+        assert by_source["S2"].status == OK
+
+        second = mediator.answer_mediated(THREE_SOURCE_QUERY)
+        assert not second.complete
+
+        third = mediator.answer_mediated(THREE_SOURCE_QUERY)
+        assert third.complete
+        assert len(third.rows) == 1
+
+    def test_strict_mode_raises(self):
+        config = quick_config(
+            retry=RetryPolicy(retries=0, jitter=0.0),
+            strict=True,
+            fault_policies={"S1": fail_twice()},
+        )
+        mediator = synthetic_federation(resilience=config)
+        with pytest.raises(SourceUnavailableError) as excinfo:
+            mediator.answer_mediated(THREE_SOURCE_QUERY)
+        assert "S1" in str(excinfo.value)
+        assert [o.status for o in excinfo.value.outcomes] == [FAILED]
+
+    def test_strict_override_per_call(self):
+        config = quick_config(
+            retry=RetryPolicy(retries=0, jitter=0.0),
+            fault_policies={"S1": fail_twice()},
+        )
+        mediator = synthetic_federation(resilience=config)
+        with pytest.raises(SourceUnavailableError):
+            mediator.answer_mediated(THREE_SOURCE_QUERY, strict=True)
+        # Default (non-strict) still returns the partial second answer.
+        answer = mediator.answer_mediated(THREE_SOURCE_QUERY)
+        assert not answer.complete
+
+    def test_retries_absorb_the_failures(self):
+        config = quick_config(fault_policies={"S1": fail_twice()})
+        mediator = synthetic_federation(resilience=config)
+        with obs.tracing("t") as tracer:
+            answer = mediator.answer_mediated(THREE_SOURCE_QUERY)
+        assert answer.complete
+        assert len(answer.rows) == 1
+        by_source = {o.source: o for o in answer.outcomes}
+        assert by_source["S1"].status == RETRIED
+        assert tracer.counters["resilience.calls"] == 3
+        assert tracer.counters["resilience.retries"] == 2
+
+
+class TestFanOut:
+    def test_concurrent_rows_match_serial(self):
+        serial = synthetic_federation(resilience=quick_config(max_workers=1))
+        concurrent = synthetic_federation(resilience=quick_config(max_workers=8))
+        plain = synthetic_federation()
+        expected = sorted(plain.answer_mediated(THREE_SOURCE_QUERY).rows)
+        assert sorted(serial.answer_mediated(THREE_SOURCE_QUERY).rows) == expected
+        assert sorted(concurrent.answer_mediated(THREE_SOURCE_QUERY).rows) == expected
+
+    def test_faculty_mediator_with_resilience_matches_plain(self):
+        query = parse_query('[fac.dept = cs] and [fac.ln = "Chang"]')
+        plain = faculty_mediator()
+        resilient = plain.with_resilience(quick_config())
+        assert sorted(resilient.answer_mediated(query).rows) == sorted(
+            plain.answer_mediated(query).rows
+        )
+        assert resilient.answer_mediated(query).complete
+
+    def test_equivalence_check_still_holds_under_resilience(self):
+        mediator = synthetic_federation(resilience=quick_config())
+        assert mediator.check_equivalence(THREE_SOURCE_QUERY)
+
+
+class TestPartialAnswers:
+    def test_union_federation_degrades_to_surviving_component(self):
+        config = quick_config(
+            retry=RetryPolicy(retries=0, jitter=0.0),
+            fault_policies={"Clbooks": FaultPolicy.fail_n(100, sleep=no_sleep)},
+        )
+        mediator = bookstore_federation().with_resilience(config)
+        query = parse_query('[ln = "Clancy"] and [fn = "Tom"]')
+        answer = mediator.answer_mediated(query)
+        assert not answer.complete
+        assert answer.failed_sources == ["Clbooks"]
+        # The Amazon component still answers: partial, not empty.
+        assert len(answer.rows) > 0
+        plain_rows = bookstore_federation().answer_mediated(query).rows
+        assert len(answer.rows) < len(plain_rows)
+        assert set(answer.rows) <= set(plain_rows)
+
+    def test_timeout_yields_timed_out_outcome(self):
+        clock = {"now": 0.0}
+
+        def fake_clock():
+            return clock["now"]
+
+        def fake_sleep(seconds):
+            clock["now"] += seconds
+
+        config = ResilienceConfig(
+            timeout=0.2,
+            retry=RetryPolicy(retries=0, jitter=0.0),
+            fault_policies={"S1": FaultPolicy.latency_spike(0.5, sleep=fake_sleep)},
+            clock=fake_clock,
+            sleep=fake_sleep,
+            max_workers=1,
+        )
+        mediator = synthetic_federation(resilience=config)
+        answer = mediator.answer_mediated(THREE_SOURCE_QUERY)
+        assert not answer.complete
+        statuses = {o.source: o.status for o in answer.outcomes}
+        assert statuses["S1"] == TIMED_OUT
+
+    def test_breaker_opens_then_skips(self):
+        config = quick_config(
+            retry=RetryPolicy(retries=0, jitter=0.0),
+            breaker=BreakerPolicy(failure_threshold=2, cooldown=1000.0),
+            fault_policies={"S1": FaultPolicy.fail_n(100, sleep=no_sleep)},
+        )
+        mediator = synthetic_federation(resilience=config)
+        statuses = []
+        with obs.tracing("t") as tracer:
+            for _ in range(3):
+                answer = mediator.answer_mediated(THREE_SOURCE_QUERY)
+                statuses.append(
+                    {o.source: o.status for o in answer.outcomes}["S1"]
+                )
+        assert statuses == [FAILED, FAILED, SKIPPED]
+        assert tracer.counters["resilience.breaker_transitions"] >= 1
+        assert tracer.counters["resilience.skipped_open_circuit"] == 1
+
+    def test_plain_mediator_answers_stay_complete(self):
+        mediator = synthetic_federation()
+        answer = mediator.answer_mediated(THREE_SOURCE_QUERY)
+        assert answer.complete
+        assert answer.outcomes == []
+        assert answer.failed_sources == []
+
+
+class TestWithResilience:
+    def test_round_trip_restores_plain_sources(self):
+        from repro.engine.source import Source
+
+        resilient = synthetic_federation(resilience=quick_config())
+        plain = resilient.with_resilience(None)
+        assert plain.resilience is None
+        assert all(type(s) is Source for s in plain.sources.values())
+        assert plain.translation_cache is resilient.translation_cache
+
+    def test_reconfigure_does_not_stack_adapters(self):
+        first = synthetic_federation(resilience=quick_config())
+        second = first.with_resilience(quick_config(timeout=5.0))
+        from repro.engine.source import Source
+
+        for adapter in second.sources.values():
+            assert type(adapter.source) is Source
+            assert adapter.timeout == 5.0
+
+
+class TestStatsSurface:
+    def test_collect_stats_reports_outcomes_and_counters(self):
+        config = quick_config(fault_policies={"Amazon": fail_twice()})
+        report = collect_stats(
+            '[ln = "Clancy"] and [fn = "Tom"]',
+            {"K_Amazon": K_AMAZON},
+            mediator=_amazon_mediator(),
+            resilience=config,
+        )
+        assert report.complete
+        assert report.outcomes is not None
+        assert report.outcomes[0].status == RETRIED
+        assert report.tracer.counters["resilience.retries"] == 2
+        text = render_stats(report)
+        assert "complete = True" in text
+        assert "sources:" in text and "retried" in text
+        data = stats_to_dict(report)
+        assert data["complete"] is True
+        assert data["sources"][0]["status"] == RETRIED
+        assert data["counters"]["resilience.retries"] == 2
+
+    def test_collect_stats_without_resilience_has_no_sources_section(self):
+        report = collect_stats(
+            '[ln = "Clancy"]', {"K_Amazon": K_AMAZON}, mediator=_amazon_mediator()
+        )
+        assert report.outcomes is None
+        assert "sources" not in stats_to_dict(report)
+        assert "complete" not in render_stats(report)
+
+    def test_collect_stats_strict_propagates(self):
+        config = quick_config(
+            retry=RetryPolicy(retries=0, jitter=0.0),
+            fault_policies={"Amazon": fail_twice()},
+        )
+        with pytest.raises(SourceUnavailableError):
+            collect_stats(
+                '[ln = "Clancy"]',
+                {"K_Amazon": K_AMAZON},
+                mediator=_amazon_mediator(),
+                resilience=config,
+                strict=True,
+            )
+
+
+def _amazon_mediator():
+    from repro.mediator import bookstore_mediator
+
+    return bookstore_mediator("amazon")

@@ -1,0 +1,195 @@
+#!/usr/bin/env python3
+"""Docs gate — relative links, heading anchors, and executable snippets.
+
+CI's ``docs`` job runs this over ``README.md`` and every ``docs/*.md``:
+
+* **links** — every relative markdown link (``[text](path)`` /
+  ``[text](path#anchor)``) must point at a file that exists, and an
+  anchored link must name a heading that actually slugifies to that
+  anchor (GitHub's rules: lowercase, punctuation stripped, spaces to
+  hyphens);
+* **snippets** — fenced ``sh`` blocks in ``docs/tutorial.md`` are
+  *executed*: every line starting with ``repro `` runs in-process
+  through :func:`repro.cli.main` and must exit 0, so the tutorial's CLI
+  examples can never drift from the CLI itself.
+
+Fenced code blocks and inline code spans are stripped before link
+extraction — ``[ln = "Clancy"]`` is a query, not a link.
+
+Run it locally::
+
+    PYTHONPATH=src python tools/docs_check.py
+"""
+
+from __future__ import annotations
+
+import contextlib
+import io
+import pathlib
+import re
+import shlex
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+DOC_FILES = [REPO / "README.md", *sorted((REPO / "docs").glob("*.md"))]
+SNIPPET_FILES = [REPO / "docs" / "tutorial.md"]
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+FENCE_RE = re.compile(r"^(```|~~~)")
+
+#: Schemes (and pseudo-targets) the checker does not follow.
+EXTERNAL_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def strip_fenced(text: str) -> list[str]:
+    """The document's lines with fenced code blocks blanked out."""
+    out, in_fence = [], False
+    for line in text.splitlines():
+        if FENCE_RE.match(line.strip()):
+            in_fence = not in_fence
+            out.append("")
+            continue
+        out.append("" if in_fence else line)
+    return out
+
+
+def strip_inline_code(line: str) -> str:
+    return re.sub(r"`[^`]*`", "``", line)
+
+
+def _rel(path: pathlib.Path) -> str:
+    try:
+        return str(path.relative_to(REPO))
+    except ValueError:  # test fixtures live outside the repo
+        return str(path)
+
+
+def slugify(heading: str) -> str:
+    """GitHub-style anchor for a heading line's text."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading)  # code spans keep their text
+    # Render links as their text before slugifying.
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)
+    text = text.strip().lower()
+    text = re.sub(r"[^\w\s-]", "", text)
+    return re.sub(r"[\s]+", "-", text)
+
+
+def anchors_of(path: pathlib.Path) -> set[str]:
+    anchors: set[str] = set()
+    for line in strip_fenced(path.read_text(encoding="utf-8")):
+        match = HEADING_RE.match(line)
+        if match:
+            slug = slugify(match.group(2))
+            if slug in anchors:  # GitHub dedupes with -1, -2, ...
+                n = 1
+                while f"{slug}-{n}" in anchors:
+                    n += 1
+                slug = f"{slug}-{n}"
+            anchors.add(slug)
+    return anchors
+
+
+def check_links(path: pathlib.Path) -> list[str]:
+    problems = []
+    for lineno, line in enumerate(
+        strip_fenced(path.read_text(encoding="utf-8")), start=1
+    ):
+        for target in LINK_RE.findall(strip_inline_code(line)):
+            if target.startswith(EXTERNAL_PREFIXES) or target.startswith("#"):
+                if target.startswith("#") and target[1:] not in anchors_of(path):
+                    problems.append(
+                        f"{_rel(path)}:{lineno}: broken anchor {target!r}"
+                    )
+                continue
+            file_part, _, anchor = target.partition("#")
+            resolved = (path.parent / file_part).resolve()
+            if not resolved.exists():
+                problems.append(
+                    f"{_rel(path)}:{lineno}: "
+                    f"broken link {target!r} ({file_part} does not exist)"
+                )
+                continue
+            if anchor and resolved.suffix == ".md":
+                if anchor not in anchors_of(resolved):
+                    problems.append(
+                        f"{_rel(path)}:{lineno}: broken anchor "
+                        f"{target!r} (no heading slugifies to {anchor!r})"
+                    )
+    return problems
+
+
+def snippet_commands(path: pathlib.Path) -> list[str]:
+    """``repro ...`` lines inside the file's fenced ``sh`` blocks."""
+    commands, in_sh = [], False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        stripped = line.strip()
+        if FENCE_RE.match(stripped):
+            in_sh = stripped in ("```sh", "```bash") and not in_sh
+            continue
+        if in_sh and stripped.startswith("repro "):
+            commands.append(stripped)
+    return commands
+
+
+def run_snippets(path: pathlib.Path) -> list[str]:
+    sys.path.insert(0, str(REPO / "src"))
+    from repro.cli import main as cli_main
+
+    problems = []
+    for command in snippet_commands(path):
+        argv = shlex.split(command)[1:]
+        out = io.StringIO()
+        try:
+            with contextlib.redirect_stdout(out), contextlib.redirect_stderr(out):
+                code = cli_main(argv)
+        except SystemExit as exc:
+            code = exc.code if isinstance(exc.code, int) else 1
+        except Exception as exc:  # noqa: BLE001 - report, don't crash the gate
+            problems.append(
+                f"{_rel(path)}: snippet crashed: {command!r} ({exc!r})"
+            )
+            continue
+        if code not in (0, None):
+            tail = "\n".join(out.getvalue().splitlines()[-3:])
+            problems.append(
+                f"{_rel(path)}: snippet exited {code}: "
+                f"{command!r}\n      {tail}"
+            )
+    return problems
+
+
+def main() -> int:
+    problems: list[str] = []
+    checked_links = 0
+    for path in DOC_FILES:
+        if not path.exists():
+            problems.append(f"missing documentation file: {_rel(path)}")
+            continue
+        found = check_links(path)
+        problems.extend(found)
+        checked_links += sum(
+            1
+            for line in strip_fenced(path.read_text(encoding="utf-8"))
+            for _ in LINK_RE.findall(strip_inline_code(line))
+        )
+    executed = 0
+    for path in SNIPPET_FILES:
+        commands = snippet_commands(path)
+        executed += len(commands)
+        problems.extend(run_snippets(path))
+
+    if problems:
+        print(f"docs-check: FAIL ({len(problems)} problem(s)):", file=sys.stderr)
+        for message in problems:
+            print(f"  - {message}", file=sys.stderr)
+        return 1
+    print(
+        f"docs-check: OK ({len(DOC_FILES)} files, {checked_links} links, "
+        f"{executed} executed snippets)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
