@@ -1,0 +1,187 @@
+"""C8: the load-serving layer (repro.serve) under closed-loop client load.
+
+The ROADMAP's serving story: many client threads against one shared
+:class:`~repro.serve.MediationService` must beat the naive
+one-translation-per-request handler, because the shared
+:class:`~repro.perf.TranslationCache` and the single-flight table
+collapse the (heavily repeated) paper workload into dict lookups.
+
+This bench pins that claim with closed-loop workers — each worker fires
+its next request the moment the previous one returns, the canonical
+saturation model for a service:
+
+* **served** — N workers round-robin the paper queries against one
+  shared service (warm steady state);
+* **uncached** — the same workers, schedule, and service machinery, but
+  with the shared translation cache removed, so every request pays a
+  full parse + TDQM translation, the way a cacheless handler would.
+  Holding the serving layer constant isolates the variable under test:
+  the shared cache, not the admission-control bookkeeping.
+
+Gate: the shared-cache service must clear 2x over per-request
+translation (in practice far more), with **zero lost or duplicated
+responses** and exact cache accounting.  Results go to
+``BENCH_serve.json`` for the CI regression gate.
+"""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+from obs_harness import BenchRecorder, median_of, sweep
+
+from repro.core.parser import parse_query
+from repro.core.tdqm import tdqm_translate
+from repro.mediator import bookstore_mediator
+from repro.serve import MediationService, ServiceConfig
+
+#: The paper workload: Example 1/2 plus Qbook — the exact query mix an
+#: Example-1 mediator serves, from trivial lookups to the partitioned
+#: rewrite of Section 4 (the expensive one the cache amortizes).
+BOOK_QUERIES = [
+    '[ln = "Clancy"] and [fn = "Tom"]',
+    "[pyear = 1997] and [pmonth = 5]",
+    '([ln = "Clancy"] or [ln = "Klancy"]) and [fn = "Tom"]',
+    '([kwd contains www] or ([ln = "Smith"] and [fn = "John"])) and [pyear = 1997]',
+    # Qbook (Section 4): the partition {C1}, {C2, C3} rewrite.
+    '(([ln = "Smith"] and [fn = "John"]) or [kwd contains www] or'
+    ' [kwd contains web]) and [pyear = 1997] and'
+    ' ([pmonth = 5] or [pmonth = 6])',
+]
+
+
+def _closed_loop(handler, n_workers: int, rounds: int) -> list[list]:
+    """Run ``handler(text)`` from ``n_workers`` closed-loop client threads.
+
+    Each worker issues its next request as soon as the previous response
+    arrives; returns the per-worker response lists (for the lost/dup
+    audit).
+    """
+    responses: list[list] = [[] for _ in range(n_workers)]
+    barrier = threading.Barrier(n_workers)
+
+    def worker(tid: int) -> None:
+        barrier.wait()
+        for round_ in range(rounds):
+            text = BOOK_QUERIES[(tid + round_) % len(BOOK_QUERIES)]
+            responses[tid].append(handler(text))
+
+    with ThreadPoolExecutor(max_workers=n_workers) as pool:
+        list(pool.map(worker, range(n_workers)))
+    return responses
+
+
+def test_serve_throughput(benchmark, report):
+    """Shared-cache serving must beat per-request translation by 2x."""
+    n_workers = sweep((8,), quick=(4,))[0]
+    rounds = sweep((60,), quick=(25,))[0]
+    total = n_workers * rounds
+
+    config = ServiceConfig(max_concurrency=n_workers, queue_depth=total)
+    mediator = bookstore_mediator("amazon")
+    spec = mediator.specs["Amazon"]
+    service = MediationService(mediator, config)
+
+    # The control: identical service, shared cache removed — every
+    # request re-runs the full translation pipeline.
+    uncached_mediator = bookstore_mediator("amazon")
+    uncached_mediator.translation_cache = None
+    uncached = MediationService(uncached_mediator, config)
+
+    # Warm-up: populate the cache and audit one full load for losses.
+    audit = _closed_loop(service.translate, n_workers, rounds)
+    assert all(len(per) == rounds for per in audit)  # zero lost responses
+    serial = {
+        text: tdqm_translate(parse_query(text), spec) for text in BOOK_QUERIES
+    }
+    for per_worker in audit:
+        for served in per_worker:
+            assert set(served) == {"Amazon"}  # zero cross-request bleed
+    stats = service.stats()
+    assert stats["requests"] == stats["completed"] == total
+    assert stats["rejected"] == 0 and stats["errors"] == 0
+    cache = stats["cache"]
+    # Exact accounting: one lookup per non-coalesced request, no lost updates.
+    assert cache["hits"] + cache["misses"] == stats["requests"] - stats["coalesced"]
+
+    served_seconds = median_of(
+        lambda: _closed_loop(service.translate, n_workers, rounds), repeat=5
+    )
+    uncached_seconds = median_of(
+        lambda: _closed_loop(uncached.translate, n_workers, rounds), repeat=5
+    )
+    speedup = uncached_seconds / served_seconds
+
+    # Bit-identity: the served mapping is exactly the serial pipeline's.
+    for text in BOOK_QUERIES:
+        assert service.translate(text)["Amazon"].mapping == serial[text].mapping
+
+    recorder = BenchRecorder(
+        "serve", "repro.serve: shared-cache service vs per-request translation"
+    )
+    recorder.add(
+        workers=n_workers,
+        requests=total,
+        uncached_seconds=uncached_seconds,
+        served_seconds=served_seconds,
+        speedup=round(speedup, 2),
+    )
+    recorder.write()
+    report(
+        "repro.serve: closed-loop load, shared service vs cacheless handler",
+        [
+            f"  uncached : {uncached_seconds * 1e3:8.3f} ms  "
+            f"({total} requests, {n_workers} workers)",
+            f"  served   : {served_seconds * 1e3:8.3f} ms",
+            f"  speedup  : {speedup:.1f}x",
+            f"  coalesced: {stats['coalesced']}  "
+            f"(cache hits {cache['hits']}, misses {cache['misses']})",
+        ],
+    )
+    assert speedup >= 2.0, f"shared-cache service only {speedup:.2f}x faster"
+
+    benchmark(lambda: _closed_loop(service.translate, n_workers, rounds))
+
+
+def test_serve_overload_rejection_is_fast(report):
+    """An Overloaded rejection must cost microseconds, not a translation."""
+    from repro.serve import Overloaded
+
+    mediator = bookstore_mediator("amazon")
+    service = MediationService(
+        mediator, ServiceConfig(max_concurrency=1, queue_depth=0)
+    )
+    release = threading.Event()
+    entered = threading.Event()
+    real = mediator.answer_mediated
+
+    def slow_answer(query, strict=None):
+        entered.set()
+        release.wait(timeout=30.0)
+        return real(query, strict=strict)
+
+    mediator.answer_mediated = slow_answer  # type: ignore[method-assign]
+    occupant = threading.Thread(
+        target=lambda: service.mediate(BOOK_QUERIES[0]), daemon=True
+    )
+    occupant.start()
+    assert entered.wait(timeout=30.0)
+
+    rejections = 0
+
+    def reject_once():
+        nonlocal rejections
+        try:
+            service.mediate(BOOK_QUERIES[1])
+        except Overloaded:
+            rejections += 1
+
+    rejection_seconds = median_of(reject_once, repeat=20)
+    release.set()
+    occupant.join(timeout=30.0)
+    assert rejections == 20  # every probe was shed, none queued
+    report(
+        "repro.serve: O(1) admission-control rejection",
+        [f"  rejection: {rejection_seconds * 1e6:8.1f} us"],
+    )
+    # Shedding must be far cheaper than serving (sub-millisecond).
+    assert rejection_seconds < 0.001

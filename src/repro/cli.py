@@ -44,6 +44,19 @@ Commands
         python -m repro batch K_Amazon,K_map '[ln = "Clancy"]' '[subject = "war"]'
         python -m repro batch K_Amazon --queries-file queries.txt --json
 
+``serve``
+    Run the concurrent mediation service (``repro.serve``) over one of
+    the built-in scenarios, speaking JSON-lines on stdin/stdout (the
+    default) or TCP (``--tcp``)::
+
+        echo '{"op": "translate", "query": "[ln = \\"Clancy\\"]"}' \\
+            | python -m repro serve K_Amazon
+        python -m repro serve K_Amazon --tcp --port 7654
+
+    Admission control (``--max-concurrency``/``--queue-depth``),
+    pipelined stdin handling (``--workers``), and the resilience flags
+    all apply; see ``docs/serving.md`` for the protocol and tuning.
+
 ``specs``
     List the built-in mapping specifications and their rules.
 
@@ -351,6 +364,49 @@ def _cmd_sources(args) -> int:
     return 0 if healthy else 1
 
 
+def _cmd_serve(args) -> int:
+    from repro.obs.stats import builtin_mediator
+    from repro.serve import MediationService, ServiceConfig, serve_jsonl, serve_tcp
+
+    names = set(args.specs.split(","))
+    mediator = builtin_mediator(names)
+    if mediator is None:
+        known = "K_Amazon | K_Clbooks | K1,K2 | K_map"
+        raise SystemExit(
+            f"serve: {sorted(names)} does not name a built-in scenario ({known})"
+        )
+    resilience = _resilience_from_args(args)
+    if resilience is not None:
+        mediator = mediator.with_resilience(resilience)
+    try:
+        config = ServiceConfig(
+            max_concurrency=args.max_concurrency, queue_depth=args.queue_depth
+        )
+    except ValueError as exc:
+        raise SystemExit(f"serve: {exc}") from None
+    service = MediationService(mediator, config)
+
+    if args.tcp:
+        server = serve_tcp(service, host=args.host, port=args.port)
+        host, port = server.server_address[:2]
+        print(f"serving {args.specs} on {host}:{port} (JSON-lines)", file=sys.stderr)
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
+            pass
+        finally:
+            server.server_close()
+    else:
+        handled = serve_jsonl(service, sys.stdin, sys.stdout, workers=args.workers)
+        if args.verbose:
+            print(f"handled {handled} request(s)", file=sys.stderr)
+    if args.verbose:
+        print(
+            "service: " + json.dumps(service.stats(), sort_keys=True), file=sys.stderr
+        )
+    return 0
+
+
 def _cmd_specs(args) -> int:
     for name, spec in sorted(builtin_specifications().items()):
         print(f"{name}  (target: {spec.target}, {len(spec)} rules)")
@@ -568,6 +624,49 @@ def build_arg_parser() -> argparse.ArgumentParser:
     _add_resilience_flags(p)
     _add_obs_flags(p)
     p.set_defaults(fn=_cmd_sources)
+
+    p = sub.add_parser(
+        "serve", help="run the concurrent mediation service (JSON-lines/TCP)"
+    )
+    p.add_argument(
+        "specs",
+        help="comma-separated specification names naming a built-in scenario "
+        "(e.g. K_Amazon, or K1,K2)",
+    )
+    p.add_argument(
+        "--tcp", action="store_true", help="serve TCP instead of stdin/stdout"
+    )
+    p.add_argument("--host", default="127.0.0.1", help="TCP bind host")
+    p.add_argument(
+        "--port", type=int, default=7654, help="TCP port (0 = ephemeral)"
+    )
+    p.add_argument(
+        "--max-concurrency",
+        type=int,
+        default=8,
+        help="requests executing concurrently (admission semaphore width)",
+    )
+    p.add_argument(
+        "--queue-depth",
+        type=int,
+        default=64,
+        help="requests allowed to wait beyond the executing ones; more are "
+        "rejected immediately as overloaded",
+    )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="stdin mode: dispatch request lines on this many threads "
+        "(responses correlate by id)",
+    )
+    p.add_argument(
+        "-v", "--verbose", action="store_true",
+        help="print service statistics to stderr on exit",
+    )
+    _add_resilience_flags(p)
+    _add_obs_flags(p)
+    p.set_defaults(fn=_cmd_serve)
 
     p = sub.add_parser("specs", help="list built-in specifications")
     p.add_argument("-v", "--verbose", action="store_true")

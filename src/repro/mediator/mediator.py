@@ -319,9 +319,10 @@ class Mediator:
         Each call goes through its :class:`~repro.resilience.SourceAdapter`
         (deadline/retry/breaker); a failed call contributes an *empty*
         rowset, so the choice's cross product — and hence its answer
-        contribution — is empty.  Observability is reported here, on the
-        calling thread, because obs tracers are thread-local and would
-        silently drop anything counted inside a pool worker.
+        contribution — is empty.  Each pool worker runs under an
+        ``obs.bind`` handoff prepared here in job order, so its spans and
+        counters (including :func:`~repro.resilience.record_outcome`)
+        land deterministically in the calling thread's trace.
         """
         assert self.resilience is not None
         ordered = sorted(plan.mappings)
@@ -339,16 +340,31 @@ class Mediator:
         workers = self.resilience.workers_for(len(jobs))
         with obs.span("mediator.fanout", sources=len(jobs), workers=workers):
             if workers > 1 and len(jobs) > 1:
+                # Handoffs are created here, in sorted-job order, so the
+                # fanout span's children are deterministic however the
+                # pool schedules the workers.
+                bound = [
+                    (job, obs.bind("mediator.call", source=job[1].name))
+                    for job in jobs
+                ]
+
+                def run(entry):
+                    (_, adapter, keys, translated), handoff = entry
+                    with handoff:
+                        rows, outcome = adapter.call(keys, translated)
+                        record_outcome(outcome)
+                        return rows, outcome
+
                 with ThreadPoolExecutor(max_workers=workers) as pool:
-                    results = list(
-                        pool.map(
-                            lambda job: job[1].call(job[2], job[3]), jobs
-                        )
-                    )
+                    results = list(pool.map(run, bound))
             else:
-                results = [adapter.call(keys, q) for _, adapter, keys, q in jobs]
+                results = []
+                for _, adapter, keys, translated in jobs:
+                    with obs.span("mediator.call", source=adapter.name):
+                        rows, outcome = adapter.call(keys, translated)
+                        record_outcome(outcome)
+                    results.append((rows, outcome))
             for (position, adapter, _, _), (rows, outcome) in zip(jobs, results):
-                record_outcome(outcome)
                 outcomes.append(outcome)
                 if rows is not None:
                     obs.count("mediator.source_rows", len(rows))

@@ -5,8 +5,12 @@ pipeline.  The design constraint is the ROADMAP's "fast as the hardware
 allows": instrumentation must cost (almost) nothing when disabled, so
 
 * :func:`tracing` installs a thread-local :class:`Tracer`; until then
-  every hook — :func:`span`, :func:`count`, :func:`gauge` — is a no-op
-  that performs one attribute lookup and one ``is None`` test;
+  every hook — :func:`span`, :func:`count`, :func:`gauge`, :func:`bind`
+  — is a no-op that performs one attribute lookup and one ``is None``
+  test;
+* a tracer records thread-safely, and :func:`bind` hands it across a
+  worker-pool boundary (deterministic span placement, exact counter
+  totals — see :mod:`repro.obs.trace`);
 * instrumented hot loops aggregate locally and report once (a single
   ``count(name, n)``), never per iteration.
 
@@ -25,6 +29,7 @@ from repro.obs.export import (
 from repro.obs.trace import (
     Span,
     Tracer,
+    bind,
     count,
     current_tracer,
     enabled,
@@ -41,6 +46,7 @@ __all__ = [
     "current_tracer",
     "enabled",
     "span",
+    "bind",
     "count",
     "gauge",
     "gauge_max",

@@ -11,6 +11,19 @@ The tracer is installed per *thread* (:func:`tracing`); library code never
 receives it explicitly — it calls the module-level hooks, which resolve
 the current tracer or do nothing.  That keeps instrumentation to single
 lines at the call sites and makes the disabled path trivially cheap.
+
+**Threads.**  A tracer records safely from any number of threads: the
+span tree and the counter/gauge registries are guarded by an internal
+lock, and each thread keeps its own span *stack* so concurrent spans
+nest correctly per thread.  To carry a trace into a worker pool, the
+owning thread calls :meth:`Tracer.bind` once per job — that appends one
+handoff span in **call order** (so the resulting tree is deterministic
+no matter how the pool schedules the jobs) — and the worker enters the
+returned handoff, which installs the tracer on the worker's thread for
+the block.  Counter totals are sums and high-water gauges are maxima,
+both order-independent, so aggregate numbers are exact under any
+interleaving.  The module-level :func:`bind` resolves the current
+tracer (or hands back a no-op) just like the other hooks.
 """
 
 from __future__ import annotations
@@ -30,6 +43,7 @@ __all__ = [
     "count",
     "gauge",
     "gauge_max",
+    "bind",
 ]
 
 
@@ -73,49 +87,112 @@ class Span:
 
 
 class Tracer:
-    """Collects one span tree plus aggregate counters and gauges."""
+    """Collects one span tree plus aggregate counters and gauges.
+
+    Safe to record into from many threads at once; see the module
+    docstring for the :meth:`bind` handoff protocol.
+    """
 
     def __init__(self, name: str = "trace"):
         self.root = Span(name)
         self.counters: dict[str, int] = {}
         self.gauges: dict[str, object] = {}
-        self._stack: list[Span] = [self.root]
+        self._lock = threading.RLock()
+        self._local = threading.local()
+        self._local.stack = [self.root]
+
+    def _stack(self) -> list[Span]:
+        """This thread's span stack (threads without a handoff record at root)."""
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = [self.root]
+        return stack
 
     @property
     def current(self) -> Span:
-        return self._stack[-1]
+        return self._stack()[-1]
 
     @contextmanager
     def span(self, name: str, **attrs) -> Iterator[Span]:
-        """Open a child span under the innermost open span."""
+        """Open a child span under this thread's innermost open span."""
         child = Span(name, attrs)
-        self._stack[-1].children.append(child)
-        self._stack.append(child)
+        stack = self._stack()
+        with self._lock:
+            stack[-1].children.append(child)
+        stack.append(child)
         child.start = time.perf_counter()
         try:
             yield child
         finally:
             child.elapsed = time.perf_counter() - child.start
-            self._stack.pop()
+            stack.pop()
+
+    def bind(self, name: str = "worker", **attrs) -> "TraceHandoff":
+        """Prepare a handoff of this tracer to a worker thread.
+
+        Call on the thread that owns the trace — the handoff span is
+        appended under the *caller's* current span immediately, so spans
+        land in ``bind()`` call order and the tree is deterministic
+        regardless of worker scheduling.  The worker then runs its job
+        inside ``with handoff:`` to record spans and counters into the
+        subtree.  Each handoff is entered by exactly one thread, once.
+        """
+        child = Span(name, attrs)
+        with self._lock:
+            self._stack()[-1].children.append(child)
+        return TraceHandoff(self, child)
 
     def count(self, name: str, n: int = 1) -> None:
         """Add ``n`` to counter ``name`` on the current span and globally."""
-        local = self._stack[-1].counters
-        local[name] = local.get(name, 0) + n
-        self.counters[name] = self.counters.get(name, 0) + n
+        with self._lock:
+            local = self._stack()[-1].counters
+            local[name] = local.get(name, 0) + n
+            self.counters[name] = self.counters.get(name, 0) + n
 
     def gauge(self, name: str, value: object) -> None:
         """Record a point-in-time value (last write wins)."""
-        self._stack[-1].gauges[name] = value
-        self.gauges[name] = value
+        with self._lock:
+            self._stack()[-1].gauges[name] = value
+            self.gauges[name] = value
 
     def gauge_max(self, name: str, value) -> None:
         """Record a high-water-mark gauge (max of all writes)."""
-        local = self._stack[-1].gauges
-        if name not in local or local[name] < value:
-            local[name] = value
-        if name not in self.gauges or self.gauges[name] < value:  # type: ignore[operator]
-            self.gauges[name] = value
+        with self._lock:
+            local = self._stack()[-1].gauges
+            if name not in local or local[name] < value:
+                local[name] = value
+            if name not in self.gauges or self.gauges[name] < value:  # type: ignore[operator]
+                self.gauges[name] = value
+
+
+class TraceHandoff:
+    """One :meth:`Tracer.bind` handoff, entered on the worker thread.
+
+    Entering installs the tracer on the worker (so the module-level
+    hooks resolve it) and makes the handoff span the worker's stack
+    base; exiting stamps the span's elapsed time and restores whatever
+    tracer the worker had before.
+    """
+
+    __slots__ = ("tracer", "span", "_prev_tracer", "_prev_stack")
+
+    def __init__(self, tracer: Tracer, span: Span):
+        self.tracer = tracer
+        self.span = span
+
+    def __enter__(self) -> Tracer:
+        self._prev_tracer = getattr(_tls, "tracer", None)
+        self._prev_stack = getattr(self.tracer._local, "stack", None)
+        _tls.tracer = self.tracer
+        self.tracer._local.stack = [self.span]
+        self.span.start = time.perf_counter()
+        return self.tracer
+
+    def __exit__(self, *exc) -> bool:
+        self.span.elapsed = time.perf_counter() - self.span.start
+        self.tracer._local.stack = self._prev_stack
+        _tls.tracer = self._prev_tracer
+        return False
 
 
 # ---------------------------------------------------------------------------
@@ -138,6 +215,21 @@ class _NoopSpan:
 
 
 _NOOP_SPAN = _NoopSpan()
+
+
+class _NoopHandoff:
+    """Stateless stand-in for :class:`TraceHandoff` when tracing is off."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NOOP_HANDOFF = _NoopHandoff()
 
 
 def current_tracer() -> Tracer | None:
@@ -179,6 +271,18 @@ def span(name: str, **attrs):
     if tracer is None:
         return _NOOP_SPAN
     return tracer.span(name, **attrs)
+
+
+def bind(name: str = "worker", **attrs):
+    """A worker handoff from the current tracer; a no-op when disabled.
+
+    Call on the owning thread, enter on the worker — see
+    :meth:`Tracer.bind`.
+    """
+    tracer = getattr(_tls, "tracer", None)
+    if tracer is None:
+        return _NOOP_HANDOFF
+    return tracer.bind(name, **attrs)
 
 
 def count(name: str, n: int = 1) -> None:

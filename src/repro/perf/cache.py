@@ -15,16 +15,28 @@ so whole results can be memoized:
   (results are immutable in practice: never mutate a cached result).
 * **Eviction** — least-recently-used beyond ``maxsize`` entries.
 
+The cache is **thread-safe**: an internal :class:`threading.RLock`
+guards the LRU order, the counters, and eviction, so one cache can be
+shared by a resilient mediator's fan-out pool and by
+:class:`repro.serve.MediationService` client threads.  Concurrent
+misses on the *same* key are **single-flighted**: the first thread (the
+leader) runs the translation while the others wait and receive the
+identical result object — N concurrent misses cost one translation,
+not N.  A follower counts as a hit (it was served from the in-flight
+computation), so ``hits + misses == lookups`` holds exactly under any
+interleaving.
+
 Counters (``perf.cache.hits`` / ``misses`` / ``evictions`` /
-``invalidations``) are exported through :mod:`repro.obs` whenever a
-tracer is active, and are always available locally via :attr:`
-TranslationCache.stats`.
+``invalidations`` / ``coalesced``) are exported through :mod:`repro.obs`
+whenever a tracer is active, and are always available locally via
+:attr:`TranslationCache.stats`.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
-from collections.abc import Mapping, Sequence
+from collections.abc import Callable, Mapping, Sequence
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
@@ -46,6 +58,31 @@ _Key = tuple[str, str, int, str]
 _MISS = object()
 
 
+class _InFlight:
+    """One in-progress computation: the leader resolves, followers wait."""
+
+    __slots__ = ("_done", "_value", "_error")
+
+    def __init__(self) -> None:
+        self._done = threading.Event()
+        self._value: object = None
+        self._error: BaseException | None = None
+
+    def resolve(self, value: object) -> None:
+        self._value = value
+        self._done.set()
+
+    def fail(self, error: BaseException) -> None:
+        self._error = error
+        self._done.set()
+
+    def wait(self) -> object:
+        self._done.wait()
+        if self._error is not None:
+            raise self._error
+        return self._value
+
+
 @dataclass(frozen=True)
 class CacheStats:
     """A point-in-time snapshot of one cache's counters."""
@@ -56,6 +93,9 @@ class CacheStats:
     invalidations: int
     size: int
     maxsize: int
+    #: Lookups served by joining another thread's in-flight translation
+    #: (a subset of ``hits``).
+    coalesced: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -68,6 +108,7 @@ class CacheStats:
             "misses": self.misses,
             "evictions": self.evictions,
             "invalidations": self.invalidations,
+            "coalesced": self.coalesced,
             "size": self.size,
             "maxsize": self.maxsize,
             "hit_rate": round(self.hit_rate, 4),
@@ -80,43 +121,55 @@ class TranslationCache:
     One cache may serve any number of specifications; keys embed the
     specification name *and* version, so mutation invalidates logically
     (stale entries become unreachable) while :meth:`invalidate` reclaims
-    the memory eagerly.
+    the memory eagerly.  All public entry points are thread-safe, and
+    concurrent misses on one key run a single translation (single-flight).
     """
 
     def __init__(self, maxsize: int = 1024):
         if maxsize < 1:
             raise ValueError(f"TranslationCache maxsize must be >= 1, got {maxsize}")
         self.maxsize = maxsize
+        self._lock = threading.RLock()
         self._entries: OrderedDict[_Key, object] = OrderedDict()
+        self._inflight: dict[_Key, _InFlight] = {}
         self._hits = 0
         self._misses = 0
         self._evictions = 0
         self._invalidations = 0
+        self._coalesced = 0
 
     # -- bookkeeping -----------------------------------------------------------
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: _Key) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     @property
     def stats(self) -> CacheStats:
-        """A snapshot of hit/miss/eviction/size counters."""
-        return CacheStats(
-            hits=self._hits,
-            misses=self._misses,
-            evictions=self._evictions,
-            invalidations=self._invalidations,
-            size=len(self._entries),
-            maxsize=self.maxsize,
-        )
+        """A consistent snapshot of hit/miss/eviction/size counters."""
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                invalidations=self._invalidations,
+                size=len(self._entries),
+                maxsize=self.maxsize,
+                coalesced=self._coalesced,
+            )
 
     def clear(self) -> None:
         """Drop every entry (counters are kept)."""
-        self._invalidations += len(self._entries)
-        self._entries.clear()
+        with self._lock:
+            dropped = len(self._entries)
+            self._invalidations += dropped
+            self._entries.clear()
+        if dropped:
+            obs.count("perf.cache.invalidations", dropped)
 
     def invalidate(self, spec: MappingSpecification | str | None = None) -> int:
         """Eagerly drop entries for ``spec`` (by name), or all when ``None``.
@@ -125,16 +178,17 @@ class TranslationCache:
         a mutation; this reclaims their slots.  Returns the number of
         entries dropped.
         """
-        if spec is None:
-            dropped = len(self._entries)
-            self._entries.clear()
-        else:
-            name = spec if isinstance(spec, str) else spec.name
-            stale = [key for key in self._entries if key[1] == name]
-            for key in stale:
-                del self._entries[key]
-            dropped = len(stale)
-        self._invalidations += dropped
+        with self._lock:
+            if spec is None:
+                dropped = len(self._entries)
+                self._entries.clear()
+            else:
+                name = spec if isinstance(spec, str) else spec.name
+                stale = [key for key in self._entries if key[1] == name]
+                for key in stale:
+                    del self._entries[key]
+                dropped = len(stale)
+            self._invalidations += dropped
         if dropped:
             obs.count("perf.cache.invalidations", dropped)
         return dropped
@@ -142,6 +196,10 @@ class TranslationCache:
     # -- the LRU core ----------------------------------------------------------
 
     def _lookup(self, key: _Key) -> object:
+        with self._lock:
+            return self._lookup_locked(key)
+
+    def _lookup_locked(self, key: _Key) -> object:
         entry = self._entries.get(key, _MISS)
         if entry is _MISS:
             self._misses += 1
@@ -153,12 +211,61 @@ class TranslationCache:
         return entry
 
     def _store(self, key: _Key, value: object) -> None:
+        with self._lock:
+            self._store_locked(key, value)
+
+    def _store_locked(self, key: _Key, value: object) -> None:
         self._entries[key] = value
         self._entries.move_to_end(key)
         while len(self._entries) > self.maxsize:
             self._entries.popitem(last=False)
             self._evictions += 1
             obs.count("perf.cache.evictions")
+
+    def _get_or_compute(self, key: _Key, compute: Callable[[], object]) -> object:
+        """Hit, join an in-flight computation, or lead one (single-flight).
+
+        Exactly one thread (the leader) runs ``compute`` per concurrent
+        key; followers block until it resolves and receive the identical
+        object.  The leader counts the miss, each follower counts a hit
+        (plus ``perf.cache.coalesced``), so ``hits + misses == lookups``.
+        A failed computation propagates to the leader *and* every
+        follower, and is not cached.
+        """
+        leader = False
+        with self._lock:
+            entry = self._entries.get(key, _MISS)
+            if entry is not _MISS:
+                self._entries.move_to_end(key)
+                self._hits += 1
+                obs.count("perf.cache.hits")
+                return entry
+            flight = self._inflight.get(key)
+            if flight is None:
+                leader = True
+                flight = self._inflight[key] = _InFlight()
+                self._misses += 1
+                obs.count("perf.cache.misses")
+            else:
+                # Follower: served by the leader's in-flight translation.
+                self._hits += 1
+                self._coalesced += 1
+                obs.count("perf.cache.hits")
+                obs.count("perf.cache.coalesced")
+        if not leader:
+            return flight.wait()
+        try:
+            value = compute()
+        except BaseException as exc:
+            with self._lock:
+                self._inflight.pop(key, None)
+            flight.fail(exc)
+            raise
+        with self._lock:
+            self._store_locked(key, value)
+            self._inflight.pop(key, None)
+        flight.resolve(value)
+        return value
 
     # -- cached translation entry points --------------------------------------
 
@@ -180,12 +287,9 @@ class TranslationCache:
         from repro.core.tdqm import tdqm_translate
 
         key = ("tdqm", spec.name, spec.version, fingerprint)
-        entry = self._lookup(key)
-        if entry is not _MISS:
-            return entry  # type: ignore[return-value]
-        result = tdqm_translate(normalized_query, spec)
-        self._store(key, result)
-        return result
+        return self._get_or_compute(  # type: ignore[return-value]
+            key, lambda: tdqm_translate(normalized_query, spec)
+        )
 
     def dnf(self, query: Query, spec: MappingSpecification) -> "DNFMapResult":
         """Cached :func:`repro.core.dnf_mapper.dnf_map_translate`."""
@@ -198,12 +302,17 @@ class TranslationCache:
             spec.version,
             query_fingerprint(prepared, normalized=True),
         )
-        entry = self._lookup(key)
-        if entry is not _MISS:
-            return entry  # type: ignore[return-value]
-        result = dnf_map_translate(prepared, spec)
-        self._store(key, result)
-        return result
+        return self._get_or_compute(  # type: ignore[return-value]
+            key, lambda: dnf_map_translate(prepared, spec)
+        )
+
+    def translate_batch(
+        self,
+        queries: Sequence[Query],
+        specs: Mapping[str, MappingSpecification],
+    ) -> "list[dict[str, TranslationResult]]":
+        """:func:`translate_batch` through this cache (method form)."""
+        return translate_batch(queries, specs, cache=self)
 
 
 def translate_batch(

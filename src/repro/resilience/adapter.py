@@ -20,10 +20,11 @@ call through the adapter gets:
 
 :meth:`call` never raises for source failure — it returns
 ``(rows | None, SourceOutcome)`` so the mediator can assemble partial
-answers.  It also never touches :mod:`repro.obs`: obs tracers are
-installed per *thread*, and calls often run in pool workers where the
-hooks are no-ops.  The mediator (or :meth:`execute` for standalone use)
-reports each outcome from the main thread via :func:`record_outcome`.
+answers.  Outcomes are reported to :mod:`repro.obs` via
+:func:`record_outcome`, which is safe to call from any thread: a pool
+worker running under an ``obs.bind`` handoff (what the mediator's
+fan-out does) records into the parent trace; a thread with no tracer
+records nothing.
 """
 
 from __future__ import annotations
@@ -107,12 +108,14 @@ class SourceOutcome:
 
 
 def record_outcome(outcome: SourceOutcome) -> None:
-    """Emit one outcome's observability counters (main thread only).
+    """Emit one outcome's observability counters (any thread).
 
-    Kept separate from the retry loop on purpose: obs tracers are
-    thread-local, so counters bumped inside a pool worker would vanish.
-    The mediator gathers outcomes from its futures and reports them here,
-    on the thread that owns the tracer.
+    Kept separate from the retry loop so callers that batch outcomes
+    (the mediator) control when reporting happens.  Thread-safe: the
+    tracer's registries are lock-guarded, and a pool worker that entered
+    an ``obs.bind`` handoff records into the parent trace — the
+    mediator's fan-out calls this from its workers.  With no tracer on
+    the calling thread it is a no-op.
     """
     if not obs.enabled():
         return

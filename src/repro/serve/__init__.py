@@ -1,0 +1,32 @@
+"""Load-serving layer: a concurrent query-mediation service.
+
+``repro.serve`` is the front door for the ROADMAP's "heavy traffic"
+target: many client threads, one shared :class:`MediationService` over
+one :class:`~repro.mediator.Mediator`.  The service deduplicates
+identical in-flight requests (single-flight by canonical query
+fingerprint), batches compatible work through the shared
+:class:`~repro.perf.TranslationCache`, and applies admission control —
+a bounded queue plus a max-concurrency semaphore with a fast
+:class:`Overloaded` rejection — while exporting queue-depth and latency
+gauges through :mod:`repro.obs`.
+
+Transports (JSON-lines over stdin or TCP) live in
+:mod:`repro.serve.server` and power the ``repro serve`` CLI command.
+Service model, overload behavior, and tuning: ``docs/serving.md``.
+"""
+
+from repro.serve.protocol import handle_line, handle_request
+from repro.serve.server import serve_jsonl, serve_tcp
+from repro.serve.service import MediationService, Overloaded, ServiceConfig
+from repro.serve.singleflight import SingleFlight
+
+__all__ = [
+    "MediationService",
+    "Overloaded",
+    "ServiceConfig",
+    "SingleFlight",
+    "handle_line",
+    "handle_request",
+    "serve_jsonl",
+    "serve_tcp",
+]

@@ -1,0 +1,180 @@
+"""The `repro serve` wire protocol: JSON-lines requests and responses.
+
+One request per line, one response per line — the same framing over
+stdin/stdout and TCP.  Requests name an operation and carry an optional
+client ``id`` that the response echoes verbatim, so clients may pipeline
+and correlate out-of-order responses:
+
+.. code-block:: json
+
+    {"id": 1, "op": "translate", "query": "[ln = \\"Clancy\\"]"}
+    {"id": 1, "ok": true, "op": "translate", "mappings": {"Amazon": {...}}}
+
+Operations
+----------
+
+``ping``
+    Liveness probe; responds ``{"ok": true, "pong": true}``.
+``translate``
+    ``query`` (required), ``sources`` (optional list) — per-source
+    mappings with text/JSON renderings and exactness.
+``mediate``
+    ``query`` (required), ``strict`` (optional bool) — mediated rows
+    plus completeness and per-source outcomes.
+``batch``
+    ``queries`` (required list), ``sources`` (optional) — one
+    ``translate``-shaped result per query, through the batch path.
+``stats``
+    The service's exact counters and the shared cache snapshot.
+
+Failures never tear the connection: every error becomes an
+``{"ok": false, "error": {"type", "message"}}`` response.  An
+overloaded service answers ``type = "overloaded"`` immediately —
+clients treat it as back-pressure, not as a protocol error.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING
+
+from repro.core.errors import VocabMapError
+from repro.core.json_io import query_to_json
+from repro.core.printer import to_text
+from repro.serve.service import MediationService, Overloaded
+
+if TYPE_CHECKING:
+    from repro.core.tdqm import TranslationResult
+    from repro.mediator.mediator import MediatedAnswer
+
+__all__ = ["handle_request", "handle_line"]
+
+#: Operations a request may name.
+OPS = ("ping", "translate", "mediate", "batch", "stats")
+
+
+def _jsonable(value: object) -> object:
+    """A JSON-encodable rendering of one row value."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    return str(value)
+
+
+def _mapping_payload(result: "TranslationResult") -> dict:
+    return {
+        "text": to_text(result.mapping),
+        "json": query_to_json(result.mapping),
+        "exact": result.exact,
+    }
+
+
+def _answer_payload(answer: "MediatedAnswer") -> dict:
+    rows = [
+        [
+            {
+                "view": view,
+                "index": index,
+                "row": {k: _jsonable(v) for k, v in pairs},
+            }
+            for view, index, pairs in row
+        ]
+        for row in answer.rows
+    ]
+    payload: dict = {"rows": rows, "count": len(answer.rows), "complete": answer.complete}
+    if answer.outcomes:
+        payload["sources"] = [outcome.to_dict() for outcome in answer.outcomes]
+    return payload
+
+
+def _require_query(request: dict) -> str:
+    query = request.get("query")
+    if not isinstance(query, str) or not query.strip():
+        raise ValueError("request needs a non-empty string 'query'")
+    return query
+
+
+def _optional_sources(request: dict) -> list[str] | None:
+    sources = request.get("sources")
+    if sources is None:
+        return None
+    if not isinstance(sources, list) or not all(isinstance(s, str) for s in sources):
+        raise ValueError("'sources' must be a list of source names")
+    return sources
+
+
+def handle_request(service: MediationService, request: dict) -> dict:
+    """Dispatch one decoded request; always returns a response dict."""
+    response: dict = {}
+    if not isinstance(request, dict):
+        return {
+            "ok": False,
+            "error": {"type": "bad-request", "message": "request must be a JSON object"},
+        }
+    if "id" in request:
+        response["id"] = request["id"]
+    op = request.get("op")
+    response["op"] = op
+    try:
+        if op == "ping":
+            response.update(ok=True, pong=True)
+        elif op == "translate":
+            results = service.translate(
+                _require_query(request), sources=_optional_sources(request)
+            )
+            response.update(
+                ok=True,
+                mappings={name: _mapping_payload(r) for name, r in sorted(results.items())},
+            )
+        elif op == "mediate":
+            strict = request.get("strict")
+            if strict is not None and not isinstance(strict, bool):
+                raise ValueError("'strict' must be a boolean")
+            answer = service.mediate(_require_query(request), strict=strict)
+            response["ok"] = True
+            response.update(_answer_payload(answer))
+        elif op == "batch":
+            queries = request.get("queries")
+            if not isinstance(queries, list) or not all(
+                isinstance(q, str) for q in queries
+            ):
+                raise ValueError("'queries' must be a list of query strings")
+            batched = service.translate_batch(queries, sources=_optional_sources(request))
+            response.update(
+                ok=True,
+                results=[
+                    {name: _mapping_payload(r) for name, r in sorted(per.items())}
+                    for per in batched
+                ],
+            )
+        elif op == "stats":
+            response.update(ok=True, stats=service.stats())
+        else:
+            raise ValueError(
+                f"unknown op {op!r}; expected one of {', '.join(OPS)}"
+            )
+    except Overloaded as exc:
+        response.update(
+            ok=False, error={"type": "overloaded", "message": str(exc), "limit": exc.limit}
+        )
+    except (ValueError, VocabMapError) as exc:
+        kind = "bad-request" if isinstance(exc, ValueError) else type(exc).__name__
+        response.update(ok=False, error={"type": kind, "message": str(exc)})
+    return response
+
+
+def handle_line(service: MediationService, line: str) -> str:
+    """Decode one request line, dispatch it, encode one response line.
+
+    Never raises on client input: malformed JSON becomes an
+    ``{"ok": false}`` response like any other error.
+    """
+    try:
+        request = json.loads(line)
+    except json.JSONDecodeError as exc:
+        return json.dumps(
+            {"ok": False, "error": {"type": "bad-json", "message": str(exc)}},
+            sort_keys=True,
+        )
+    return json.dumps(handle_request(service, request), sort_keys=True)

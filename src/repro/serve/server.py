@@ -1,0 +1,105 @@
+"""Transports for ``repro serve``: JSON-lines over stdio pipes and TCP.
+
+Both transports speak the protocol in :mod:`repro.serve.protocol` and
+share one :class:`~repro.serve.MediationService`, so every connection
+and every pipelined line benefits from the same translation cache,
+single-flight table, and admission budget.
+
+* :func:`serve_jsonl` — read requests line-by-line from a file object
+  (stdin in the CLI), dispatch them on a worker pool, write responses
+  as they finish.  Responses may be reordered relative to requests —
+  clients correlate by ``id`` — but none are lost or duplicated: every
+  input line produces exactly one output line, and writes are
+  serialized under a lock.
+* :func:`serve_tcp` — a threading TCP server, one JSON-lines
+  conversation per connection.  Connections are concurrent client
+  threads onto the shared service; admission control is global, not
+  per-connection.
+"""
+
+from __future__ import annotations
+
+import socketserver
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import IO
+
+from repro.serve.protocol import handle_line
+from repro.serve.service import MediationService
+
+__all__ = ["serve_jsonl", "serve_tcp"]
+
+
+def serve_jsonl(
+    service: MediationService,
+    infile: IO[str],
+    outfile: IO[str],
+    *,
+    workers: int = 1,
+) -> int:
+    """Serve JSON-lines requests from ``infile`` until EOF.
+
+    ``workers`` > 1 dispatches lines on a thread pool (closed-loop
+    pipelining); each request still passes the service's admission
+    control.  Blank lines and ``#`` comments are skipped.  Returns the
+    number of requests handled.
+    """
+    write_lock = threading.Lock()
+    handled = 0
+
+    def respond(line: str) -> None:
+        response = handle_line(service, line)
+        with write_lock:
+            outfile.write(response + "\n")
+            outfile.flush()
+
+    lines = (
+        line.strip()
+        for line in infile
+        if line.strip() and not line.lstrip().startswith("#")
+    )
+    if workers <= 1:
+        for line in lines:
+            respond(line)
+            handled += 1
+    else:
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            futures = [pool.submit(respond, line) for line in lines]
+            for future in futures:
+                future.result()  # propagate unexpected (non-protocol) errors
+            handled = len(futures)
+    return handled
+
+
+class _JsonLinesHandler(socketserver.StreamRequestHandler):
+    """One JSON-lines conversation; the service hangs off the server."""
+
+    def handle(self) -> None:
+        for raw in self.rfile:
+            line = raw.decode("utf-8", errors="replace").strip()
+            if not line or line.startswith("#"):
+                continue
+            response = handle_line(self.server.service, line)  # type: ignore[attr-defined]
+            self.wfile.write((response + "\n").encode("utf-8"))
+
+
+class _Server(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(self, address: tuple[str, int], service: MediationService):
+        super().__init__(address, _JsonLinesHandler)
+        self.service = service
+
+
+def serve_tcp(
+    service: MediationService, host: str = "127.0.0.1", port: int = 0
+) -> _Server:
+    """A threading TCP server bound to ``(host, port)`` — not yet serving.
+
+    ``port=0`` binds an ephemeral port; read the real one from
+    ``server.server_address``.  Call ``serve_forever()`` (blocking, the
+    CLI does this) or drive it from a thread and ``shutdown()`` when
+    done (what the tests do).
+    """
+    return _Server((host, port), service)

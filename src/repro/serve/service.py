@@ -1,0 +1,282 @@
+"""MediationService: a concurrent front door over one Mediator.
+
+Many client threads call :meth:`~MediationService.translate` /
+:meth:`~MediationService.mediate` against one shared service.  The
+service layers three serving disciplines over the mediation pipeline:
+
+* **Admission control** — at most ``max_concurrency`` requests execute
+  at once (a semaphore) and at most ``queue_depth`` more may wait; a
+  request beyond that is rejected *immediately* with :class:`Overloaded`
+  rather than queued without bound — the fast-failure contract a client
+  with its own deadline needs.
+* **Single-flight deduplication** — identical in-flight requests (same
+  operation, same canonical query fingerprint, same options) run the
+  pipeline once; concurrent duplicates wait and receive the identical
+  result object.  Combined with the (also single-flighted)
+  :class:`~repro.perf.TranslationCache` this collapses request
+  stampedes end to end.
+* **Batching** — :meth:`translate_batch` routes a list of queries
+  through :meth:`TranslationCache.translate_batch
+  <repro.perf.TranslationCache.translate_batch>` under one admission
+  slot, sharing normalization, fingerprints, and compiled rule indexes
+  across the whole batch.
+
+Everything is observable: the service emits ``serve.*`` counters and
+queue-depth/latency gauges through :mod:`repro.obs`, and
+:meth:`~MediationService.stats` returns exact local counters (no lost
+updates — every mutation happens under the service lock).
+
+The wire layer (JSON-lines over stdin or TCP) lives in
+:mod:`repro.serve.server`; semantics and tuning in ``docs/serving.md``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections.abc import Iterator, Sequence
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.core.ast import Query
+from repro.core.errors import TranslationError, VocabMapError
+from repro.core.normalize import normalize
+from repro.core.parser import parse_query
+from repro.obs import trace as obs
+from repro.perf.fingerprint import query_fingerprint
+from repro.serve.singleflight import SingleFlight
+
+if TYPE_CHECKING:
+    from repro.core.tdqm import TranslationResult
+    from repro.mediator.mediator import MediatedAnswer, Mediator
+
+__all__ = ["MediationService", "Overloaded", "ServiceConfig"]
+
+
+class Overloaded(VocabMapError):
+    """The service is at capacity; the request was rejected, not queued.
+
+    Raised *before* any work happens, so rejection is O(1) — a client
+    should back off and retry, or shed the request.  Carries the
+    ``limit`` (admitted-request bound) that was hit.
+    """
+
+    def __init__(self, message: str, limit: int = 0):
+        super().__init__(message)
+        self.limit = limit
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Admission-control knobs for one :class:`MediationService`."""
+
+    #: Requests executing concurrently (semaphore width).
+    max_concurrency: int = 8
+    #: Requests allowed to wait beyond the executing ones; total
+    #: admitted = ``max_concurrency + queue_depth``, the rest are
+    #: rejected with :class:`Overloaded`.
+    queue_depth: int = 64
+
+    def __post_init__(self) -> None:
+        if self.max_concurrency < 1:
+            raise ValueError(
+                f"max_concurrency must be >= 1, got {self.max_concurrency}"
+            )
+        if self.queue_depth < 0:
+            raise ValueError(f"queue_depth must be >= 0, got {self.queue_depth}")
+
+    @property
+    def admission_limit(self) -> int:
+        """Max requests admitted (executing + queued) at any instant."""
+        return self.max_concurrency + self.queue_depth
+
+
+class MediationService:
+    """A thread-safe serving layer over one :class:`~repro.mediator.Mediator`.
+
+    Share one instance across all client threads — the whole point is
+    the shared translation cache, the shared single-flight table, and
+    the shared admission budget.
+    """
+
+    def __init__(self, mediator: "Mediator", config: ServiceConfig | None = None):
+        self.mediator = mediator
+        self.config = config or ServiceConfig()
+        self._slots = threading.Semaphore(self.config.max_concurrency)
+        self._flights = SingleFlight()
+        self._lock = threading.Lock()
+        self._admitted = 0
+        self._requests = 0
+        self._completed = 0
+        self._rejected = 0
+        self._coalesced = 0
+        self._errors = 0
+        self._queue_high_water = 0
+        self._latency_total = 0.0
+        self._latency_max = 0.0
+
+    # -- admission control ----------------------------------------------------
+
+    @contextmanager
+    def _admitted_request(self) -> Iterator[None]:
+        """Admit one request or raise :class:`Overloaded`; track latency."""
+        limit = self.config.admission_limit
+        with self._lock:
+            if self._admitted >= limit:
+                self._rejected += 1
+                obs.count("serve.rejected")
+                raise Overloaded(
+                    f"service at capacity ({limit} requests admitted); "
+                    "back off and retry",
+                    limit=limit,
+                )
+            self._admitted += 1
+            self._requests += 1
+            depth = self._admitted
+            self._queue_high_water = max(self._queue_high_water, depth)
+        obs.count("serve.requests")
+        obs.gauge_max("serve.queue_high_water", depth)
+        started = time.perf_counter()
+        try:
+            yield
+        except Exception:
+            with self._lock:
+                self._errors += 1
+            obs.count("serve.errors")
+            raise
+        finally:
+            elapsed = time.perf_counter() - started
+            with self._lock:
+                self._admitted -= 1
+                self._completed += 1
+                self._latency_total += elapsed
+                self._latency_max = max(self._latency_max, elapsed)
+            obs.gauge_max("serve.latency_ms", round(elapsed * 1e3, 3))
+
+    @contextmanager
+    def _execution_slot(self) -> Iterator[None]:
+        """One of the ``max_concurrency`` execution slots (blocking)."""
+        self._slots.acquire()
+        try:
+            yield
+        finally:
+            self._slots.release()
+
+    # -- request preparation --------------------------------------------------
+
+    def _prepare(self, query: "Query | str") -> tuple[Query, str]:
+        """Parse/normalize once; the fingerprint keys the single-flight."""
+        parsed = parse_query(query) if isinstance(query, str) else query
+        prepared = normalize(parsed)
+        return prepared, query_fingerprint(prepared, normalized=True)
+
+    def _single_flight(self, key: tuple, fn):
+        """Run ``fn`` deduplicated by ``key``, counting coalesced joins."""
+        value, shared = self._flights.do(key, fn)
+        if shared:
+            with self._lock:
+                self._coalesced += 1
+            obs.count("serve.coalesced")
+        return value
+
+    # -- operations -----------------------------------------------------------
+
+    def translate(
+        self, query: "Query | str", sources: Sequence[str] | None = None
+    ) -> "dict[str, TranslationResult]":
+        """Translate one query for every (or the named) sources.
+
+        Concurrent identical requests share one translation run; repeat
+        requests hit the mediator's :class:`~repro.perf.TranslationCache`.
+        Returns ``{source name: TranslationResult}``.
+        """
+        with self._admitted_request():
+            prepared, fingerprint = self._prepare(query)
+            names = tuple(sorted(sources if sources is not None else self.mediator.specs))
+            key = ("translate", fingerprint, names)
+
+            def run() -> "dict[str, TranslationResult]":
+                with self._execution_slot(), obs.span("serve.translate"):
+                    cache = self.mediator.translation_cache
+                    if cache is None:
+                        return self.mediator.translate_many(
+                            [prepared], sources=list(names)
+                        )[0]
+                    # Hot path: _prepare already normalized and
+                    # fingerprinted, so go straight to the shared cache
+                    # instead of re-deriving both in the batch pipeline.
+                    specs = self.mediator.specs
+                    unknown = set(names) - set(specs)
+                    if unknown:
+                        raise TranslationError(
+                            f"translate: unknown sources {sorted(unknown)}"
+                        )
+                    out: "dict[str, TranslationResult]" = {}
+                    for name in names:
+                        spec = specs[name]
+                        spec.compiled_index()
+                        out[name] = cache.tdqm_prepared(prepared, fingerprint, spec)
+                    return out
+
+            return self._single_flight(key, run)
+
+    def mediate(
+        self, query: "Query | str", *, strict: bool | None = None
+    ) -> "MediatedAnswer":
+        """Answer one query through the full Eq. 2 pipeline.
+
+        Concurrent identical requests (same fingerprint, same
+        strictness) share one mediation run and receive the identical
+        :class:`~repro.mediator.MediatedAnswer` object — treat it as
+        read-only, as with cached translations.
+        """
+        with self._admitted_request():
+            prepared, fingerprint = self._prepare(query)
+            key = ("mediate", fingerprint, strict)
+
+            def run() -> "MediatedAnswer":
+                with self._execution_slot(), obs.span("serve.mediate"):
+                    return self.mediator.answer_mediated(prepared, strict=strict)
+
+            return self._single_flight(key, run)
+
+    def translate_batch(
+        self,
+        queries: Sequence["Query | str"],
+        sources: Sequence[str] | None = None,
+    ) -> "list[dict[str, TranslationResult]]":
+        """Translate many queries under one admission slot (batch path).
+
+        Routes through the shared cache's batch API, so normalization
+        and fingerprints are computed once per query and compiled rule
+        indexes once per specification.
+        """
+        with self._admitted_request(), self._execution_slot():
+            with obs.span("serve.batch", queries=len(queries)):
+                return self.mediator.translate_many(list(queries), sources=sources)
+
+    # -- introspection --------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Exact service counters plus the shared cache's snapshot."""
+        with self._lock:
+            completed = self._completed
+            snapshot = {
+                "requests": self._requests,
+                "completed": completed,
+                "rejected": self._rejected,
+                "coalesced": self._coalesced,
+                "errors": self._errors,
+                "in_flight": self._admitted,
+                "queue_high_water": self._queue_high_water,
+                "latency_mean_ms": round(
+                    (self._latency_total / completed) * 1e3, 3
+                ) if completed else 0.0,
+                "latency_max_ms": round(self._latency_max * 1e3, 3),
+                "max_concurrency": self.config.max_concurrency,
+                "queue_depth": self.config.queue_depth,
+            }
+        cache = self.mediator.translation_cache
+        snapshot["cache"] = cache.stats.to_dict() if cache is not None else None
+        return snapshot

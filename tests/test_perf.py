@@ -13,6 +13,7 @@ from repro.core.errors import SpecificationError, StaleIndexError
 from repro.core.matching import Matcher
 from repro.core.parser import parse_query
 from repro.core.tdqm import tdqm_translate
+from repro.obs import trace as obs
 from repro.perf import (
     TranslationCache,
     canonical_form,
@@ -277,6 +278,29 @@ class TestTranslationCache:
         cache.tdqm(simple_conjunction(["a0"], 0), spec)
         cache.clear()
         assert len(cache) == 0
+
+    def test_clear_emits_invalidations_counter(self):
+        spec = _spec()
+        cache = TranslationCache()
+        with obs.tracing("t") as tracer:
+            cache.tdqm(simple_conjunction(["a0"], 0), spec)
+            cache.tdqm(simple_conjunction(["a1"], 1), spec)
+            cache.clear()
+            cache.clear()  # empty: nothing dropped, nothing counted
+        assert cache.stats.invalidations == 2
+        assert tracer.counters["perf.cache.invalidations"] == 2
+
+    def test_invalidate_emits_invalidations_counter(self):
+        cache = TranslationCache()
+        one, two = _spec(name="K_one"), _spec(name="K_two")
+        q = simple_conjunction(["a0"], 0)
+        with obs.tracing("t") as tracer:
+            cache.tdqm(q, one)
+            cache.tdqm(q, two)
+            assert cache.invalidate(one) == 1
+            assert cache.invalidate("K_absent") == 0  # no-op: not counted
+        assert cache.stats.invalidations == 1
+        assert tracer.counters["perf.cache.invalidations"] == 1
 
     def test_dnf_cached(self):
         spec = _spec()
