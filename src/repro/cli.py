@@ -55,7 +55,16 @@ Commands
 
     Admission control (``--max-concurrency``/``--queue-depth``),
     pipelined stdin handling (``--workers``), and the resilience flags
-    all apply; see ``docs/serving.md`` for the protocol and tuning.
+    all apply; ``--metrics`` turns on continuous telemetry (the
+    ``metrics``/``sources``/``slowlog``/``health`` admin ops); see
+    ``docs/serving.md`` for the protocol and tuning.
+
+``top``
+    Snapshot a running ``serve --tcp`` instance: health, throughput,
+    per-source scorecards, and the slow-query log::
+
+        python -m repro top 127.0.0.1:7654
+        python -m repro top --json
 
 ``specs``
     List the built-in mapping specifications and their rules.
@@ -384,12 +393,23 @@ def _cmd_serve(args) -> int:
         )
     except ValueError as exc:
         raise SystemExit(f"serve: {exc}") from None
-    service = MediationService(mediator, config)
+    metrics = None
+    if args.metrics:
+        from repro import obs
+
+        # Installed process-wide so every layer's counters tee in; the
+        # service feeds its histograms/slowlog through the same registry.
+        metrics = obs.install(obs.MetricsRegistry())
+    service = MediationService(mediator, config, metrics=metrics)
 
     if args.tcp:
         server = serve_tcp(service, host=args.host, port=args.port)
         host, port = server.server_address[:2]
-        print(f"serving {args.specs} on {host}:{port} (JSON-lines)", file=sys.stderr)
+        suffix = ", metrics on" if metrics is not None else ""
+        print(
+            f"serving {args.specs} on {host}:{port} (JSON-lines{suffix})",
+            file=sys.stderr,
+        )
         try:
             server.serve_forever()
         except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
@@ -404,6 +424,118 @@ def _cmd_serve(args) -> int:
         print(
             "service: " + json.dumps(service.stats(), sort_keys=True), file=sys.stderr
         )
+    return 0
+
+
+def _top_lines(combined: dict, n: int) -> list[str]:
+    """Render the `repro top` report from the four op snapshots."""
+    health = combined["health"]
+    lines = [
+        f"status: {health['status']}  "
+        f"uptime: {health.get('uptime_seconds', 0.0):.0f}s  "
+        f"in-flight: {health['in_flight']}  "
+        f"requests: {health['requests']}  "
+        f"rejected: {health['rejected']}  errors: {health['errors']}"
+    ]
+    metrics = combined.get("metrics") or {}
+    gauges = metrics.get("gauges", {})
+    hit_rate = gauges.get("perf.cache.hit_rate")
+    if hit_rate is not None:
+        lines.append(
+            f"cache: hit rate {hit_rate:.1%}  "
+            f"size {gauges.get('perf.cache.size', 0)}/"
+            f"{gauges.get('perf.cache.maxsize', 0)}"
+        )
+    histogram = metrics.get("histograms", {}).get("serve.request.latency")
+    if histogram:
+        lines.append(
+            f"latency: p50 {histogram['p50'] * 1e3:.2f}ms  "
+            f"p95 {histogram['p95'] * 1e3:.2f}ms  "
+            f"p99 {histogram['p99'] * 1e3:.2f}ms  "
+            f"({histogram['count']} requests)"
+        )
+    sources = combined.get("sources") or []
+    if sources:
+        lines.append("")
+        lines.append(
+            f"{'source':<12} {'calls':>7} {'err%':>6} {'retry%':>7} "
+            f"{'p50ms':>8} {'p95ms':>8} {'p99ms':>8} {'rows':>7}  breaker"
+        )
+        for card in sources:
+            latency = card["latency_ms"]
+            lines.append(
+                f"{card['source']:<12} {card['calls']:>7} "
+                f"{card['error_rate'] * 100:>5.1f}% {card['retry_rate'] * 100:>6.1f}% "
+                f"{latency['p50']:>8.2f} {latency['p95']:>8.2f} "
+                f"{latency['p99']:>8.2f} {card['rows']:>7}  "
+                f"{card['breaker_state'] or '-'}"
+            )
+    slowlog = combined.get("slowlog") or []
+    if slowlog:
+        lines.append("")
+        lines.append(f"slowest fingerprints (top {n}):")
+        for entry in slowlog:
+            query = f"  {entry['query']}" if entry.get("query") else ""
+            lines.append(
+                f"  {entry['max_ms']:>9.2f}ms max  {entry['mean_ms']:>9.2f}ms mean  "
+                f"x{entry['count']:<5} {entry['op']:<9} "
+                f"{entry['fingerprint'][:12]}{query}"
+            )
+    return lines
+
+
+def _cmd_top(args) -> int:
+    import socket
+
+    host, _, port_text = args.address.rpartition(":")
+    if not host or not port_text.isdigit():
+        raise SystemExit(f"top: address must be host:port, got {args.address!r}")
+
+    try:
+        conn = socket.create_connection((host, int(port_text)), timeout=args.timeout)
+    except OSError as exc:
+        raise SystemExit(
+            f"top: cannot reach {args.address} ({exc}); "
+            "is `repro serve --tcp --metrics` running?"
+        ) from None
+    with conn:
+        stream = conn.makefile("rw", encoding="utf-8")
+
+        def ask(request: dict) -> dict:
+            stream.write(json.dumps(request) + "\n")
+            stream.flush()
+            line = stream.readline()
+            if not line:
+                raise SystemExit(f"top: {args.address} closed the connection")
+            return json.loads(line)
+
+        combined: dict = {}
+        health = ask({"op": "health"})
+        if not health.get("ok"):
+            raise SystemExit(f"top: health op failed: {health.get('error')}")
+        combined["health"] = health["health"]
+        for op, request in (
+            ("metrics", {"op": "metrics"}),
+            ("sources", {"op": "sources"}),
+            ("slowlog", {"op": "slowlog", "n": args.n}),
+        ):
+            response = ask(request)
+            if response.get("ok"):
+                combined[op] = response[op]
+            elif response.get("error", {}).get("type") == "metrics-disabled":
+                combined[op] = None
+            else:
+                raise SystemExit(f"top: {op} op failed: {response.get('error')}")
+
+    if args.json:
+        print(json.dumps(combined, indent=2, sort_keys=True))
+        return 0
+    if not combined["health"]["metrics_enabled"]:
+        print(
+            "note: server runs without --metrics; only health is available",
+            file=sys.stderr,
+        )
+    print("\n".join(_top_lines(combined, args.n)))
     return 0
 
 
@@ -661,12 +793,39 @@ def build_arg_parser() -> argparse.ArgumentParser:
         "(responses correlate by id)",
     )
     p.add_argument(
+        "--metrics",
+        action="store_true",
+        help="continuous telemetry: process-lifetime counters, latency "
+        "histograms, per-source scorecards, and a slow-query log, served "
+        "via the metrics/sources/slowlog/health ops (and `repro top`)",
+    )
+    p.add_argument(
         "-v", "--verbose", action="store_true",
         help="print service statistics to stderr on exit",
     )
     _add_resilience_flags(p)
     _add_obs_flags(p)
     p.set_defaults(fn=_cmd_serve)
+
+    p = sub.add_parser(
+        "top", help="snapshot a running `serve --tcp` instance's telemetry"
+    )
+    p.add_argument(
+        "address",
+        nargs="?",
+        default="127.0.0.1:7654",
+        help="host:port of the running server (default: %(default)s)",
+    )
+    p.add_argument(
+        "-n", type=int, default=10, help="slow-query log entries to show"
+    )
+    p.add_argument(
+        "--timeout", type=float, default=5.0, help="connect/read timeout (seconds)"
+    )
+    p.add_argument(
+        "--json", action="store_true", help="emit the raw snapshots as JSON"
+    )
+    p.set_defaults(fn=_cmd_top)
 
     p = sub.add_parser("specs", help="list built-in specifications")
     p.add_argument("-v", "--verbose", action="store_true")

@@ -20,6 +20,7 @@ bench run on every workload.
 
 from __future__ import annotations
 
+import time
 from collections import Counter
 from collections.abc import Mapping, Sequence
 from concurrent.futures import ThreadPoolExecutor
@@ -218,7 +219,7 @@ class Mediator:
                 env = RowEnv(env_rows, self.view_virtuals)
                 if evaluate(query, env):
                     out.append(_canonical(instances, combo))
-            if obs.enabled():
+            if obs.recording():
                 scanned = 1
                 for pool in pools:
                     scanned *= len(pool)
@@ -392,9 +393,19 @@ class Mediator:
                 if not keys:
                     per_source.append([{}])
                     continue
+                started = time.perf_counter()
                 with obs.span("mediator.execute", source=source_name):
                     executed = source.execute(keys, plan.mappings[source_name])
                     obs.count("mediator.source_rows", len(executed))
+                registry = obs.metrics_sink()
+                if registry is not None:
+                    # Plain (non-resilient) path: scorecards come from here;
+                    # the resilient path records via record_outcome instead.
+                    registry.record_source_call(
+                        source_name,
+                        time.perf_counter() - started,
+                        rows=len(executed),
+                    )
                 per_source.append(executed)
 
         # Reassemble view tuples through the conversion functions and apply
@@ -435,7 +446,7 @@ class Mediator:
             )
             if evaluate(plan.filter, env):
                 out.append(_canonical(instances, view_rows))
-        if obs.enabled():
+        if obs.recording():
             # Post-filter selectivity: candidates that reached F vs survivors.
             obs.count("mediator.filter_candidates", filtered)
             obs.count("mediator.filter_survivors", len(out))

@@ -1,4 +1,4 @@
-"""Observability: tracing spans, counters/gauges, and exporters.
+"""Observability: tracing spans, counters/gauges, metrics, and exporters.
 
 A zero-dependency instrumentation core for the translation and mediation
 pipeline.  The design constraint is the ROADMAP's "fast as the hardware
@@ -14,6 +14,16 @@ allows": instrumentation must cost (almost) nothing when disabled, so
 * instrumented hot loops aggregate locally and report once (a single
   ``count(name, n)``), never per iteration.
 
+Tracers are request-scoped; the *process-lifetime* half lives in
+:mod:`repro.obs.metrics`: :func:`install` a :class:`MetricsRegistry`
+(what ``repro serve --metrics`` does) and every ``count``/``gauge``
+record tees into it, accumulating counters, latency histograms
+(p50/p95/p99 without storing samples), per-source scorecards, and a
+bounded slow-query log for the life of the process.  Render it with
+:func:`render_prometheus` or query it live via the server's ``metrics``
+/ ``sources`` / ``slowlog`` / ``health`` protocol ops — see
+docs/observability.md.
+
 The high-level ``repro stats`` pipeline lives in :mod:`repro.obs.stats`
 (imported lazily by the CLI — it depends on :mod:`repro.core`, while this
 package is imported *by* :mod:`repro.core` and must stay dependency-free).
@@ -21,10 +31,24 @@ package is imported *by* :mod:`repro.core` and must stay dependency-free).
 
 from repro.obs.export import (
     counters_table,
+    parse_prometheus,
+    render_prometheus,
     render_report,
     render_span,
     report_to_dict,
     span_to_dict,
+)
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+    RollingWindow,
+    SlowQueryLog,
+    SourceScorecard,
+    active_registry,
+    install,
+    installed,
+    uninstall,
 )
 from repro.obs.trace import (
     Span,
@@ -35,6 +59,8 @@ from repro.obs.trace import (
     enabled,
     gauge,
     gauge_max,
+    metrics_sink,
+    recording,
     span,
     tracing,
 )
@@ -45,14 +71,28 @@ __all__ = [
     "tracing",
     "current_tracer",
     "enabled",
+    "recording",
     "span",
     "bind",
     "count",
     "gauge",
     "gauge_max",
+    "metrics_sink",
+    "DEFAULT_LATENCY_BUCKETS",
+    "MetricsRegistry",
+    "RollingWindow",
+    "Histogram",
+    "SourceScorecard",
+    "SlowQueryLog",
+    "install",
+    "installed",
+    "uninstall",
+    "active_registry",
     "span_to_dict",
     "report_to_dict",
     "render_span",
     "render_report",
+    "render_prometheus",
+    "parse_prometheus",
     "counters_table",
 ]

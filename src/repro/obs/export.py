@@ -1,12 +1,19 @@
-"""Exporters for traces: JSON-compatible dicts and human-readable text.
+"""Exporters for traces and metrics: JSON dicts, text, and Prometheus.
 
 The JSON form is stable and self-describing so ``repro stats --json``
 output (and the ``BENCH_*.json`` trajectories built on it) can be diffed
 and post-processed in scripts; the text form is what ``--trace`` and
-``--stats`` print for humans.
+``--stats`` print for humans.  :func:`render_prometheus` serialises a
+process-lifetime :class:`~repro.obs.metrics.MetricsRegistry` in the
+Prometheus text exposition format (what the ``metrics`` protocol op of a
+running server returns with ``format: "prometheus"``), and
+:func:`parse_prometheus` reads that format back into a flat dict for
+tests and smoke checks.
 """
 
 from __future__ import annotations
+
+import re
 
 from repro.obs.trace import Span, Tracer
 
@@ -15,6 +22,8 @@ __all__ = [
     "report_to_dict",
     "render_span",
     "render_report",
+    "render_prometheus",
+    "parse_prometheus",
     "counters_table",
 ]
 
@@ -45,6 +54,12 @@ def report_to_dict(tracer: Tracer) -> dict:
 def _plain(value: object) -> object:
     if value is None or isinstance(value, (bool, int, float, str)):
         return value
+    if isinstance(value, dict):
+        return {str(k): _plain(v) for k, v in value.items()}
+    if isinstance(value, (set, frozenset)):
+        return [_plain(v) for v in sorted(value, key=str)]
+    if isinstance(value, (list, tuple)):
+        return [_plain(v) for v in value]
     return str(value)
 
 
@@ -82,3 +97,130 @@ def render_report(tracer: Tracer) -> str:
     lines.append("counters:")
     lines.extend("  " + line for line in counters_table(tracer))
     return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Prometheus text exposition
+# ---------------------------------------------------------------------------
+
+_METRIC_NAME_RE = re.compile(r"[^a-zA-Z0-9_]")
+#: One sample line: ``name{labels} value`` (labels optional).
+_SAMPLE_RE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})?\s+(\S+)\s*$"
+)
+_LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def _prom_name(name: str, prefix: str = "repro") -> str:
+    """``serve.requests`` -> ``repro_serve_requests`` (exposition-legal)."""
+    return f"{prefix}_{_METRIC_NAME_RE.sub('_', name)}".strip("_")
+
+
+def _prom_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    as_int = int(value)
+    return str(as_int) if value == as_int else repr(value)
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _histogram_lines(name: str, summary: dict, labels: str = "") -> list[str]:
+    """``_bucket``/``_sum``/``_count`` series from a histogram summary."""
+    lines = [f"# TYPE {name} histogram"]
+    for bucket in summary["buckets"]:
+        bound = bucket["le"]
+        le = bound if isinstance(bound, str) else _prom_value(float(bound))
+        label_body = f'le="{le}"' if not labels else f'{labels},le="{le}"'
+        lines.append(f"{name}_bucket{{{label_body}}} {bucket['count']}")
+    suffix = f"{{{labels}}}" if labels else ""
+    lines.append(f"{name}_sum{suffix} {_prom_value(summary['sum'])}")
+    lines.append(f"{name}_count{suffix} {summary['count']}")
+    return lines
+
+
+def render_prometheus(registry) -> str:
+    """A metrics registry in the Prometheus text exposition format.
+
+    Counters become ``repro_<name>_total``, numeric gauges become
+    ``repro_<name>``, request histograms become
+    ``repro_<name>_seconds`` bucket series, and per-source scorecards
+    become label-discriminated series (``repro_source_calls_total
+    {source="amazon"}``, ``repro_source_latency_seconds_bucket{...}``,
+    …).  Non-numeric gauges (e.g. breaker-state strings) are carried as
+    an ``info``-style gauge with the value in a label, the standard
+    Prometheus idiom for enum-ish state.
+    """
+    snapshot = registry.snapshot()
+    lines: list[str] = [
+        "# TYPE repro_uptime_seconds gauge",
+        f"repro_uptime_seconds {_prom_value(snapshot['uptime_seconds'])}",
+    ]
+    for name, counter in snapshot["counters"].items():
+        metric = _prom_name(name) + "_total"
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_prom_value(counter['total'])}")
+    for name, value in snapshot["gauges"].items():
+        metric = _prom_name(name)
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            lines.append(f"# TYPE {metric}_info gauge")
+            escaped = _escape_label(str(value))
+            lines.append(f'{metric}_info{{value="{escaped}"}} 1')
+            continue
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_prom_value(value)}")
+    for name, summary in snapshot["histograms"].items():
+        lines.extend(_histogram_lines(_prom_name(name) + "_seconds", summary))
+    for card in registry.scorecards_snapshot():
+        label = f'source="{_escape_label(card["source"])}"'
+        for field in (
+            "calls", "ok", "failures", "timeouts",
+            "skipped_open_circuit", "retries", "rows",
+        ):
+            metric = f"repro_source_{field}_total"
+            lines.append(f"# TYPE {metric} counter")
+            lines.append(f"{metric}{{{label}}} {card[field]}")
+        if card["breaker_state"] is not None:
+            state = _escape_label(str(card["breaker_state"]))
+            lines.append("# TYPE repro_source_breaker_info gauge")
+            lines.append(
+                f'repro_source_breaker_info{{{label},state="{state}"}} 1'
+            )
+        histogram = registry.histogram_for_source(card["source"])
+        if histogram is not None:
+            lines.extend(
+                _histogram_lines(
+                    "repro_source_latency_seconds", histogram.summary(), label
+                )
+            )
+    return "\n".join(lines) + "\n"
+
+
+def parse_prometheus(text: str) -> dict[tuple[str, tuple[tuple[str, str], ...]], float]:
+    """Parse exposition text into ``{(name, ((label, value), ...)): value}``.
+
+    The inverse of :func:`render_prometheus` as far as samples go
+    (``# HELP``/``# TYPE`` comments are dropped) — enough for
+    round-trip tests and the CI smoke check to assert on exact series.
+    Raises ``ValueError`` on a line that is neither blank, a comment,
+    nor a well-formed sample.
+    """
+    samples: dict[tuple[str, tuple[tuple[str, str], ...]], float] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip() or line.startswith("#"):
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ValueError(f"malformed exposition line {lineno}: {line!r}")
+        name, label_body, raw = match.groups()
+        labels: tuple[tuple[str, str], ...] = ()
+        if label_body:
+            labels = tuple(
+                (key, value.replace('\\"', '"').replace("\\\\", "\\"))
+                for key, value in _LABEL_RE.findall(label_body)
+            )
+        value = float("inf") if raw == "+Inf" else float(raw)
+        samples[(name, labels)] = value
+    return samples

@@ -1,0 +1,656 @@
+"""Process-lifetime metrics: the continuous-telemetry substrate.
+
+A :class:`~repro.obs.trace.Tracer` is request-scoped by design — it
+records one activity and is thrown away with the response.  A long-lived
+``repro serve`` therefore accumulated nothing an operator (or the
+ROADMAP's cost-based planner) could consult.  This module adds the
+missing half: a thread-safe, process-lifetime :class:`MetricsRegistry`
+holding
+
+* **counters** — monotonic totals plus a rolling time window, so both
+  "how many ever" and "how many per second right now" are answerable;
+* **gauges** — last-write-wins point-in-time values (with a
+  high-water-mark variant);
+* **histograms** — fixed-bucket latency distributions that answer
+  p50/p95/p99 by interpolating inside the bucket containing the target
+  rank, without storing samples (O(buckets) memory per histogram,
+  O(log buckets) per observation);
+* **per-source scorecards** — latency percentiles, error/retry/timeout
+  rates, breaker state, and row volume for every mediated source, fed
+  by :func:`repro.resilience.adapter.record_outcome`;
+* a bounded **slow-query log** keyed by canonical query fingerprint.
+
+**Installation and the tee.**  One registry is :func:`install`\\ ed per
+process (what ``repro serve --metrics`` does).  The module-level hooks
+in :mod:`repro.obs.trace` — :func:`~repro.obs.trace.count`,
+:func:`~repro.obs.trace.gauge`, :func:`~repro.obs.trace.gauge_max` —
+tee every record into the installed registry *in addition to* the
+request tracer, so the counters the pipeline already emits
+(``perf.cache.*``, ``serve.*``, ``mediator.*``, ``resilience.*``)
+accumulate for the life of the process with no new instrumentation at
+the call sites.  When nothing is installed the tee costs one module
+global load and one ``is None`` test — the same zero-overhead contract
+as the tracer hooks.
+
+The registry is lock-guarded and safe to record into from any number of
+threads; snapshots are consistent (taken under the same lock).  It has
+no dependencies beyond the standard library and imports nothing from
+:mod:`repro.core`, preserving the obs package's layering rule.
+
+Rendering: :func:`repro.obs.export.render_prometheus` emits the
+Prometheus text exposition format; the ``metrics`` / ``sources`` /
+``slowlog`` / ``health`` protocol ops of a running server return the
+JSON snapshots (see ``docs/serving.md``).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from bisect import bisect_left
+from collections.abc import Iterator
+from contextlib import contextmanager
+from math import ceil
+
+from repro.obs import trace as _trace
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "RollingWindow",
+    "SlowQueryLog",
+    "SourceScorecard",
+    "active_registry",
+    "install",
+    "installed",
+    "uninstall",
+]
+
+#: Histogram bucket upper bounds in seconds: geometric 100µs → 10s, the
+#: range an in-process translation (~µs–ms) through a faulty fan-out
+#: with retries (~s) actually spans.  A final implicit +inf bucket
+#: catches everything beyond.
+DEFAULT_LATENCY_BUCKETS: tuple[float, ...] = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+
+class RollingWindow:
+    """Per-interval totals in a fixed ring; sums the trailing window.
+
+    ``slots`` intervals of ``width`` seconds each.  Recording computes
+    the current interval's epoch and resets a ring slot lazily when it
+    is reused for a newer epoch — no timer thread, O(1) per record.
+    ``total`` sums only slots whose epoch is still inside the window.
+    Not self-locking: callers synchronize (the registry holds its lock).
+    """
+
+    __slots__ = ("width", "slots", "_totals", "_epochs")
+
+    def __init__(self, width: float = 1.0, slots: int = 60):
+        if width <= 0 or slots < 1:
+            raise ValueError(f"need width > 0 and slots >= 1, got {width}/{slots}")
+        self.width = width
+        self.slots = slots
+        self._totals = [0.0] * slots
+        self._epochs = [-1] * slots
+
+    @property
+    def span(self) -> float:
+        """The window's length in seconds (``width * slots``)."""
+        return self.width * self.slots
+
+    def add(self, n: float, now: float) -> None:
+        epoch = int(now / self.width)
+        index = epoch % self.slots
+        if self._epochs[index] != epoch:
+            self._epochs[index] = epoch
+            self._totals[index] = 0.0
+        self._totals[index] += n
+
+    def total(self, now: float) -> float:
+        epoch = int(now / self.width)
+        return sum(
+            total
+            for slot_epoch, total in zip(self._epochs, self._totals)
+            if 0 <= epoch - slot_epoch < self.slots
+        )
+
+    def rate(self, now: float) -> float:
+        """Windowed total per second."""
+        return self.total(now) / self.span
+
+
+class Counter:
+    """A monotonic total plus its rolling window (registry-locked)."""
+
+    __slots__ = ("total", "window")
+
+    def __init__(self, window: RollingWindow):
+        self.total = 0.0
+        self.window = window
+
+    def add(self, n: float, now: float) -> None:
+        self.total += n
+        self.window.add(n, now)
+
+
+class Gauge:
+    """A last-write-wins value with an update timestamp."""
+
+    __slots__ = ("value", "updated")
+
+    def __init__(self) -> None:
+        self.value: object = None
+        self.updated = 0.0
+
+    def set(self, value: object, now: float) -> None:
+        self.value = value
+        self.updated = now
+
+    def set_max(self, value: float, now: float) -> None:
+        prev = self.value
+        if not isinstance(prev, (int, float)) or prev < value:
+            self.value = value
+        self.updated = now
+
+
+class Histogram:
+    """Fixed-bucket distribution with sample-free percentile estimates.
+
+    ``bounds`` are strictly increasing bucket upper limits; one implicit
+    overflow bucket catches values beyond the last bound.  Percentiles
+    use the nearest-rank definition located by cumulative bucket counts,
+    linearly interpolated inside the owning bucket and clamped to the
+    observed ``[min, max]`` — so the estimate always lands in the same
+    bucket as the true sample percentile (the property
+    ``tests/test_obs_metrics.py`` pins with hypothesis).
+    """
+
+    __slots__ = ("bounds", "counts", "count", "total", "min", "max")
+
+    def __init__(self, bounds: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS):
+        if not bounds or any(b <= a for a, b in zip(bounds, bounds[1:])):
+            raise ValueError(f"bounds must be strictly increasing, got {bounds!r}")
+        self.bounds = tuple(float(b) for b in bounds)
+        self.counts = [0] * (len(bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min: float | None = None
+        self.max: float | None = None
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    def percentile(self, q: float) -> float:
+        """Nearest-rank percentile ``q`` in [0, 100], interpolated."""
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        if self.count == 0:
+            return 0.0
+        assert self.min is not None and self.max is not None
+        rank = max(1, ceil(q / 100.0 * self.count))
+        cumulative = 0
+        for index, bucket_count in enumerate(self.counts):
+            if bucket_count == 0:
+                continue
+            if cumulative + bucket_count >= rank:
+                lower = self.bounds[index - 1] if index > 0 else self.min
+                upper = (
+                    self.bounds[index] if index < len(self.bounds) else self.max
+                )
+                estimate = lower + (upper - lower) * ((rank - cumulative) / bucket_count)
+                return min(max(estimate, self.min), self.max)
+            cumulative += bucket_count
+        return self.max  # pragma: no cover - unreachable (counts sum to count)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def summary(self) -> dict:
+        """JSON-ready summary incl. cumulative buckets (Prometheus shape)."""
+        cumulative = 0
+        buckets = []
+        for bound, bucket_count in zip(
+            list(self.bounds) + [float("inf")], self.counts
+        ):
+            cumulative += bucket_count
+            buckets.append({"le": bound if bound != float("inf") else "+Inf",
+                            "count": cumulative})
+        return {
+            "count": self.count,
+            "sum": round(self.total, 9),
+            "min": round(self.min, 9) if self.min is not None else None,
+            "max": round(self.max, 9) if self.max is not None else None,
+            "mean": round(self.mean, 9),
+            "p50": round(self.percentile(50), 9),
+            "p95": round(self.percentile(95), 9),
+            "p99": round(self.percentile(99), 9),
+            "buckets": buckets,
+        }
+
+
+class SourceScorecard:
+    """Everything the registry knows about one mediated source.
+
+    Fed one record per resilient source call (a
+    :class:`~repro.resilience.SourceOutcome`, duck-typed) or one per
+    plain mediator execution.  Status strings mirror
+    :mod:`repro.resilience.adapter` (``ok`` / ``retried`` / ``failed``
+    / ``timed-out`` / ``skipped-open-circuit``) — this module stays
+    dependency-free, so they are matched by value, not imported.
+    """
+
+    __slots__ = (
+        "source", "latency", "calls", "ok", "failures", "timeouts",
+        "skipped_open_circuit", "retries", "rows", "breaker_state",
+        "last_status", "last_error", "window_calls", "window_failures",
+    )
+
+    def __init__(
+        self,
+        source: str,
+        bounds: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS,
+        window_width: float = 1.0,
+        window_slots: int = 60,
+    ):
+        self.source = source
+        self.latency = Histogram(bounds)
+        self.calls = 0
+        self.ok = 0
+        self.failures = 0
+        self.timeouts = 0
+        self.skipped_open_circuit = 0
+        self.retries = 0
+        self.rows = 0
+        self.breaker_state: str | None = None
+        self.last_status: str | None = None
+        self.last_error: str | None = None
+        self.window_calls = RollingWindow(window_width, window_slots)
+        self.window_failures = RollingWindow(window_width, window_slots)
+
+    def record(
+        self,
+        *,
+        seconds: float,
+        now: float,
+        status: str = "ok",
+        rows: int = 0,
+        retries: int = 0,
+        breaker_state: str | None = None,
+        error: str | None = None,
+    ) -> None:
+        self.calls += 1
+        self.window_calls.add(1, now)
+        self.latency.observe(seconds)
+        self.retries += retries
+        self.rows += rows
+        self.last_status = status
+        if status in ("ok", "retried"):
+            self.ok += 1
+        else:
+            self.failures += 1
+            self.window_failures.add(1, now)
+        if status == "timed-out":
+            self.timeouts += 1
+        if status == "skipped-open-circuit":
+            self.skipped_open_circuit += 1
+        if breaker_state is not None:
+            self.breaker_state = breaker_state
+        if error is not None:
+            self.last_error = error
+
+    def snapshot(self, now: float) -> dict:
+        latency = self.latency
+        window_calls = self.window_calls.total(now)
+        window_failures = self.window_failures.total(now)
+        return {
+            "source": self.source,
+            "calls": self.calls,
+            "ok": self.ok,
+            "failures": self.failures,
+            "timeouts": self.timeouts,
+            "skipped_open_circuit": self.skipped_open_circuit,
+            "retries": self.retries,
+            "rows": self.rows,
+            "error_rate": round(self.failures / self.calls, 4) if self.calls else 0.0,
+            "retry_rate": round(self.retries / self.calls, 4) if self.calls else 0.0,
+            "breaker_state": self.breaker_state,
+            "last_status": self.last_status,
+            "last_error": self.last_error,
+            "latency_ms": {
+                "p50": round(latency.percentile(50) * 1e3, 3),
+                "p95": round(latency.percentile(95) * 1e3, 3),
+                "p99": round(latency.percentile(99) * 1e3, 3),
+                "mean": round(latency.mean * 1e3, 3),
+                "max": round((latency.max or 0.0) * 1e3, 3),
+            },
+            "window": {
+                "seconds": self.window_calls.span,
+                "calls": window_calls,
+                "failures": window_failures,
+                "error_rate": round(window_failures / window_calls, 4)
+                if window_calls
+                else 0.0,
+                "calls_per_second": round(self.window_calls.rate(now), 4),
+            },
+        }
+
+
+class _SlowEntry:
+    __slots__ = ("fingerprint", "op", "query", "count", "total", "max", "last")
+
+    def __init__(self, fingerprint: str, op: str, query: str | None):
+        self.fingerprint = fingerprint
+        self.op = op
+        self.query = query
+        self.count = 0
+        self.total = 0.0
+        self.max = 0.0
+        self.last = 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "fingerprint": self.fingerprint,
+            "op": self.op,
+            "query": self.query,
+            "count": self.count,
+            "max_ms": round(self.max * 1e3, 3),
+            "mean_ms": round(self.total / self.count * 1e3, 3) if self.count else 0.0,
+            "last_ms": round(self.last * 1e3, 3),
+        }
+
+
+class SlowQueryLog:
+    """A bounded worst-latency leaderboard keyed by query fingerprint.
+
+    Every completed request is recorded; when the table exceeds
+    ``capacity`` distinct fingerprints the one with the *smallest*
+    maximum latency is evicted, so what survives is always the N
+    slowest fingerprints seen so far (with per-fingerprint counts and
+    mean/max latency).  Not self-locking: the registry synchronizes.
+    """
+
+    __slots__ = ("capacity", "_entries")
+
+    def __init__(self, capacity: int = 64):
+        if capacity < 1:
+            raise ValueError(f"slowlog capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._entries: dict[str, _SlowEntry] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def record(
+        self, fingerprint: str, op: str, seconds: float, query: str | None = None
+    ) -> None:
+        entry = self._entries.get(fingerprint)
+        if entry is None:
+            entry = self._entries[fingerprint] = _SlowEntry(fingerprint, op, query)
+        elif query is not None and entry.query is None:
+            entry.query = query
+        entry.count += 1
+        entry.total += seconds
+        entry.last = seconds
+        if seconds > entry.max:
+            entry.max = seconds
+        if len(self._entries) > self.capacity:
+            victim = min(self._entries.values(), key=lambda e: e.max)
+            del self._entries[victim.fingerprint]
+
+    def top(self, n: int = 10) -> list[dict]:
+        """The ``n`` slowest fingerprints, worst first."""
+        ranked = sorted(self._entries.values(), key=lambda e: e.max, reverse=True)
+        return [entry.to_dict() for entry in ranked[: max(0, n)]]
+
+
+class MetricsRegistry:
+    """Thread-safe, process-lifetime counters/gauges/histograms/scorecards.
+
+    One internal lock guards every instrument, so concurrent recording
+    from service threads, fan-out workers, and snapshot readers is
+    exact — no lost updates, and a snapshot is a consistent cut.
+    ``clock`` is injectable for tests (monotonic seconds).
+    """
+
+    def __init__(
+        self,
+        *,
+        clock=time.monotonic,
+        latency_bounds: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS,
+        window_width: float = 1.0,
+        window_slots: int = 60,
+        slowlog_capacity: int = 64,
+    ):
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._latency_bounds = latency_bounds
+        self._window_width = window_width
+        self._window_slots = window_slots
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+        self._scorecards: dict[str, SourceScorecard] = {}
+        self.slowlog = SlowQueryLog(slowlog_capacity)
+        self.started = self._clock()
+        self.started_wall = time.time()
+
+    # -- recording (hot paths) ------------------------------------------------
+
+    def count(self, name: str, n: float = 1) -> None:
+        now = self._clock()
+        with self._lock:
+            counter = self._counters.get(name)
+            if counter is None:
+                counter = self._counters[name] = Counter(
+                    RollingWindow(self._window_width, self._window_slots)
+                )
+            counter.add(n, now)
+
+    def gauge(self, name: str, value: object) -> None:
+        now = self._clock()
+        with self._lock:
+            gauge = self._gauges.get(name)
+            if gauge is None:
+                gauge = self._gauges[name] = Gauge()
+            gauge.set(value, now)
+
+    def gauge_max(self, name: str, value: float) -> None:
+        now = self._clock()
+        with self._lock:
+            gauge = self._gauges.get(name)
+            if gauge is None:
+                gauge = self._gauges[name] = Gauge()
+            gauge.set_max(value, now)
+
+    def observe(self, name: str, seconds: float) -> None:
+        """Record one latency sample into histogram ``name``."""
+        with self._lock:
+            histogram = self._histograms.get(name)
+            if histogram is None:
+                histogram = self._histograms[name] = Histogram(self._latency_bounds)
+            histogram.observe(seconds)
+
+    def record_request(
+        self,
+        op: str,
+        seconds: float,
+        *,
+        fingerprint: str | None = None,
+        query: str | None = None,
+    ) -> None:
+        """One completed service request: per-op + overall histograms + slowlog."""
+        with self._lock:
+            for name in {f"serve.{op}.latency", "serve.request.latency"}:
+                histogram = self._histograms.get(name)
+                if histogram is None:
+                    histogram = self._histograms[name] = Histogram(self._latency_bounds)
+                histogram.observe(seconds)
+            if fingerprint is not None:
+                self.slowlog.record(fingerprint, op, seconds, query)
+
+    def record_source_call(
+        self,
+        source: str,
+        seconds: float,
+        *,
+        status: str = "ok",
+        rows: int = 0,
+        retries: int = 0,
+        breaker_state: str | None = None,
+        error: str | None = None,
+    ) -> None:
+        """One source execution (plain mediator path, or tests)."""
+        now = self._clock()
+        with self._lock:
+            card = self._scorecards.get(source)
+            if card is None:
+                card = self._scorecards[source] = SourceScorecard(
+                    source, self._latency_bounds, self._window_width, self._window_slots
+                )
+            card.record(
+                seconds=seconds,
+                now=now,
+                status=status,
+                rows=rows,
+                retries=retries,
+                breaker_state=breaker_state,
+                error=error,
+            )
+
+    def record_source_outcome(self, outcome) -> None:
+        """One resilient call's :class:`~repro.resilience.SourceOutcome`.
+
+        Duck-typed (``source``/``status``/``retries``/``rows``/
+        ``elapsed``/``breaker_state``/``error``) so this module never
+        imports the resilience layer.
+        """
+        self.record_source_call(
+            outcome.source,
+            outcome.elapsed,
+            status=outcome.status,
+            rows=outcome.rows,
+            retries=outcome.retries,
+            breaker_state=outcome.breaker_state,
+            error=outcome.error,
+        )
+
+    # -- reading --------------------------------------------------------------
+
+    def uptime(self) -> float:
+        return self._clock() - self.started
+
+    def counter_total(self, name: str) -> float:
+        with self._lock:
+            counter = self._counters.get(name)
+            return counter.total if counter is not None else 0.0
+
+    def window_total(self, name: str) -> float:
+        now = self._clock()
+        with self._lock:
+            counter = self._counters.get(name)
+            return counter.window.total(now) if counter is not None else 0.0
+
+    def histogram(self, name: str) -> Histogram | None:
+        with self._lock:
+            return self._histograms.get(name)
+
+    def histogram_for_source(self, source: str) -> Histogram | None:
+        """The latency histogram of one source's scorecard, or ``None``."""
+        with self._lock:
+            card = self._scorecards.get(source)
+            return card.latency if card is not None else None
+
+    def snapshot(self) -> dict:
+        """A consistent JSON-ready cut of every instrument."""
+        now = self._clock()
+        with self._lock:
+            return {
+                "uptime_seconds": round(now - self.started, 3),
+                "started_at_unix": round(self.started_wall, 3),
+                "window_seconds": self._window_width * self._window_slots,
+                "counters": {
+                    name: {
+                        "total": counter.total,
+                        "window": counter.window.total(now),
+                        "rate_per_second": round(counter.window.rate(now), 4),
+                    }
+                    for name, counter in sorted(self._counters.items())
+                },
+                "gauges": {
+                    name: gauge.value
+                    for name, gauge in sorted(self._gauges.items())
+                },
+                "histograms": {
+                    name: histogram.summary()
+                    for name, histogram in sorted(self._histograms.items())
+                },
+            }
+
+    def scorecards_snapshot(self) -> list[dict]:
+        """Per-source scorecards, sorted by source name."""
+        now = self._clock()
+        with self._lock:
+            return [
+                self._scorecards[name].snapshot(now)
+                for name in sorted(self._scorecards)
+            ]
+
+    def slowlog_top(self, n: int = 10) -> list[dict]:
+        with self._lock:
+            return self.slowlog.top(n)
+
+
+# ---------------------------------------------------------------------------
+# Process-global installation (the tee target for the trace hooks)
+# ---------------------------------------------------------------------------
+
+
+def install(registry: MetricsRegistry) -> MetricsRegistry:
+    """Make ``registry`` the process-wide tee target; returns it.
+
+    After this, every :func:`repro.obs.trace.count` / ``gauge`` /
+    ``gauge_max`` call — from any thread, tracer or no tracer —
+    also lands in the registry.  Installing replaces any previous
+    registry (there is one per process, like a Prometheus default
+    registry).
+    """
+    _trace._install_metrics_sink(registry)
+    return registry
+
+
+def uninstall() -> None:
+    """Remove the installed registry (hooks go back to tracer-only)."""
+    _trace._install_metrics_sink(None)
+
+
+def active_registry() -> MetricsRegistry | None:
+    """The installed process registry, or ``None``."""
+    return _trace.metrics_sink()
+
+
+@contextmanager
+def installed(registry: MetricsRegistry) -> Iterator[MetricsRegistry]:
+    """Install ``registry`` for a block, restoring the previous one after.
+
+    The test-friendly form — guarantees a registry never leaks across
+    test cases even on exceptions.
+    """
+    previous = _trace.metrics_sink()
+    _trace._install_metrics_sink(registry)
+    try:
+        yield registry
+    finally:
+        _trace._install_metrics_sink(previous)

@@ -39,6 +39,8 @@ __all__ = [
     "tracing",
     "current_tracer",
     "enabled",
+    "recording",
+    "metrics_sink",
     "span",
     "count",
     "gauge",
@@ -155,13 +157,15 @@ class Tracer:
             self._stack()[-1].gauges[name] = value
             self.gauges[name] = value
 
-    def gauge_max(self, name: str, value) -> None:
+    def gauge_max(self, name: str, value: float) -> None:
         """Record a high-water-mark gauge (max of all writes)."""
         with self._lock:
             local = self._stack()[-1].gauges
-            if name not in local or local[name] < value:
+            prev = local.get(name)
+            if not isinstance(prev, (int, float)) or prev < value:
                 local[name] = value
-            if name not in self.gauges or self.gauges[name] < value:  # type: ignore[operator]
+            prev = self.gauges.get(name)
+            if not isinstance(prev, (int, float)) or prev < value:
                 self.gauges[name] = value
 
 
@@ -200,6 +204,24 @@ class TraceHandoff:
 # ---------------------------------------------------------------------------
 
 _tls = threading.local()
+
+#: Process-wide metrics tee target (a ``repro.obs.metrics.MetricsRegistry``),
+#: installed via :func:`repro.obs.metrics.install`.  The hooks below forward
+#: every count/gauge record here *in addition to* the thread's tracer, which
+#: is how request-scoped signals accumulate for the life of a server process.
+#: Held here (not in metrics.py) so the hot hooks pay one module-global load
+#: and one ``is None`` test when telemetry is off, with no cross-import.
+_metrics_sink = None
+
+
+def _install_metrics_sink(sink) -> None:
+    global _metrics_sink
+    _metrics_sink = sink
+
+
+def metrics_sink():
+    """The installed process-wide metrics registry, or ``None``."""
+    return _metrics_sink
 
 
 class _NoopSpan:
@@ -247,6 +269,16 @@ def enabled() -> bool:
     return getattr(_tls, "tracer", None) is not None
 
 
+def recording() -> bool:
+    """True when *anything* would observe a record right now.
+
+    Like :func:`enabled`, but also true when a process-wide metrics
+    registry is installed without a tracer — use it to guard
+    instrumentation whose inputs are expensive to compute.
+    """
+    return getattr(_tls, "tracer", None) is not None or _metrics_sink is not None
+
+
 @contextmanager
 def tracing(name: str = "trace") -> Iterator[Tracer]:
     """Install a fresh :class:`Tracer` on this thread for the block.
@@ -286,21 +318,31 @@ def bind(name: str = "worker", **attrs):
 
 
 def count(name: str, n: int = 1) -> None:
-    """Bump a counter on the current tracer; no-op when disabled."""
+    """Bump a counter on the current tracer and the metrics registry.
+
+    No-op when neither is active; each side is independent (a server
+    with ``--metrics`` but no per-request tracing still accumulates).
+    """
     tracer = getattr(_tls, "tracer", None)
     if tracer is not None:
         tracer.count(name, n)
+    if _metrics_sink is not None:
+        _metrics_sink.count(name, n)
 
 
 def gauge(name: str, value: object) -> None:
-    """Set a gauge on the current tracer; no-op when disabled."""
+    """Set a gauge on the current tracer and the metrics registry."""
     tracer = getattr(_tls, "tracer", None)
     if tracer is not None:
         tracer.gauge(name, value)
+    if _metrics_sink is not None:
+        _metrics_sink.gauge(name, value)
 
 
-def gauge_max(name: str, value) -> None:
-    """Raise a high-water-mark gauge on the current tracer; no-op when disabled."""
+def gauge_max(name: str, value: float) -> None:
+    """Raise a high-water-mark gauge on the tracer and the metrics registry."""
     tracer = getattr(_tls, "tracer", None)
     if tracer is not None:
         tracer.gauge_max(name, value)
+    if _metrics_sink is not None:
+        _metrics_sink.gauge_max(name, value)

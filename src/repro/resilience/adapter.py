@@ -114,10 +114,15 @@ def record_outcome(outcome: SourceOutcome) -> None:
     (the mediator) control when reporting happens.  Thread-safe: the
     tracer's registries are lock-guarded, and a pool worker that entered
     an ``obs.bind`` handoff records into the parent trace — the
-    mediator's fan-out calls this from its workers.  With no tracer on
-    the calling thread it is a no-op.
+    mediator's fan-out calls this from its workers.  A process-wide
+    metrics registry (``repro serve --metrics``) additionally receives
+    the full outcome as a per-source scorecard record, tracer or no
+    tracer.  With neither active it is a no-op.
     """
-    if not obs.enabled():
+    registry = obs.metrics_sink()
+    if registry is not None:
+        registry.record_source_outcome(outcome)
+    if not obs.recording():
         return
     obs.count("resilience.calls")
     if outcome.retries:

@@ -26,6 +26,25 @@ Operations
     ``translate``-shaped result per query, through the batch path.
 ``stats``
     The service's exact counters and the shared cache snapshot.
+``health``
+    Cheap liveness summary: ``status`` (``ok``/``degraded`` by breaker
+    state), in-flight/error counts, per-source breaker states.  Always
+    available, registry or not.
+``metrics``
+    The continuous-telemetry snapshot (counters with rolling-window
+    rates, gauges, latency histograms with p50/p95/p99).  With
+    ``"format": "prometheus"`` the response carries the registry in
+    Prometheus text exposition as a single ``text`` field instead.
+``sources``
+    Per-source scorecards: latency percentiles, error/retry rates,
+    rows returned, breaker state, and a trailing-window error rate.
+``slowlog``
+    The ``n`` (default 10) slowest query fingerprints with per-
+    fingerprint counts and max/mean latency.
+
+``metrics``, ``sources``, and ``slowlog`` need the service to run with
+a metrics registry (``repro serve --metrics``); without one they answer
+``{"ok": false, "error": {"type": "metrics-disabled"}}``.
 
 Failures never tear the connection: every error becomes an
 ``{"ok": false, "error": {"type", "message"}}`` response.  An
@@ -50,7 +69,17 @@ if TYPE_CHECKING:
 __all__ = ["handle_request", "handle_line"]
 
 #: Operations a request may name.
-OPS = ("ping", "translate", "mediate", "batch", "stats")
+OPS = (
+    "ping",
+    "translate",
+    "mediate",
+    "batch",
+    "stats",
+    "health",
+    "metrics",
+    "sources",
+    "slowlog",
+)
 
 
 def _jsonable(value: object) -> object:
@@ -86,6 +115,18 @@ def _answer_payload(answer: "MediatedAnswer") -> dict:
     if answer.outcomes:
         payload["sources"] = [outcome.to_dict() for outcome in answer.outcomes]
     return payload
+
+
+class _MetricsDisabled(VocabMapError):
+    """An admin op needs the registry the service was started without."""
+
+
+def _require_metrics_op(service: MediationService, op: str) -> None:
+    if service.metrics is None:
+        raise _MetricsDisabled(
+            f"op {op!r} needs continuous telemetry; "
+            "restart with `repro serve --metrics`"
+        )
 
 
 def _require_query(request: dict) -> str:
@@ -150,6 +191,32 @@ def handle_request(service: MediationService, request: dict) -> dict:
             )
         elif op == "stats":
             response.update(ok=True, stats=service.stats())
+        elif op == "health":
+            response.update(ok=True, health=service.health())
+        elif op == "metrics":
+            fmt = request.get("format", "json")
+            if fmt not in ("json", "prometheus"):
+                raise ValueError("'format' must be 'json' or 'prometheus'")
+            _require_metrics_op(service, op)
+            if fmt == "prometheus":
+                from repro.obs.export import render_prometheus
+
+                service.metrics_snapshot()  # refresh derived cache gauges
+                response.update(
+                    ok=True, format="prometheus",
+                    text=render_prometheus(service.metrics),
+                )
+            else:
+                response.update(ok=True, metrics=service.metrics_snapshot())
+        elif op == "sources":
+            _require_metrics_op(service, op)
+            response.update(ok=True, sources=service.scorecards())
+        elif op == "slowlog":
+            n = request.get("n", 10)
+            if not isinstance(n, int) or isinstance(n, bool) or n < 1:
+                raise ValueError("'n' must be a positive integer")
+            _require_metrics_op(service, op)
+            response.update(ok=True, slowlog=service.slowlog(n))
         else:
             raise ValueError(
                 f"unknown op {op!r}; expected one of {', '.join(OPS)}"
@@ -157,6 +224,10 @@ def handle_request(service: MediationService, request: dict) -> dict:
     except Overloaded as exc:
         response.update(
             ok=False, error={"type": "overloaded", "message": str(exc), "limit": exc.limit}
+        )
+    except _MetricsDisabled as exc:
+        response.update(
+            ok=False, error={"type": "metrics-disabled", "message": str(exc)}
         )
     except (ValueError, VocabMapError) as exc:
         kind = "bad-request" if isinstance(exc, ValueError) else type(exc).__name__

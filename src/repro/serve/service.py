@@ -24,7 +24,14 @@ service layers three serving disciplines over the mediation pipeline:
 Everything is observable: the service emits ``serve.*`` counters and
 queue-depth/latency gauges through :mod:`repro.obs`, and
 :meth:`~MediationService.stats` returns exact local counters (no lost
-updates — every mutation happens under the service lock).
+updates — every mutation happens under the service lock).  Construct
+with a :class:`~repro.obs.metrics.MetricsRegistry` (``repro serve
+--metrics``) and the service additionally feeds process-lifetime
+telemetry: per-operation latency histograms and a bounded slow-query
+log keyed by canonical fingerprint, served live through the
+``metrics`` / ``sources`` / ``slowlog`` / ``health`` protocol ops.
+The registry also receives every ``serve.*`` counter via the obs tee,
+so the service never counts the same event twice.
 
 The wire layer (JSON-lines over stdin or TCP) lives in
 :mod:`repro.serve.server`; semantics and tuning in ``docs/serving.md``.
@@ -50,6 +57,7 @@ from repro.serve.singleflight import SingleFlight
 if TYPE_CHECKING:
     from repro.core.tdqm import TranslationResult
     from repro.mediator.mediator import MediatedAnswer, Mediator
+    from repro.obs.metrics import MetricsRegistry
 
 __all__ = ["MediationService", "Overloaded", "ServiceConfig"]
 
@@ -100,9 +108,16 @@ class MediationService:
     the shared admission budget.
     """
 
-    def __init__(self, mediator: "Mediator", config: ServiceConfig | None = None):
+    def __init__(
+        self,
+        mediator: "Mediator",
+        config: ServiceConfig | None = None,
+        *,
+        metrics: "MetricsRegistry | None" = None,
+    ):
         self.mediator = mediator
         self.config = config or ServiceConfig()
+        self.metrics = metrics
         self._slots = threading.Semaphore(self.config.max_concurrency)
         self._flights = SingleFlight()
         self._lock = threading.Lock()
@@ -119,8 +134,17 @@ class MediationService:
     # -- admission control ----------------------------------------------------
 
     @contextmanager
-    def _admitted_request(self) -> Iterator[None]:
-        """Admit one request or raise :class:`Overloaded`; track latency."""
+    def _admitted_request(
+        self, op: str = "request", info: dict | None = None
+    ) -> Iterator[None]:
+        """Admit one request or raise :class:`Overloaded`; track latency.
+
+        ``op`` labels the per-operation latency histogram when a metrics
+        registry is attached; the operation may deposit its canonical
+        ``fingerprint`` (and optionally the ``query`` text) into ``info``
+        once :meth:`_prepare` has run, which routes the request into the
+        slow-query log.
+        """
         limit = self.config.admission_limit
         with self._lock:
             if self._admitted >= limit:
@@ -153,6 +177,13 @@ class MediationService:
                 self._latency_total += elapsed
                 self._latency_max = max(self._latency_max, elapsed)
             obs.gauge_max("serve.latency_ms", round(elapsed * 1e3, 3))
+            if self.metrics is not None:
+                self.metrics.record_request(
+                    op,
+                    elapsed,
+                    fingerprint=info.get("fingerprint") if info else None,
+                    query=info.get("query") if info else None,
+                )
 
     @contextmanager
     def _execution_slot(self) -> Iterator[None]:
@@ -191,8 +222,12 @@ class MediationService:
         requests hit the mediator's :class:`~repro.perf.TranslationCache`.
         Returns ``{source name: TranslationResult}``.
         """
-        with self._admitted_request():
+        info: dict = {}
+        with self._admitted_request("translate", info):
             prepared, fingerprint = self._prepare(query)
+            info["fingerprint"] = fingerprint
+            if isinstance(query, str):
+                info["query"] = query
             names = tuple(sorted(sources if sources is not None else self.mediator.specs))
             key = ("translate", fingerprint, names)
 
@@ -231,8 +266,12 @@ class MediationService:
         :class:`~repro.mediator.MediatedAnswer` object — treat it as
         read-only, as with cached translations.
         """
-        with self._admitted_request():
+        info: dict = {}
+        with self._admitted_request("mediate", info):
             prepared, fingerprint = self._prepare(query)
+            info["fingerprint"] = fingerprint
+            if isinstance(query, str):
+                info["query"] = query
             key = ("mediate", fingerprint, strict)
 
             def run() -> "MediatedAnswer":
@@ -252,7 +291,7 @@ class MediationService:
         and fingerprints are computed once per query and compiled rule
         indexes once per specification.
         """
-        with self._admitted_request(), self._execution_slot():
+        with self._admitted_request("batch"), self._execution_slot():
             with obs.span("serve.batch", queries=len(queries)):
                 return self.mediator.translate_many(list(queries), sources=sources)
 
@@ -280,3 +319,66 @@ class MediationService:
         cache = self.mediator.translation_cache
         snapshot["cache"] = cache.stats.to_dict() if cache is not None else None
         return snapshot
+
+    def _require_metrics(self) -> "MetricsRegistry":
+        if self.metrics is None:
+            raise VocabMapError(
+                "continuous telemetry is disabled; "
+                "construct MediationService(metrics=...) or run "
+                "`repro serve --metrics`"
+            )
+        return self.metrics
+
+    def metrics_snapshot(self) -> dict:
+        """The full registry snapshot, with cache gauges refreshed.
+
+        Counters/histograms accumulate continuously via the obs tee;
+        cache *effectiveness* (hit rate, occupancy) is a derived ratio,
+        so it is computed here from the shared cache's exact stats and
+        published as gauges at snapshot time.
+        """
+        registry = self._require_metrics()
+        cache = self.mediator.translation_cache
+        if cache is not None:
+            stats = cache.stats.to_dict()
+            registry.gauge("perf.cache.hit_rate", stats["hit_rate"])
+            registry.gauge("perf.cache.size", stats["size"])
+            registry.gauge("perf.cache.maxsize", stats["maxsize"])
+        return registry.snapshot()
+
+    def scorecards(self) -> list[dict]:
+        """Per-source scorecards (latency percentiles, errors, breaker)."""
+        return self._require_metrics().scorecards_snapshot()
+
+    def slowlog(self, n: int = 10) -> list[dict]:
+        """The ``n`` slowest query fingerprints seen so far, worst first."""
+        return self._require_metrics().slowlog_top(n)
+
+    def health(self) -> dict:
+        """Cheap liveness summary; works with or without a registry.
+
+        ``status`` is ``"ok"`` unless a source's circuit breaker is not
+        closed (``"degraded"``) — the signal a load balancer or the
+        ``repro top`` header needs without the full snapshot cost.
+        """
+        stats = self.stats()
+        out = {
+            "status": "ok",
+            "metrics_enabled": self.metrics is not None,
+            "in_flight": stats["in_flight"],
+            "requests": stats["requests"],
+            "rejected": stats["rejected"],
+            "errors": stats["errors"],
+            "sources": {},
+        }
+        if self.metrics is not None:
+            out["uptime_seconds"] = round(self.metrics.uptime(), 3)
+            for card in self.metrics.scorecards_snapshot():
+                state = card["breaker_state"]
+                out["sources"][card["source"]] = {
+                    "breaker_state": state,
+                    "error_rate": card["error_rate"],
+                }
+                if state is not None and state != "closed":
+                    out["status"] = "degraded"
+        return out

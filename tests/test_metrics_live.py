@@ -1,0 +1,261 @@
+"""Live-server telemetry: the ISSUE's acceptance scenario end to end.
+
+A real ``serve_tcp`` server, constructed with a metrics registry and a
+resilient mediator with deterministic fault injection, is driven in two
+phases:
+
+1. **sequential mediates** against a source whose first five calls fail
+   (``FaultPolicy(fail=5)``) with ``retries=2`` — so the per-call
+   outcomes are fully determined: call 1 exhausts its three attempts
+   (``failed``, 2 retries), call 2 fails twice then succeeds
+   (``retried``, 2 retries), calls 3–4 are clean;
+2. **concurrent translates** from eight client threads over their own
+   TCP connections.
+
+Every assertion below is interleaving-independent: counter totals,
+scorecard status counts, histogram counts, and slow-query-log counts
+are exact sums no matter how the pool schedules the work.  The admin
+protocol ops (``metrics``/``sources``/``slowlog``/``health``) are then
+exercised over the same live socket — including the Prometheus
+rendering, parsed back and checked against the same exact totals — and
+``repro top`` runs against the live server through the real CLI.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+import repro.obs as obs
+from repro.cli import main as cli_main
+from repro.mediator import bookstore_mediator
+from repro.obs.export import parse_prometheus
+from repro.obs.metrics import MetricsRegistry
+from repro.resilience import (
+    BreakerPolicy,
+    FaultPolicy,
+    ResilienceConfig,
+    RetryPolicy,
+)
+from repro.serve import MediationService, ServiceConfig, serve_tcp
+
+MEDIATE_QUERIES = [
+    '[ln = "Clancy"] and [fn = "Tom"]',
+    "[pyear = 1997] and [pmonth = 5]",
+    '([ln = "Clancy"] or [ln = "Klancy"]) and [fn = "Tom"]',
+    '[ln = "Smith"] and [pyear = 1997]',
+]
+TRANSLATE_QUERIES = [
+    '[ln = "Updike"]',
+    '[fn = "Jane"]',
+    "[pyear = 1996]",
+    "[pmonth = 3]",
+]
+N_THREADS = 8
+PER_THREAD = 5
+
+
+def _faulty_service(registry: MetricsRegistry) -> MediationService:
+    mediator = bookstore_mediator("amazon").with_resilience(
+        ResilienceConfig(
+            retry=RetryPolicy(retries=2, backoff_base=0.0, jitter=0.0),
+            # Keep the breaker out of the accounting: the fault schedule,
+            # not circuit state, should determine every outcome.
+            breaker=BreakerPolicy(failure_threshold=100),
+            fault_policies={"Amazon": FaultPolicy(fail=5)},
+        )
+    )
+    return MediationService(
+        mediator,
+        ServiceConfig(max_concurrency=8, queue_depth=256),
+        metrics=registry,
+    )
+
+
+def _ask(handle, request: dict) -> dict:
+    handle.write(json.dumps(request) + "\n")
+    handle.flush()
+    return json.loads(handle.readline())
+
+
+class TestLiveTelemetry:
+    @pytest.fixture()
+    def live_server(self):
+        registry = MetricsRegistry()
+        service = _faulty_service(registry)
+        server = serve_tcp(service, port=0)
+        host, port = server.server_address[:2]
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        with obs.installed(registry):
+            yield registry, host, port
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=10.0)
+
+    def _drive(self, host: str, port: int) -> None:
+        # Phase 1: sequential mediates — deterministic fault accounting.
+        with socket.create_connection((host, port), timeout=10.0) as conn:
+            handle = conn.makefile("rw", encoding="utf-8")
+            complete = [
+                _ask(handle, {"op": "mediate", "query": query})["complete"]
+                for query in MEDIATE_QUERIES
+            ]
+        # Call 1 exhausts its retry budget -> partial; 2-4 recover/succeed.
+        assert complete == [False, True, True, True]
+
+        # Phase 2: concurrent translates, one connection per worker.
+        def translate_worker(index: int) -> int:
+            query = TRANSLATE_QUERIES[index % len(TRANSLATE_QUERIES)]
+            with socket.create_connection((host, port), timeout=10.0) as conn:
+                handle = conn.makefile("rw", encoding="utf-8")
+                return sum(
+                    _ask(handle, {"op": "translate", "query": query})["ok"]
+                    for _ in range(PER_THREAD)
+                )
+
+        with ThreadPoolExecutor(max_workers=N_THREADS) as pool:
+            succeeded = sum(pool.map(translate_worker, range(N_THREADS)))
+        assert succeeded == N_THREADS * PER_THREAD
+
+    def test_exact_totals_and_admin_ops(self, live_server):
+        registry, host, port = live_server
+        self._drive(host, port)
+        total_requests = len(MEDIATE_QUERIES) + N_THREADS * PER_THREAD
+
+        # -- exact registry totals (interleaving-independent) ---------------
+        assert registry.counter_total("serve.requests") == total_requests
+        assert registry.counter_total("serve.rejected") == 0
+        assert registry.counter_total("resilience.calls") == 4
+        assert registry.counter_total("resilience.retries") == 4
+        assert registry.counter_total("resilience.failures") == 1
+        assert registry.counter_total("resilience.timeouts") == 0
+
+        (card,) = registry.scorecards_snapshot()
+        assert card["source"] == "Amazon"
+        assert card["calls"] == 4
+        assert card["ok"] == 3
+        assert card["failures"] == 1
+        assert card["retries"] == 4
+        assert card["timeouts"] == 0
+        assert card["skipped_open_circuit"] == 0
+        assert card["breaker_state"] == "closed"
+        assert card["error_rate"] == pytest.approx(0.25)
+        assert card["latency_ms"]["p50"] <= card["latency_ms"]["p95"]
+        assert card["latency_ms"]["p95"] <= card["latency_ms"]["p99"]
+
+        overall = registry.histogram("serve.request.latency")
+        assert overall is not None and overall.count == total_requests
+        per_op = registry.histogram("serve.translate.latency")
+        assert per_op is not None and per_op.count == N_THREADS * PER_THREAD
+        mediate_hist = registry.histogram("serve.mediate.latency")
+        assert mediate_hist is not None and mediate_hist.count == len(MEDIATE_QUERIES)
+
+        entries = registry.slowlog_top(50)
+        assert len(entries) == len(MEDIATE_QUERIES) + len(TRANSLATE_QUERIES)
+        assert sum(entry["count"] for entry in entries) == total_requests
+        by_op = {entry["op"] for entry in entries}
+        assert by_op == {"mediate", "translate"}
+        translate_counts = sorted(
+            entry["count"] for entry in entries if entry["op"] == "translate"
+        )
+        # 8 threads over 4 queries -> exactly two threads x 5 requests each.
+        assert translate_counts == [10, 10, 10, 10]
+
+        # -- the four admin ops over the live socket ------------------------
+        with socket.create_connection((host, port), timeout=10.0) as conn:
+            handle = conn.makefile("rw", encoding="utf-8")
+            health = _ask(handle, {"op": "health"})
+            metrics = _ask(handle, {"op": "metrics"})
+            sources = _ask(handle, {"op": "sources"})
+            slowlog = _ask(handle, {"op": "slowlog", "n": 3})
+            prometheus = _ask(handle, {"op": "metrics", "format": "prometheus"})
+
+        assert health["ok"] and health["health"]["status"] == "ok"
+        assert health["health"]["requests"] == total_requests
+        assert health["health"]["sources"]["Amazon"]["breaker_state"] == "closed"
+
+        assert metrics["ok"]
+        snapshot = metrics["metrics"]
+        assert snapshot["counters"]["serve.requests"]["total"] == total_requests
+        histogram = snapshot["histograms"]["serve.request.latency"]
+        assert histogram["count"] == total_requests
+        assert histogram["p50"] <= histogram["p95"] <= histogram["p99"]
+        # cache effectiveness gauges are derived at snapshot time
+        assert 0.0 <= snapshot["gauges"]["perf.cache.hit_rate"] <= 1.0
+
+        assert sources["ok"]
+        (wire_card,) = sources["sources"]
+        assert wire_card["calls"] == 4 and wire_card["retries"] == 4
+
+        assert slowlog["ok"] and len(slowlog["slowlog"]) == 3
+        worst = slowlog["slowlog"][0]
+        assert worst["max_ms"] >= slowlog["slowlog"][-1]["max_ms"]
+
+        assert prometheus["ok"] and prometheus["format"] == "prometheus"
+        samples = parse_prometheus(prometheus["text"])
+        assert samples[("repro_serve_requests_total", ())] == total_requests
+        assert samples[("repro_resilience_retries_total", ())] == 4
+        assert samples[
+            ("repro_source_calls_total", (("source", "Amazon"),))
+        ] == 4
+        assert samples[
+            ("repro_serve_request_latency_seconds_count", ())
+        ] == total_requests
+
+    def test_repro_top_against_live_server(self, live_server, capsys):
+        registry, host, port = live_server
+        self._drive(host, port)
+        address = f"{host}:{port}"
+
+        assert cli_main(["top", address]) == 0
+        text = capsys.readouterr().out
+        assert "status: ok" in text
+        assert "Amazon" in text
+        assert "slowest fingerprints" in text
+        assert "p95" in text
+
+        assert cli_main(["top", address, "--json", "-n", "2"]) == 0
+        combined = json.loads(capsys.readouterr().out)
+        total_requests = len(MEDIATE_QUERIES) + N_THREADS * PER_THREAD
+        assert combined["health"]["requests"] == total_requests
+        assert len(combined["slowlog"]) == 2
+        assert combined["sources"][0]["source"] == "Amazon"
+
+    def test_repro_top_without_metrics(self, capsys):
+        service = MediationService(bookstore_mediator("amazon"))
+        server = serve_tcp(service, port=0)
+        host, port = server.server_address[:2]
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            assert cli_main(["top", f"{host}:{port}", "--json"]) == 0
+            combined = json.loads(capsys.readouterr().out)
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=10.0)
+        assert combined["health"]["metrics_enabled"] is False
+        assert combined["metrics"] is None
+        assert combined["sources"] is None
+        assert combined["slowlog"] is None
+
+    def test_top_unreachable_address_fails_cleanly(self):
+        with pytest.raises(SystemExit) as excinfo:
+            cli_main(["top", "127.0.0.1:9"])  # discard port; nothing listens
+        assert "cannot reach" in str(excinfo.value)
+
+    def test_metrics_ops_disabled_without_registry(self):
+        from repro.serve import handle_request
+
+        service = MediationService(bookstore_mediator("amazon"))
+        for op in ("metrics", "sources", "slowlog"):
+            response = handle_request(service, {"op": op})
+            assert response["ok"] is False
+            assert response["error"]["type"] == "metrics-disabled"
+        health = handle_request(service, {"op": "health"})
+        assert health["ok"] and health["health"]["metrics_enabled"] is False

@@ -1,0 +1,423 @@
+"""Unit and property tests for ``repro.obs.metrics`` (+ export edges).
+
+The percentile math is the part that has to be *provably* right — the
+histogram stores bucket counts, never samples, so the tests pin the
+estimator against the exact nearest-rank percentile of the raw samples
+with hypothesis: the estimate must land in the same bucket as the true
+value and inside the observed ``[min, max]``.  The rest covers the
+rolling windows, the scorecards, the slow-query log's bounded eviction,
+the process-global install/tee, and the ``obs/export.py`` edge cases
+(nested attrs, empty tracer, Prometheus round trip).
+"""
+
+import math
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.obs as obs
+from repro.obs.export import parse_prometheus, render_prometheus, span_to_dict
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+    RollingWindow,
+    SlowQueryLog,
+    SourceScorecard,
+)
+
+
+class FakeClock:
+    """A manually advanced monotonic clock for deterministic windows."""
+
+    def __init__(self, start: float = 1000.0):
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestRollingWindow:
+    def test_accumulates_within_window(self):
+        window = RollingWindow(width=1.0, slots=10)
+        window.add(3, now=100.0)
+        window.add(2, now=100.5)
+        window.add(5, now=104.0)
+        assert window.total(now=104.0) == 10
+
+    def test_old_slots_age_out(self):
+        window = RollingWindow(width=1.0, slots=5)
+        window.add(7, now=100.0)
+        assert window.total(now=104.9) == 7
+        assert window.total(now=105.1) == 0
+
+    def test_slot_reuse_resets_stale_epoch(self):
+        window = RollingWindow(width=1.0, slots=2)
+        window.add(9, now=100.0)
+        window.add(1, now=102.0)  # same ring slot, two epochs later
+        assert window.total(now=102.0) == 1
+
+    def test_rate_is_total_over_span(self):
+        window = RollingWindow(width=1.0, slots=10)
+        window.add(20, now=50.0)
+        assert window.rate(now=50.0) == pytest.approx(2.0)
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            RollingWindow(width=0, slots=5)
+        with pytest.raises(ValueError):
+            RollingWindow(width=1.0, slots=0)
+
+
+class TestHistogram:
+    def test_exact_count_sum_min_max(self):
+        histogram = Histogram()
+        for value in (0.001, 0.003, 0.2):
+            histogram.observe(value)
+        assert histogram.count == 3
+        assert histogram.total == pytest.approx(0.204)
+        assert histogram.min == pytest.approx(0.001)
+        assert histogram.max == pytest.approx(0.2)
+        assert histogram.mean == pytest.approx(0.068)
+
+    def test_empty_percentile_is_zero(self):
+        assert Histogram().percentile(99) == 0.0
+
+    def test_percentile_range_checked(self):
+        with pytest.raises(ValueError):
+            Histogram().percentile(101)
+
+    def test_bounds_must_increase(self):
+        with pytest.raises(ValueError):
+            Histogram(bounds=(0.1, 0.1))
+
+    def test_single_sample_all_percentiles_equal_it(self):
+        histogram = Histogram()
+        histogram.observe(0.0042)
+        for q in (0, 50, 95, 99, 100):
+            assert histogram.percentile(q) == pytest.approx(0.0042)
+
+    def test_overflow_bucket_clamps_to_observed_max(self):
+        histogram = Histogram(bounds=(0.001, 0.01))
+        histogram.observe(5.0)  # beyond the last bound
+        assert histogram.percentile(99) == pytest.approx(5.0)
+
+    def test_summary_buckets_are_cumulative(self):
+        histogram = Histogram(bounds=(0.001, 0.01, 0.1))
+        for value in (0.0005, 0.005, 0.05, 7.0):
+            histogram.observe(value)
+        summary = histogram.summary()
+        assert [b["count"] for b in summary["buckets"]] == [1, 2, 3, 4]
+        assert summary["buckets"][-1]["le"] == "+Inf"
+        assert summary["p50"] <= summary["p95"] <= summary["p99"]
+
+
+def _true_nearest_rank(samples: list, q: float) -> float:
+    ordered = sorted(samples)
+    rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+    return ordered[rank - 1]
+
+
+def _bucket_index(bounds: tuple, value: float) -> int:
+    for index, bound in enumerate(bounds):
+        if value <= bound:
+            return index
+    return len(bounds)
+
+
+latency_samples = st.lists(
+    st.floats(min_value=1e-6, max_value=20.0, allow_nan=False, allow_infinity=False),
+    min_size=1,
+    max_size=200,
+)
+
+
+class TestHistogramProperties:
+    @settings(max_examples=200, deadline=None)
+    @given(samples=latency_samples, q=st.floats(min_value=0.0, max_value=100.0))
+    def test_estimate_lands_in_true_percentile_bucket(self, samples, q):
+        histogram = Histogram()
+        for value in samples:
+            histogram.observe(value)
+        true_value = _true_nearest_rank(samples, q)
+        estimate = histogram.percentile(q)
+        assert min(samples) <= estimate <= max(samples)
+        assert _bucket_index(histogram.bounds, estimate) == _bucket_index(
+            histogram.bounds, true_value
+        )
+
+    @settings(max_examples=100, deadline=None)
+    @given(samples=latency_samples)
+    def test_percentiles_are_monotone_in_q(self, samples):
+        histogram = Histogram()
+        for value in samples:
+            histogram.observe(value)
+        quantiles = [histogram.percentile(q) for q in (0, 25, 50, 75, 95, 99, 100)]
+        assert quantiles == sorted(quantiles)
+
+    @settings(max_examples=100, deadline=None)
+    @given(samples=latency_samples)
+    def test_count_and_sum_are_exact(self, samples):
+        histogram = Histogram()
+        for value in samples:
+            histogram.observe(value)
+        assert histogram.count == len(samples)
+        assert histogram.total == pytest.approx(sum(samples))
+        assert sum(histogram.counts) == len(samples)
+
+
+class TestSlowQueryLog:
+    def test_bounded_eviction_keeps_the_slowest(self):
+        log = SlowQueryLog(capacity=2)
+        log.record("fast", "translate", 0.001)
+        log.record("slow", "translate", 1.0)
+        log.record("medium", "mediate", 0.5)
+        top = log.top(10)
+        assert [entry["fingerprint"] for entry in top] == ["slow", "medium"]
+        assert len(log) == 2
+
+    def test_repeat_fingerprint_aggregates(self):
+        log = SlowQueryLog(capacity=4)
+        log.record("fp", "translate", 0.2, query="[ln = \"x\"]")
+        log.record("fp", "translate", 0.4)
+        (entry,) = log.top(1)
+        assert entry["count"] == 2
+        assert entry["max_ms"] == pytest.approx(400.0)
+        assert entry["mean_ms"] == pytest.approx(300.0)
+        assert entry["query"] == "[ln = \"x\"]"
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            SlowQueryLog(capacity=0)
+
+
+class TestSourceScorecard:
+    def test_status_accounting(self):
+        card = SourceScorecard("amazon")
+        card.record(seconds=0.01, now=1.0, status="ok", rows=3)
+        card.record(seconds=0.02, now=1.1, status="retried", retries=2, rows=1)
+        card.record(seconds=0.5, now=1.2, status="failed", error="boom")
+        card.record(seconds=0.3, now=1.3, status="timed-out")
+        card.record(seconds=0.0, now=1.4, status="skipped-open-circuit",
+                    breaker_state="open")
+        snapshot = card.snapshot(now=1.5)
+        assert snapshot["calls"] == 5
+        assert snapshot["ok"] == 2
+        assert snapshot["failures"] == 3
+        assert snapshot["timeouts"] == 1
+        assert snapshot["skipped_open_circuit"] == 1
+        assert snapshot["retries"] == 2
+        assert snapshot["rows"] == 4
+        assert snapshot["breaker_state"] == "open"
+        assert snapshot["last_error"] == "boom"
+        assert snapshot["error_rate"] == pytest.approx(0.6)
+        assert snapshot["window"]["calls"] == 5
+        assert snapshot["window"]["error_rate"] == pytest.approx(0.6)
+
+
+class TestMetricsRegistry:
+    def test_counters_total_and_window(self):
+        clock = FakeClock()
+        registry = MetricsRegistry(clock=clock, window_width=1.0, window_slots=10)
+        registry.count("serve.requests", 4)
+        clock.advance(60.0)  # window ages out, total persists
+        registry.count("serve.requests")
+        assert registry.counter_total("serve.requests") == 5
+        assert registry.window_total("serve.requests") == 1
+
+    def test_gauge_and_gauge_max(self):
+        registry = MetricsRegistry(clock=FakeClock())
+        registry.gauge("state", "closed")
+        registry.gauge_max("high_water", 3)
+        registry.gauge_max("high_water", 2)
+        snapshot = registry.snapshot()
+        assert snapshot["gauges"] == {"state": "closed", "high_water": 3}
+
+    def test_record_request_feeds_both_histograms_and_slowlog(self):
+        registry = MetricsRegistry(clock=FakeClock())
+        registry.record_request("translate", 0.25, fingerprint="fp", query="q")
+        per_op = registry.histogram("serve.translate.latency")
+        overall = registry.histogram("serve.request.latency")
+        assert per_op is not None and per_op.count == 1
+        assert overall is not None and overall.count == 1
+        assert registry.slowlog_top(1)[0]["fingerprint"] == "fp"
+
+    def test_record_request_default_op_observes_once(self):
+        registry = MetricsRegistry(clock=FakeClock())
+        registry.record_request("request", 0.1)
+        histogram = registry.histogram("serve.request.latency")
+        assert histogram is not None and histogram.count == 1
+
+    def test_record_source_outcome_duck_types(self):
+        from repro.resilience import SourceOutcome
+
+        registry = MetricsRegistry(clock=FakeClock())
+        registry.record_source_outcome(
+            SourceOutcome(
+                source="amazon", status="retried", attempts=2, retries=1,
+                rows=7, elapsed=0.05, breaker_state="closed",
+            )
+        )
+        (card,) = registry.scorecards_snapshot()
+        assert card["source"] == "amazon"
+        assert card["ok"] == 1
+        assert card["retries"] == 1
+        assert card["rows"] == 7
+        assert card["breaker_state"] == "closed"
+
+    def test_concurrent_counts_are_exact(self):
+        registry = MetricsRegistry()
+        threads = [
+            threading.Thread(
+                target=lambda: [registry.count("hits") for _ in range(500)]
+            )
+            for _ in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert registry.counter_total("hits") == 4000
+
+    def test_snapshot_shape(self):
+        registry = MetricsRegistry(clock=FakeClock())
+        registry.count("a")
+        registry.observe("lat", 0.01)
+        snapshot = registry.snapshot()
+        assert snapshot["counters"]["a"]["total"] == 1
+        assert snapshot["histograms"]["lat"]["count"] == 1
+        assert "uptime_seconds" in snapshot and "window_seconds" in snapshot
+
+
+class TestInstallAndTee:
+    def test_hooks_tee_into_installed_registry_without_tracer(self):
+        registry = MetricsRegistry(clock=FakeClock())
+        with obs.installed(registry):
+            assert obs.recording()
+            assert not obs.enabled()
+            obs.count("serve.requests", 2)
+            obs.gauge("depth", 5)
+            obs.gauge_max("high", 1.5)
+        assert registry.counter_total("serve.requests") == 2
+        assert registry.snapshot()["gauges"] == {"depth": 5, "high": 1.5}
+        assert obs.metrics_sink() is None
+
+    def test_tracer_and_registry_both_record(self):
+        registry = MetricsRegistry(clock=FakeClock())
+        with obs.installed(registry), obs.tracing() as tracer:
+            obs.count("x", 3)
+        assert tracer.counters["x"] == 3
+        assert registry.counter_total("x") == 3
+
+    def test_installed_restores_previous_registry(self):
+        outer = MetricsRegistry(clock=FakeClock())
+        inner = MetricsRegistry(clock=FakeClock())
+        with obs.installed(outer):
+            with obs.installed(inner):
+                obs.count("n")
+            obs.count("n")
+            assert obs.active_registry() is outer
+        assert inner.counter_total("n") == 1
+        assert outer.counter_total("n") == 1
+
+    def test_install_uninstall(self):
+        registry = obs.install(MetricsRegistry(clock=FakeClock()))
+        try:
+            assert obs.active_registry() is registry
+        finally:
+            obs.uninstall()
+        assert obs.active_registry() is None
+
+    def test_record_outcome_feeds_scorecards_with_no_tracer(self):
+        from repro.resilience import SourceOutcome
+        from repro.resilience.adapter import record_outcome
+
+        registry = MetricsRegistry(clock=FakeClock())
+        with obs.installed(registry):
+            record_outcome(
+                SourceOutcome(
+                    source="clbooks", status="failed", attempts=3, retries=2,
+                    rows=0, elapsed=0.4, error="down", breaker_state="open",
+                )
+            )
+        (card,) = registry.scorecards_snapshot()
+        assert card["failures"] == 1
+        assert card["retries"] == 2
+        assert card["breaker_state"] == "open"
+        # the resilience.* counters tee in too, tracer or no tracer
+        assert registry.counter_total("resilience.calls") == 1
+        assert registry.counter_total("resilience.retries") == 2
+        assert registry.counter_total("resilience.failures") == 1
+
+
+class TestExportEdgeCases:
+    def test_span_to_dict_nested_and_non_plain_attrs(self):
+        with obs.tracing() as tracer:
+            with obs.span(
+                "stage",
+                nested={"inner": [1, {"deep": object()}]},
+                tags={"b", "a"},
+                plain=7,
+            ):
+                pass
+        data = span_to_dict(tracer.root)
+        attrs = data["children"][0]["attrs"]
+        assert attrs["plain"] == 7
+        assert attrs["nested"]["inner"][0] == 1
+        assert isinstance(attrs["nested"]["inner"][1]["deep"], str)
+        assert attrs["tags"] == ["a", "b"]  # sets render sorted for determinism
+
+    def test_render_report_empty_tracer(self):
+        with obs.tracing() as tracer:
+            pass
+        report = obs.render_report(tracer)
+        assert "spans:" in report
+        assert "(no counters recorded)" in report
+
+    def test_prometheus_round_trip(self):
+        clock = FakeClock()
+        registry = MetricsRegistry(clock=clock)
+        registry.count("serve.requests", 5)
+        registry.gauge("perf.cache.hit_rate", 0.75)
+        registry.gauge("breaker", "half-open")
+        registry.observe("serve.request.latency", 0.003)
+        registry.observe("serve.request.latency", 0.3)
+        registry.record_source_call(
+            "amazon", 0.02, status="ok", rows=4, breaker_state="closed"
+        )
+        text = render_prometheus(registry)
+        samples = parse_prometheus(text)
+        assert samples[("repro_serve_requests_total", ())] == 5
+        assert samples[("repro_perf_cache_hit_rate", ())] == pytest.approx(0.75)
+        assert samples[("repro_breaker_info", (("value", "half-open"),))] == 1
+        assert samples[("repro_serve_request_latency_seconds_count", ())] == 2
+        assert samples[
+            ("repro_serve_request_latency_seconds_bucket", (("le", "+Inf"),))
+        ] == 2
+        assert samples[
+            ("repro_source_calls_total", (("source", "amazon"),))
+        ] == 1
+        assert samples[
+            ("repro_source_rows_total", (("source", "amazon"),))
+        ] == 4
+        assert samples[
+            (
+                "repro_source_latency_seconds_count",
+                (("source", "amazon"),),
+            )
+        ] == 1
+        # bucket series for the labelled source histogram parse as well
+        bucket_keys = [
+            key for key in samples
+            if key[0] == "repro_source_latency_seconds_bucket"
+        ]
+        assert len(bucket_keys) == len(DEFAULT_LATENCY_BUCKETS) + 1
+
+    def test_parse_prometheus_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_prometheus("this is not exposition\n")
