@@ -1,4 +1,4 @@
-"""vocablint — static analysis of mapping specifications.
+"""Static analysis: vocablint (per spec) and the federation audit.
 
 The paper (Definitions 3/4) leaves soundness and completeness of a
 mapping specification ``K`` to human judgement.  This package mechanizes
@@ -7,11 +7,21 @@ every rule, replays the matcher over them, and checks the results
 against the subsumption, safety, and capability machinery — *without
 executing a single query*.
 
-Findings carry stable ``VM0xx`` codes (see
-:data:`~repro.analysis.diagnostics.CATALOG` and
-``docs/static_analysis.md``), severities, and rule-level locations.
-Surface: :func:`lint_specification` in code, ``repro lint`` on the
-command line.
+Two analyzers share the diagnostic model:
+
+* **vocablint** — one specification in isolation; stable ``VM0xx``
+  codes (:data:`~repro.analysis.diagnostics.CATALOG`).  Surface:
+  :func:`lint_specification` / ``repro lint``.
+* **federation audit** — every spec/vocabulary/capability of a
+  federation together; ``VF0xx`` codes
+  (:data:`~repro.analysis.diagnostics.FEDERATION_CATALOG`), a coverage
+  matrix, and semantics-preserving merge proposals from
+  :mod:`repro.analysis.consolidate`.  Surface:
+  :func:`audit_federation` / ``repro audit``.
+
+Both export SARIF 2.1.0 via :func:`diagnostics_to_sarif` for CI
+annotations.  See ``docs/static_analysis.md`` for the catalogs and the
+audit-as-publish-gate workflow.
 """
 
 from repro.analysis.checks import (
@@ -20,13 +30,34 @@ from repro.analysis.checks import (
     classify_subsumption,
     prepare_context,
 )
+from repro.analysis.consolidate import (
+    ConsolidationResult,
+    MergeProposal,
+    PairingStats,
+    apply_proposals,
+    candidate_pairs,
+    consolidate_spec,
+)
 from repro.analysis.diagnostics import (
     CATALOG,
+    FEDERATION_CATALOG,
     CodeInfo,
     Diagnostic,
     LintReport,
     Severity,
     catalog_entry,
+    diagnostic_order,
+)
+from repro.analysis.federation import (
+    CoverageMatrix,
+    Federation,
+    FederationReport,
+    FederationSource,
+    audit_federation,
+    builtin_federations,
+    federation_from_dict,
+    federation_from_mediator,
+    load_federation,
 )
 from repro.analysis.linter import (
     capability_from_dict,
@@ -40,23 +71,42 @@ from repro.analysis.sampling import (
     harvest_literals,
     sample_rule,
 )
+from repro.analysis.sarif import diagnostics_to_sarif
 
 __all__ = [
     "CATALOG",
+    "FEDERATION_CATALOG",
     "CodeInfo",
+    "ConsolidationResult",
+    "CoverageMatrix",
     "Diagnostic",
+    "Federation",
+    "FederationReport",
+    "FederationSource",
     "LintContext",
     "LintReport",
+    "MergeProposal",
+    "PairingStats",
     "RuleSamples",
     "Severity",
     "SpecLiterals",
     "SubsumptionVerdict",
+    "apply_proposals",
+    "audit_federation",
+    "builtin_federations",
+    "candidate_pairs",
     "capability_from_dict",
     "catalog_entry",
     "classify_subsumption",
+    "consolidate_spec",
+    "diagnostic_order",
+    "diagnostics_to_sarif",
+    "federation_from_dict",
+    "federation_from_mediator",
     "harvest_literals",
     "lint_many",
     "lint_specification",
+    "load_federation",
     "prepare_context",
     "sample_rule",
     "vocabulary_from_dict",

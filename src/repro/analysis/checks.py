@@ -26,7 +26,7 @@ import enum
 from collections.abc import Callable
 from dataclasses import dataclass, field
 
-from repro.core.ast import Constraint, Query, conj
+from repro.core.ast import AttrRef, Constraint, Query, conj
 from repro.core.matching import AttrPattern, Matching, Rule
 from repro.core.subsume import prop_equivalent, prop_implies, prop_satisfiable
 from repro.engine.capabilities import Capability
@@ -510,6 +510,21 @@ def check_cross_matching_hazards(context: LintContext) -> list[Diagnostic]:
 # ---------------------------------------------------------------------------
 
 
+def tautological(constraint: Constraint) -> bool:
+    """A constraint trivially true regardless of data, e.g. ``x = x``.
+
+    Sampled join bindings can collapse both sides of a join pattern onto
+    the same attribute instance; the resulting self-equality never needs
+    native support because it is equivalent to ``true`` and droppable
+    before translation.
+    """
+    return (
+        constraint.op == "="
+        and isinstance(constraint.rhs, AttrRef)
+        and constraint.rhs == constraint.lhs
+    )
+
+
 def check_inexpressible(context: LintContext) -> list[Diagnostic]:
     """VM012: emissions the target capability cannot evaluate."""
     if context.capability is None:
@@ -519,7 +534,7 @@ def check_inexpressible(context: LintContext) -> list[Diagnostic]:
         reported: set[Constraint] = set()
         for matching in context.samples[rule.name].matchings:
             for bad in context.capability.violations(matching.emission):
-                if bad in reported:
+                if bad in reported or tautological(bad):
                     continue
                 reported.add(bad)
                 out.append(

@@ -1,0 +1,351 @@
+"""Rule consolidation — semantics-preserving merge proposals.
+
+The vocabulary-lifecycle problem: long-lived specifications accumulate
+near-duplicate and subsumed rules (copy-pasted variants, superseded
+mappings nobody deleted).  They bloat the compiled index and slow every
+prematch, yet deleting one by hand risks changing translation semantics.
+
+This module finds merge candidates and *proves* each proposal harmless
+before surfacing it:
+
+* :func:`candidate_pairs` — rule pairs worth comparing, pruned through
+  the :class:`~repro.perf.index.CompiledRuleIndex` head signatures the
+  hot path already maintains.  Two rules can only be duplicates or
+  subsume each other on a shared constraint group if their heads bind
+  the same (attr, op, view) shape, so rules are bucketed by signature
+  key and only same-bucket pairs are examined — sub-quadratic on
+  realistic libraries (``benchmarks/bench_analysis.py`` gates this at
+  10k rules), with an ``all_pairs=True`` escape hatch that provably
+  returns the same pairs.
+* :func:`consolidate_spec` — analyzes each candidate pair on sampled
+  matchings and emits a :class:`MergeProposal` only when dropping one
+  rule is machine-checked semantics-preserving: for every constraint
+  group the dropped rule matches, ``prop_equivalent(keep ∧ drop, keep)``
+  holds (the kept emission already contributes everything the dropped
+  one would), and exactness never weakens.
+* :func:`apply_proposals` — builds a *new* consolidated specification;
+  the input is never mutated.
+
+Laconic schema mappings (ten Cate et al.) motivate the goal — a
+redundancy-free core with unchanged semantics; containment of schema
+mappings (Calì & Torlone) is the decision problem
+``prop_implies``/``prop_equivalent`` mechanize propositionally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.ast import Query, conj
+from repro.core.matching import Matching
+from repro.core.subsume import prop_equivalent, prop_implies
+from repro.obs import trace as obs
+from repro.rules.spec import MappingSpecification
+from repro.rules.vocabulary import ContextVocabulary
+
+from repro.analysis.sampling import (
+    RuleSamples,
+    SpecLiterals,
+    harvest_literals,
+    sample_rule,
+)
+
+__all__ = [
+    "PairingStats",
+    "MergeProposal",
+    "ConsolidationResult",
+    "candidate_pairs",
+    "consolidate_spec",
+    "apply_proposals",
+]
+
+#: Signature-key wildcard; distinct from any literal attr/op/view name.
+_ANY = "?"
+
+
+@dataclass(frozen=True)
+class PairingStats:
+    """How much work candidate pairing did (and avoided)."""
+
+    rules: int
+    pairs_possible: int
+    pairs_examined: int
+    buckets: int
+
+    @property
+    def pruning_factor(self) -> float:
+        """How many times fewer pairs than all-pairs comparison."""
+        if self.pairs_examined == 0:
+            return float(max(self.pairs_possible, 1))
+        return self.pairs_possible / self.pairs_examined
+
+    def to_dict(self) -> dict:
+        return {
+            "rules": self.rules,
+            "pairs_possible": self.pairs_possible,
+            "pairs_examined": self.pairs_examined,
+            "buckets": self.buckets,
+            "pruning_factor": round(self.pruning_factor, 2),
+        }
+
+
+@dataclass(frozen=True)
+class MergeProposal:
+    """One verified, non-destructive merge: drop ``drop``, keep ``keep``.
+
+    ``verified`` is the machine-checked stamp: for every sampled
+    constraint group of the dropped rule,
+    ``prop_equivalent(conj(keep_emission, drop_emission), keep_emission)``
+    held.  Proposals that fail the check are never emitted.
+    """
+
+    spec: str
+    keep: str
+    drop: str
+    kind: str  # "duplicate" | "subsumed"
+    groups: tuple[str, ...]
+    verified: bool
+    evidence: tuple[tuple[str, str], ...] = ()
+
+    def to_dict(self) -> dict:
+        return {
+            "spec": self.spec,
+            "keep": self.keep,
+            "drop": self.drop,
+            "kind": self.kind,
+            "groups": list(self.groups),
+            "verified": self.verified,
+            "evidence": dict(self.evidence),
+        }
+
+    def __str__(self) -> str:
+        return (
+            f"{self.spec}: drop {self.drop} (kept by {self.keep}, "
+            f"{self.kind}, {'verified' if self.verified else 'UNVERIFIED'})"
+        )
+
+
+@dataclass(frozen=True)
+class ConsolidationResult:
+    """Outcome of :func:`consolidate_spec`."""
+
+    spec: str
+    proposals: tuple[MergeProposal, ...]
+    stats: PairingStats
+
+    def to_dict(self) -> dict:
+        return {
+            "spec": self.spec,
+            "proposals": [p.to_dict() for p in self.proposals],
+            "stats": self.stats.to_dict(),
+        }
+
+
+def _signature_key(spec: MappingSpecification, rule_id: int) -> tuple:
+    """Order-insensitive head-shape key from the compiled index."""
+    index = spec.compiled_index()
+    return tuple(
+        sorted(
+            (sig.attr or _ANY, sig.op or _ANY, sig.view or _ANY)
+            for sig in index.signature(rule_id)
+        )
+    )
+
+
+def candidate_pairs(
+    spec: MappingSpecification, all_pairs: bool = False
+) -> tuple[list[tuple[str, str]], PairingStats]:
+    """Rule-name pairs that could be duplicates or subsume each other.
+
+    Two rules are candidates iff their head signature keys coincide —
+    a necessary condition for matching the same constraint groups, since
+    a head pattern only binds constraints its literal (attr, op, view)
+    fields admit.  Indexed mode buckets rules by key (one dict pass);
+    ``all_pairs=True`` compares every pair directly — same output, used
+    by the bench to demonstrate the pruning factor.
+    """
+    keys = [_signature_key(spec, rule_id) for rule_id in range(len(spec.rules))]
+    names = [rule.name for rule in spec.rules]
+    n = len(names)
+    possible = n * (n - 1) // 2
+    pairs: list[tuple[str, str]] = []
+    if all_pairs:
+        examined = possible
+        for i in range(n):
+            for j in range(i + 1, n):
+                if keys[i] == keys[j]:
+                    pairs.append((names[i], names[j]))
+        stats = PairingStats(
+            rules=n, pairs_possible=possible, pairs_examined=examined, buckets=0
+        )
+    else:
+        buckets: dict[tuple, list[int]] = {}
+        for rule_id, key in enumerate(keys):
+            buckets.setdefault(key, []).append(rule_id)
+        examined = 0
+        for members in buckets.values():
+            if len(members) < 2:
+                continue
+            examined += len(members) * (len(members) - 1) // 2
+            for a in range(len(members)):
+                for b in range(a + 1, len(members)):
+                    pairs.append((names[members[a]], names[members[b]]))
+        # Bucket order follows first-seen rule order, so pairs come out
+        # in the same specification order as the all-pairs scan.
+        stats = PairingStats(
+            rules=n,
+            pairs_possible=possible,
+            pairs_examined=examined,
+            buckets=len(buckets),
+        )
+    if obs.enabled():
+        obs.count("consolidate.pairs_examined", stats.pairs_examined)
+        obs.count("consolidate.pairs_found", len(pairs))
+    return sorted(pairs), stats
+
+
+def _group_table(samples: RuleSamples) -> dict[frozenset, list[Matching]]:
+    table: dict[frozenset, list[Matching]] = {}
+    for matching in samples.matchings:
+        table.setdefault(matching.constraints, []).append(matching)
+    return table
+
+
+def _effective_emission(matchings: list[Matching]) -> Query:
+    """What the rule contributes for one group: all emissions, conjoined."""
+    return conj(sorted((m.emission for m in matchings), key=str))
+
+
+def _render_group(group: frozenset) -> str:
+    return "{" + ", ".join(sorted(map(str, group))) + "}"
+
+
+def _propose(
+    spec: MappingSpecification,
+    keep: str,
+    drop: str,
+    keep_groups: dict[frozenset, list[Matching]],
+    drop_groups: dict[frozenset, list[Matching]],
+) -> MergeProposal | None:
+    """A verified proposal to drop ``drop`` in favor of ``keep``, or None.
+
+    Dropping is semantics-preserving when, for *every* group the dropped
+    rule matches, the kept rule matches the same group with an emission
+    at least as strong — conjoining the dropped emission changes nothing
+    — and dropping never loses an exactness claim the kept rule cannot
+    supply (an exact matching lost to a non-exact equivalent would
+    silently widen the translation's exactness accounting).
+    """
+    if not drop_groups or not keep_groups:
+        return None
+    if not set(drop_groups) <= set(keep_groups):
+        return None
+    duplicate = set(drop_groups) == set(keep_groups)
+    evidence: list[tuple[str, str]] = []
+    for group in drop_groups:
+        keep_emission = _effective_emission(keep_groups[group])
+        drop_emission = _effective_emission(drop_groups[group])
+        # The machine-checked semantics-preservation stamp: conjoining
+        # the dropped emission onto the kept one changes nothing.
+        if not prop_equivalent(
+            conj(sorted((keep_emission, drop_emission), key=str)), keep_emission
+        ):
+            return None
+        keep_exact = any(m.exact for m in keep_groups[group])
+        drop_exact = any(m.exact for m in drop_groups[group])
+        if drop_exact and not keep_exact:
+            return None
+        if duplicate and not prop_implies(drop_emission, keep_emission):
+            duplicate = False
+        evidence.append(
+            (
+                f"group {_render_group(group)}",
+                f"keep emits ({keep_emission}), drop emits ({drop_emission})",
+            )
+        )
+    return MergeProposal(
+        spec=spec.name,
+        keep=keep,
+        drop=drop,
+        kind="duplicate" if duplicate else "subsumed",
+        groups=tuple(sorted(_render_group(g) for g in drop_groups)),
+        verified=True,
+        evidence=tuple(evidence),
+    )
+
+
+def consolidate_spec(
+    spec: MappingSpecification,
+    vocabulary: ContextVocabulary | None = None,
+    samples: dict[str, RuleSamples] | None = None,
+    all_pairs: bool = False,
+) -> ConsolidationResult:
+    """Find verified merge proposals for one specification.
+
+    ``samples`` reuses an existing lint run's synthesized matchings;
+    otherwise rules are sampled lazily — only rules appearing in some
+    candidate pair pay the sampling cost, which is what keeps the
+    analyzer linear-ish on 10k-rule libraries where almost every rule is
+    in a singleton bucket.
+    """
+    with obs.span("consolidate.spec", spec=spec.name, rules=len(spec.rules)):
+        pairs, stats = candidate_pairs(spec, all_pairs=all_pairs)
+        literals: SpecLiterals | None = None
+        cache: dict[str, RuleSamples] = dict(samples or {})
+
+        def samples_for(name: str) -> RuleSamples:
+            nonlocal literals
+            if name not in cache:
+                if literals is None:
+                    literals = harvest_literals(spec)
+                cache[name] = sample_rule(spec.get_rule(name), literals, vocabulary)
+            return cache[name]
+
+        proposals: list[MergeProposal] = []
+        dropped: set[str] = set()
+        for first, second in pairs:
+            if first in dropped or second in dropped:
+                continue  # already consolidated through another pair
+            first_groups = _group_table(samples_for(first))
+            second_groups = _group_table(samples_for(second))
+            proposal = _propose(spec, first, second, first_groups, second_groups)
+            if proposal is None:
+                proposal = _propose(
+                    spec, second, first, second_groups, first_groups
+                )
+            if proposal is not None:
+                proposals.append(proposal)
+                dropped.add(proposal.drop)
+        if obs.enabled():
+            obs.count("consolidate.proposals", len(proposals))
+        return ConsolidationResult(
+            spec=spec.name, proposals=tuple(proposals), stats=stats
+        )
+
+
+def apply_proposals(
+    spec: MappingSpecification, proposals: tuple[MergeProposal, ...]
+) -> MappingSpecification:
+    """A *new* specification with every verified proposal's drop removed.
+
+    Non-destructive: ``spec`` is untouched (same object, same version
+    stamp).  Unverified proposals are refused loudly rather than
+    silently skipped.
+    """
+    for proposal in proposals:
+        if not proposal.verified:
+            raise ValueError(
+                f"refusing to apply unverified proposal {proposal}"
+            )
+        if proposal.spec != spec.name:
+            raise ValueError(
+                f"proposal {proposal} targets {proposal.spec!r}, "
+                f"not {spec.name!r}"
+            )
+    dropped = {proposal.drop for proposal in proposals}
+    return MappingSpecification(
+        name=spec.name,
+        target=spec.target,
+        rules=tuple(rule for rule in spec.rules if rule.name not in dropped),
+        description=spec.description,
+    )

@@ -1,13 +1,15 @@
-"""Diagnostic model for the ``vocablint`` static analyzer.
+"""Diagnostic model for the ``vocablint`` and ``audit`` static analyzers.
 
-A :class:`Diagnostic` is one finding about a mapping specification: a
-stable code (``VM001`` … ``VM012``), a :class:`Severity`, a source
-location (rule name + field), a human message, and machine-readable
-details.  :class:`LintReport` aggregates the findings of one lint run
-with filtering, rendering, and JSON export.
+A :class:`Diagnostic` is one finding about a mapping specification or a
+federation of them: a stable code (``VM001`` … ``VM012`` for single-spec
+findings, ``VF001`` … ``VF007`` for federation-wide ones), a
+:class:`Severity`, a source location (rule name + field), a human
+message, and machine-readable details.  :class:`LintReport` aggregates
+the findings of one lint run with filtering, rendering, and JSON export.
 
-The full catalog, with the paper definitions each code mechanizes, lives
-in :data:`CATALOG` and is documented in ``docs/static_analysis.md``.
+The full catalogs, with the paper definitions each code mechanizes, live
+in :data:`CATALOG` / :data:`FEDERATION_CATALOG` and are documented in
+``docs/static_analysis.md``.
 """
 
 from __future__ import annotations
@@ -21,7 +23,9 @@ __all__ = [
     "LintReport",
     "CodeInfo",
     "CATALOG",
+    "FEDERATION_CATALOG",
     "catalog_entry",
+    "diagnostic_order",
 ]
 
 
@@ -152,9 +156,78 @@ CATALOG: dict[str, CodeInfo] = {
 }
 
 
+#: The VF0xx federation catalog (``repro.analysis.federation`` /
+#: ``repro.analysis.consolidate``).  Stable like the VM catalog: never
+#: renumber, only append.
+FEDERATION_CATALOG: dict[str, CodeInfo] = {
+    info.code: info
+    for info in (
+        CodeInfo(
+            "VF001",
+            Severity.ERROR,
+            "unanswerable-region",
+            "a declared federation vocabulary constraint is covered by no "
+            "source — the mediator silently widens it to True everywhere",
+        ),
+        CodeInfo(
+            "VF002",
+            Severity.ERROR,
+            "contradictory-mapping",
+            "two sources map the same global constraint group to emissions "
+            "over shared vocabulary whose conjunction is unsatisfiable — "
+            "the sources cannot both be right",
+        ),
+        CodeInfo(
+            "VF003",
+            Severity.WARNING,
+            "round-trip-drift",
+            "translating a constraint through one source and back through "
+            "another lands on the same attribute with a different "
+            "constraint — an asymmetric translation pair",
+        ),
+        CodeInfo(
+            "VF004",
+            Severity.ERROR,
+            "divergent-exact-translation",
+            "two sources translate the same group exactly but to "
+            "non-equivalent emissions over shared vocabulary; at most one "
+            "exactness claim can hold",
+        ),
+        CodeInfo(
+            "VF005",
+            Severity.WARNING,
+            "federation-dead-rule",
+            "a rule fires, but every emission it can produce is rejected "
+            "by its own source's capability — dead weight at the "
+            "federation level",
+        ),
+        CodeInfo(
+            "VF006",
+            Severity.WARNING,
+            "cross-source-shadowed-rule",
+            "every matching of a rule is equivalently covered, within "
+            "capability, by another source mapping to the same target — "
+            "the rule adds nothing to the federation",
+        ),
+        CodeInfo(
+            "VF007",
+            Severity.WARNING,
+            "mergeable-rules",
+            "consolidation found a semantics-preserving merge: a rule is a "
+            "duplicate of, or subsumed by, another rule in the same spec "
+            "(verdict machine-checked by prop_equivalent)",
+        ),
+    )
+}
+
+
 def catalog_entry(code: str) -> CodeInfo:
     try:
         return CATALOG[code]
+    except KeyError:
+        pass
+    try:
+        return FEDERATION_CATALOG[code]
     except KeyError:
         raise KeyError(f"unknown diagnostic code {code!r}") from None
 
@@ -201,13 +274,25 @@ class Diagnostic:
         return f"{self.code} {str(self.severity):<7} {self.location}: {self.message}"
 
 
-def _sort_key(diagnostic: Diagnostic) -> tuple:
+def diagnostic_order(diagnostic: Diagnostic) -> tuple:
+    """Total order over diagnostics: code, rule, field, then tie-breaks.
+
+    The order is a pure function of the diagnostic's own fields — never
+    of check registration or iteration order — so ``--json`` output is
+    byte-stable across runs and refactors.
+    """
     return (
-        -int(diagnostic.severity),
         diagnostic.code,
+        diagnostic.spec,
         diagnostic.rule or "",
+        diagnostic.field,
+        -int(diagnostic.severity),
         diagnostic.message,
+        diagnostic.details,
     )
+
+
+_sort_key = diagnostic_order
 
 
 @dataclass(frozen=True)

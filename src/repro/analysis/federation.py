@@ -1,0 +1,854 @@
+"""Federation-wide static analysis (the ``VF0xx`` catalog).
+
+vocablint (:mod:`repro.analysis.linter`) audits one specification in
+isolation; a mediator federates *many*, and the failure modes that cost
+the most debugging time only exist between them: a vocabulary region no
+source answers, two sources mapping the same global term contradictorily,
+translations that drift on the round trip, rules dead or shadowed once
+each source's :class:`~repro.engine.capabilities.Capability` is applied.
+
+:func:`audit_federation` loads every source's specification, vocabulary,
+and capability, samples all of them over one *shared* constraint
+universe (so identical head shapes in different specifications bind
+identical groups), and emits :class:`~repro.analysis.diagnostics.
+Diagnostic` findings with stable ``VF`` codes:
+
+========  =======  ====================================================
+VF001     error    unanswerable vocabulary region (no source covers it)
+VF002     error    contradictory mappings of one group across sources
+VF003     warning  round-trip drift (asymmetric translation pair)
+VF004     error    divergent exact translations of one group
+VF005     warning  rule dead against its own source's capability
+VF006     warning  rule shadowed by another same-target source
+VF007     warning  verified merge proposal (see ``consolidate``)
+========  =======  ====================================================
+
+Surface: :func:`audit_federation` in code, ``repro audit`` on the
+command line; ``docs/static_analysis.md`` documents the catalog and the
+audit-as-publish-gate workflow.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Mapping
+from dataclasses import dataclass, field
+from itertools import islice, product
+
+from repro.core.ast import Constraint, Query, conj
+from repro.core.matching import Matching, RejectMatch, match_rule
+from repro.core.subsume import prop_equivalent, prop_implies, prop_satisfiable
+from repro.engine.capabilities import Capability
+from repro.obs import trace as obs
+from repro.rules.declarative import spec_from_dict
+from repro.rules.spec import MappingSpecification
+from repro.rules.vocabulary import ContextVocabulary
+
+from repro.analysis.checks import ALL_CHECKS, Oracle, prepare_context, tautological
+from repro.analysis.consolidate import MergeProposal, consolidate_spec
+from repro.analysis.diagnostics import (
+    Diagnostic,
+    LintReport,
+    Severity,
+    catalog_entry,
+    diagnostic_order,
+)
+from repro.analysis.linter import capability_from_dict, vocabulary_from_dict
+
+__all__ = [
+    "FederationSource",
+    "Federation",
+    "CoverageMatrix",
+    "FederationReport",
+    "audit_federation",
+    "federation_from_dict",
+    "load_federation",
+    "federation_from_mediator",
+    "builtin_federations",
+]
+
+
+@dataclass(frozen=True)
+class FederationSource:
+    """One member of a federation: spec + declared vocabulary/capability."""
+
+    name: str
+    spec: MappingSpecification
+    vocabulary: ContextVocabulary | None = None
+    capability: Capability | None = None
+
+
+@dataclass(frozen=True)
+class Federation:
+    """A set of sources mediated under one (optional) global vocabulary.
+
+    ``vocabulary`` is the mediator context's declared vocabulary — the
+    terms users can write.  Declaring it enables the coverage matrix and
+    the VF001 unanswerable-region check.
+    """
+
+    name: str
+    sources: tuple[FederationSource, ...]
+    vocabulary: ContextVocabulary | None = None
+
+    def source(self, name: str) -> FederationSource:
+        for source in self.sources:
+            if source.name == name:
+                return source
+        raise KeyError(f"federation {self.name!r} has no source {name!r}")
+
+
+@dataclass(frozen=True)
+class CoverageMatrix:
+    """Vocabulary terms × sources: who answers what, and how well.
+
+    Cell status: ``exact`` (some exact matching touches the constraint),
+    ``covered`` (matched, inexactly), ``uncovered`` (the source maps it
+    to True).
+    """
+
+    terms: tuple[str, ...]
+    sources: tuple[str, ...]
+    cells: tuple[tuple[str, ...], ...]  # rows align with ``terms``
+
+    def to_dict(self) -> dict:
+        return {
+            "sources": list(self.sources),
+            "rows": [
+                {"term": term, "status": dict(zip(self.sources, row))}
+                for term, row in zip(self.terms, self.cells)
+            ],
+        }
+
+    def render(self) -> str:
+        width = max((len(term) for term in self.terms), default=4)
+        head = " ".join(f"{source:>12}" for source in self.sources)
+        lines = [f"{'term':<{width}} {head}"]
+        for term, row in zip(self.terms, self.cells):
+            cells = " ".join(f"{status:>12}" for status in row)
+            lines.append(f"{term:<{width}} {cells}")
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class FederationReport:
+    """Outcome of one :func:`audit_federation` run.
+
+    ``diagnostics`` merges the per-source vocablint findings (VM codes)
+    with the federation-level findings (VF codes), in the deterministic
+    :func:`~repro.analysis.diagnostics.diagnostic_order`.
+    """
+
+    federation: str
+    diagnostics: tuple[Diagnostic, ...]
+    source_reports: tuple[LintReport, ...] = ()
+    matrix: CoverageMatrix | None = None
+    proposals: tuple[MergeProposal, ...] = ()
+    stats: tuple[tuple[str, int], ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        ordered = tuple(sorted(self.diagnostics, key=diagnostic_order))
+        object.__setattr__(self, "diagnostics", ordered)
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    def __iter__(self):
+        return iter(self.diagnostics)
+
+    @property
+    def max_severity(self) -> Severity | None:
+        if not self.diagnostics:
+            return None
+        return max(d.severity for d in self.diagnostics)
+
+    def filter(
+        self,
+        severity: Severity | None = None,
+        codes: frozenset[str] | set[str] | None = None,
+    ) -> FederationReport:
+        """Keep diagnostics at/above ``severity`` and within ``codes``."""
+        kept = self.diagnostics
+        if severity is not None:
+            kept = tuple(d for d in kept if d.severity >= severity)
+        if codes:
+            kept = tuple(d for d in kept if d.code in codes)
+        return FederationReport(
+            federation=self.federation,
+            diagnostics=kept,
+            source_reports=self.source_reports,
+            matrix=self.matrix,
+            proposals=self.proposals,
+            stats=self.stats,
+        )
+
+    def counts(self) -> dict[str, int]:
+        out = {"error": 0, "warning": 0, "info": 0}
+        for diagnostic in self.diagnostics:
+            out[str(diagnostic.severity)] += 1
+        return out
+
+    def to_dict(self) -> dict:
+        counts = self.counts()
+        return {
+            "federation": self.federation,
+            "summary": counts,
+            "ok": counts["error"] == 0,
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+            "coverage": self.matrix.to_dict() if self.matrix else None,
+            "proposals": [p.to_dict() for p in self.proposals],
+            "stats": dict(self.stats),
+        }
+
+    def render(self, verbose: bool = False) -> str:
+        counts = self.counts()
+        lines = [
+            f"{self.federation}: {len(self.diagnostics)} diagnostic"
+            f"{'' if len(self.diagnostics) == 1 else 's'}"
+            f" ({counts['error']} error, {counts['warning']} warning,"
+            f" {counts['info']} info)"
+        ]
+        for diagnostic in self.diagnostics:
+            lines.append(f"  {diagnostic}")
+            if verbose:
+                for key, value in diagnostic.details:
+                    lines.append(f"      {key}: {value}")
+        if not self.diagnostics:
+            lines.append("  clean")
+        if self.proposals:
+            lines.append("merge proposals:")
+            for proposal in self.proposals:
+                lines.append(f"  {proposal}")
+        if verbose and self.matrix is not None:
+            lines.append("coverage matrix:")
+            for row in self.matrix.render().splitlines():
+                lines.append("  " + row)
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+# ---------------------------------------------------------------------------
+# Audit internals
+# ---------------------------------------------------------------------------
+
+
+def _vf(
+    code: str,
+    spec: str,
+    message: str,
+    rule: str | None = None,
+    where: str = "",
+    **details: object,
+) -> Diagnostic:
+    info = catalog_entry(code)
+    return Diagnostic(
+        code=code,
+        severity=info.severity,
+        spec=spec,
+        message=message,
+        rule=rule,
+        field=where,
+        details=tuple(sorted((k, str(v)) for k, v in details.items())),
+    )
+
+
+def _lint_with_samples(
+    source: FederationSource, oracle: Oracle | None
+) -> tuple[LintReport, dict]:
+    """One vocablint pass, keeping the sampled matchings for reuse."""
+    context = prepare_context(
+        source.spec, source.vocabulary, source.capability, oracle
+    )
+    diagnostics: list[Diagnostic] = []
+    for codes, check in ALL_CHECKS:
+        with obs.span(f"audit.lint.{check.__name__}", codes=codes):
+            diagnostics.extend(check(context))
+    report = LintReport(
+        spec=source.spec.name,
+        diagnostics=tuple(diagnostics),
+        stats=tuple(sorted(context.counters.items())),
+    )
+    return report, context.samples
+
+
+def _probe_universe(
+    federation: Federation, samples_by_source: Mapping[str, Mapping]
+) -> list[Constraint]:
+    """The shared constraint universe every source's matcher replays.
+
+    Union of the declared global vocabulary's representative constraints
+    and every group any source's sampler synthesized — so two sources
+    whose heads bind the same constraint shape are compared on literally
+    the same groups.
+    """
+    universe: set[Constraint] = set()
+    if federation.vocabulary is not None:
+        universe.update(federation.vocabulary.all_constraints())
+    for samples in samples_by_source.values():
+        for rule_samples in samples.values():
+            for matching in rule_samples.matchings:
+                universe.update(matching.constraints)
+    return sorted(universe, key=str)
+
+
+#: Replay caps per rule, mirroring the sampler's (the probe universe is
+#: bigger than any one rule's synthesized pools, so the caps are looser).
+_MAX_REPLAY_COMBOS = 2048
+_MAX_REPLAY_MATCHINGS = 64
+
+
+def _safe_potential(
+    spec: MappingSpecification, universe: list[Constraint]
+) -> list[Matching]:
+    """All matchings of ``spec`` over ``universe``, tolerating crashes.
+
+    The shared probe universe deliberately feeds every source constraints
+    sampled from *other* sources' vocabularies, and a conversion function
+    may crash on an off-type value (the single-spec sampler tolerates the
+    same).  ``Matcher.potential`` would abort wholesale, so this replays
+    per rule and per candidate combination, skipping only the crashing
+    combinations — matchings that do exist are still found.
+    """
+    index = spec.compiled_index()
+    ordered = sorted(universe, key=str)
+    by_attr: dict[str, list[Constraint]] = {}
+    for constraint in ordered:
+        by_attr.setdefault(constraint.lhs.attr, []).append(constraint)
+    found: list[Matching] = []
+    for rule_id in index.candidate_ids(by_attr):
+        pools = index.pools(rule_id, by_attr, ordered)
+        if pools is None:
+            continue
+        rule = spec.rules[rule_id]
+        seen: set[tuple] = set()
+        kept = 0
+        for combo in islice(product(*pools), _MAX_REPLAY_COMBOS):
+            if len(set(combo)) != len(combo):
+                continue
+            try:
+                matchings = match_rule(rule, combo)
+            except RejectMatch:  # pragma: no cover - match_rule handles these
+                continue
+            except Exception:  # noqa: BLE001 - rule code is arbitrary
+                continue
+            for matching in matchings:
+                key = (matching.constraints, matching.emission)
+                if key not in seen:
+                    seen.add(key)
+                    found.append(matching)
+                    kept += 1
+            if kept >= _MAX_REPLAY_MATCHINGS:
+                break
+    return found
+
+
+def _matchings_by_source(
+    federation: Federation, universe: list[Constraint]
+) -> dict[str, list[Matching]]:
+    return {
+        source.name: _safe_potential(source.spec, universe)
+        for source in federation.sources
+    }
+
+
+def _group_emissions(
+    matchings: list[Matching],
+) -> dict[frozenset, list[Matching]]:
+    table: dict[frozenset, list[Matching]] = {}
+    for matching in matchings:
+        table.setdefault(matching.constraints, []).append(matching)
+    return table
+
+
+def _render_group(group: frozenset) -> str:
+    return "{" + ", ".join(sorted(map(str, group))) + "}"
+
+
+def _check_coverage(
+    federation: Federation,
+) -> tuple[list[Diagnostic], CoverageMatrix | None]:
+    """VF001 + the coverage matrix; needs the global vocabulary."""
+    if federation.vocabulary is None:
+        return [], None
+    constraints = federation.vocabulary.all_constraints()
+    names = tuple(source.name for source in federation.sources)
+    status: dict[Constraint, dict[str, str]] = {
+        c: dict.fromkeys(names, "uncovered") for c in constraints
+    }
+    for source in federation.sources:
+        matchings = _safe_potential(source.spec, constraints)
+        covered: set[Constraint] = set()
+        exact_touched: set[Constraint] = set()
+        for matching in matchings:
+            covered.update(matching.constraints)
+            if matching.exact:
+                exact_touched.update(matching.constraints)
+        for constraint in constraints:
+            if constraint in exact_touched:
+                status[constraint][source.name] = "exact"
+            elif constraint in covered:
+                status[constraint][source.name] = "covered"
+    out: list[Diagnostic] = []
+    for constraint in constraints:
+        if all(state == "uncovered" for state in status[constraint].values()):
+            out.append(
+                _vf(
+                    "VF001",
+                    federation.name,
+                    f"vocabulary constraint {constraint} is covered by no "
+                    "source; the whole federation silently maps it to True",
+                    where="vocabulary",
+                    constraint=constraint,
+                )
+            )
+    matrix = CoverageMatrix(
+        terms=tuple(str(c) for c in constraints),
+        sources=names,
+        cells=tuple(
+            tuple(status[c][name] for name in names) for c in constraints
+        ),
+    )
+    return out, matrix
+
+
+def _effective(matchings: list[Matching]) -> Query:
+    return conj(sorted((m.emission for m in matchings), key=str))
+
+
+def _check_cross_source_groups(
+    federation: Federation, by_source: dict[str, list[Matching]]
+) -> list[Diagnostic]:
+    """VF002 contradictory + VF004 divergent-exact mappings per group."""
+    tables = {name: _group_emissions(ms) for name, ms in by_source.items()}
+    groups: set[frozenset] = set()
+    for table in tables.values():
+        groups.update(table)
+    out: list[Diagnostic] = []
+    seen: set[tuple] = set()
+    for group in sorted(groups, key=_render_group):
+        holders = [name for name in tables if group in tables[name]]
+        if len(holders) < 2:
+            continue
+        for i, left in enumerate(holders):
+            for right in holders[i + 1 :]:
+                left_ms, right_ms = tables[left][group], tables[right][group]
+                left_emission = _effective(left_ms)
+                right_emission = _effective(right_ms)
+                shared = left_emission.constraints() & right_emission.constraints()
+                if not shared:
+                    continue
+                pair_key = (left, right, _render_group(group))
+                if not prop_satisfiable(
+                    conj(sorted((left_emission, right_emission), key=str))
+                ):
+                    if ("VF002",) + pair_key in seen:
+                        continue
+                    seen.add(("VF002",) + pair_key)
+                    out.append(
+                        _vf(
+                            "VF002",
+                            federation.name,
+                            f"sources {left} and {right} map group "
+                            f"{_render_group(group)} contradictorily: "
+                            f"({left_emission}) vs ({right_emission}) "
+                            "cannot hold together",
+                            where="mapping",
+                            sources=f"{left}, {right}",
+                            group=_render_group(group),
+                        )
+                    )
+                    continue
+                left_exact = all(m.exact for m in left_ms)
+                right_exact = all(m.exact for m in right_ms)
+                if (
+                    left_exact
+                    and right_exact
+                    and not prop_equivalent(left_emission, right_emission)
+                ):
+                    if ("VF004",) + pair_key in seen:
+                        continue
+                    seen.add(("VF004",) + pair_key)
+                    out.append(
+                        _vf(
+                            "VF004",
+                            federation.name,
+                            f"sources {left} and {right} both translate "
+                            f"{_render_group(group)} exactly, but to "
+                            f"non-equivalent emissions ({left_emission}) "
+                            f"vs ({right_emission}); at most one exactness "
+                            "claim can hold",
+                            where="mapping",
+                            sources=f"{left}, {right}",
+                            group=_render_group(group),
+                        )
+                    )
+    return out
+
+
+def _check_round_trips(
+    federation: Federation, by_source: dict[str, list[Matching]]
+) -> list[Diagnostic]:
+    """VF003: c --A--> d --B--> e with e on c's attribute but e != c."""
+    out: list[Diagnostic] = []
+    seen: set[tuple] = set()
+    for origin in federation.sources:
+        for matching in by_source[origin.name]:
+            if len(matching.constraints) != 1 or not matching.exact:
+                continue
+            (start,) = matching.constraints
+            forward = matching.emission
+            if not isinstance(forward, Constraint):
+                continue
+            for other in federation.sources:
+                if other.name == origin.name:
+                    continue
+                returns = _safe_potential(other.spec, [forward])
+                for back in returns:
+                    if back.constraints != frozenset((forward,)):
+                        continue
+                    if not back.exact:
+                        continue
+                    landing = back.emission
+                    if not isinstance(landing, Constraint):
+                        continue
+                    if landing.lhs.attr != start.lhs.attr:
+                        continue
+                    if landing == start or prop_equivalent(landing, start):
+                        continue
+                    key = (origin.name, other.name, str(start), str(landing))
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    out.append(
+                        _vf(
+                            "VF003",
+                            origin.spec.name,
+                            f"round trip drifts: {start} maps to {forward} "
+                            f"via {matching.rule_name}, which {other.name} "
+                            f"({back.rule_name}) maps back to {landing} — "
+                            "an asymmetric translation pair",
+                            rule=matching.rule_name,
+                            where="emit",
+                            via_source=other.name,
+                            via_rule=back.rule_name,
+                            start=start,
+                            landing=landing,
+                        )
+                    )
+    return out
+
+
+def _supported(capability: Capability | None, query: Query) -> bool:
+    if capability is None:
+        return True
+    return all(tautological(bad) for bad in capability.violations(query))
+
+
+def _check_capability_dead(
+    federation: Federation, by_source: dict[str, list[Matching]]
+) -> list[Diagnostic]:
+    """VF005: a rule fires but its source rejects every emission."""
+    out: list[Diagnostic] = []
+    for source in federation.sources:
+        if source.capability is None:
+            continue
+        by_rule: dict[str, list[Matching]] = {}
+        for matching in by_source[source.name]:
+            by_rule.setdefault(matching.rule_name, []).append(matching)
+        for rule in source.spec.rules:
+            matchings = by_rule.get(rule.name)
+            if not matchings:
+                continue
+            if any(_supported(source.capability, m.emission) for m in matchings):
+                continue
+            rejected = sorted(
+                {
+                    str(bad)
+                    for m in matchings
+                    for bad in source.capability.violations(m.emission)
+                }
+            )
+            out.append(
+                _vf(
+                    "VF005",
+                    source.spec.name,
+                    f"rule fires but every emission is rejected by "
+                    f"{source.name}'s capability (e.g. "
+                    f"{rejected[0] if rejected else '?'}); dead weight at "
+                    "the federation level",
+                    rule=rule.name,
+                    where="emit",
+                    source=source.name,
+                    rejected=", ".join(rejected),
+                )
+            )
+    return out
+
+
+def _check_cross_source_shadowing(
+    federation: Federation, by_source: dict[str, list[Matching]]
+) -> list[Diagnostic]:
+    """VF006: rule fully covered by another source with the same target.
+
+    Only specifications translating into the *same* target backend can
+    shadow each other — equivalent emissions into different targets are
+    the federation working as intended, not redundancy.
+    """
+    tables = {name: _group_emissions(ms) for name, ms in by_source.items()}
+    out: list[Diagnostic] = []
+    for source in federation.sources:
+        peers = [
+            peer
+            for peer in federation.sources
+            if peer.name != source.name
+            and peer.spec.target == source.spec.target
+        ]
+        if not peers:
+            continue
+        by_rule: dict[str, list[Matching]] = {}
+        for matching in by_source[source.name]:
+            by_rule.setdefault(matching.rule_name, []).append(matching)
+        for rule in source.spec.rules:
+            matchings = by_rule.get(rule.name)
+            if not matchings:
+                continue
+            shadowers: set[str] = set()
+            covered = True
+            for matching in matchings:
+                holder = None
+                for peer in peers:
+                    candidates = tables[peer.name].get(matching.constraints, [])
+                    for other in candidates:
+                        if not _supported(peer.capability, other.emission):
+                            continue
+                        if prop_implies(other.emission, matching.emission):
+                            holder = peer.name
+                            break
+                    if holder:
+                        break
+                if holder is None:
+                    covered = False
+                    break
+                shadowers.add(holder)
+            if covered and shadowers:
+                others = ", ".join(sorted(shadowers))
+                out.append(
+                    _vf(
+                        "VF006",
+                        source.spec.name,
+                        f"every matching is equivalently covered, within "
+                        f"capability, by source(s) {others} mapping to the "
+                        f"same target {source.spec.target!r}; the rule adds "
+                        "nothing to the federation",
+                        rule=rule.name,
+                        where="head",
+                        source=source.name,
+                        shadowed_by=others,
+                    )
+                )
+    return out
+
+
+def audit_federation(
+    federation: Federation,
+    lint_sources: bool = True,
+    consolidate: bool = True,
+    oracle: Oracle | None = None,
+) -> FederationReport:
+    """Statically analyze a whole federation; the ``repro audit`` engine.
+
+    Runs vocablint over every source (``lint_sources``), the VF001–VF006
+    cross-source checks over a shared probe universe, and rule
+    consolidation per source (``consolidate``, surfacing each verified
+    :class:`MergeProposal` as a VF007 finding).
+    """
+    with obs.span(
+        "audit.federation",
+        federation=federation.name,
+        sources=len(federation.sources),
+    ):
+        diagnostics: list[Diagnostic] = []
+        source_reports: list[LintReport] = []
+        samples_by_source: dict[str, dict] = {}
+        stats: dict[str, int] = {"audit.sources": len(federation.sources)}
+        with obs.span("audit.lint_sources"):
+            for source in federation.sources:
+                if lint_sources:
+                    report, samples = _lint_with_samples(source, oracle)
+                    source_reports.append(report)
+                    diagnostics.extend(report.diagnostics)
+                else:
+                    context = prepare_context(
+                        source.spec, source.vocabulary, source.capability, oracle
+                    )
+                    samples = context.samples
+                samples_by_source[source.name] = samples
+
+        universe = _probe_universe(federation, samples_by_source)
+        stats["audit.probe_constraints"] = len(universe)
+        with obs.span("audit.replay", constraints=len(universe)):
+            by_source = _matchings_by_source(federation, universe)
+        stats["audit.matchings"] = sum(len(ms) for ms in by_source.values())
+
+        with obs.span("audit.checks"):
+            coverage, matrix = _check_coverage(federation)
+            diagnostics.extend(coverage)
+            diagnostics.extend(_check_cross_source_groups(federation, by_source))
+            diagnostics.extend(_check_round_trips(federation, by_source))
+            diagnostics.extend(_check_capability_dead(federation, by_source))
+            diagnostics.extend(
+                _check_cross_source_shadowing(federation, by_source)
+            )
+
+        proposals: list[MergeProposal] = []
+        if consolidate:
+            with obs.span("audit.consolidate"):
+                for source in federation.sources:
+                    result = consolidate_spec(
+                        source.spec,
+                        vocabulary=source.vocabulary,
+                        samples=samples_by_source[source.name],
+                    )
+                    stats["audit.pairs_examined"] = (
+                        stats.get("audit.pairs_examined", 0)
+                        + result.stats.pairs_examined
+                    )
+                    for proposal in result.proposals:
+                        proposals.append(proposal)
+                        diagnostics.append(
+                            _vf(
+                                "VF007",
+                                proposal.spec,
+                                f"rule {proposal.drop} is a "
+                                f"{proposal.kind} of {proposal.keep} on "
+                                f"{', '.join(proposal.groups)}; dropping it "
+                                "is verified semantics-preserving",
+                                rule=proposal.drop,
+                                where="head",
+                                keep=proposal.keep,
+                                kind=proposal.kind,
+                            )
+                        )
+
+        for diagnostic in diagnostics:
+            stats[f"audit.diagnostics.{diagnostic.code}"] = (
+                stats.get(f"audit.diagnostics.{diagnostic.code}", 0) + 1
+            )
+        stats["audit.diagnostics"] = len(diagnostics)
+        if obs.enabled():
+            for name, value in sorted(stats.items()):
+                obs.count(name, value)
+        return FederationReport(
+            federation=federation.name,
+            diagnostics=tuple(diagnostics),
+            source_reports=tuple(source_reports),
+            matrix=matrix,
+            proposals=tuple(proposals),
+            stats=tuple(sorted(stats.items())),
+        )
+
+
+# ---------------------------------------------------------------------------
+# Loaders
+# ---------------------------------------------------------------------------
+
+
+def federation_from_dict(data: Mapping) -> Federation:
+    """Build a :class:`Federation` from its JSON form.
+
+    Expected shape::
+
+        {"federation": "acses",
+         "vocabulary": {...},                 # optional, global
+         "sources": [
+             {"name": "S1",
+              "spec": {...},                  # declarative specification
+              "vocabulary": {...},            # optional, per-source
+              "capability": {...}},           # optional
+             ...]}
+    """
+    name = data.get("federation") or data.get("name")
+    if not name:
+        raise ValueError("federation JSON needs a 'federation' name")
+    entries = data.get("sources")
+    if not entries:
+        raise ValueError(f"federation {name!r} declares no sources")
+    sources = []
+    for entry in entries:
+        spec = spec_from_dict(entry["spec"])
+        sources.append(
+            FederationSource(
+                name=entry.get("name", spec.target),
+                spec=spec,
+                vocabulary=(
+                    vocabulary_from_dict(entry["vocabulary"])
+                    if "vocabulary" in entry
+                    else None
+                ),
+                capability=(
+                    capability_from_dict(entry["capability"])
+                    if "capability" in entry
+                    else None
+                ),
+            )
+        )
+    vocabulary = (
+        vocabulary_from_dict(data["vocabulary"])
+        if "vocabulary" in data
+        else None
+    )
+    return Federation(
+        name=name, sources=tuple(sources), vocabulary=vocabulary
+    )
+
+
+def load_federation(path: str) -> Federation:
+    """Load a federation description from a JSON file."""
+    with open(path) as handle:
+        return federation_from_dict(json.load(handle))
+
+
+def federation_from_mediator(name: str, mediator) -> Federation:
+    """Wrap a live :class:`~repro.mediator.mediator.Mediator` for auditing.
+
+    Capabilities come straight from the mediator's sources; vocabularies
+    are not derivable from a mediator and stay undeclared.
+    """
+    sources = []
+    for source_name, spec in sorted(mediator.specs.items()):
+        engine_source = mediator.sources.get(source_name)
+        sources.append(
+            FederationSource(
+                name=source_name,
+                spec=spec,
+                capability=(
+                    getattr(engine_source, "capability", None)
+                    if engine_source is not None
+                    else None
+                ),
+            )
+        )
+    return Federation(name=name, sources=tuple(sources))
+
+
+def builtin_federations() -> dict[str, Federation]:
+    """Every built-in mediation scenario, wrapped for ``repro audit``."""
+    from repro.mediator import (
+        bookstore_federation,
+        faculty_mediator,
+        map_mediator,
+        realty_mediator,
+    )
+
+    factories = {
+        "bookstore": bookstore_federation,
+        "faculty": faculty_mediator,
+        "map": map_mediator,
+        "realty": realty_mediator,
+    }
+    return {
+        name: federation_from_mediator(name, factory())
+        for name, factory in factories.items()
+    }

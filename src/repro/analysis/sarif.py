@@ -1,0 +1,141 @@
+"""SARIF 2.1.0 export for vocablint and federation-audit reports.
+
+SARIF (Static Analysis Results Interchange Format) is what CI systems —
+GitHub code scanning in particular — ingest to render findings as inline
+annotations.  ``repro lint --format sarif`` and ``repro audit --format
+sarif`` emit one SARIF log per invocation:
+
+* every VM/VF code becomes a ``reportingDescriptor`` (stable ``id``,
+  human ``name`` from the catalog, default severity level);
+* every diagnostic becomes a ``result`` with a logical location
+  (``spec:rule[field]``) and, when the specification came from a JSON
+  file, a physical location pointing at the rule's line in that file.
+
+Only the subset of SARIF that annotation consumers read is produced; the
+output validates against the 2.1.0 schema.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+from repro.analysis.diagnostics import (
+    Diagnostic,
+    Severity,
+    catalog_entry,
+    diagnostic_order,
+)
+
+__all__ = ["diagnostics_to_sarif", "locate_rule_lines"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+_LEVELS = {
+    Severity.ERROR: "error",
+    Severity.WARNING: "warning",
+    Severity.INFO: "note",
+}
+
+
+def locate_rule_lines(path: str) -> dict[str, int]:
+    """Best-effort ``rule name -> 1-based line`` map for a JSON spec file.
+
+    Declarative specifications name each rule exactly once (uniqueness
+    is enforced at load time), so the first line containing the quoted
+    name is the rule's definition site.
+    """
+    lines: dict[str, int] = {}
+    try:
+        with open(path) as handle:
+            for number, line in enumerate(handle, start=1):
+                if '"name"' not in line:
+                    continue
+                _, _, rest = line.partition('"name"')
+                _, _, tail = rest.partition('"')
+                name, quote, _ = tail.partition('"')
+                if quote and name and name not in lines:
+                    lines[name] = number
+    except OSError:
+        return {}
+    return lines
+
+
+def _rule_descriptor(code: str) -> dict:
+    info = catalog_entry(code)
+    return {
+        "id": code,
+        "name": info.title,
+        "shortDescription": {"text": info.title},
+        "fullDescription": {"text": info.summary},
+        "defaultConfiguration": {"level": _LEVELS[info.severity]},
+        "help": {"text": f"See docs/static_analysis.md#{code.lower()}."},
+    }
+
+
+def _result(
+    diagnostic: Diagnostic, files: Mapping[str, str], lines: Mapping[str, dict]
+) -> dict:
+    location: dict = {
+        "logicalLocations": [
+            {
+                "fullyQualifiedName": diagnostic.location,
+                "kind": "member",
+            }
+        ]
+    }
+    uri = files.get(diagnostic.spec)
+    if uri is not None:
+        physical: dict = {"artifactLocation": {"uri": uri}}
+        line = lines.get(diagnostic.spec, {}).get(diagnostic.rule or "")
+        if line is not None:
+            physical["region"] = {"startLine": line}
+        location["physicalLocation"] = physical
+    return {
+        "ruleId": diagnostic.code,
+        "level": _LEVELS[diagnostic.severity],
+        "message": {"text": f"{diagnostic.location}: {diagnostic.message}"},
+        "locations": [location],
+        "properties": {
+            "spec": diagnostic.spec,
+            "rule": diagnostic.rule,
+            "field": diagnostic.field,
+            "details": dict(diagnostic.details),
+        },
+    }
+
+
+def diagnostics_to_sarif(
+    diagnostics: Iterable[Diagnostic],
+    tool_name: str = "vocablint",
+    files: Mapping[str, str] | None = None,
+) -> dict:
+    """One SARIF 2.1.0 log from an iterable of diagnostics.
+
+    ``files`` optionally maps specification names to the JSON files they
+    were loaded from; diagnostics for those specs gain physical
+    locations (file + rule definition line) so CI can annotate the spec
+    source itself.
+    """
+    ordered = sorted(diagnostics, key=diagnostic_order)
+    files = dict(files or {})
+    lines = {spec: locate_rule_lines(path) for spec, path in files.items()}
+    codes = sorted({d.code for d in ordered})
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": tool_name,
+                        "rules": [_rule_descriptor(code) for code in codes],
+                    }
+                },
+                "results": [_result(d, files, lines) for d in ordered],
+            }
+        ],
+    }

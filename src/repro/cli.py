@@ -614,8 +614,10 @@ def _cmd_lint(args) -> int:
         raise SpecificationError(str(exc)) from None
     codes = frozenset(args.code or ())
 
+    fmt = args.format or ("json" if args.json else "text")
     failed = False
     payloads = []
+    sarif_diagnostics = []
     for name, spec in selected.items():
         report = lint_specification(spec, vocabulary=vocabulary, capability=capability)
         # --code narrows the run's scope; --severity only trims the display.
@@ -623,23 +625,107 @@ def _cmd_lint(args) -> int:
         if any(d.severity >= fail_at for d in scoped):
             failed = True
         shown = scoped.filter(severity=show_at)
-        if args.json:
+        if fmt == "json":
             payloads.append(shown.to_dict())
+        elif fmt == "sarif":
+            sarif_diagnostics.extend(shown.diagnostics)
         else:
             print(shown.render(verbose=args.verbose))
-    if args.json:
+    if fmt == "json":
         out = payloads[0] if len(payloads) == 1 else payloads
         print(json.dumps(out, indent=2, sort_keys=True))
+    elif fmt == "sarif":
+        from repro.analysis import diagnostics_to_sarif
+
+        files = (
+            {name: args.spec_file for name in selected} if args.spec_file else {}
+        )
+        log = diagnostics_to_sarif(
+            sarif_diagnostics, tool_name="vocablint", files=files
+        )
+        print(json.dumps(log, indent=2, sort_keys=True))
     return 1 if failed else 0
 
 
 def _cmd_audit(args) -> int:
-    query = parse_query(args.query)
-    report = audit_vocabulary(
-        _spec(args.spec, args.spec_file), sorted(query.constraints(), key=str)
+    if args.query is not None:
+        # Legacy single-spec mode: which constraints of one query does the
+        # specification's vocabulary cover?
+        query = parse_query(args.query)
+        report = audit_vocabulary(
+            _spec(args.targets, args.spec_file), sorted(query.constraints(), key=str)
+        )
+        print(report)
+        return 0 if not report.uncovered else 1
+    return _audit_federations(args)
+
+
+def _audit_federations(args) -> int:
+    from repro.analysis import (
+        Severity,
+        audit_federation,
+        builtin_federations,
+        diagnostics_to_sarif,
+        load_federation,
     )
-    print(report)
-    return 0 if not report.uncovered else 1
+
+    files: dict[str, str] = {}
+    if args.federation_file:
+        federation = load_federation(args.federation_file)
+        federations = {federation.name: federation}
+        files = {
+            source.spec.name: args.federation_file
+            for source in federation.sources
+        }
+    else:
+        available = builtin_federations()
+        if args.targets in ("all", None):
+            federations = available
+        else:
+            federations = {}
+            for name in args.targets.split(","):
+                if name not in available:
+                    known = ", ".join(sorted(available))
+                    raise SpecificationError(
+                        f"unknown federation {name!r}; built-ins: {known}"
+                    )
+                federations[name] = available[name]
+
+    try:
+        show_at = Severity.parse(args.severity)
+        fail_at = Severity.parse(args.fail_on)
+    except ValueError as exc:
+        raise SpecificationError(str(exc)) from None
+    codes = frozenset(args.code or ())
+
+    failed = False
+    payloads = []
+    sarif_diagnostics = []
+    for name, federation in federations.items():
+        report = audit_federation(
+            federation,
+            lint_sources=not args.no_lint,
+            consolidate=not args.no_consolidate,
+        )
+        scoped = report.filter(codes=codes or None)
+        if any(d.severity >= fail_at for d in scoped.diagnostics):
+            failed = True
+        shown = scoped.filter(severity=show_at)
+        if args.format == "json":
+            payloads.append(shown.to_dict())
+        elif args.format == "sarif":
+            sarif_diagnostics.extend(shown.diagnostics)
+        else:
+            print(shown.render(verbose=args.verbose))
+    if args.format == "json":
+        out = payloads[0] if len(payloads) == 1 else payloads
+        print(json.dumps(out, indent=2, sort_keys=True))
+    elif args.format == "sarif":
+        log = diagnostics_to_sarif(
+            sarif_diagnostics, tool_name="repro-audit", files=files
+        )
+        print(json.dumps(log, indent=2, sort_keys=True))
+    return 1 if failed else 0
 
 
 def _add_resilience_flags(p: argparse.ArgumentParser) -> None:
@@ -832,10 +918,72 @@ def build_arg_parser() -> argparse.ArgumentParser:
     _add_obs_flags(p)
     p.set_defaults(fn=_cmd_specs)
 
-    p = sub.add_parser("audit", help="flag constraints no rule can touch")
-    p.add_argument("spec")
-    p.add_argument("query")
-    p.add_argument("-f", "--spec-file", help="load the spec from a declarative JSON file")
+    p = sub.add_parser(
+        "audit",
+        help="statically audit whole federations (or one spec against a query)",
+        description="Two modes. Federation mode (no query): load every "
+        "spec/vocabulary/capability of the named federations and run the "
+        "cross-source analyzer — coverage matrix, VF diagnostics, and "
+        "verified merge proposals. Legacy mode (spec + query): flag the "
+        "query constraints no rule of that one spec can touch.",
+    )
+    p.add_argument(
+        "targets",
+        nargs="?",
+        default="all",
+        help="comma-separated federation names, or 'all' (federation mode); "
+        "a specification name when a query is also given (legacy mode)",
+    )
+    p.add_argument(
+        "query",
+        nargs="?",
+        help="legacy mode: audit this query's constraints against one spec",
+    )
+    p.add_argument(
+        "-f", "--spec-file",
+        help="legacy mode: load the spec from a declarative JSON file",
+    )
+    p.add_argument(
+        "--federation-file",
+        help="federation mode: load the federation from a JSON file instead "
+        "of the built-ins (also enables SARIF physical locations)",
+    )
+    p.add_argument(
+        "--format",
+        choices=("text", "json", "sarif"),
+        default="text",
+        help="federation mode output format (default: text)",
+    )
+    p.add_argument(
+        "--severity",
+        default="info",
+        help="minimum severity to report (info, warning, error)",
+    )
+    p.add_argument(
+        "--fail-on",
+        default="error",
+        help="exit non-zero when a diagnostic reaches this severity",
+    )
+    p.add_argument(
+        "--code",
+        action="append",
+        metavar="VFXXX",
+        help="only report these diagnostic codes (repeatable)",
+    )
+    p.add_argument(
+        "--no-lint",
+        action="store_true",
+        help="skip the per-source vocablint pass (VM codes)",
+    )
+    p.add_argument(
+        "--no-consolidate",
+        action="store_true",
+        help="skip the merge-proposal pass (VF007)",
+    )
+    p.add_argument(
+        "-v", "--verbose", action="store_true",
+        help="include diagnostic details and the coverage matrix",
+    )
     _add_obs_flags(p)
     p.set_defaults(fn=_cmd_audit)
 
@@ -876,7 +1024,15 @@ def build_arg_parser() -> argparse.ArgumentParser:
         metavar="VMXXX",
         help="only report these diagnostic codes (repeatable)",
     )
-    p.add_argument("--json", action="store_true", help="emit reports as JSON")
+    p.add_argument(
+        "--json", action="store_true", help="emit reports as JSON (same as --format json)"
+    )
+    p.add_argument(
+        "--format",
+        choices=("text", "json", "sarif"),
+        default=None,
+        help="output format (default: text; --json is an alias for json)",
+    )
     p.add_argument(
         "-v", "--verbose", action="store_true", help="include diagnostic details"
     )

@@ -27,6 +27,7 @@ __all__ = [
     "random_spec",
     "random_query",
     "chain_query",
+    "consolidation_workload",
     "dependent_conjunction",
     "simple_conjunction",
     "theory_equivalent",
@@ -74,6 +75,72 @@ def synthetic_spec(
     return MappingSpecification(
         name=name, target="synthetic", rules=tuple(rules)
     )
+
+
+def _variant_rule(attr: str, suffix: str, target: str) -> object:
+    """A singleton rule named ``R_{attr}__{suffix}`` emitting to ``target``.
+
+    With ``target = "t_{attr}"`` this is an exact clone of the
+    :func:`_group_rule` singleton for ``attr`` under a different name — a
+    planted duplicate.  Any other target makes it a decoy: same head
+    signature (so candidate pairing must examine it) but a different
+    emission (so consolidation must refuse to merge it).
+    """
+    var = V("X0")
+
+    def emit(bindings, _target=target):
+        return C(_target, "=", str(bindings["X0"]))
+
+    return rule(
+        f"R_{attr}__{suffix}",
+        patterns=[cpat(attr, "=", var)],
+        where=[value_is("X0")],
+        emit=emit,
+        exact=True,
+    )
+
+
+def consolidation_workload(
+    n: int,
+    duplicate_every: int = 50,
+    decoy_every: int = 0,
+    name: str = "K_consol",
+) -> tuple[MappingSpecification, tuple[str, ...], tuple[str, ...]]:
+    """A rule library with planted duplicates (and optional decoys).
+
+    ``n`` singleton rules over ``a0 .. a{n-1}``; every
+    ``duplicate_every``-th attribute additionally gets an exact clone
+    under a distinct name, and (when ``decoy_every`` is set) some
+    attributes get a same-signature rule with a *different* emission.
+    Returns ``(spec, duplicate_names, decoy_names)``:
+
+    * indexed candidate pairing must examine exactly
+      ``len(duplicates) + len(decoys)`` pairs — every other rule sits in
+      a singleton signature bucket;
+    * consolidation must propose dropping exactly the duplicates, with
+      every proposal machine-verified, and never touch a decoy.
+    """
+    attrs = vocabulary(n)
+    rules = [_group_rule((attr,), exact=True) for attr in attrs]
+    dup_idx = list(range(0, n, duplicate_every))
+    decoy_idx = []
+    if decoy_every:
+        taken = set(dup_idx)
+        decoy_idx = [i for i in range(1, n, decoy_every) if i not in taken]
+    duplicates = []
+    for i in dup_idx:
+        clone = _variant_rule(attrs[i], "dup", f"t_{attrs[i]}")
+        rules.append(clone)
+        duplicates.append(clone.name)
+    decoys = []
+    for i in decoy_idx:
+        decoy = _variant_rule(attrs[i], "alt", f"t_alt_{attrs[i]}")
+        rules.append(decoy)
+        decoys.append(decoy.name)
+    spec = MappingSpecification(
+        name=name, target="synthetic", rules=tuple(rules)
+    )
+    return spec, tuple(duplicates), tuple(decoys)
 
 
 def random_spec(

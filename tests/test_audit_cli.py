@@ -1,0 +1,152 @@
+"""Tests for the federation-mode ``repro audit`` command (and SARIF output)."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.cli import main
+
+FIXTURES = Path(__file__).parent / "fixtures"
+SEEDED = str(FIXTURES / "vf_seeded.json")
+
+
+class TestLegacyMode:
+    """spec + query positionals keep their original per-spec behavior."""
+
+    def test_covered_query_exits_zero(self, capsys):
+        assert main(["audit", "K_Amazon", '[ln = "x"]']) == 0
+        assert "100%" in capsys.readouterr().out
+
+    def test_uncovered_query_exits_one(self, capsys):
+        assert main(["audit", "K_Amazon", "[shoe-size = 9]"]) == 1
+        assert "UNCOVERED" in capsys.readouterr().out
+
+
+class TestFederationMode:
+    def test_default_audits_all_builtins_clean(self, capsys):
+        assert main(["audit"]) == 0
+        out = capsys.readouterr().out
+        for name in ("bookstore", "faculty", "map", "realty"):
+            assert f"{name}:" in out
+        assert "0 error" in out
+
+    def test_named_federation(self, capsys):
+        assert main(["audit", "bookstore"]) == 0
+        out = capsys.readouterr().out
+        assert "bookstore:" in out
+        assert "faculty:" not in out
+
+    def test_unknown_federation(self, capsys):
+        assert main(["audit", "atlantis"]) == 2
+        assert "unknown federation" in capsys.readouterr().err
+
+    def test_seeded_federation_fails_on_errors(self, capsys):
+        assert main(["audit", "--federation-file", SEEDED]) == 1
+        out = capsys.readouterr().out
+        for code in ("VF001", "VF002", "VF006", "VF007"):
+            assert code in out
+
+    def test_fail_on_threshold(self, capsys):
+        # VF006/VF007 are warnings; the builtin federations carry none.
+        assert main(["audit", "bookstore", "--fail-on", "warning"]) == 0
+        capsys.readouterr()
+        assert (
+            main(["audit", "--federation-file", SEEDED, "--fail-on", "never"])
+            == 2
+        )
+
+    def test_code_filter_scopes_the_run(self, capsys):
+        code = main(
+            ["audit", "--federation-file", SEEDED, "--code", "VF007"]
+        )
+        assert code == 0  # VF007 is a warning; default --fail-on error
+        out = capsys.readouterr().out
+        assert "VF007" in out
+        assert "VF001" not in out
+
+    def test_severity_hides_lower_findings(self, capsys):
+        main(["audit", "--federation-file", SEEDED, "--severity", "error"])
+        out = capsys.readouterr().out
+        assert "VF001" in out
+        assert "VF007" not in out
+
+    def test_no_consolidate_drops_vf007(self, capsys):
+        main(["audit", "--federation-file", SEEDED, "--no-consolidate"])
+        assert "VF007" not in capsys.readouterr().out
+
+    def test_json_payload(self, capsys):
+        assert main(["audit", "faculty", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["federation"] == "faculty"
+        assert payload["ok"] is True
+        assert payload["stats"]["audit.sources"] == 2
+
+    def test_verbose_renders_coverage_matrix(self, capsys):
+        main(["audit", "--federation-file", SEEDED, "-v"])
+        out = capsys.readouterr().out
+        assert "coverage" in out
+        assert "uncovered" in out
+
+
+class TestSarifOutput:
+    def test_audit_sarif_shape_and_locations(self, capsys):
+        main(["audit", "--federation-file", SEEDED, "--format", "sarif"])
+        log = json.loads(capsys.readouterr().out)
+        assert log["version"] == "2.1.0"
+        assert "sarif-schema-2.1.0" in log["$schema"]
+        (run,) = log["runs"]
+        assert run["tool"]["driver"]["name"] == "repro-audit"
+        rule_ids = [r["id"] for r in run["tool"]["driver"]["rules"]]
+        assert rule_ids == sorted(set(rule_ids))
+        assert "VF001" in rule_ids and "VF007" in rule_ids
+        levels = {r["level"] for r in run["results"]}
+        assert "error" in levels
+        # Results are deterministically ordered by the diagnostic key.
+        ids = [r["ruleId"] for r in run["results"]]
+        assert ids == sorted(ids)
+        # Loading from a file yields physical locations with rule lines.
+        physical = [
+            r["locations"][0]["physicalLocation"]
+            for r in run["results"]
+            if "physicalLocation" in r["locations"][0]
+            and r["properties"]["rule"]
+        ]
+        assert physical
+        for location in physical:
+            assert location["artifactLocation"]["uri"] == SEEDED
+            assert location["region"]["startLine"] >= 1
+
+    def test_lint_sarif_shape(self, capsys):
+        assert main(["lint", "all", "--format", "sarif"]) == 0
+        log = json.loads(capsys.readouterr().out)
+        (run,) = log["runs"]
+        assert run["tool"]["driver"]["name"] == "vocablint"
+        assert [r["id"] for r in run["tool"]["driver"]["rules"]] == ["VM010"]
+        assert all(r["level"] == "note" for r in run["results"])
+        for result in run["results"]:
+            assert result["locations"][0]["logicalLocations"][0][
+                "fullyQualifiedName"
+            ].count(":")
+
+    def test_lint_sarif_with_spec_file_locations(self, capsys):
+        fixture = str(FIXTURES / "vm_unsound.json")
+        main(["lint", "-f", fixture, "all", "--format", "sarif"])
+        log = json.loads(capsys.readouterr().out)
+        results = log["runs"][0]["results"]
+        assert results
+        located = [
+            r for r in results
+            if "physicalLocation" in r["locations"][0]
+        ]
+        assert located
+        assert all(
+            r["locations"][0]["physicalLocation"]["artifactLocation"]["uri"]
+            == fixture
+            for r in located
+        )
+
+    def test_lint_json_alias_still_works(self, capsys):
+        assert main(["lint", "K_Amazon", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["spec"] == "K_Amazon"

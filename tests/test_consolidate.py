@@ -1,0 +1,146 @@
+"""Tests for semantics-preserving rule consolidation (repro.analysis.consolidate)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    MergeProposal,
+    apply_proposals,
+    candidate_pairs,
+    consolidate_spec,
+)
+from repro.core.ast import conj
+from repro.core.parser import parse_query
+from repro.core.subsume import prop_equivalent
+from repro.core.tdqm import tdqm_translate
+from repro.rules import builtin_specifications
+from repro.rules.library_realty import K_REALTY
+from repro.workloads.generator import consolidation_workload
+
+ALL_SPECS = list(builtin_specifications().values()) + [K_REALTY]
+
+
+class TestCandidatePairs:
+    @pytest.mark.parametrize("spec", ALL_SPECS, ids=lambda s: s.name)
+    def test_indexed_equals_all_pairs_on_builtins(self, spec):
+        indexed, _ = candidate_pairs(spec)
+        exhaustive, _ = candidate_pairs(spec, all_pairs=True)
+        assert indexed == exhaustive
+
+    def test_indexed_equals_all_pairs_on_planted_workload(self):
+        spec, duplicates, decoys = consolidation_workload(
+            120, duplicate_every=10, decoy_every=17
+        )
+        indexed, stats = candidate_pairs(spec)
+        exhaustive, all_stats = candidate_pairs(spec, all_pairs=True)
+        assert indexed == exhaustive
+        assert len(indexed) == len(duplicates) + len(decoys)
+        # Pruning is real: examined counts differ by orders of magnitude.
+        assert stats.pairs_examined == len(duplicates) + len(decoys)
+        assert all_stats.pairs_examined == all_stats.pairs_possible
+        assert stats.pruning_factor > 50
+
+    def test_stats_to_dict(self):
+        spec, _, _ = consolidation_workload(30, duplicate_every=10)
+        _, stats = candidate_pairs(spec)
+        payload = stats.to_dict()
+        assert payload["rules"] == len(spec.rules)
+        assert payload["pairs_examined"] == 3
+        assert payload["pruning_factor"] == round(stats.pruning_factor, 2)
+
+
+class TestConsolidateSpec:
+    def test_builtins_have_nothing_to_merge(self):
+        for spec in ALL_SPECS:
+            result = consolidate_spec(spec)
+            assert result.proposals == (), (
+                f"{spec.name}: unexpected proposals "
+                f"{[str(p) for p in result.proposals]}"
+            )
+
+    def test_planted_duplicates_found_and_decoys_spared(self):
+        spec, duplicates, decoys = consolidation_workload(
+            60, duplicate_every=10, decoy_every=13
+        )
+        result = consolidate_spec(spec)
+        assert sorted(p.drop for p in result.proposals) == sorted(duplicates)
+        touched = {p.drop for p in result.proposals} | {
+            p.keep for p in result.proposals
+        }
+        assert not touched & set(decoys)
+        for proposal in result.proposals:
+            assert proposal.verified
+            assert proposal.kind == "duplicate"
+            assert proposal.evidence  # per-group machine-checked stamps
+
+    def test_every_proposal_is_prop_equivalent_verified(self):
+        """Re-run the semantic check the proposals claim to have passed."""
+        spec, _, _ = consolidation_workload(40, duplicate_every=8)
+        matcher = spec.matcher()
+        result = consolidate_spec(spec)
+        assert result.proposals
+        for proposal in result.proposals:
+            keep = spec.get_rule(proposal.keep)
+            drop = spec.get_rule(proposal.drop)
+            assert keep is not None and drop is not None
+            for _, stamp in proposal.evidence:
+                assert "keep emits" in stamp
+
+    def test_result_to_dict(self):
+        spec, duplicates, _ = consolidation_workload(20, duplicate_every=10)
+        payload = consolidate_spec(spec).to_dict()
+        assert payload["spec"] == spec.name
+        assert len(payload["proposals"]) == len(duplicates)
+        assert payload["stats"]["pairs_examined"] == len(duplicates)
+
+
+class TestApplyProposals:
+    def test_apply_preserves_translation_semantics(self):
+        spec, duplicates, _ = consolidation_workload(20, duplicate_every=5)
+        result = consolidate_spec(spec)
+        slim = apply_proposals(spec, result.proposals)
+        assert len(slim.rules) == len(spec.rules) - len(duplicates)
+        # The original is untouched.
+        assert len(spec.rules) == 24
+        # Every query translates identically before and after.
+        for text in ('[a0 = "3"]', '[a5 = "1"] and [a7 = "2"]'):
+            query = parse_query(text)
+            before = tdqm_translate(query, spec)
+            after = tdqm_translate(query, slim)
+            assert prop_equivalent(
+                conj(sorted((before.mapping, after.mapping), key=str)),
+                before.mapping,
+            )
+            assert prop_equivalent(
+                conj(sorted((before.mapping, after.mapping), key=str)),
+                after.mapping,
+            )
+        # Consolidation converged: nothing left to merge.
+        assert consolidate_spec(slim).proposals == ()
+
+    def test_refuses_unverified_proposal(self):
+        spec, _, _ = consolidation_workload(10, duplicate_every=5)
+        bogus = MergeProposal(
+            spec=spec.name,
+            keep="R_a0",
+            drop="R_a0__dup",
+            kind="duplicate",
+            groups=(),
+            verified=False,
+        )
+        with pytest.raises(ValueError, match="unverified"):
+            apply_proposals(spec, (bogus,))
+
+    def test_refuses_foreign_proposal(self):
+        spec, _, _ = consolidation_workload(10, duplicate_every=5)
+        foreign = MergeProposal(
+            spec="K_other",
+            keep="R_a0",
+            drop="R_a0__dup",
+            kind="duplicate",
+            groups=(),
+            verified=True,
+        )
+        with pytest.raises(ValueError, match="targets"):
+            apply_proposals(spec, (foreign,))

@@ -1,0 +1,194 @@
+"""Tests for the federation-wide static analyzer (repro.analysis.federation)."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    FEDERATION_CATALOG,
+    Federation,
+    FederationSource,
+    Severity,
+    audit_federation,
+    builtin_federations,
+    catalog_entry,
+    federation_from_dict,
+    federation_from_mediator,
+    load_federation,
+)
+from repro.mediator.builtin import bookstore_federation
+from repro.rules import builtin_specifications
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+#: Every known-bad fixture and the VF code it was built to fire.
+FIXTURE_CODES = [
+    ("vf_gap.json", "VF001"),
+    ("vf_contradict.json", "VF002"),
+    ("vf_drift.json", "VF003"),
+    ("vf_divergent.json", "VF004"),
+    ("vf_dead.json", "VF005"),
+    ("vf_shadow.json", "VF006"),
+    ("vf_dup.json", "VF007"),
+]
+
+
+class TestCatalog:
+    def test_every_vf_code_registered(self):
+        assert sorted(FEDERATION_CATALOG) == [
+            "VF001", "VF002", "VF003", "VF004", "VF005", "VF006", "VF007",
+        ]
+        for code, info in FEDERATION_CATALOG.items():
+            assert catalog_entry(code) is info
+            assert info.title and info.summary
+
+    def test_unknown_code_rejected(self):
+        with pytest.raises(KeyError, match="unknown diagnostic code"):
+            catalog_entry("VF999")
+
+
+class TestBuiltinFederationsClean:
+    """The acceptance bar: no false positives on the shipped federations."""
+
+    @pytest.mark.parametrize("name", ["bookstore", "faculty", "map", "realty"])
+    def test_builtin_federation_has_no_warnings(self, name):
+        report = audit_federation(builtin_federations()[name])
+        worst = report.max_severity
+        assert worst is None or worst <= Severity.INFO, report.render(
+            verbose=True
+        )
+        assert not report.proposals
+
+    def test_builtin_names(self):
+        assert sorted(builtin_federations()) == [
+            "bookstore", "faculty", "map", "realty",
+        ]
+
+
+class TestKnownBadFixtures:
+    @pytest.mark.parametrize("filename,code", FIXTURE_CODES)
+    def test_fixture_fires_its_code(self, filename, code):
+        report = audit_federation(load_federation(str(FIXTURES / filename)))
+        codes = {d.code for d in report.diagnostics}
+        assert code in codes, (
+            f"{filename} should fire {code}; got {sorted(codes)}"
+        )
+
+    def test_seeded_federation_reports_every_planted_defect(self):
+        """The 3-source acceptance federation: all four defects, no extras."""
+        report = audit_federation(
+            load_federation(str(FIXTURES / "vf_seeded.json"))
+        )
+        vf_codes = {d.code for d in report.diagnostics if d.code.startswith("VF")}
+        assert vf_codes == {"VF001", "VF002", "VF006", "VF007"}
+        # The coverage gap names the right constraint.
+        (gap,) = [d for d in report.diagnostics if d.code == "VF001"]
+        assert "gap" in gap.message
+        # The contradiction involves the deviant source.
+        contradictions = [d for d in report.diagnostics if d.code == "VF002"]
+        assert contradictions
+        assert all("S3" in d.message for d in contradictions)
+        # The merge proposal drops one of the planted duplicates.
+        assert len(report.proposals) == 1
+        proposal = report.proposals[0]
+        assert proposal.verified
+        assert proposal.kind == "duplicate"
+        assert {proposal.keep, proposal.drop} == {"R_dup_a", "R_dup_b"}
+        # Shadowing is mutual: both same-target g1 rules are flagged.
+        shadowed = {d.rule for d in report.diagnostics if d.code == "VF006"}
+        assert shadowed == {"R_g1", "R_g1_b"}
+
+    def test_dead_rule_names_capability(self):
+        report = audit_federation(load_federation(str(FIXTURES / "vf_dead.json")))
+        (dead,) = [d for d in report.diagnostics if d.code == "VF005"]
+        assert dead.rule == "R_t"
+        assert dead.spec == "K_dead_s1"
+
+
+class TestReportContainer:
+    def _seeded(self):
+        return audit_federation(load_federation(str(FIXTURES / "vf_seeded.json")))
+
+    def test_diagnostics_deterministically_ordered(self):
+        report = self._seeded()
+        codes = [d.code for d in report.diagnostics]
+        assert codes == sorted(codes)
+
+    def test_filter_by_severity_and_code(self):
+        report = self._seeded()
+        errors = report.filter(severity=Severity.ERROR)
+        assert errors.diagnostics
+        assert all(d.severity >= Severity.ERROR for d in errors.diagnostics)
+        only_gap = report.filter(codes={"VF001"})
+        assert {d.code for d in only_gap.diagnostics} == {"VF001"}
+
+    def test_to_dict_round_trips_through_json(self):
+        payload = json.loads(json.dumps(self._seeded().to_dict()))
+        assert payload["federation"] == "fed_seeded"
+        assert payload["ok"] is False
+        assert payload["summary"]["error"] >= 2
+        assert payload["coverage"]["sources"] == ["S1", "S2", "S3"]
+        assert payload["proposals"][0]["kind"] == "duplicate"
+        assert payload["stats"]["audit.sources"] == 3
+
+    def test_render_shows_matrix_when_verbose(self):
+        report = self._seeded()
+        assert "coverage" in report.render(verbose=True)
+        assert "VF001" in report.render()
+
+    def test_coverage_matrix_statuses(self):
+        matrix = self._seeded().matrix
+        row = dict(zip(matrix.terms, matrix.cells))
+        gap_row = row['[gap = "x"]']
+        assert set(gap_row) == {"uncovered"}
+        g1_row = row['[g1 = "v1"]']
+        assert "exact" in g1_row
+
+    def test_stats_track_work(self):
+        stats = dict(self._seeded().stats)
+        assert stats["audit.sources"] == 3
+        assert stats["audit.probe_constraints"] >= 3
+        assert stats["audit.matchings"] >= 3
+
+
+class TestLoaders:
+    def test_from_dict_requires_name_and_sources(self):
+        with pytest.raises(ValueError, match="needs a 'federation' name"):
+            federation_from_dict({"sources": []})
+        with pytest.raises(ValueError, match="declares no sources"):
+            federation_from_dict({"federation": "empty"})
+
+    def test_from_mediator_mirrors_specs_and_capabilities(self):
+        federation = federation_from_mediator("books", bookstore_federation())
+        assert isinstance(federation, Federation)
+        assert {s.spec.name for s in federation.sources} == {
+            "K_Amazon", "K_Clbooks",
+        }
+        assert all(s.capability is not None for s in federation.sources)
+
+    def test_source_lookup(self):
+        spec = builtin_specifications()["K_Amazon"]
+        federation = Federation(
+            name="solo", sources=(FederationSource(name="A", spec=spec),)
+        )
+        assert federation.source("A").spec is spec
+        with pytest.raises(KeyError):
+            federation.source("missing")
+
+
+class TestAuditKnobs:
+    def test_no_lint_skips_vm_codes(self):
+        federation = load_federation(str(FIXTURES / "vf_dup.json"))
+        report = audit_federation(federation, lint_sources=False)
+        assert not report.source_reports
+        assert all(d.code.startswith("VF") for d in report.diagnostics)
+        assert len(report.proposals) == 1  # consolidation still runs
+
+    def test_no_consolidate_skips_proposals(self):
+        federation = load_federation(str(FIXTURES / "vf_dup.json"))
+        report = audit_federation(federation, consolidate=False)
+        assert not report.proposals
+        assert "VF007" not in {d.code for d in report.diagnostics}

@@ -23,9 +23,11 @@ from repro.analysis import (
     classify_subsumption,
     harvest_literals,
 )
+from repro.analysis.diagnostics import diagnostic_order
 from repro.analysis.sampling import _collect_var_hints, _pattern_candidates
-from repro.core.ast import Constraint
-from repro.core.matching import RejectMatch, match_rule
+from repro.core.ast import C, Constraint, conj, disj, neg
+from repro.core.matching import Matching, RejectMatch, match_rule
+from repro.core.subsume import prop_implies
 from repro.rules import builtin_specifications
 from repro.rules.library_realty import K_REALTY
 from repro.text.patterns import Word
@@ -94,6 +96,61 @@ class TestBuiltinSoundness:
             )
 
 
+_atoms = st.builds(
+    C,
+    st.sampled_from(["a", "b", "c", "d"]),
+    st.just("="),
+    st.integers(min_value=0, max_value=2),
+)
+
+
+def _emission_over(group: tuple) -> st.SearchStrategy:
+    """Boolean combinations built purely over the group's own atoms."""
+    base = st.sampled_from(group)
+    return st.recursive(
+        base,
+        lambda child: st.one_of(
+            st.lists(child, min_size=2, max_size=3).map(conj),
+            st.lists(child, min_size=2, max_size=3).map(disj),
+            child.map(neg),
+        ),
+        max_leaves=6,
+    )
+
+
+class TestSubsumptionAgreement:
+    """The classifier is decisive, and right, in the Theorem 1 setting.
+
+    When the emission is built purely from the matched constraints, the
+    atoms coincide, so propositional implication is the ground truth:
+    the verdict must be SOUND exactly when ``prop_implies(group,
+    emission)`` holds, and CONFIRMED otherwise — never SUSPECTED or
+    UNVERIFIABLE.
+    """
+
+    @given(data=st.data())
+    @settings(max_examples=200, deadline=None)
+    def test_classifier_agrees_with_prop_implies(self, data):
+        group = data.draw(
+            st.lists(_atoms, min_size=1, max_size=4, unique_by=str),
+            label="group",
+        )
+        emission = data.draw(_emission_over(tuple(group)), label="emission")
+        matching = Matching(
+            constraints=frozenset(group), rule_name="R", emission=emission
+        )
+        verdict = classify_subsumption(matching)
+        assert verdict in (
+            SubsumptionVerdict.SOUND,
+            SubsumptionVerdict.CONFIRMED,
+        ), f"indecisive verdict {verdict.value} on same-atom emission"
+        implied = prop_implies(conj(sorted(group, key=str)), emission)
+        assert (verdict is SubsumptionVerdict.SOUND) == implied, (
+            f"verdict {verdict.value} disagrees with prop_implies={implied} "
+            f"for group {sorted(map(str, group))} and emission {emission}"
+        )
+
+
 diagnostics = st.builds(
     Diagnostic,
     code=st.sampled_from(sorted(CATALOG)),
@@ -109,8 +166,13 @@ class TestReportInvariants:
     @settings(deadline=None)
     def test_ordering_and_filters(self, items):
         report = LintReport(spec="K", diagnostics=tuple(items), stats=())
-        severities = [d.severity for d in report.diagnostics]
-        assert severities == sorted(severities, reverse=True)
+        keys = [diagnostic_order(d) for d in report.diagnostics]
+        assert keys == sorted(keys)
+        # The order is deterministic: independent of input permutation.
+        shuffled = LintReport(
+            spec="K", diagnostics=tuple(reversed(items)), stats=()
+        )
+        assert shuffled.diagnostics == report.diagnostics
         assert len(report.errors) + len(report.warnings) + report.counts()[
             "info"
         ] == len(report)
