@@ -95,6 +95,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import threading
 
 from repro.core.errors import SpecificationError, VocabMapError
 from repro.core.explain import explain_translation
@@ -373,6 +374,69 @@ def _cmd_sources(args) -> int:
     return 0 if healthy else 1
 
 
+def _resilience_args_from_args(args) -> dict | None:
+    """The resilience flags as plain data, shippable to spawned workers.
+
+    Validates exactly like :func:`_resilience_from_args` (so cluster mode
+    reports bad ``--fault`` specs before forking anything), but returns
+    picklable primitives each worker reconstructs its own policies from.
+    """
+    if _resilience_from_args(args) is None:
+        return None
+    return {
+        "timeout": args.timeout,
+        "retries": args.retries if args.retries is not None else 2,
+        "backoff": args.backoff if args.backoff is not None else 0.05,
+        "strict": args.strict,
+        "faults": {
+            name: spec
+            for name, _, spec in (entry.partition("=") for entry in args.fault or ())
+        },
+    }
+
+
+def _serve_cluster(args) -> int:
+    """`repro serve --processes N`: the sharded multi-process front-end."""
+    from repro.serve import ClusterConfig, ClusterError, ClusterServer, ServiceConfig
+
+    try:
+        config = ClusterConfig(
+            spec_names=tuple(sorted(set(args.specs.split(",")))),
+            processes=args.processes,
+            service=ServiceConfig(
+                max_concurrency=args.max_concurrency, queue_depth=args.queue_depth
+            ),
+            snapshot_dir=args.snapshot_dir,
+            snapshot_interval=args.snapshot_interval,
+            snapshot_limit=args.snapshot_limit,
+            metrics=args.metrics,
+            resilience_args=_resilience_args_from_args(args),
+        )
+    except ValueError as exc:
+        raise SystemExit(f"serve: {exc}") from None
+    cluster = ClusterServer(config, host=args.host, port=args.port)
+    try:
+        host, port = cluster.start()
+    except ClusterError as exc:
+        cluster.stop()
+        raise SystemExit(f"serve: {exc}") from None
+    suffix = ", metrics on" if args.metrics else ""
+    if args.snapshot_dir:
+        suffix += f", snapshots in {args.snapshot_dir}"
+    print(
+        f"serving {args.specs} on {host}:{port} "
+        f"(JSON-lines, {args.processes} worker processes{suffix})",
+        file=sys.stderr,
+    )
+    try:
+        threading.Event().wait()  # serve until interrupted
+    except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
+        pass
+    finally:
+        cluster.stop()
+    return 0
+
+
 def _cmd_serve(args) -> int:
     from repro.obs.stats import builtin_mediator
     from repro.serve import MediationService, ServiceConfig, serve_jsonl, serve_tcp
@@ -384,6 +448,12 @@ def _cmd_serve(args) -> int:
         raise SystemExit(
             f"serve: {sorted(names)} does not name a built-in scenario ({known})"
         )
+    if args.processes < 1:
+        raise SystemExit(f"serve: --processes must be >= 1, got {args.processes}")
+    if args.processes > 1:
+        if not args.tcp:
+            raise SystemExit("serve: --processes needs --tcp (workers are TCP shards)")
+        return _serve_cluster(args)
     resilience = _resilience_from_args(args)
     if resilience is not None:
         mediator = mediator.with_resilience(resilience)
@@ -402,24 +472,56 @@ def _cmd_serve(args) -> int:
         metrics = obs.install(obs.MetricsRegistry())
     service = MediationService(mediator, config, metrics=metrics)
 
-    if args.tcp:
-        server = serve_tcp(service, host=args.host, port=args.port)
-        host, port = server.server_address[:2]
-        suffix = ", metrics on" if metrics is not None else ""
-        print(
-            f"serving {args.specs} on {host}:{port} (JSON-lines{suffix})",
-            file=sys.stderr,
-        )
+    timer = None
+    restore_banner = ""
+    if args.snapshot_dir is not None and mediator.translation_cache is not None:
+        import os as _os
+
+        from repro.serve.snapshot import SnapshotTimer, restore_snapshot, specs_by_name
+        from repro.serve.worker import snapshot_path
+
+        specs = specs_by_name(mediator.specs)
+        path = snapshot_path(args.snapshot_dir, 0)
+        if _os.path.exists(path):
+            try:
+                report = restore_snapshot(path, mediator.translation_cache, specs)
+            except ValueError as exc:
+                raise SystemExit(f"serve: {exc}") from None
+            restore_banner = f", {report.restored} cached translations restored"
         try:
-            server.serve_forever()
-        except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
-            pass
-        finally:
-            server.server_close()
-    else:
-        handled = serve_jsonl(service, sys.stdin, sys.stdout, workers=args.workers)
-        if args.verbose:
-            print(f"handled {handled} request(s)", file=sys.stderr)
+            timer = SnapshotTimer(
+                path,
+                mediator.translation_cache,
+                specs,
+                interval=args.snapshot_interval,
+                limit=args.snapshot_limit,
+            ).start()
+        except ValueError as exc:
+            raise SystemExit(f"serve: {exc}") from None
+
+    try:
+        if args.tcp:
+            server = serve_tcp(service, host=args.host, port=args.port)
+            host, port = server.server_address[:2]
+            suffix = ", metrics on" if metrics is not None else ""
+            print(
+                f"serving {args.specs} on {host}:{port} "
+                f"(JSON-lines{suffix}{restore_banner})",
+                file=sys.stderr,
+            )
+            try:
+                server.serve_forever()
+            except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
+                pass
+            finally:
+                server.server_close()
+        else:
+            handled = serve_jsonl(service, sys.stdin, sys.stdout, workers=args.workers)
+            if args.verbose:
+                print(f"handled {handled} request(s)", file=sys.stderr)
+    finally:
+        if timer is not None:
+            timer.stop()
     if args.verbose:
         print(
             "service: " + json.dumps(service.stats(), sort_keys=True), file=sys.stderr
@@ -877,6 +979,36 @@ def build_arg_parser() -> argparse.ArgumentParser:
         default=1,
         help="stdin mode: dispatch request lines on this many threads "
         "(responses correlate by id)",
+    )
+    p.add_argument(
+        "--processes",
+        type=int,
+        default=1,
+        help="TCP mode: shard across this many worker processes, routing "
+        "each query by consistent-hashed fingerprint (shared-nothing "
+        "caches; responses stay bit-identical to single-process mode)",
+    )
+    p.add_argument(
+        "--snapshot-dir",
+        metavar="DIR",
+        help="persist hot cache entries here periodically and on shutdown, "
+        "and restore them on start (per-shard files in cluster mode); "
+        "snapshots from a changed rule set are discarded as stale",
+    )
+    p.add_argument(
+        "--snapshot-interval",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="seconds between periodic snapshots (0 = only on shutdown; "
+        "default %(default)s)",
+    )
+    p.add_argument(
+        "--snapshot-limit",
+        type=int,
+        default=None,
+        metavar="N",
+        help="snapshot at most the N hottest cache entries (default: all)",
     )
     p.add_argument(
         "--metrics",

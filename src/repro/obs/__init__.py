@@ -46,6 +46,7 @@ from repro.obs.metrics import (
     SlowQueryLog,
     SourceScorecard,
     active_registry,
+    aggregate_scorecards,
     install,
     installed,
     uninstall,
@@ -88,6 +89,7 @@ __all__ = [
     "installed",
     "uninstall",
     "active_registry",
+    "aggregate_scorecards",
     "span_to_dict",
     "report_to_dict",
     "render_span",

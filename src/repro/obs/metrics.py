@@ -64,6 +64,7 @@ __all__ = [
     "SlowQueryLog",
     "SourceScorecard",
     "active_registry",
+    "aggregate_scorecards",
     "install",
     "installed",
     "uninstall",
@@ -611,6 +612,70 @@ class MetricsRegistry:
     def slowlog_top(self, n: int = 10) -> list[dict]:
         with self._lock:
             return self.slowlog.top(n)
+
+
+# ---------------------------------------------------------------------------
+# Cross-registry aggregation (the cluster front-end's view)
+# ---------------------------------------------------------------------------
+
+#: Worst-first breaker severity: an open circuit anywhere dominates.
+_BREAKER_SEVERITY = {"closed": 0, "half-open": 1, "open": 2}
+
+_CARD_SUMMED = (
+    "calls", "ok", "failures", "timeouts", "skipped_open_circuit", "retries", "rows",
+)
+
+
+def aggregate_scorecards(snapshots: list[list[dict]]) -> list[dict]:
+    """Merge per-process scorecard snapshots into one fleet view.
+
+    Each element of ``snapshots`` is one registry's
+    :meth:`MetricsRegistry.scorecards_snapshot` — what every worker
+    shard of a ``repro serve --processes N`` cluster reports.  Per
+    source: counts (calls, failures, retries, rows, …) are exact sums
+    and the rates are recomputed from them; latency percentiles are
+    merged pessimistically (the max across shards — without the raw
+    histograms a true fleet percentile is not computable, and for
+    alerting the worst shard is the honest answer); ``breaker_state``
+    is the *most severe* state any shard reports, because an open
+    circuit on one shard is an open circuit for the keys it owns.
+    """
+    merged: dict[str, dict] = {}
+    for cards in snapshots:
+        for card in cards:
+            known = merged.get(card["source"])
+            if known is None:
+                merged[card["source"]] = {
+                    **card,
+                    "latency_ms": dict(card["latency_ms"]),
+                    "window": dict(card["window"]),
+                }
+                continue
+            for name in _CARD_SUMMED:
+                known[name] += card[name]
+            for name in ("p50", "p95", "p99", "mean", "max"):
+                known["latency_ms"][name] = max(
+                    known["latency_ms"][name], card["latency_ms"][name]
+                )
+            window = known["window"]
+            for name in ("calls", "failures", "calls_per_second"):
+                window[name] += card["window"][name]
+            window["calls_per_second"] = round(window["calls_per_second"], 4)
+            if _BREAKER_SEVERITY.get(card["breaker_state"], 0) > _BREAKER_SEVERITY.get(
+                known["breaker_state"], 0
+            ):
+                known["breaker_state"] = card["breaker_state"]
+                known["last_status"] = card["last_status"]
+                known["last_error"] = card["last_error"]
+    for card in merged.values():
+        calls = card["calls"]
+        card["error_rate"] = round(card["failures"] / calls, 4) if calls else 0.0
+        card["retry_rate"] = round(card["retries"] / calls, 4) if calls else 0.0
+        window = card["window"]
+        window["error_rate"] = (
+            round(window["failures"] / window["calls"], 4) if window["calls"] else 0.0
+        )
+    return [merged[name] for name in sorted(merged)]
 
 
 # ---------------------------------------------------------------------------

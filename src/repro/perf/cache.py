@@ -267,6 +267,42 @@ class TranslationCache:
         flight.resolve(value)
         return value
 
+    # -- export / import (snapshot support) ------------------------------------
+
+    def export_entries(
+        self, limit: int | None = None, *, algos: tuple[str, ...] = ("tdqm",)
+    ) -> list[tuple[_Key, object]]:
+        """The hottest entries, most-recently-used first.
+
+        The snapshot layer (:mod:`repro.serve.snapshot`) persists these
+        so a restarted worker starts warm.  ``limit`` bounds the export
+        to the hottest entries; ``algos`` filters by algorithm tag
+        (snapshots carry TDQM results — the serving hot path).  The
+        export is a consistent point-in-time copy: keys and value
+        references are captured under the cache lock, and cached values
+        are immutable by contract.
+        """
+        with self._lock:
+            items = list(self._entries.items())
+        items.reverse()  # OrderedDict iterates cold-first; snapshots want hot-first
+        out = [(key, value) for key, value in items if key[0] in algos]
+        return out if limit is None else out[:limit]
+
+    def import_entry(self, key: _Key, value: object) -> bool:
+        """Seed one entry without touching the hit/miss counters.
+
+        Restores from a snapshot must not distort the serving
+        statistics, so an import is neither a hit nor a miss (evictions
+        beyond ``maxsize`` still count — they are real).  An entry
+        already present wins over the import (the live entry is newer);
+        returns whether the entry was stored.
+        """
+        with self._lock:
+            if key in self._entries:
+                return False
+            self._store_locked(key, value)
+            return True
+
     # -- cached translation entry points --------------------------------------
 
     def tdqm(self, query: Query, spec: MappingSpecification) -> "TranslationResult":

@@ -12,21 +12,61 @@ gauges through :mod:`repro.obs`.
 
 Transports (JSON-lines over stdin or TCP) live in
 :mod:`repro.serve.server` and power the ``repro serve`` CLI command.
-Service model, overload behavior, and tuning: ``docs/serving.md``.
+
+Beyond one process, :class:`ClusterServer` shards the service across
+worker processes (``repro serve --processes N``): an asyncio front-end
+routes each request by consistent-hashing its query fingerprint
+(:class:`HashRing`) to a shared-nothing worker, and each worker persists
+its cache shard across restarts via :mod:`repro.serve.snapshot`
+(:func:`write_snapshot` / :func:`restore_snapshot`).
+
+Service model, overload behavior, tuning, and the multi-process
+architecture: ``docs/serving.md``.
 """
 
-from repro.serve.protocol import handle_line, handle_request
+from repro.serve.cluster import ClusterConfig, ClusterError, ClusterServer
+from repro.serve.protocol import (
+    decode_line,
+    encode_response,
+    error_response,
+    handle_line,
+    handle_request,
+)
+from repro.serve.router import HashRing
 from repro.serve.server import serve_jsonl, serve_tcp
 from repro.serve.service import MediationService, Overloaded, ServiceConfig
 from repro.serve.singleflight import SingleFlight
+from repro.serve.snapshot import (
+    RestoreReport,
+    SnapshotReport,
+    SnapshotTimer,
+    restore_snapshot,
+    spec_digest,
+    write_snapshot,
+)
+from repro.serve.worker import worker_main
 
 __all__ = [
+    "ClusterConfig",
+    "ClusterError",
+    "ClusterServer",
+    "HashRing",
     "MediationService",
     "Overloaded",
+    "RestoreReport",
     "ServiceConfig",
     "SingleFlight",
+    "SnapshotReport",
+    "SnapshotTimer",
+    "decode_line",
+    "encode_response",
+    "error_response",
     "handle_line",
     "handle_request",
+    "restore_snapshot",
     "serve_jsonl",
     "serve_tcp",
+    "spec_digest",
+    "worker_main",
+    "write_snapshot",
 ]

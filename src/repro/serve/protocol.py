@@ -66,7 +66,7 @@ if TYPE_CHECKING:
     from repro.core.tdqm import TranslationResult
     from repro.mediator.mediator import MediatedAnswer
 
-__all__ = ["handle_request", "handle_line"]
+__all__ = ["decode_line", "encode_response", "error_response", "handle_request", "handle_line"]
 
 #: Operations a request may name.
 OPS = (
@@ -235,17 +235,69 @@ def handle_request(service: MediationService, request: dict) -> dict:
     return response
 
 
-def handle_line(service: MediationService, line: str) -> str:
-    """Decode one request line, dispatch it, encode one response line.
+def error_response(request: object, kind: str, message: str) -> dict:
+    """A structured ``{"ok": false}`` response, echoing the request id/op."""
+    response: dict = {}
+    if isinstance(request, dict):
+        if "id" in request:
+            response["id"] = request["id"]
+        response["op"] = request.get("op")
+    response.update(ok=False, error={"type": kind, "message": message})
+    return response
 
-    Never raises on client input: malformed JSON becomes an
-    ``{"ok": false}`` response like any other error.
+
+def decode_line(line: str) -> tuple[dict | None, dict | None]:
+    """Decode one request line; returns ``(request, error_response)``.
+
+    Exactly one of the pair is non-``None``.  Decoding failures include
+    the obvious :class:`json.JSONDecodeError` *and* the pathological
+    inputs the stdlib decoder turns into other exceptions — deeply
+    nested garbage raises :class:`RecursionError` from the C scanner —
+    all of which must become a structured ``bad-json`` response rather
+    than an exception that tears down the client's connection.
     """
     try:
         request = json.loads(line)
-    except json.JSONDecodeError as exc:
+    except (ValueError, RecursionError) as exc:
+        return None, error_response(None, "bad-json", str(exc) or type(exc).__name__)
+    if not isinstance(request, dict):
+        return None, {
+            "ok": False,
+            "error": {"type": "bad-request", "message": "request must be a JSON object"},
+        }
+    return request, None
+
+
+def encode_response(response: dict) -> str:
+    """Encode one response line; never raises on hostile request echoes.
+
+    A response embeds the client's ``id`` verbatim, and a *valid* JSON
+    request can still carry an id too deep for the encoder (the decoder
+    and encoder recurse differently) — degrade to a structured error
+    without the echo instead of killing the connection.
+    """
+    try:
+        return json.dumps(response, sort_keys=True)
+    except (ValueError, TypeError, RecursionError) as exc:
         return json.dumps(
-            {"ok": False, "error": {"type": "bad-json", "message": str(exc)}},
+            error_response(
+                None, "bad-request", f"response not encodable: {type(exc).__name__}"
+            ),
             sort_keys=True,
         )
-    return json.dumps(handle_request(service, request), sort_keys=True)
+
+
+def handle_line(service: MediationService, line: str) -> str:
+    """Decode one request line, dispatch it, encode one response line.
+
+    Never raises on client input: malformed JSON — including adversarial
+    inputs like kilobyte-deep nesting that trip :class:`RecursionError`
+    inside the decoder — becomes an ``{"ok": false, "error": {"type":
+    "bad-json"}}`` response like any other error, and the connection
+    stays up.
+    """
+    request, decode_error = decode_line(line)
+    if decode_error is not None:
+        return json.dumps(decode_error, sort_keys=True)
+    assert request is not None
+    return encode_response(handle_request(service, request))

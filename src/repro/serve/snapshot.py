@@ -1,0 +1,372 @@
+"""Warm-start cache snapshots: persist hot translations across restarts.
+
+A long-lived worker accumulates a :class:`~repro.perf.TranslationCache`
+working set worth far more than its memory cost — the ROADMAP's serving
+target is many restarts (deploys, rebalances, crashes) against the same
+query stream.  This module snapshots the hottest cache entries to a JSON
+file and restores them on start, so a restarted worker answers its first
+requests from cache instead of re-translating the whole working set.
+
+Staleness is the whole problem: a snapshot written against yesterday's
+rule set must never be served against today's.  Cache keys embed
+:attr:`~repro.rules.MappingSpecification.version`, but that stamp is a
+*process-local* counter — meaningless across restarts.  Snapshots
+therefore carry a **content digest** of each specification's declarative
+surface (:func:`spec_digest`), and :func:`restore_snapshot` re-keys
+entries under the live specification's current version stamp only when
+the digests match.  A mismatch raises the same
+:class:`~repro.core.errors.StaleIndexError` the compiled rule index uses
+for in-process staleness; the default (non-strict) restore catches it
+and discards that specification's entries, counting them in the
+:class:`RestoreReport`.
+
+The digest covers what a specification *declares*: rule names, constraint
+patterns, docs, and static exactness flags.  A behavioral change hidden
+inside a rule's emit/condition closures without any declarative change is
+not detectable — rename the rule (or touch its doc) when changing rule
+semantics, exactly as the vocabulary-lifecycle workflow prescribes.
+
+Snapshot files are written atomically (temp file + ``os.replace``) so a
+crash mid-write leaves the previous snapshot intact, and every restore
+validates the format tag before touching the cache.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+import time
+from collections.abc import Mapping
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+from repro.core.errors import StaleIndexError
+from repro.core.json_io import query_from_json, query_to_json
+from repro.core.tdqm import TdqmStats, TranslationResult
+from repro.obs import trace as obs
+from repro.perf.cache import TranslationCache
+from repro.rules.spec import MappingSpecification
+
+__all__ = [
+    "SNAPSHOT_FORMAT",
+    "RestoreReport",
+    "SnapshotReport",
+    "SnapshotTimer",
+    "restore_snapshot",
+    "snapshot_payload",
+    "spec_digest",
+    "specs_by_name",
+    "write_snapshot",
+]
+
+#: Bump when the payload layout changes; restores reject other formats.
+SNAPSHOT_FORMAT = 1
+
+_KIND = "repro.serve.cache-snapshot"
+_DIGEST_SEP = "\x1f"
+
+
+def specs_by_name(
+    specs: Mapping[str, MappingSpecification],
+) -> dict[str, MappingSpecification]:
+    """Re-key a mediator's spec table by *specification* name.
+
+    :attr:`~repro.mediator.Mediator.specs` is keyed by **source** name
+    (``"Amazon"``), but cache keys — and therefore snapshot sections —
+    carry the specification's own name (``"K_Amazon"``).  Every snapshot
+    call site wants this mapping.
+    """
+    return {spec.name: spec for spec in specs.values()}
+
+
+def spec_digest(spec: MappingSpecification) -> str:
+    """A process-independent digest of one specification's rule surface.
+
+    Stable across restarts (unlike the in-process version stamp) and
+    sensitive to every declarative mutation: adding, removing, renaming,
+    or re-patterning a rule all change the digest.
+    """
+    parts = [spec.name, spec.target, str(len(spec.rules))]
+    for rule in spec.rules:
+        exactness = str(rule.exact) if isinstance(rule.exact, bool) else "<dynamic>"
+        parts.extend((rule.name, rule.doc, exactness, str(len(rule.conditions))))
+        parts.extend(repr(pattern) for pattern in rule.patterns)
+    digest = hashlib.sha256(_DIGEST_SEP.join(parts).encode("utf-8"))
+    return digest.hexdigest()
+
+
+@dataclass(frozen=True)
+class SnapshotReport:
+    """Outcome of one :func:`write_snapshot` / :func:`snapshot_payload`."""
+
+    path: str | None
+    entries: int
+    specs: int
+    #: Entries skipped because their key's version stamp no longer
+    #: matches the live specification (logically dead weight) or names
+    #: a specification the caller did not supply.
+    skipped_stale: int
+    skipped_unknown: int
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+
+@dataclass(frozen=True)
+class RestoreReport:
+    """Outcome of one :func:`restore_snapshot`."""
+
+    path: str
+    restored: int
+    #: Per-spec discards: digest mismatch (the rule set changed since
+    #: the snapshot) and specs the live mediator does not serve.
+    discarded_stale: int
+    discarded_unknown: int
+    #: Entries whose key was already live in the cache (restore never
+    #: overwrites newer state).
+    skipped_present: int
+    stale_specs: tuple[str, ...] = ()
+
+    def to_dict(self) -> dict:
+        out = asdict(self)
+        out["stale_specs"] = list(self.stale_specs)
+        return out
+
+
+def snapshot_payload(
+    cache: TranslationCache,
+    specs: Mapping[str, MappingSpecification],
+    *,
+    limit: int | None = None,
+) -> tuple[dict, SnapshotReport]:
+    """The JSON payload for the hottest ``limit`` entries of ``cache``.
+
+    Only entries keyed at each live specification's *current* version are
+    exported — anything older is unreachable garbage awaiting eviction,
+    not state worth persisting.
+    """
+    sections: dict[str, dict] = {}
+    entries = 0
+    skipped_stale = 0
+    skipped_unknown = 0
+    for key, value in cache.export_entries(limit):
+        algo, spec_name, version, fingerprint = key
+        spec = specs.get(spec_name)
+        if spec is None:
+            skipped_unknown += 1
+            continue
+        if version != spec.version or not isinstance(value, TranslationResult):
+            skipped_stale += 1
+            continue
+        section = sections.setdefault(
+            spec_name, {"digest": spec_digest(spec), "entries": []}
+        )
+        section["entries"].append(
+            {
+                "algo": algo,
+                "fingerprint": fingerprint,
+                "mapping": query_to_json(value.mapping),
+                "exact": value.exact,
+                "stats": asdict(value.stats),
+            }
+        )
+        entries += 1
+    payload = {
+        "format": SNAPSHOT_FORMAT,
+        "kind": _KIND,
+        "created": time.time(),
+        "specs": sections,
+    }
+    report = SnapshotReport(
+        path=None,
+        entries=entries,
+        specs=len(sections),
+        skipped_stale=skipped_stale,
+        skipped_unknown=skipped_unknown,
+    )
+    return payload, report
+
+
+def write_snapshot(
+    path: str | os.PathLike[str],
+    cache: TranslationCache,
+    specs: Mapping[str, MappingSpecification],
+    *,
+    limit: int | None = None,
+) -> SnapshotReport:
+    """Atomically write a snapshot of ``cache`` to ``path``.
+
+    The payload lands in a sibling temp file first and is moved into
+    place with ``os.replace``, so readers never observe a torn file and
+    a crash mid-write preserves the previous snapshot.
+    """
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with obs.span("serve.snapshot.write", path=str(target)):
+        payload, report = snapshot_payload(cache, specs, limit=limit)
+        temp = target.with_name(target.name + ".tmp")
+        temp.write_text(json.dumps(payload, sort_keys=True) + "\n", encoding="utf-8")
+        os.replace(temp, target)
+    obs.count("serve.snapshot.writes")
+    obs.count("serve.snapshot.exported_entries", report.entries)
+    return SnapshotReport(
+        path=str(target),
+        entries=report.entries,
+        specs=report.specs,
+        skipped_stale=report.skipped_stale,
+        skipped_unknown=report.skipped_unknown,
+    )
+
+
+def _check_fresh(
+    spec_name: str, snapshot_digest: str, spec: MappingSpecification
+) -> None:
+    """Raise :class:`StaleIndexError` when the live rule set diverged."""
+    live = spec_digest(spec)
+    if live != snapshot_digest:
+        raise StaleIndexError(
+            f"snapshot for specification {spec_name!r} was built against "
+            f"rule-set digest {snapshot_digest[:12]} but the live rule set "
+            f"is {live[:12]}; discarding its entries"
+        )
+
+
+def _restore_entry(
+    cache: TranslationCache, spec: MappingSpecification, entry: dict
+) -> bool:
+    result = TranslationResult(
+        mapping=query_from_json(entry["mapping"]),
+        exact=bool(entry["exact"]),
+        stats=TdqmStats(**entry["stats"]),
+    )
+    key = (entry["algo"], spec.name, spec.version, entry["fingerprint"])
+    return cache.import_entry(key, result)
+
+
+def restore_snapshot(
+    path: str | os.PathLike[str],
+    cache: TranslationCache,
+    specs: Mapping[str, MappingSpecification],
+    *,
+    strict: bool = False,
+) -> RestoreReport:
+    """Restore a snapshot into ``cache``, discarding stale sections.
+
+    Entries are re-keyed under each live specification's current version
+    stamp, so the normal invalidation machinery applies from the moment
+    they land.  A section whose digest no longer matches the live rule
+    set raises :class:`StaleIndexError` internally; non-strict restores
+    (the default — what a booting worker wants) catch it, discard the
+    section, and report it in :attr:`RestoreReport.stale_specs`, while
+    ``strict=True`` propagates for callers that treat staleness as an
+    error.
+    """
+    source = Path(path)
+    raw = json.loads(source.read_text(encoding="utf-8"))
+    if not isinstance(raw, dict) or raw.get("kind") != _KIND:
+        raise ValueError(f"{source}: not a {_KIND} file")
+    if raw.get("format") != SNAPSHOT_FORMAT:
+        raise ValueError(
+            f"{source}: snapshot format {raw.get('format')!r} is not "
+            f"the supported format {SNAPSHOT_FORMAT}"
+        )
+    restored = 0
+    discarded_stale = 0
+    discarded_unknown = 0
+    skipped_present = 0
+    stale_specs: list[str] = []
+    with obs.span("serve.snapshot.restore", path=str(source)):
+        for spec_name, section in sorted(raw.get("specs", {}).items()):
+            entries = section.get("entries", [])
+            spec = specs.get(spec_name)
+            if spec is None:
+                discarded_unknown += len(entries)
+                continue
+            try:
+                _check_fresh(spec_name, section.get("digest", ""), spec)
+            except StaleIndexError:
+                if strict:
+                    raise
+                discarded_stale += len(entries)
+                stale_specs.append(spec_name)
+                continue
+            for entry in entries:
+                if _restore_entry(cache, spec, entry):
+                    restored += 1
+                else:
+                    skipped_present += 1
+    obs.count("serve.snapshot.restores")
+    obs.count("serve.snapshot.restored_entries", restored)
+    if discarded_stale:
+        obs.count("serve.snapshot.discarded_stale", discarded_stale)
+    return RestoreReport(
+        path=str(source),
+        restored=restored,
+        discarded_stale=discarded_stale,
+        discarded_unknown=discarded_unknown,
+        skipped_present=skipped_present,
+        stale_specs=tuple(stale_specs),
+    )
+
+
+class SnapshotTimer:
+    """Periodic + on-stop snapshots for one cache, on a daemon thread.
+
+    Both the cluster workers and single-process ``repro serve
+    --snapshot-dir`` use this: start it after restoring, stop it on
+    shutdown (the stop writes a final snapshot, so a clean exit always
+    persists the freshest working set).  An ``interval`` of zero disables
+    the periodic timer but keeps the final on-stop snapshot.
+    """
+
+    def __init__(
+        self,
+        path: str | os.PathLike[str],
+        cache: TranslationCache,
+        specs: Mapping[str, MappingSpecification],
+        *,
+        interval: float = 30.0,
+        limit: int | None = None,
+    ):
+        if interval < 0:
+            raise ValueError(f"snapshot interval must be >= 0, got {interval}")
+        self.path = Path(path)
+        self.cache = cache
+        self.specs = dict(specs)
+        self.interval = interval
+        self.limit = limit
+        self.last_report: SnapshotReport | None = None
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._write_lock = threading.Lock()
+
+    def write_now(self) -> SnapshotReport:
+        """Write one snapshot immediately (serialized against the timer)."""
+        with self._write_lock:
+            report = write_snapshot(
+                self.path, self.cache, self.specs, limit=self.limit
+            )
+            self.last_report = report
+            return report
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval):
+            self.write_now()
+
+    def start(self) -> "SnapshotTimer":
+        if self.interval > 0 and self._thread is None:
+            self._thread = threading.Thread(
+                target=self._run, name="snapshot-timer", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def stop(self) -> SnapshotReport:
+        """Stop the timer and write the final snapshot."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+            self._thread = None
+        return self.write_now()

@@ -1,0 +1,227 @@
+"""One cluster worker process: a private MediationService shard.
+
+Each worker the cluster front-end (:mod:`repro.serve.cluster`) spawns
+runs :func:`worker_main`: build the mediator for the configured built-in
+scenario, restore the shard's cache snapshot if one exists, bind an
+ephemeral TCP port, report it back over the bootstrap pipe, and serve
+the JSON-lines protocol until told to stop.  Workers are shared-nothing
+— no cross-process locks, no shared memory; the only coordination is
+the front-end's consistent-hash routing, which guarantees a fingerprint
+always lands on the same shard (so per-shard caches and coalescing stay
+exactly as correct as the single-process service).
+
+On top of the standard protocol a worker answers two ops of its own:
+
+``snapshot``
+    Write the shard's cache snapshot now; responds with the
+    :class:`~repro.serve.snapshot.SnapshotReport`.
+``shard``
+    Identity probe: shard id, pid, restore report from boot, and the
+    snapshot path (the front-end stamps these into per-shard stats).
+
+Lifecycle: ``SIGTERM`` (or ``SIGINT``) triggers a graceful shutdown —
+stop accepting, write a final snapshot, exit 0 — which is what the
+front-end sends during a rolling restart, so the replacement worker
+starts warm from the state its predecessor just persisted.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+from typing import TYPE_CHECKING
+
+from repro.serve.protocol import decode_line, encode_response, error_response, handle_request
+from repro.serve.service import MediationService, ServiceConfig
+from repro.serve.snapshot import SnapshotTimer, restore_snapshot, specs_by_name
+
+if TYPE_CHECKING:
+    from multiprocessing.connection import Connection
+
+    from repro.serve.snapshot import RestoreReport
+
+__all__ = ["worker_main", "snapshot_path"]
+
+
+def snapshot_path(snapshot_dir: str, shard_id: int) -> str:
+    """The snapshot file one shard owns inside ``snapshot_dir``."""
+    return os.path.join(snapshot_dir, f"shard-{shard_id}.json")
+
+
+def _build_mediator(spec_names: tuple[str, ...], resilience_args: dict | None):
+    from repro.obs.stats import builtin_mediator
+
+    mediator = builtin_mediator(set(spec_names))
+    if mediator is None:
+        raise ValueError(f"{sorted(spec_names)} does not name a built-in scenario")
+    if resilience_args:
+        from repro.resilience import FaultPolicy, ResilienceConfig, RetryPolicy
+
+        retry = RetryPolicy(
+            retries=resilience_args.get("retries", 2),
+            backoff_base=resilience_args.get("backoff", 0.05),
+        )
+        fault_policies = {
+            name: FaultPolicy.parse(spec)
+            for name, spec in (resilience_args.get("faults") or {}).items()
+        }
+        mediator = mediator.with_resilience(
+            ResilienceConfig(
+                timeout=resilience_args.get("timeout"),
+                retry=retry,
+                strict=bool(resilience_args.get("strict", False)),
+                fault_policies=fault_policies,
+            )
+        )
+    return mediator
+
+
+class _WorkerRuntime:
+    """The per-process state the extended line handler closes over."""
+
+    def __init__(
+        self,
+        shard_id: int,
+        service: MediationService,
+        timer: SnapshotTimer | None,
+        restore_report: "RestoreReport | None",
+    ):
+        self.shard_id = shard_id
+        self.service = service
+        self.timer = timer
+        self.restore_report = restore_report
+
+    def handle_line(self, line: str) -> str:
+        """The protocol plus the worker-local ``snapshot``/``shard`` ops."""
+        request, decode_error = decode_line(line)
+        if decode_error is not None:
+            return encode_response(decode_error)
+        assert request is not None
+        op = request.get("op")
+        if op == "snapshot":
+            return encode_response(self._op_snapshot(request))
+        if op == "shard":
+            return encode_response(self._op_shard(request))
+        return encode_response(handle_request(self.service, request))
+
+    def _base(self, request: dict) -> dict:
+        response: dict = {}
+        if "id" in request:
+            response["id"] = request["id"]
+        response["op"] = request["op"]
+        return response
+
+    def _op_snapshot(self, request: dict) -> dict:
+        if self.timer is None:
+            return error_response(
+                request,
+                "snapshot-disabled",
+                "worker runs without --snapshot-dir; nothing to persist",
+            )
+        report = self.timer.write_now()
+        return {**self._base(request), "ok": True, "snapshot": report.to_dict()}
+
+    def _op_shard(self, request: dict) -> dict:
+        restored = (
+            self.restore_report.to_dict() if self.restore_report is not None else None
+        )
+        return {
+            **self._base(request),
+            "ok": True,
+            "shard": {
+                "shard": self.shard_id,
+                "pid": os.getpid(),
+                "snapshot_path": str(self.timer.path) if self.timer else None,
+                "restore": restored,
+            },
+        }
+
+
+def worker_main(
+    shard_id: int,
+    spec_names: tuple[str, ...],
+    service_config: ServiceConfig,
+    bootstrap: "Connection",
+    *,
+    snapshot_dir: str | None = None,
+    snapshot_interval: float = 30.0,
+    snapshot_limit: int | None = None,
+    metrics: bool = False,
+    resilience_args: dict | None = None,
+) -> None:
+    """Entry point of one spawned worker process (blocking).
+
+    Reports ``{"port", "pid", "restored"}`` over ``bootstrap`` once
+    serving, or ``{"error"}`` if boot fails — the front-end treats a
+    silent pipe as a dead worker.  Runs until SIGTERM/SIGINT, then
+    writes the final snapshot and returns.
+    """
+    try:
+        from repro.serve.server import serve_tcp
+
+        registry = None
+        if metrics:
+            from repro import obs
+
+            # Installed process-wide so every layer's counters tee into
+            # this shard's registry, exactly like single-process
+            # `repro serve --metrics`.
+            registry = obs.install(obs.MetricsRegistry())
+        mediator = _build_mediator(tuple(spec_names), resilience_args)
+        service = MediationService(mediator, service_config, metrics=registry)
+
+        timer: SnapshotTimer | None = None
+        restore_report = None
+        cache = mediator.translation_cache
+        if snapshot_dir is not None and cache is not None:
+            specs = specs_by_name(mediator.specs)
+            path = snapshot_path(snapshot_dir, shard_id)
+            if os.path.exists(path):
+                restore_report = restore_snapshot(path, cache, specs)
+            timer = SnapshotTimer(
+                path,
+                cache,
+                specs,
+                interval=snapshot_interval,
+                limit=snapshot_limit,
+            ).start()
+
+        runtime = _WorkerRuntime(shard_id, service, timer, restore_report)
+        server = serve_tcp(
+            service,
+            port=0,
+            line_handler=runtime.handle_line,
+            pipeline_workers=service_config.max_concurrency,
+        )
+    except Exception as exc:  # noqa: BLE001 - boot failures go up the pipe
+        try:
+            bootstrap.send({"error": f"{type(exc).__name__}: {exc}"})
+        finally:
+            bootstrap.close()
+        return
+
+    def _shutdown(signum: int, frame: object) -> None:
+        # serve_forever() must be stopped from another thread: shutdown()
+        # blocks until the serve loop exits, and the signal handler runs
+        # *on* the serving thread.
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    signal.signal(signal.SIGTERM, _shutdown)
+    signal.signal(signal.SIGINT, _shutdown)
+
+    host, port = server.server_address[:2]
+    bootstrap.send(
+        {
+            "port": int(port),
+            "pid": os.getpid(),
+            "restored": restore_report.to_dict() if restore_report else None,
+        }
+    )
+    bootstrap.close()
+    try:
+        server.serve_forever()
+    finally:
+        server.server_close()
+        if timer is not None:
+            timer.stop()

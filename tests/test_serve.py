@@ -413,3 +413,69 @@ class TestTcpTransport:
         assert all(r["ok"] for r in responses)
         # `stats` is not admission-controlled; only the translates count.
         assert responses[3]["stats"]["requests"] == 3
+
+class TestMalformedInputHardening:
+    """Hostile input must produce structured errors, never a dead socket."""
+
+    def test_deeply_nested_garbage_over_tcp_answers_and_keeps_serving(self):
+        # json.loads raises RecursionError (not JSONDecodeError) from the
+        # C scanner on kilobyte-deep nesting; before the decode guard the
+        # handler thread died and the connection dropped silently.
+        service = make_service()
+        server = serve_tcp(service, port=0)
+        host, port = server.server_address[:2]
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            with socket.create_connection((host, port), timeout=10.0) as conn:
+                handle = conn.makefile("rw", encoding="utf-8")
+                handle.write("[" * 200_000 + "\n")
+                handle.flush()
+                response = json.loads(handle.readline())
+                assert response["ok"] is False
+                assert response["error"]["type"] == "bad-json"
+                # The connection survived and still serves real requests.
+                handle.write(
+                    json.dumps({"id": 1, "op": "translate", "query": QUERY}) + "\n"
+                )
+                handle.flush()
+                follow_up = json.loads(handle.readline())
+                assert follow_up["ok"] is True
+                assert follow_up["id"] == 1
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=10.0)
+
+    def test_truncated_json_gets_bad_json_response(self):
+        from repro.serve import decode_line
+
+        request, error = decode_line('{"op": "ping", ')
+        assert request is None
+        assert error is not None and error["error"]["type"] == "bad-json"
+
+    def test_non_object_request_gets_bad_request_response(self):
+        from repro.serve import decode_line
+
+        request, error = decode_line("[1, 2, 3]")
+        assert request is None
+        assert error is not None and error["error"]["type"] == "bad-request"
+
+    def test_handle_line_answers_recursion_bomb(self):
+        response = json.loads(handle_line(make_service(), "[" * 200_000))
+        assert response["ok"] is False
+        assert response["error"]["type"] == "bad-json"
+
+    def test_unencodable_response_degrades_to_structured_error(self):
+        from repro.serve import encode_response
+
+        # A valid request can echo an id too deep for the encoder.
+        deep: list = []
+        probe = deep
+        for _ in range(200_000):
+            probe.append([])
+            probe = probe[0]
+        line = encode_response({"id": deep, "ok": True, "op": "ping"})
+        response = json.loads(line)
+        assert response["ok"] is False
+        assert "not encodable" in response["error"]["message"]

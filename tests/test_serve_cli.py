@@ -91,3 +91,73 @@ class TestServeTcpSmoke:
             thread.join(timeout=10.0)
         assert response["ok"] is True and response["id"] == 1
         assert response["mappings"]["Amazon"]["exact"] is True
+
+class TestServeClusterFlags:
+    def test_processes_without_tcp_exits(self, monkeypatch):
+        monkeypatch.setattr("sys.stdin", io.StringIO(""))
+        with pytest.raises(SystemExit, match="needs --tcp"):
+            main(["serve", "K_Amazon", "--processes", "2"])
+
+    def test_zero_processes_exits(self, monkeypatch):
+        monkeypatch.setattr("sys.stdin", io.StringIO(""))
+        with pytest.raises(SystemExit, match="--processes must be"):
+            main(["serve", "K_Amazon", "--tcp", "--processes", "0"])
+
+    def test_negative_snapshot_interval_exits(self, monkeypatch, tmp_path):
+        monkeypatch.setattr("sys.stdin", io.StringIO(""))
+        with pytest.raises(SystemExit, match="interval"):
+            main(
+                [
+                    "serve",
+                    "K_Amazon",
+                    "--snapshot-dir",
+                    str(tmp_path),
+                    "--snapshot-interval",
+                    "-1",
+                ]
+            )
+
+    def test_bad_fault_spec_exits_before_forking(self, monkeypatch):
+        monkeypatch.setattr("sys.stdin", io.StringIO(""))
+        with pytest.raises(SystemExit, match="bad --fault"):
+            main(
+                [
+                    "serve",
+                    "K_Amazon",
+                    "--tcp",
+                    "--processes",
+                    "2",
+                    "--fault",
+                    "nonsense",
+                ]
+            )
+
+
+class TestServeSnapshotStdin:
+    def test_snapshot_dir_persists_and_restores(self, monkeypatch, capsys, tmp_path):
+        line = json.dumps(REQUEST)
+        code, responses, _ = run_serve(
+            monkeypatch,
+            capsys,
+            ["serve", "K_Amazon", "--snapshot-dir", str(tmp_path)],
+            [line],
+        )
+        assert code == 0 and responses[0]["ok"]
+        snapshot_file = tmp_path / "shard-0.json"
+        assert snapshot_file.exists()
+        payload = json.loads(snapshot_file.read_text(encoding="utf-8"))
+        assert payload["kind"] == "repro.serve.cache-snapshot"
+        assert sum(
+            len(s["entries"]) for s in payload["specs"].values()
+        ) > 0
+
+        # Second run restores the entry: the translate is a cache hit.
+        code, responses, err = run_serve(
+            monkeypatch,
+            capsys,
+            ["serve", "K_Amazon", "--snapshot-dir", str(tmp_path), "-v"],
+            [line, json.dumps({"id": 2, "op": "stats"})],
+        )
+        assert code == 0
+        stats = next(r for r in responses if r["id"] == 2)["stats"]
+        assert stats["cache"]["hits"] >= 1

@@ -1,0 +1,269 @@
+"""repro.serve.snapshot: warm-start cache persistence and staleness.
+
+The contract under test: a snapshot written from one cache restores into
+a fresh cache such that every restored fingerprint answers **bit-
+identically** to the original translation — unless the specification's
+rule set changed in between, in which case the stale section must be
+discarded wholesale (a restored-but-wrong translation would silently
+corrupt every response for that fingerprint).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import StaleIndexError
+from repro.core.matching import Rule
+from repro.core.tdqm import tdqm_translate
+from repro.perf import TranslationCache
+from repro.serve.snapshot import (
+    SNAPSHOT_FORMAT,
+    SnapshotTimer,
+    restore_snapshot,
+    snapshot_payload,
+    spec_digest,
+    specs_by_name,
+    write_snapshot,
+)
+from repro.workloads.generator import random_query, random_spec, vocabulary
+
+ATTRS = vocabulary(8)
+
+query_seeds = st.integers(min_value=0, max_value=10_000)
+spec_seeds = st.integers(min_value=0, max_value=200)
+
+
+def warm(cache: TranslationCache, spec, seeds):
+    """Translate one random query per seed through ``cache``."""
+    queries = [
+        random_query(ATTRS, seed=seed, n_constraints=5, max_depth=3) for seed in seeds
+    ]
+    return {q: cache.tdqm(q, spec) for q in queries}
+
+
+class TestSpecDigest:
+    def test_stable_across_identical_specs(self):
+        assert spec_digest(random_spec(ATTRS, pair_count=3, seed=7)) == spec_digest(
+            random_spec(ATTRS, pair_count=3, seed=7)
+        )
+
+    def test_sensitive_to_rule_removal(self):
+        spec = random_spec(ATTRS, pair_count=3, seed=7)
+        before = spec_digest(spec)
+        spec.remove_rule(spec.rules[0].name)
+        assert spec_digest(spec) != before
+
+    def test_sensitive_to_rule_addition(self):
+        spec = random_spec(ATTRS, pair_count=3, seed=7)
+        before = spec_digest(spec)
+        donor = random_spec(ATTRS, pair_count=1, seed=123).rules[0]
+        spec.add_rule(
+            Rule(
+                name="donated",
+                patterns=donor.patterns,
+                emit=donor.emit,
+                conditions=donor.conditions,
+                exact=donor.exact,
+            )
+        )
+        assert spec_digest(spec) != before
+
+    def test_independent_of_version_stamp(self):
+        # The stamp is process-local; the digest must not move when the
+        # rule set round-trips back to the same declarative surface.
+        spec = random_spec(ATTRS, pair_count=3, seed=7)
+        before = spec_digest(spec)
+        removed = spec.remove_rule(spec.rules[-1].name)
+        spec.add_rule(removed)  # version bumped twice, same rules
+        assert spec_digest(spec) == before
+
+
+class TestSnapshotRoundTrip:
+    def test_restore_preserves_hits_bit_identically(self, tmp_path):
+        spec = random_spec(ATTRS, pair_count=3, seed=1)
+        source = TranslationCache()
+        originals = warm(source, spec, range(6))
+        path = tmp_path / "shard.json"
+        report = write_snapshot(path, source, {spec.name: spec})
+        assert report.entries > 0
+
+        target = TranslationCache()
+        restore = restore_snapshot(path, target, {spec.name: spec})
+        assert restore.restored == report.entries
+        assert restore.discarded_stale == 0
+
+        for query, original in originals.items():
+            hit = target.tdqm(query, spec)
+            direct = tdqm_translate(query, spec)
+            assert hit.mapping == original.mapping == direct.mapping
+            assert hit.exact == original.exact
+            assert hit.stats == original.stats
+        # Every lookup above was answered from the restored entries.
+        assert target.stats.hits == len(originals)
+        assert target.stats.misses == 0
+
+    def test_restore_skips_entries_already_present(self, tmp_path):
+        spec = random_spec(ATTRS, pair_count=2, seed=2)
+        cache = TranslationCache()
+        warm(cache, spec, range(4))
+        path = tmp_path / "shard.json"
+        write_snapshot(path, cache, {spec.name: spec})
+        restore = restore_snapshot(path, cache, {spec.name: spec})
+        assert restore.restored == 0
+        assert restore.skipped_present > 0
+
+    def test_changed_rule_set_discards_section(self, tmp_path):
+        spec = random_spec(ATTRS, pair_count=3, seed=3)
+        cache = TranslationCache()
+        warm(cache, spec, range(5))
+        path = tmp_path / "shard.json"
+        report = write_snapshot(path, cache, {spec.name: spec})
+
+        spec.remove_rule(spec.rules[0].name)
+        fresh = TranslationCache()
+        restore = restore_snapshot(path, fresh, {spec.name: spec})
+        assert restore.restored == 0
+        assert restore.discarded_stale == report.entries
+        assert restore.stale_specs == (spec.name,)
+        assert fresh.stats.size == 0
+
+    def test_strict_restore_raises_stale_index_error(self, tmp_path):
+        spec = random_spec(ATTRS, pair_count=2, seed=4)
+        cache = TranslationCache()
+        warm(cache, spec, range(3))
+        path = tmp_path / "shard.json"
+        write_snapshot(path, cache, {spec.name: spec})
+        spec.remove_rule(spec.rules[0].name)
+        with pytest.raises(StaleIndexError):
+            restore_snapshot(path, TranslationCache(), {spec.name: spec}, strict=True)
+
+    def test_unknown_spec_sections_are_discarded(self, tmp_path):
+        spec = random_spec(ATTRS, pair_count=2, seed=5)
+        cache = TranslationCache()
+        warm(cache, spec, range(3))
+        path = tmp_path / "shard.json"
+        report = write_snapshot(path, cache, {spec.name: spec})
+        other = random_spec(ATTRS, pair_count=2, seed=6)
+        restore = restore_snapshot(path, TranslationCache(), {other.name: other})
+        assert restore.restored == 0
+        assert restore.discarded_unknown == report.entries
+
+    def test_limit_bounds_the_export(self, tmp_path):
+        spec = random_spec(ATTRS, pair_count=2, seed=7)
+        cache = TranslationCache()
+        warm(cache, spec, range(8))
+        path = tmp_path / "shard.json"
+        report = write_snapshot(path, cache, {spec.name: spec}, limit=3)
+        assert report.entries <= 3
+        restore = restore_snapshot(path, TranslationCache(), {spec.name: spec})
+        assert restore.restored == report.entries
+
+    def test_rejects_foreign_files(self, tmp_path):
+        path = tmp_path / "garbage.json"
+        path.write_text(json.dumps({"kind": "something-else"}), encoding="utf-8")
+        with pytest.raises(ValueError, match="not a"):
+            restore_snapshot(path, TranslationCache(), {})
+        path.write_text(
+            json.dumps({"kind": "repro.serve.cache-snapshot", "format": 999}),
+            encoding="utf-8",
+        )
+        with pytest.raises(ValueError, match="format"):
+            restore_snapshot(path, TranslationCache(), {})
+
+    def test_payload_format_tag(self):
+        payload, _ = snapshot_payload(TranslationCache(), {})
+        assert payload["format"] == SNAPSHOT_FORMAT
+        assert payload["kind"] == "repro.serve.cache-snapshot"
+
+
+class TestSnapshotTimer:
+    def test_stop_writes_final_snapshot(self, tmp_path):
+        spec = random_spec(ATTRS, pair_count=2, seed=8)
+        cache = TranslationCache()
+        warm(cache, spec, range(3))
+        path = tmp_path / "shard.json"
+        timer = SnapshotTimer(path, cache, {spec.name: spec}, interval=0).start()
+        assert not path.exists()  # interval 0: no periodic thread
+        report = timer.stop()
+        assert path.exists()
+        assert report.entries > 0
+
+    def test_write_now_is_atomic_on_disk(self, tmp_path):
+        spec = random_spec(ATTRS, pair_count=2, seed=9)
+        cache = TranslationCache()
+        warm(cache, spec, range(2))
+        path = tmp_path / "deep" / "shard.json"
+        timer = SnapshotTimer(path, cache, {spec.name: spec}, interval=0)
+        timer.write_now()
+        assert path.exists()
+        assert not path.with_name(path.name + ".tmp").exists()
+
+    def test_rejects_negative_interval(self, tmp_path):
+        with pytest.raises(ValueError):
+            SnapshotTimer(tmp_path / "s.json", TranslationCache(), {}, interval=-1)
+
+
+class TestSpecsByName:
+    def test_rekeys_source_table_by_spec_name(self):
+        from repro.obs.stats import builtin_mediator
+
+        mediator = builtin_mediator({"K_Amazon"})
+        assert mediator is not None
+        assert set(mediator.specs) == {"Amazon"}
+        assert set(specs_by_name(mediator.specs)) == {"K_Amazon"}
+
+
+# ---------------------------------------------------------------------------
+# Property: export -> import is lossless for fresh specs, lossy-by-design
+# for changed ones.
+# ---------------------------------------------------------------------------
+
+
+@given(spec_seeds, st.sets(query_seeds, min_size=1, max_size=6))
+@settings(max_examples=25, deadline=None)
+def test_round_trip_preserves_cache_hits_bit_identically(sseed, qseeds):
+    spec = random_spec(ATTRS, pair_count=2, seed=sseed)
+    source = TranslationCache()
+    originals = warm(source, spec, sorted(qseeds))
+
+    payload, report = snapshot_payload(source, {spec.name: spec})
+    # The payload must survive JSON framing (what the file format does).
+    payload = json.loads(json.dumps(payload, sort_keys=True))
+
+    target = TranslationCache()
+    restored = 0
+    from repro.serve.snapshot import _restore_entry
+
+    for section in payload["specs"].values():
+        for entry in section["entries"]:
+            if _restore_entry(target, spec, entry):
+                restored += 1
+    assert restored == report.entries
+
+    for query, original in originals.items():
+        hit = target.tdqm(query, spec)
+        assert hit.mapping == original.mapping
+        assert hit.exact == original.exact
+        assert hit.stats == original.stats
+    assert target.stats.misses == 0
+
+
+@given(spec_seeds, st.sets(query_seeds, min_size=1, max_size=4))
+@settings(max_examples=25, deadline=None)
+def test_round_trip_discards_entries_whose_spec_changed(tmp_path_factory, sseed, qseeds):
+    spec = random_spec(ATTRS, pair_count=2, seed=sseed)
+    cache = TranslationCache()
+    warm(cache, spec, sorted(qseeds))
+    path = tmp_path_factory.mktemp("snap") / "shard.json"
+    report = write_snapshot(path, cache, {spec.name: spec})
+
+    spec.remove_rule(spec.rules[0].name)
+    fresh = TranslationCache()
+    restore = restore_snapshot(path, fresh, {spec.name: spec})
+    assert restore.restored == 0
+    assert restore.discarded_stale == report.entries
+    assert fresh.stats.size == 0
