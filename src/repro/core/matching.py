@@ -366,9 +366,17 @@ class Matcher:
     fruitless probes are skipped.  ``MappingSpecification.matcher()``
     attaches it automatically; an index probed after its specification
     mutated raises :class:`~repro.core.errors.StaleIndexError`.
+
+    With an index attached, each candidate rule is dispatched through its
+    **compiled closure** (:mod:`repro.perf.compile`) — bit-identical to
+    the interpreted walk, just without the per-call pattern dispatch.
+    ``interpret=True`` forces the interpreted ``match_rule`` walk even
+    when an index is attached (index dispatch still narrows candidates,
+    as PR-3 shipped it); it is both the escape hatch and the equivalence
+    oracle the compiled path is property-tested against.
     """
 
-    def __init__(self, rules: Sequence[Rule], index=None):
+    def __init__(self, rules: Sequence[Rule], index=None, *, interpret: bool = False):
         self.rules = tuple(rules)
         if index is not None and len(index) != len(self.rules):
             raise RuleError(
@@ -376,8 +384,16 @@ class Matcher:
                 f"got {len(self.rules)}"
             )
         self._index = index
+        self._interpret = bool(interpret)
         self._universe: frozenset[Constraint] | None = None
         self._potential: list[Matching] = []
+
+    @property
+    def mode(self) -> str:
+        """``"compiled"`` or ``"interpreted"`` — which walk rules take."""
+        if self._index is not None and not self._interpret:
+            return "compiled"
+        return "interpreted"
 
     def potential(self, constraints: Iterable[Constraint]) -> list[Matching]:
         """``M_p``: all matchings over the constraint universe seen so far.
@@ -390,6 +406,16 @@ class Matcher:
         """
         universe = frozenset(constraints) | (self._universe or frozenset())
         if universe != self._universe:
+            if self._index is not None and not self._interpret:
+                # Compiled dispatch: the index memoizes the whole prematch
+                # per universe (pure rules + pinned version make M_p a
+                # function of the universe alone).
+                cached = self._index.prematch_get(universe)
+                if cached is not None:
+                    self._universe = universe
+                    self._potential = list(cached)
+                    obs.count("matcher.matchings", len(self._potential))
+                    return list(self._potential)
             ordered = sorted(universe, key=str)
             found: list[Matching] = []
             if self._index is not None:
@@ -400,11 +426,17 @@ class Matcher:
                 if obs.enabled():
                     obs.count("matcher.prematch.misses")
                     obs.count("matcher.rules_tried", len(candidates))
+                compiled_dispatch = not self._interpret
                 for rule_id in candidates:
                     pools = self._index.pools(rule_id, by_attr, ordered)
                     if pools is None:
                         continue
-                    found.extend(match_rule(self.rules[rule_id], ordered, pools=pools))
+                    if compiled_dispatch:
+                        found.extend(self._index.compiled(rule_id).matchings(pools))
+                    else:
+                        found.extend(match_rule(self.rules[rule_id], ordered, pools=pools))
+                if compiled_dispatch:
+                    self._index.prematch_store(universe, found)
             else:
                 if obs.enabled():
                     obs.count("matcher.prematch.misses")

@@ -37,10 +37,22 @@ def normalize(query: Query) -> Query:
     from repro.core.negation import has_negation, push_negations
 
     with obs.span("normalize"):
+        try:
+            return query._norm
+        except AttributeError:
+            pass
+        source = query
         if has_negation(query):
             obs.count("normalize.negations_pushed")
             query = push_negations(query)
-        return _normalize_positive(query)
+        result = _normalize_positive(query)
+        # Nodes are immutable, so the canonical form is a pure function of
+        # the node and can be memoized on it (junction slot / leaf __dict__).
+        try:
+            object.__setattr__(source, "_norm", result)
+        except (AttributeError, TypeError):
+            pass
+        return result
 
 
 def _normalize_positive(query: Query) -> Query:

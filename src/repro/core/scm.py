@@ -62,17 +62,25 @@ def suppress_submatchings(matchings: list[Matching]) -> list[Matching]:
 def scm_translate(
     query: Query | frozenset[Constraint],
     spec: MappingSpecification | Matcher,
+    *,
+    interpret: bool = False,
 ) -> SCMResult:
-    """Run Algorithm SCM, returning the mapping plus its trace."""
+    """Run Algorithm SCM, returning the mapping plus its trace.
+
+    ``interpret=True`` forces the interpreted matcher walk when ``spec``
+    is a specification (a readymade :class:`Matcher` carries its own
+    mode; see :mod:`repro.perf.compile`).
+    """
     if not obs.enabled():
-        return _scm_translate(query, spec)
+        return _scm_translate(query, spec, interpret)
     with obs.span("scm"):
-        return _scm_translate(query, spec)
+        return _scm_translate(query, spec, interpret)
 
 
 def _scm_translate(
     query: Query | frozenset[Constraint],
     spec: MappingSpecification | Matcher,
+    interpret: bool = False,
 ) -> SCMResult:
     if isinstance(query, frozenset):
         constraints = query
@@ -89,7 +97,10 @@ def _scm_translate(
         for i, c in enumerate(query.iter_constraints()):
             order.setdefault(c, i)
 
-    matcher = spec.matcher() if isinstance(spec, MappingSpecification) else spec
+    if isinstance(spec, MappingSpecification):
+        matcher = spec.matcher(interpret=interpret)
+    else:
+        matcher = spec
     all_matchings = matcher.matchings(constraints)
     kept = suppress_submatchings(all_matchings)
     if obs.enabled():
@@ -118,6 +129,8 @@ def _scm_translate(
 def scm(
     query: Query | frozenset[Constraint],
     spec: MappingSpecification | Matcher,
+    *,
+    interpret: bool = False,
 ) -> Query:
     """``SCM(Q̂, K)``: the minimal subsuming mapping of a simple conjunction."""
-    return scm_translate(query, spec).mapping
+    return scm_translate(query, spec, interpret=interpret).mapping

@@ -1,4 +1,4 @@
-"""Hot-path performance layer: fingerprints, rule indexing, caching.
+"""Hot-path performance layer: fingerprints, indexing, compilation, caching.
 
 The paper proves SCM is linear-time per conjunction (Section 4.4), but a
 mediator serving heavy traffic sees the *same* canonical queries and the
@@ -8,11 +8,18 @@ that repetition into an order-of-magnitude win:
 * :func:`query_fingerprint` — a canonical fingerprint of a normalized
   query, invariant under ∧/∨ commutativity and join re-orientation; the
   cache key ingredient;
+* :func:`intern_query` — hash-consing: structurally equal ASTs collapse
+  to one shared object per process, so equality, canonicalization, and
+  fingerprinting become (memoized) identity checks;
 * :class:`CompiledRuleIndex` — a per-specification attribute→rule
   inverted index plus per-rule head signatures, so the matcher probes
   only rules whose heads can bind the constraint group instead of
   scanning the whole library (:meth:`MappingSpecification.matcher`
   attaches it automatically);
+* :func:`compile_rule` / :class:`CompiledRule` — each rule's pattern,
+  conditions, and emit template compiled into Python closures at
+  spec-load time; the matcher dispatches through them by default, with
+  ``interpret=True`` as the escape hatch and equivalence oracle;
 * :class:`TranslationCache` — an LRU memo of whole translations keyed by
   (algorithm, specification name, specification *version*, fingerprint);
   specification mutation bumps the version stamp, so stale entries can
@@ -20,18 +27,34 @@ that repetition into an order-of-magnitude win:
 * :func:`translate_batch` — shared-everything batch translation behind
   ``Mediator.translate_many`` and the ``repro batch`` CLI subcommand.
 
-Design, key semantics, and benchmark methodology: ``docs/performance.md``.
+Design, key semantics, and benchmark methodology: ``docs/performance.md``
+and ``docs/internals.md``.
 """
 
 from repro.perf.cache import CacheStats, TranslationCache, translate_batch
+from repro.perf.compile import CompiledRule, compile_rule
 from repro.perf.fingerprint import canonical_form, query_fingerprint
 from repro.perf.index import CompiledRuleIndex
+from repro.perf.intern import (
+    clear_intern_table,
+    intern_constraint,
+    intern_query,
+    intern_stats,
+    is_interned,
+)
 
 __all__ = [
     "CacheStats",
+    "CompiledRule",
     "CompiledRuleIndex",
     "TranslationCache",
     "canonical_form",
+    "clear_intern_table",
+    "compile_rule",
+    "intern_constraint",
+    "intern_query",
+    "intern_stats",
+    "is_interned",
     "query_fingerprint",
     "translate_batch",
 ]

@@ -47,18 +47,32 @@ def canonical_form(query: Query) -> str:
     Callers are expected to pass a *normalized* query (see
     :func:`repro.core.normalize.normalize`); :func:`query_fingerprint`
     normalizes for you.
+
+    The form is a pure function of the (immutable) node, so it is memoized
+    per node — on hash-consed trees (:mod:`repro.perf.intern`) every
+    distinct shape is canonicalized once per process.
     """
+    try:
+        return query._canon
+    except AttributeError:
+        pass
     if isinstance(query, BoolConst):
         return "#t" if query.value else "#f"
     if isinstance(query, Constraint):
-        return f"[{_render_ref(query.lhs)} {query.op} {_render_value(query.rhs)}]"
-    if isinstance(query, And):
-        return "(and " + " ".join(sorted(canonical_form(c) for c in query.children)) + ")"
-    if isinstance(query, Or):
-        return "(or " + " ".join(sorted(canonical_form(c) for c in query.children)) + ")"
-    if isinstance(query, Not):  # pre-normalization trees; normalize() removes these
-        return "(not " + canonical_form(query.child) + ")"
-    raise TypeError(f"unknown query node: {query!r}")
+        text = f"[{_render_ref(query.lhs)} {query.op} {_render_value(query.rhs)}]"
+    elif isinstance(query, And):
+        text = "(and " + " ".join(sorted(canonical_form(c) for c in query.children)) + ")"
+    elif isinstance(query, Or):
+        text = "(or " + " ".join(sorted(canonical_form(c) for c in query.children)) + ")"
+    elif isinstance(query, Not):  # pre-normalization trees; normalize() removes these
+        text = "(not " + canonical_form(query.child) + ")"
+    else:
+        raise TypeError(f"unknown query node: {query!r}")
+    try:
+        object.__setattr__(query, "_canon", text)
+    except (AttributeError, TypeError):
+        pass
+    return text
 
 
 def query_fingerprint(query: Query, *, normalized: bool = False) -> str:

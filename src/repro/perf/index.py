@@ -39,11 +39,17 @@ from repro.core.ast import Constraint
 from repro.core.errors import StaleIndexError
 from repro.core.matching import AttrPattern, Rule
 from repro.obs import trace as obs
+from repro.perf.compile import CompiledRule, compile_rule
 
 if TYPE_CHECKING:
     from repro.rules.spec import MappingSpecification
 
 __all__ = ["HeadSignature", "CompiledRuleIndex"]
+
+#: Bound on the per-index universe -> prematch memo; long-lived serving
+#: processes see a finite set of hot universes, adversarial streams just
+#: lose warmth when the table recycles.
+_PREMATCH_CAP = 4096
 
 
 @dataclass(frozen=True)
@@ -92,7 +98,18 @@ class CompiledRuleIndex:
     specification's version stamp.
     """
 
-    __slots__ = ("spec_name", "version", "_spec", "_rules", "_signatures", "_required", "_wildcard", "_by_attr")
+    __slots__ = (
+        "spec_name",
+        "version",
+        "_spec",
+        "_rules",
+        "_signatures",
+        "_required",
+        "_wildcard",
+        "_by_attr",
+        "_compiled",
+        "_prematch",
+    )
 
     def __init__(self, spec: MappingSpecification):
         self._spec = spec
@@ -118,6 +135,16 @@ class CompiledRuleIndex:
             name: tuple(ids) for name, ids in by_attr.items()
         }
         self._wildcard: tuple[int, ...] = tuple(wildcard)
+        # Compiled closures (repro.perf.compile), built lazily per rule on
+        # first dispatch so index construction stays cheap for analysis
+        # tooling that never matches.  Sharing the index's lifetime pins
+        # every closure and memo to this specification version.
+        self._compiled: list[CompiledRule | None] = [None] * len(self._rules)
+        # Whole-prematch memo for compiled dispatch: constraint universe ->
+        # M_p.  Valid because rules are pure and the rule set is pinned to
+        # this version; every fresh per-translation Matcher over the same
+        # universe re-derives the identical matching list.
+        self._prematch: dict[frozenset[Constraint], tuple] = {}
 
     # -- introspection ---------------------------------------------------------
 
@@ -198,3 +225,57 @@ class CompiledRuleIndex:
                 return None
             pools.append(pool)
         return pools
+
+    # -- compiled dispatch -----------------------------------------------------
+
+    def compiled(self, rule_id: int) -> CompiledRule:
+        """The compiled closure for rule ``rule_id`` (built on first use).
+
+        Compiled rules share the index's version pin: a stale index
+        refuses to hand them out, and a rebuilt index starts from fresh
+        closures and memos.
+        """
+        self.check_fresh()
+        compiled = self._compiled[rule_id]
+        if compiled is None:
+            compiled = compile_rule(self._rules[rule_id])
+            self._compiled[rule_id] = compiled
+        return compiled
+
+    def prematch_get(self, universe: "frozenset[Constraint]") -> "tuple | None":
+        """The memoized prematch ``M_p`` for ``universe``, if computed.
+
+        Compiled dispatch only (the interpreted walk stays memo-free by
+        design — it is the equivalence oracle).
+        """
+        self.check_fresh()
+        found = self._prematch.get(universe)
+        if obs.enabled():
+            obs.count(
+                "perf.compile.prematch.hits"
+                if found is not None
+                else "perf.compile.prematch.misses"
+            )
+        return found
+
+    def prematch_store(self, universe: "frozenset[Constraint]", matchings: "list") -> None:
+        """Memoize the prematch for ``universe`` (bounded, clear-on-full)."""
+        self.check_fresh()
+        if len(self._prematch) >= _PREMATCH_CAP:
+            self._prematch.clear()
+        self._prematch[universe] = tuple(matchings)
+
+    def precompile(self) -> int:
+        """Compile every rule now (spec-load / serve warm-up path).
+
+        Returns the number of rules compiled by this call.  Dispatch
+        compiles lazily anyway; warming up front keeps first-request
+        latency flat in serving processes.
+        """
+        self.check_fresh()
+        built = 0
+        for rule_id, compiled in enumerate(self._compiled):
+            if compiled is None:
+                self._compiled[rule_id] = compile_rule(self._rules[rule_id])
+                built += 1
+        return built

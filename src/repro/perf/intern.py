@@ -1,0 +1,190 @@
+"""Hash-consing for query ASTs — the per-process intern table.
+
+Query nodes are immutable and compared structurally, so any two equal
+subtrees can be one object.  :func:`intern_query` canonicalizes a tree
+bottom-up against a per-process table: equal constraints and subtrees come
+back as the *same* object, making structural equality an identity check,
+letting every memo on the node (hash, rendered text, canonical form,
+fingerprint — see :mod:`repro.core.ast` and :mod:`repro.perf.
+fingerprint`) be computed once per distinct shape instead of once per
+parse, and de-duplicating the subtrees that TranslationCache entries and
+snapshot restores keep alive.
+
+The table holds its nodes **weakly**: an interned subtree lives exactly as
+long as something else (a cache entry, a specification, a live request)
+references it, so interning never grows memory beyond what the process
+already retains.  Keys are order-preserving structural renderings rather
+than the nodes themselves (a WeakValueDictionary keeps strong references
+to keys, so keying by the node would make every entry immortal).  The
+rendering deliberately does *not* sort junction children: ``a ∧ b`` and
+``b ∧ a`` are distinct trees and must stay distinct objects — collapsing
+them is the fingerprint's job, not the interner's.
+
+Interning is an optimization, never a semantic switch: ``intern_query(q)
+== q`` always holds, and every algorithm treats interned and fresh nodes
+identically.
+"""
+
+from __future__ import annotations
+
+import threading
+from weakref import WeakValueDictionary
+
+from repro.core.ast import (
+    FALSE,
+    TRUE,
+    And,
+    AttrRef,
+    BoolConst,
+    Constraint,
+    Not,
+    Or,
+    Query,
+)
+from repro.obs import trace as obs
+from repro.perf.fingerprint import _render_ref, _render_value
+
+__all__ = [
+    "intern_query",
+    "intern_constraint",
+    "intern_ref",
+    "is_interned",
+    "intern_stats",
+    "clear_intern_table",
+]
+
+_LOCK = threading.Lock()
+_NODES: WeakValueDictionary[str, Query] = WeakValueDictionary()
+_REFS: WeakValueDictionary[str, AttrRef] = WeakValueDictionary()
+_HITS = 0
+_MISSES = 0
+
+
+def _key(query: Query) -> str:
+    """Order-preserving, type-tagged structural rendering (table key).
+
+    Unlike :func:`repro.perf.fingerprint.canonical_form` this keeps
+    junction children in tree order, so structurally distinct trees never
+    share a table slot.
+    """
+    if isinstance(query, Constraint):
+        return f"[{_render_ref(query.lhs)} {query.op} {_render_value(query.rhs)}]"
+    if isinstance(query, And):
+        return "(and " + " ".join(_key(c) for c in query.children) + ")"
+    if isinstance(query, Or):
+        return "(or " + " ".join(_key(c) for c in query.children) + ")"
+    if isinstance(query, Not):
+        return "(not " + _key(query.child) + ")"
+    if isinstance(query, BoolConst):
+        return "#t" if query.value else "#f"
+    raise TypeError(f"unknown query node: {query!r}")
+
+
+def _intern_ref_locked(ref: AttrRef) -> AttrRef:
+    key = _render_ref(ref)
+    found = _REFS.get(key)
+    if found is not None:
+        return found
+    _REFS[key] = ref
+    return ref
+
+
+def _intern_locked(query: Query) -> tuple[Query, int, int]:
+    """Intern ``query`` bottom-up; returns (node, hits, misses)."""
+    if isinstance(query, BoolConst):
+        return (TRUE if query.value else FALSE), 1, 0
+    key = _key(query)
+    found = _NODES.get(key)
+    if found is not None:
+        return found, 1, 0
+    hits = 0
+    misses = 1
+    node: Query
+    if isinstance(query, Constraint):
+        lhs = _intern_ref_locked(query.lhs)
+        rhs = query.rhs
+        if isinstance(rhs, AttrRef):
+            rhs = _intern_ref_locked(rhs)
+        if lhs is query.lhs and rhs is query.rhs:
+            node = query
+        else:
+            node = Constraint(lhs, query.op, rhs)
+    elif isinstance(query, (And, Or)):
+        children = []
+        changed = False
+        for child in query.children:
+            interned, h, m = _intern_locked(child)
+            hits += h
+            misses += m
+            changed = changed or interned is not child
+            children.append(interned)
+        node = type(query)(children) if changed else query
+    elif isinstance(query, Not):
+        child, hits, misses = _intern_locked(query.child)
+        misses += 1
+        node = query if child is query.child else Not(child)
+    else:
+        raise TypeError(f"unknown query node: {query!r}")
+    _NODES[key] = node
+    return node, hits, misses
+
+
+def intern_query(query: Query) -> Query:
+    """The canonical in-process instance of ``query`` (``== query`` always).
+
+    Safe from any thread; cheap when the shape is already interned (one
+    rendering plus one table hit per node).
+    """
+    global _HITS, _MISSES
+    with _LOCK:
+        node, hits, misses = _intern_locked(query)
+        _HITS += hits
+        _MISSES += misses
+    if obs.enabled():
+        if hits:
+            obs.count("perf.compile.intern.hits", hits)
+        if misses:
+            obs.count("perf.compile.intern.misses", misses)
+    return node
+
+
+def intern_constraint(constraint: Constraint) -> Constraint:
+    """:func:`intern_query` narrowed to a single constraint."""
+    interned = intern_query(constraint)
+    assert isinstance(interned, Constraint)
+    return interned
+
+
+def intern_ref(ref: AttrRef) -> AttrRef:
+    """The canonical in-process instance of an attribute reference."""
+    with _LOCK:
+        return _intern_ref_locked(ref)
+
+
+def is_interned(query: Query) -> bool:
+    """Is ``query`` (this very object) the canonical instance of its shape?"""
+    if isinstance(query, BoolConst):
+        return query is TRUE or query is FALSE
+    with _LOCK:
+        return _NODES.get(_key(query)) is query
+
+
+def intern_stats() -> dict[str, int]:
+    """Point-in-time interner counters (sizes are live, not cumulative)."""
+    with _LOCK:
+        return {
+            "nodes": len(_NODES),
+            "refs": len(_REFS),
+            "hits": _HITS,
+            "misses": _MISSES,
+        }
+
+
+def clear_intern_table() -> None:
+    """Drop the table (tests and long-lived admin tooling only)."""
+    global _HITS, _MISSES
+    with _LOCK:
+        _NODES.clear()
+        _REFS.clear()
+        _HITS = 0
+        _MISSES = 0

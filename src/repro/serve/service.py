@@ -52,6 +52,7 @@ from repro.core.normalize import normalize
 from repro.core.parser import parse_query
 from repro.obs import trace as obs
 from repro.perf.fingerprint import query_fingerprint
+from repro.perf.intern import intern_query
 from repro.serve.singleflight import SingleFlight
 
 if TYPE_CHECKING:
@@ -197,9 +198,14 @@ class MediationService:
     # -- request preparation --------------------------------------------------
 
     def _prepare(self, query: "Query | str") -> tuple[Query, str]:
-        """Parse/normalize once; the fingerprint keys the single-flight."""
+        """Parse/intern/normalize once; the fingerprint keys the single-flight.
+
+        Interning first means repeat queries share one AST, so the
+        normalize/fingerprint memos (:mod:`repro.perf.intern`) hit on the
+        shared node and this whole step collapses to dictionary lookups.
+        """
         parsed = parse_query(query) if isinstance(query, str) else query
-        prepared = normalize(parsed)
+        prepared = normalize(intern_query(parsed))
         return prepared, query_fingerprint(prepared, normalized=True)
 
     def _single_flight(self, key: tuple, fn):
@@ -234,7 +240,7 @@ class MediationService:
             def run() -> "dict[str, TranslationResult]":
                 with self._execution_slot(), obs.span("serve.translate"):
                     cache = self.mediator.translation_cache
-                    if cache is None:
+                    if cache is None or self.mediator.interpret:
                         return self.mediator.translate_many(
                             [prepared], sources=list(names)
                         )[0]

@@ -8,6 +8,9 @@ CI's ``docs`` job runs this over ``README.md`` and every ``docs/*.md``:
   anchored link must name a heading that actually slugifies to that
   anchor (GitHub's rules: lowercase, punctuation stripped, spaces to
   hyphens);
+* **index** — every ``docs/*.md`` page must be linked from the
+  documentation map in ``docs/architecture.md``; an orphan page is a
+  page nobody can discover, so it fails the gate;
 * **snippets** — fenced ``sh`` blocks in ``docs/tutorial.md`` are
   *executed*: every line starting with ``repro `` runs in-process
   through :func:`repro.cli.main` and must exit 0, so the tutorial's CLI
@@ -119,6 +122,31 @@ def check_links(path: pathlib.Path) -> list[str]:
     return problems
 
 
+def check_doc_index() -> list[str]:
+    """Every docs page must appear in architecture.md's doc index.
+
+    The index is the ``## Documentation map`` table; a page missing from
+    it is an orphan — reachable only by someone who already knows it
+    exists — and the gate treats that as documentation drift.
+    """
+    index_page = REPO / "docs" / "architecture.md"
+    if not index_page.exists():
+        return ["missing documentation index: docs/architecture.md"]
+    indexed: set[str] = set()
+    for line in strip_fenced(index_page.read_text(encoding="utf-8")):
+        for target in LINK_RE.findall(strip_inline_code(line)):
+            if target.startswith(EXTERNAL_PREFIXES) or target.startswith("#"):
+                continue
+            file_part = target.partition("#")[0]
+            indexed.add((index_page.parent / file_part).resolve().name)
+    return [
+        f"docs/{page.name}: orphan page — not linked from "
+        "docs/architecture.md's documentation map"
+        for page in sorted((REPO / "docs").glob("*.md"))
+        if page.name != "architecture.md" and page.name not in indexed
+    ]
+
+
 def snippet_commands(path: pathlib.Path) -> list[str]:
     """``repro ...`` lines inside the file's fenced ``sh`` blocks."""
     commands, in_sh = [], False
@@ -173,6 +201,7 @@ def main() -> int:
             for line in strip_fenced(path.read_text(encoding="utf-8"))
             for _ in LINK_RE.findall(strip_inline_code(line))
         )
+    problems.extend(check_doc_index())
     executed = 0
     for path in SNIPPET_FILES:
         commands = snippet_commands(path)
