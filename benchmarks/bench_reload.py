@@ -1,0 +1,189 @@
+"""Hot reload under load: what a live spec swap costs the serving path.
+
+The lifecycle story (``repro.registry`` + ``MediationService.reload_spec``)
+claims a publish can land in a running service without a restart and
+without disturbing in-flight traffic.  This bench pins the two numbers
+behind that claim:
+
+* **reload latency** — how long one ``reload_spec`` call takes while
+  closed-loop clients hammer the service (precompile + swap + cache
+  invalidation, all under live contention);
+* **churn overhead** — steady-state throughput with periodic reloads vs
+  an undisturbed run.  Every reload invalidates the spec's cache
+  section, so the churn run pays recurring re-translation; the overhead
+  must stay bounded, not collapse.
+
+Correctness is audited alongside: zero lost responses, and every
+response bit-identical to one spec version's reference answer — never a
+blend.  Results go to ``BENCH_reload.json`` (not part of the CI bench
+gate; run directly with ``pytest benchmarks/bench_reload.py``).
+"""
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+from obs_harness import BenchRecorder, median_of, sweep
+
+from repro.obs.stats import builtin_mediator
+from repro.rules.declarative import spec_from_dict
+from repro.serve import MediationService, ServiceConfig
+
+QUERIES = [
+    '[ln = "Clancy"] and [fn = "Tom"]',
+    '[ln = "King"]',
+    "[pyear = 1997] and [pmonth = 5]",
+    '([ln = "Clancy"] or [ln = "Klancy"]) and [fn = "Tom"]',
+]
+
+WORD = {
+    "name": "K_Amazon",
+    "target": "Amazon",
+    "rules": [
+        {
+            "name": "V1",
+            "match": [{"attr": "ln", "op": "=", "bind": "L"}],
+            "where": [{"cond": "value_is", "vars": ["L"]}],
+            "emit": {"attr": "author-word", "op": "=", "value": "$L"},
+            "exact": True,
+            "doc": "variant: ln -> author-word",
+        }
+    ],
+}
+
+WIDE = {
+    "name": "K_Amazon",
+    "target": "Amazon",
+    "rules": [
+        {
+            "name": "V1",
+            "match": [{"attr": "ln", "op": "=", "bind": "L"}],
+            "where": [{"cond": "value_is", "vars": ["L"]}],
+            "emit": {"attr": "author", "op": "=", "value": "$L"},
+            "exact": True,
+            "doc": "variant2: ln -> author",
+        }
+    ],
+}
+
+
+def _make_service(n_workers: int, total: int) -> MediationService:
+    mediator = builtin_mediator({"K_Amazon"})
+    config = ServiceConfig(max_concurrency=n_workers, queue_depth=total)
+    return MediationService(mediator, config)
+
+
+def _closed_loop(service, n_workers: int, rounds: int) -> list[list]:
+    responses: list[list] = [[] for _ in range(n_workers)]
+    barrier = threading.Barrier(n_workers)
+
+    def worker(tid: int) -> None:
+        barrier.wait()
+        for round_ in range(rounds):
+            text = QUERIES[(tid + round_) % len(QUERIES)]
+            responses[tid].append(service.translate(text))
+
+    with ThreadPoolExecutor(max_workers=n_workers) as pool:
+        list(pool.map(worker, range(n_workers)))
+    return responses
+
+
+def test_reload_under_load(report):
+    """A live swap must cost milliseconds, not a restart."""
+    n_workers = sweep((8,), quick=(4,))[0]
+    rounds = sweep((80,), quick=(30,))[0]
+    reload_count = sweep((8,), quick=(4,))[0]
+    total = n_workers * rounds
+
+    # Reference answers per spec version, for the blend audit.
+    variants = [None, WORD, WIDE]
+    references = []
+    for payload in variants:
+        probe = _make_service(n_workers, total)
+        if payload is not None:
+            probe.reload_spec(spec_from_dict(payload))
+        references.append(
+            {text: str(probe.translate(text)["Amazon"].mapping) for text in QUERIES}
+        )
+    allowed = {
+        text: {ref[text] for ref in references} for text in QUERIES
+    }
+
+    # Baseline: undisturbed closed-loop run on a warm service.
+    base_service = _make_service(n_workers, total)
+    _closed_loop(base_service, n_workers, rounds)  # warm-up
+    base_seconds = median_of(
+        lambda: _closed_loop(base_service, n_workers, rounds), repeat=3
+    )
+
+    # Churn: same load with periodic reloads alternating the variants.
+    churn_service = _make_service(n_workers, total)
+    _closed_loop(churn_service, n_workers, rounds)
+    reload_latencies: list[float] = []
+    audit: list[list] = []
+
+    def churn_run() -> None:
+        stop = threading.Event()
+
+        def reloader() -> None:
+            for i in range(reload_count):
+                spec = spec_from_dict(WORD if i % 2 == 0 else WIDE)
+                started = time.perf_counter()
+                churn_service.reload_spec(spec)
+                reload_latencies.append(time.perf_counter() - started)
+                if stop.wait(base_seconds / (reload_count + 1)):
+                    return
+
+        driver = threading.Thread(target=reloader, daemon=True)
+        driver.start()
+        audit.append(_closed_loop(churn_service, n_workers, rounds))
+        stop.set()
+        driver.join(timeout=60.0)
+
+    churn_started = time.perf_counter()
+    churn_run()
+    churn_seconds = time.perf_counter() - churn_started
+
+    # Zero lost responses, and no blended answers anywhere.
+    responses = audit[0]
+    assert all(len(per) == rounds for per in responses)
+    for tid, per_worker in enumerate(responses):
+        for round_, served in enumerate(per_worker):
+            text = QUERIES[(tid + round_) % len(QUERIES)]
+            assert str(served["Amazon"].mapping) in allowed[text], (tid, round_)
+
+    reload_ms = sorted(reload_latencies)
+    median_reload = reload_ms[len(reload_ms) // 2]
+    overhead = churn_seconds / base_seconds
+
+    recorder = BenchRecorder(
+        "reload", "repro.serve: hot spec reload under closed-loop load"
+    )
+    recorder.add(
+        workers=n_workers,
+        requests=total,
+        reloads=len(reload_latencies),
+        base_seconds=base_seconds,
+        churn_seconds=churn_seconds,
+        overhead=round(overhead, 2),
+        reload_median_ms=round(median_reload * 1e3, 3),
+        reload_max_ms=round(max(reload_latencies) * 1e3, 3),
+    )
+    recorder.write()
+    report(
+        "repro.serve: hot reload under load (registry lifecycle)",
+        [
+            f"  undisturbed : {base_seconds * 1e3:8.3f} ms  "
+            f"({total} requests, {n_workers} workers)",
+            f"  with churn  : {churn_seconds * 1e3:8.3f} ms  "
+            f"({len(reload_latencies)} reloads)",
+            f"  overhead    : {overhead:.2f}x",
+            f"  reload p50  : {median_reload * 1e3:8.3f} ms   "
+            f"max {max(reload_latencies) * 1e3:.3f} ms",
+        ],
+    )
+    # A reload is a precompile + pointer swap + section invalidation —
+    # if it ever approaches a second, something started blocking the
+    # world again.
+    assert median_reload < 1.0
+    assert all(len(per) == rounds for per in responses)

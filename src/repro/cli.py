@@ -427,9 +427,23 @@ def _serve_cluster(args) -> int:
     except ClusterError as exc:
         cluster.stop()
         raise SystemExit(f"serve: {exc}") from None
+    watcher = None
+    if args.watch_registry:
+        from repro.registry import RegistryWatcher
+
+        # The front-end fans each changed payload to every shard through
+        # the rolling reload, so all workers land on the same version.
+        watcher = RegistryWatcher(
+            args.watch_registry,
+            lambda name, payload: cluster.reload_specs([payload]),
+            interval=args.watch_interval,
+            names=set(config.spec_names),
+        ).start()
     suffix = ", metrics on" if args.metrics else ""
     if args.snapshot_dir:
         suffix += f", snapshots in {args.snapshot_dir}"
+    if args.watch_registry:
+        suffix += f", watching {args.watch_registry}"
     print(
         f"serving {args.specs} on {host}:{port} "
         f"(JSON-lines, {args.processes} worker processes{suffix})",
@@ -440,6 +454,8 @@ def _serve_cluster(args) -> int:
     except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
         pass
     finally:
+        if watcher is not None:
+            watcher.stop()
         cluster.stop()
     return 0
 
@@ -510,12 +526,31 @@ def _cmd_serve(args) -> int:
             ).start()
         except ValueError as exc:
             raise SystemExit(f"serve: {exc}") from None
+    if timer is not None:
+        # Hot reloads repoint the snapshot table at the new spec object
+        # so the timer never keeps exporting under a retired digest.
+        service.reload_hooks.append(timer.update_spec)
+
+    watcher = None
+    if args.watch_registry:
+        from repro.registry import RegistryWatcher
+        from repro.rules.declarative import spec_from_dict
+
+        served = {spec.name for spec in mediator.specs.values()}
+        watcher = RegistryWatcher(
+            args.watch_registry,
+            lambda name, payload: service.reload_spec(spec_from_dict(payload)),
+            interval=args.watch_interval,
+            names=served,
+        ).start()
 
     try:
         if args.tcp:
             server = serve_tcp(service, host=args.host, port=args.port)
             host, port = server.server_address[:2]
             suffix = ", metrics on" if metrics is not None else ""
+            if args.watch_registry:
+                suffix += f", watching {args.watch_registry}"
             print(
                 f"serving {args.specs} on {host}:{port} "
                 f"(JSON-lines{suffix}{restore_banner})",
@@ -532,6 +567,8 @@ def _cmd_serve(args) -> int:
             if args.verbose:
                 print(f"handled {handled} request(s)", file=sys.stderr)
     finally:
+        if watcher is not None:
+            watcher.stop()
         if timer is not None:
             timer.stop()
     if args.verbose:
@@ -670,6 +707,87 @@ def _lintable_specifications() -> dict:
     specs = builtin_specifications()
     specs[K_REALTY.name] = K_REALTY
     return specs
+
+
+def _registry_version_line(entry) -> str:
+    marker = "*" if entry.active else " "
+    note = f"  — {entry.note}" if entry.note else ""
+    return (
+        f" {marker} v{entry.version}  {entry.digest[:12]}  "
+        f"{entry.rules} rule(s){note}"
+    )
+
+
+def _cmd_registry_publish(args) -> int:
+    from repro.registry import PublishRejected, SpecRegistry
+
+    with open(args.file) as handle:
+        data = json.load(handle)
+    entries = data if isinstance(data, list) else [data]
+    registry = SpecRegistry(args.dir)
+    published = []
+    for entry in entries:
+        try:
+            published.append(
+                registry.publish(
+                    entry,
+                    note=args.note,
+                    gate=not args.no_gate,
+                    fail_on=args.fail_on,
+                )
+            )
+        except PublishRejected as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            for diagnostic in exc.diagnostics:
+                print(f"  {diagnostic.code} [{diagnostic.severity}] "
+                      f"{diagnostic.message}", file=sys.stderr)
+            return 1
+    if args.json:
+        print(json.dumps([v.to_dict() for v in published], indent=2, sort_keys=True))
+        return 0
+    for version in published:
+        print(f"published {version.name} v{version.version} ({version.digest[:12]})")
+    return 0
+
+
+def _cmd_registry_rollback(args) -> int:
+    from repro.registry import SpecRegistry
+
+    version = SpecRegistry(args.dir).rollback(args.name, to_version=args.to)
+    if args.json:
+        print(json.dumps(version.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(f"active: {version.name} v{version.version} ({version.digest[:12]})")
+    return 0
+
+
+def _cmd_registry_history(args) -> int:
+    from repro.registry import SpecRegistry
+
+    registry = SpecRegistry(args.dir)
+    names = [args.name] if args.name else registry.names()
+    if args.json:
+        payload = {
+            name: [v.to_dict() for v in registry.history(name)] for name in names
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    if not names:
+        print(f"registry {args.dir} is empty")
+        return 0
+    for name in names:
+        print(f"{name}:")
+        for entry in registry.history(name):
+            print(_registry_version_line(entry))
+    return 0
+
+
+def _cmd_registry_show(args) -> int:
+    from repro.registry import SpecRegistry
+
+    payload = SpecRegistry(args.dir).load_raw(args.name, args.version)
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    return 0
 
 
 def _cmd_lint(args) -> int:
@@ -1042,6 +1160,21 @@ def build_arg_parser() -> argparse.ArgumentParser:
         "via the metrics/sources/slowlog/health ops (and `repro top`)",
     )
     p.add_argument(
+        "--watch-registry",
+        metavar="DIR",
+        default=None,
+        help="poll a spec registry (see `repro registry`) and hot-reload "
+        "published/rolled-back specifications into the running service "
+        "without a restart",
+    )
+    p.add_argument(
+        "--watch-interval",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="registry poll interval for --watch-registry (default: %(default)s)",
+    )
+    p.add_argument(
         "-v", "--verbose", action="store_true",
         help="print service statistics to stderr on exit",
     )
@@ -1074,6 +1207,61 @@ def build_arg_parser() -> argparse.ArgumentParser:
     p.add_argument("-v", "--verbose", action="store_true")
     _add_obs_flags(p)
     p.set_defaults(fn=_cmd_specs)
+
+    p = sub.add_parser(
+        "registry",
+        help="versioned spec registry: publish, rollback, history, show",
+        description="Manage an on-disk registry of versioned declarative "
+        "specifications. Publishes are gated through the spec linter; a "
+        "running `repro serve --watch-registry DIR` hot-reloads the "
+        "active versions without a restart.",
+    )
+    rsub = p.add_subparsers(dest="registry_command", required=True)
+
+    rp = rsub.add_parser("publish", help="lint-gate and publish spec file(s)")
+    rp.add_argument("dir", help="registry root directory")
+    rp.add_argument(
+        "-f", "--file", required=True,
+        help="declarative spec JSON (one object or a list of objects)",
+    )
+    rp.add_argument("--note", default="", help="free-form note stored with the version")
+    rp.add_argument(
+        "--fail-on",
+        choices=["info", "warning", "error"],
+        default="error",
+        help="reject the publish when the linter reports a diagnostic at "
+        "or above this severity (default: %(default)s)",
+    )
+    rp.add_argument(
+        "--no-gate", action="store_true", help="skip the lint gate entirely"
+    )
+    rp.add_argument("--json", action="store_true", help="emit published versions as JSON")
+    rp.set_defaults(fn=_cmd_registry_publish)
+
+    rp = rsub.add_parser("rollback", help="point a spec back at an older version")
+    rp.add_argument("dir", help="registry root directory")
+    rp.add_argument("name", help="specification name")
+    rp.add_argument(
+        "--to", type=int, default=None, metavar="N",
+        help="version to activate (default: the one before the active version)",
+    )
+    rp.add_argument("--json", action="store_true", help="emit the active version as JSON")
+    rp.set_defaults(fn=_cmd_registry_rollback)
+
+    rp = rsub.add_parser("history", help="list versions (active marked with *)")
+    rp.add_argument("dir", help="registry root directory")
+    rp.add_argument("name", nargs="?", default=None, help="limit to one specification")
+    rp.add_argument("--json", action="store_true", help="emit the history as JSON")
+    rp.set_defaults(fn=_cmd_registry_history)
+
+    rp = rsub.add_parser("show", help="print a stored spec payload")
+    rp.add_argument("dir", help="registry root directory")
+    rp.add_argument("name", help="specification name")
+    rp.add_argument(
+        "--version", type=int, default=None, metavar="N",
+        help="version to show (default: the active version)",
+    )
+    rp.set_defaults(fn=_cmd_registry_show)
 
     p = sub.add_parser(
         "audit",

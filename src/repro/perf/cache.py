@@ -6,10 +6,15 @@ queries against the same specifications constantly.  Translation is pure
 so whole results can be memoized:
 
 * **Key** — ``(algorithm, specification name, specification version,
-  query fingerprint)``.  The version stamp is bumped by every
-  ``add_rule``/``remove_rule``, so entries built against an outdated
-  rule set can never be served; the fingerprint collapses ∧/∨
-  commutativity and join orientation (see :mod:`repro.perf.fingerprint`).
+  content digest, query fingerprint)``.  The version stamp is bumped by
+  every ``add_rule``/``remove_rule``, so entries built against an
+  outdated rule set can never be served; the content digest
+  (:attr:`~repro.rules.MappingSpecification.content_digest`) guards the
+  cross-object case — version stamps are a per-process counter, so a
+  *different* spec object (a hot-reloaded replacement, a fresh worker)
+  can legitimately carry the same ``(name, version)`` with different
+  rules.  The fingerprint collapses ∧/∨ commutativity and join
+  orientation (see :mod:`repro.perf.fingerprint`).
 * **Value** — the full :class:`~repro.core.tdqm.TranslationResult` /
   :class:`~repro.core.dnf_mapper.DNFMapResult`, shared by reference
   (results are immutable in practice: never mutate a cached result).
@@ -52,8 +57,9 @@ if TYPE_CHECKING:
 
 __all__ = ["CacheStats", "TranslationCache", "translate_batch"]
 
-#: Cache key: (algorithm, spec name, spec version, query fingerprint).
-_Key = tuple[str, str, int, str]
+#: Cache key: (algorithm, spec name, spec version, spec content digest,
+#: query fingerprint).
+_Key = tuple[str, str, int, str, str]
 
 _MISS = object()
 
@@ -322,7 +328,7 @@ class TranslationCache:
         """
         from repro.core.tdqm import tdqm_translate
 
-        key = ("tdqm", spec.name, spec.version, fingerprint)
+        key = ("tdqm", spec.name, spec.version, spec.content_digest, fingerprint)
         return self._get_or_compute(  # type: ignore[return-value]
             key, lambda: tdqm_translate(normalized_query, spec)
         )
@@ -336,6 +342,7 @@ class TranslationCache:
             "dnf",
             spec.name,
             spec.version,
+            spec.content_digest,
             query_fingerprint(prepared, normalized=True),
         )
         return self._get_or_compute(  # type: ignore[return-value]

@@ -32,6 +32,7 @@ answering from the outdated rule set.
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
@@ -99,8 +100,10 @@ class CompiledRuleIndex:
     """
 
     __slots__ = (
+        "__weakref__",
         "spec_name",
         "version",
+        "digest",
         "_spec",
         "_rules",
         "_signatures",
@@ -112,9 +115,16 @@ class CompiledRuleIndex:
     )
 
     def __init__(self, spec: MappingSpecification):
-        self._spec = spec
+        # A weak back-reference: the spec owns the index (strongly, via
+        # its _compiled_index slot), so a strong reference here would
+        # form a cycle that keeps a swapped-out spec — and every compiled
+        # closure and memo hanging off this index — alive until a gc
+        # pass.  Weak means plain refcounting frees the whole subgraph
+        # the moment a hot reload drops the last spec reference.
+        self._spec = weakref.ref(spec)
         self.spec_name: str = spec.name
         self.version: int = spec.version
+        self.digest: str = spec.content_digest
         self._rules: tuple[Rule, ...] = spec.rules
         self._signatures: tuple[tuple[HeadSignature, ...], ...] = tuple(
             _signature(rule) for rule in spec.rules
@@ -166,12 +176,24 @@ class CompiledRuleIndex:
     # -- probing ---------------------------------------------------------------
 
     def check_fresh(self) -> None:
-        """Raise :class:`StaleIndexError` if the specification mutated."""
-        if self._spec.version != self.version:
+        """Raise :class:`StaleIndexError` if the specification mutated.
+
+        Also raises when the owning specification was garbage-collected
+        (a hot-reloaded spec was swapped out from under a lingering
+        handle) or when its content digest diverged from the one this
+        index was built against.
+        """
+        spec = self._spec()
+        if spec is None:
+            raise StaleIndexError(
+                f"compiled rule index for specification {self.spec_name!r} is stale "
+                "(the owning specification was retired); rebuild via spec.matcher()"
+            )
+        if spec.version != self.version or spec.content_digest != self.digest:
             raise StaleIndexError(
                 f"compiled rule index for specification {self.spec_name!r} is stale "
                 f"(built at version {self.version}, specification is now at "
-                f"version {self._spec.version}); rebuild via spec.matcher()"
+                f"version {spec.version}); rebuild via spec.matcher()"
             )
 
     def candidate_ids(self, attrs: "set[str] | frozenset[str] | dict") -> list[int]:

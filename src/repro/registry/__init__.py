@@ -1,0 +1,36 @@
+"""Versioned spec registry: gated publish, rollback, hot-reload source.
+
+The serving stack treats mapping specifications as long-lived, evolving
+artifacts: an integration team publishes a new rule set, the running
+``repro serve`` picks it up without a restart, and a bad publish rolls
+back to the previous version.  This package is the durable half of that
+lifecycle (the live half — the ``reload`` protocol op and
+``--watch-registry`` — lives in :mod:`repro.serve` and :mod:`repro.cli`):
+
+* :class:`SpecRegistry` — an on-disk store of declarative specification
+  versions (see :mod:`repro.rules.declarative`) with an atomic index,
+  content-digest identity, and non-destructive rollback;
+* :func:`SpecRegistry.publish` — gated by ``vocablint``
+  (:func:`repro.analysis.lint_specification`) at a configurable severity
+  threshold, exactly like ``repro lint --fail-on``;
+* :class:`RegistryWatcher` — a polling thread that fires a callback when
+  a spec's *active* digest changes, driving hot reload.
+
+See ``docs/lifecycle.md`` for the layout and workflow.
+"""
+
+from repro.registry.registry import (
+    PublishRejected,
+    RegistryError,
+    SpecRegistry,
+    SpecVersion,
+)
+from repro.registry.watch import RegistryWatcher
+
+__all__ = [
+    "PublishRejected",
+    "RegistryError",
+    "RegistryWatcher",
+    "SpecRegistry",
+    "SpecVersion",
+]

@@ -1,0 +1,113 @@
+"""RegistryWatcher: poll a registry and fire callbacks on digest changes.
+
+The live half of the lifecycle: ``repro serve --watch-registry DIR``
+runs one of these next to the service (single-process *and* cluster
+mode) so a ``repro registry publish``/``rollback`` from another process
+reaches the running server within one poll interval — no restart, no
+admin connection needed.
+
+The watcher compares the registry's ``{name: active digest}`` state
+(:meth:`SpecRegistry.state`) between polls and invokes the callback
+once per changed name with ``(name, payload)`` — the raw declarative
+dict, which is what both the in-process reload
+(:meth:`~repro.serve.MediationService.reload_spec` after
+``spec_from_dict``) and the cluster fan-out (JSON over the worker
+pipes) consume.  Callback errors are reported through ``on_error`` (a
+stderr line by default) and never kill the watch thread.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import threading
+from collections.abc import Callable
+
+from repro.registry.registry import SpecRegistry
+
+__all__ = ["RegistryWatcher"]
+
+
+class RegistryWatcher:
+    """A daemon thread polling one registry for active-version changes."""
+
+    def __init__(
+        self,
+        registry: SpecRegistry | str | os.PathLike[str],
+        callback: Callable[[str, dict], None],
+        *,
+        interval: float = 2.0,
+        names: "set[str] | None" = None,
+        fire_initial: bool = True,
+        on_error: Callable[[str, Exception], None] | None = None,
+    ):
+        if interval <= 0:
+            raise ValueError(f"watch interval must be > 0, got {interval}")
+        self.registry = (
+            registry if isinstance(registry, SpecRegistry) else SpecRegistry(registry)
+        )
+        self.callback = callback
+        self.interval = interval
+        self.names = set(names) if names is not None else None
+        #: Apply the registry's current state on start (the registry is
+        #: the source of truth the moment the operator points at it);
+        #: ``False`` only reacts to changes after the watcher started.
+        self.fire_initial = fire_initial
+        self.on_error = on_error or self._default_on_error
+        self.fired = 0
+        self._seen: dict[str, str] = {}
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    @staticmethod
+    def _default_on_error(name: str, exc: Exception) -> None:
+        print(
+            f"watch-registry: reload of {name!r} failed: "
+            f"{type(exc).__name__}: {exc}",
+            file=sys.stderr,
+        )
+
+    def poll_once(self) -> int:
+        """One poll cycle; returns how many callbacks fired."""
+        try:
+            state = self.registry.state()
+        except Exception as exc:  # noqa: BLE001 - registry mid-update/missing
+            self.on_error("<registry>", exc)
+            return 0
+        fired = 0
+        for name in sorted(state):
+            if self.names is not None and name not in self.names:
+                continue
+            digest = state[name]
+            if self._seen.get(name) == digest:
+                continue
+            self._seen[name] = digest
+            try:
+                payload = self.registry.load_raw(name)
+                self.callback(name, payload)
+            except Exception as exc:  # noqa: BLE001 - keep watching
+                self.on_error(name, exc)
+                continue
+            fired += 1
+        self.fired += fired
+        return fired
+
+    def _run(self) -> None:
+        if self.fire_initial:
+            self.poll_once()
+        while not self._stop.wait(self.interval):
+            self.poll_once()
+
+    def start(self) -> "RegistryWatcher":
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._run, name="registry-watcher", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+            self._thread = None

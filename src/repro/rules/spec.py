@@ -15,6 +15,7 @@ a human expert can certify; what the library can do mechanically is
 
 from __future__ import annotations
 
+import hashlib
 import itertools
 from collections import Counter
 from dataclasses import dataclass
@@ -31,9 +32,24 @@ __all__ = ["MappingSpecification", "AuditReport", "audit_vocabulary"]
 
 #: Global version-stamp source.  Every specification construction *and*
 #: every mutation draws a fresh stamp, so (name, version) pairs uniquely
-#: identify one rule-set state across all live specifications — exactly
-#: what the translation-cache keys need.
+#: identify one rule-set state *within one process*.  Across processes
+#: the counter restarts, so two spec objects can carry the same stamp
+#: with different rule sets — anything durable (cache keys, snapshots,
+#: registry versions) must pair the stamp with :attr:`content_digest`.
 _VERSION_STAMPS = itertools.count(1)
+
+_DIGEST_SEP = "\x1f"
+
+
+def _content_digest(spec: "MappingSpecification") -> str:
+    """sha256 over the declarative rule surface (see ``content_digest``)."""
+    parts = [spec.name, spec.target, str(len(spec.rules))]
+    for rule in spec.rules:
+        exactness = str(rule.exact) if isinstance(rule.exact, bool) else "<dynamic>"
+        parts.extend((rule.name, rule.doc, exactness, str(len(rule.conditions))))
+        parts.extend(repr(pattern) for pattern in rule.patterns)
+    digest = hashlib.sha256(_DIGEST_SEP.join(parts).encode("utf-8"))
+    return digest.hexdigest()
 
 
 @dataclass(frozen=True)
@@ -50,6 +66,7 @@ class MappingSpecification:
         # them out of __annotations__ at runtime).
         _rules_by_name: dict[str, Rule]
         _version: int
+        _digest: str | None
         _compiled_index: CompiledRuleIndex | None
 
     def __post_init__(self) -> None:
@@ -65,6 +82,7 @@ class MappingSpecification:
             self, "_rules_by_name", {rule.name: rule for rule in self.rules}
         )
         object.__setattr__(self, "_version", next(_VERSION_STAMPS))
+        object.__setattr__(self, "_digest", None)
         object.__setattr__(self, "_compiled_index", None)
 
     # -- versioning + compiled index -------------------------------------------
@@ -73,17 +91,37 @@ class MappingSpecification:
     def version(self) -> int:
         """The rule-set version stamp this specification currently carries.
 
-        Globally unique per (specification, mutation state): construction
-        draws a stamp and every :meth:`add_rule`/:meth:`remove_rule`
-        draws a fresh one.  Translation-cache keys and compiled rule
-        indexes pin this stamp, so anything built against an outdated
+        Unique per (specification, mutation state) *within one process*:
+        construction draws a stamp and every :meth:`add_rule`/
+        :meth:`remove_rule` draws a fresh one.  Translation-cache keys
+        and compiled rule indexes pin this stamp together with
+        :attr:`content_digest`, so anything built against an outdated
         rule set misses (cache) or raises (index) instead of silently
-        answering wrong.
+        answering wrong — even when a different process hands out the
+        same counter value for a different rule set.
         """
         return self._version
 
+    @property
+    def content_digest(self) -> str:
+        """A process-independent digest of the declarative rule surface.
+
+        Stable across restarts (unlike :attr:`version`) and sensitive to
+        every declarative mutation: adding, removing, renaming, or
+        re-patterning a rule all change the digest.  A behavioral change
+        hidden inside a rule's emit/condition closures without any
+        declarative change is not detectable — rename the rule (or touch
+        its doc) when changing rule semantics.  Memoized per version.
+        """
+        digest = self._digest
+        if digest is None:
+            digest = _content_digest(self)
+            object.__setattr__(self, "_digest", digest)
+        return digest
+
     def _bump_version(self) -> None:
         object.__setattr__(self, "_version", next(_VERSION_STAMPS))
+        object.__setattr__(self, "_digest", None)
         object.__setattr__(self, "_compiled_index", None)
 
     def compiled_index(self) -> CompiledRuleIndex:

@@ -20,6 +20,15 @@ routes each request by consistent-hashing its query fingerprint
 its cache shard across restarts via :mod:`repro.serve.snapshot`
 (:func:`write_snapshot` / :func:`restore_snapshot`).
 
+Specs are live artifacts: the ``reload`` protocol op (and
+:meth:`MediationService.reload_spec`) hot-swaps a published
+specification into a running service — atomically, with in-flight
+requests completing against the spec they started with — and the
+cluster front-end rolls the swap across workers one shard at a time.
+The durable side of that lifecycle (versioned publish/rollback, the
+lint gate, ``--watch-registry``) lives in :mod:`repro.registry`; see
+``docs/lifecycle.md``.
+
 Service model, overload behavior, tuning, and the multi-process
 architecture: ``docs/serving.md``.
 """
@@ -31,6 +40,7 @@ from repro.serve.protocol import (
     error_response,
     handle_line,
     handle_request,
+    resolve_reload_specs,
 )
 from repro.serve.router import HashRing
 from repro.serve.server import serve_jsonl, serve_tcp
@@ -63,6 +73,7 @@ __all__ = [
     "error_response",
     "handle_line",
     "handle_request",
+    "resolve_reload_specs",
     "restore_snapshot",
     "serve_jsonl",
     "serve_tcp",

@@ -29,8 +29,11 @@ Front-end additions to the protocol (everything else proxies verbatim):
 ``stats`` aggregates exact per-shard counters (and carries them under
 ``stats.shards``), ``shards`` reports shard topology/liveness,
 ``drain`` removes/returns a shard from rotation, ``restart`` performs a
-rolling restart, and ``snapshot`` asks every live worker to persist its
-shard now.  ``health``/``sources``/``slowlog`` fan out and merge;
+rolling restart, ``snapshot`` asks every live worker to persist its
+shard now, and ``reload`` hot-swaps mapping specs across the fleet one
+shard at a time (drain → swap → precompile → re-admit), so a registry
+publish reaches every worker without losing a request or a warm cache
+entry for the unchanged specs.  ``health``/``sources``/``slowlog`` fan out and merge;
 ``metrics`` returns per-shard registry snapshots plus summed counters.
 
 The event loop runs on a dedicated thread so the blocking CLI and the
@@ -52,7 +55,13 @@ from repro.core.normalize import normalize
 from repro.core.parser import parse_query
 from repro.obs.metrics import aggregate_scorecards
 from repro.perf.fingerprint import query_fingerprint
-from repro.serve.protocol import OPS, decode_line, encode_response, error_response
+from repro.serve.protocol import (
+    OPS,
+    decode_line,
+    encode_response,
+    error_response,
+    resolve_reload_specs,
+)
 from repro.serve.router import HashRing
 from repro.serve.service import ServiceConfig
 from repro.serve.worker import worker_main
@@ -61,10 +70,11 @@ __all__ = ["ClusterConfig", "ClusterServer", "ClusterError"]
 
 #: Ops the front-end answers itself (everything else goes to a shard).
 FRONTEND_OPS = ("stats", "shards", "drain", "restart", "snapshot",
-                "health", "metrics", "sources", "slowlog")
+                "health", "metrics", "sources", "slowlog", "reload")
 
 #: Worker counters summed into the aggregated ``stats`` op.
-_SUMMED_STATS = ("requests", "completed", "rejected", "coalesced", "errors", "in_flight")
+_SUMMED_STATS = ("requests", "completed", "rejected", "coalesced", "errors",
+                 "reloads", "in_flight")
 _SUMMED_CACHE = ("hits", "misses", "evictions", "invalidations", "coalesced", "size")
 
 
@@ -260,6 +270,15 @@ class ClusterServer:
     def restart_shard(self, shard_id: int) -> dict:
         """Rolling restart of one shard, warm from its final snapshot."""
         return self._run(self._async_restart(shard_id), timeout=120.0)
+
+    def reload_specs(self, spec_dicts: list[dict]) -> dict:
+        """Rolling hot reload of declarative specs across every shard.
+
+        The synchronous face of the ``reload`` front-end op — what
+        ``--watch-registry`` calls when the registry changes under a
+        running cluster.
+        """
+        return self._run(self._async_reload(list(spec_dicts)), timeout=120.0)
 
     def kill_shard(self, shard_id: int) -> None:
         """Hard-kill one worker (fault injection for tests/smoke)."""
@@ -614,6 +633,8 @@ class ClusterServer:
         if op == "snapshot":
             per_shard = await self._fanout({"op": "snapshot"})
             return {**base, "ok": True, "snapshots": per_shard}
+        if op == "reload":
+            return await self._op_reload(request, base)
         if op == "stats":
             return {**base, "ok": True, "stats": await self._aggregate_stats()}
         if op == "health":
@@ -659,6 +680,60 @@ class ClusterServer:
         deadline = asyncio.get_event_loop().time() + timeout
         while shard.pending and asyncio.get_event_loop().time() < deadline:
             await asyncio.sleep(0.01)
+
+    async def _op_reload(self, request: dict, base: dict) -> dict:
+        try:
+            spec_dicts = resolve_reload_specs(request, set(self.config.spec_names))
+        except ValueError as exc:
+            return error_response(request, "bad-request", str(exc))
+        except Exception as exc:  # noqa: BLE001 - registry load failures
+            return error_response(
+                request, type(exc).__name__, str(exc) or type(exc).__name__
+            )
+        result = await self._async_reload(spec_dicts)
+        return {**base, **result}
+
+    async def _async_reload(self, spec_dicts: list[dict]) -> dict:
+        """Coordinated rolling reload: drain -> swap -> precompile -> re-admit.
+
+        Shards reload one at a time, so at every instant all-but-one
+        shard keeps serving (its requests fail over along the ring while
+        it drains, exactly like a rolling restart) and each response is
+        computed wholly against the old or wholly against the new rule
+        set — never a mix.  The worker-side swap precompiles the new
+        spec's closures before it lands (``MediationService.reload_spec``),
+        and each worker's snapshot table follows the swap, so warm-start
+        snapshots are discarded only for the specs that actually changed.
+        """
+        shard_reports: list[dict] = []
+        ok = True
+        for shard in self.shards:
+            if not shard.alive:
+                ok = False
+                shard_reports.append(
+                    {"shard": shard.shard_id, "ok": False, "error": "shard is down"}
+                )
+                continue
+            shard.draining = True
+            try:
+                await self._wait_drained(shard)
+                response = await self._call_shard(
+                    shard, {"op": "reload", "specs": spec_dicts}
+                )
+            except _ShardDied as exc:
+                ok = False
+                shard_reports.append(
+                    {"shard": shard.shard_id, "ok": False, "error": str(exc)}
+                )
+                continue
+            finally:
+                shard.draining = False
+            entry = {"shard": shard.shard_id, **response}
+            entry.pop("op", None)
+            if not response.get("ok"):
+                ok = False
+            shard_reports.append(entry)
+        return {"ok": ok, "reload": shard_reports}
 
     async def _async_restart(self, shard_id: int) -> dict:
         """Drain -> snapshot via SIGTERM -> respawn -> warm reconnect."""

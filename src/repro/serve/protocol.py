@@ -41,6 +41,16 @@ Operations
 ``slowlog``
     The ``n`` (default 10) slowest query fingerprints with per-
     fingerprint counts and max/mean latency.
+``reload``
+    Hot-swap mapping specifications without a restart: ``spec`` (one
+    declarative spec dict), ``specs`` (a list of them), or ``registry``
+    (a :mod:`repro.registry` directory whose *active* versions are
+    loaded) — each named spec is atomically swapped into the running
+    service via :meth:`MediationService.reload_spec
+    <repro.serve.service.MediationService.reload_spec>`.  Responds with
+    one report per spec (digests, affected sources, cache entries
+    invalidated, ``changed`` false for a same-digest no-op).  In-flight
+    requests complete against the spec they started with.
 
 ``metrics``, ``sources``, and ``slowlog`` need the service to run with
 a metrics registry (``repro serve --metrics``); without one they answer
@@ -66,7 +76,14 @@ if TYPE_CHECKING:
     from repro.core.tdqm import TranslationResult
     from repro.mediator.mediator import MediatedAnswer
 
-__all__ = ["decode_line", "encode_response", "error_response", "handle_request", "handle_line"]
+__all__ = [
+    "decode_line",
+    "encode_response",
+    "error_response",
+    "handle_request",
+    "handle_line",
+    "resolve_reload_specs",
+]
 
 #: Operations a request may name.
 OPS = (
@@ -79,7 +96,49 @@ OPS = (
     "metrics",
     "sources",
     "slowlog",
+    "reload",
 )
+
+
+def resolve_reload_specs(request: dict, served: "set[str] | None" = None) -> list[dict]:
+    """The declarative spec dicts one ``reload`` request names.
+
+    Accepts ``spec`` (one dict), ``specs`` (a list of dicts), or
+    ``registry`` (a :mod:`repro.registry` directory — every *active*
+    version is loaded, filtered to ``served`` spec names when given).
+    Shared by the single-process dispatcher and the cluster front-end so
+    both modes resolve one request shape identically.
+    """
+    if "registry" in request:
+        root = request["registry"]
+        if not isinstance(root, str) or not root:
+            raise ValueError("'registry' must be a directory path")
+        from repro.registry import SpecRegistry
+
+        registry = SpecRegistry(root)
+        names = [
+            name
+            for name in registry.names()
+            if served is None or name in served
+        ]
+        specs = [registry.load_raw(name) for name in names]
+        if not specs:
+            raise ValueError(
+                f"registry {root!r} has no active specification "
+                f"matching the served set {sorted(served or ())}"
+            )
+        return specs
+    if "specs" in request:
+        specs = request["specs"]
+        if not isinstance(specs, list) or not all(isinstance(s, dict) for s in specs):
+            raise ValueError("'specs' must be a list of declarative spec objects")
+        if not specs:
+            raise ValueError("'specs' must not be empty")
+        return specs
+    spec = request.get("spec")
+    if not isinstance(spec, dict):
+        raise ValueError("reload needs 'spec', 'specs', or 'registry'")
+    return [spec]
 
 
 def _jsonable(value: object) -> object:
@@ -217,6 +276,15 @@ def handle_request(service: MediationService, request: dict) -> dict:
                 raise ValueError("'n' must be a positive integer")
             _require_metrics_op(service, op)
             response.update(ok=True, slowlog=service.slowlog(n))
+        elif op == "reload":
+            from repro.rules.declarative import spec_from_dict
+
+            served = {spec.name for spec in service.mediator.specs.values()}
+            reports = [
+                service.reload_spec(spec_from_dict(data))
+                for data in resolve_reload_specs(request, served)
+            ]
+            response.update(ok=True, reload=reports)
         else:
             raise ValueError(
                 f"unknown op {op!r}; expected one of {', '.join(OPS)}"

@@ -119,15 +119,21 @@ class MediationService:
         self.mediator = mediator
         self.config = config or ServiceConfig()
         self.metrics = metrics
+        #: Callbacks invoked (with the new spec) after every effective
+        #: hot reload — the serve layers hang snapshot-table updates and
+        #: similar bookkeeping here.
+        self.reload_hooks: list = []
         self._slots = threading.Semaphore(self.config.max_concurrency)
         self._flights = SingleFlight()
         self._lock = threading.Lock()
+        self._reload_lock = threading.Lock()
         self._admitted = 0
         self._requests = 0
         self._completed = 0
         self._rejected = 0
         self._coalesced = 0
         self._errors = 0
+        self._reloads = 0
         self._queue_high_water = 0
         self._latency_total = 0.0
         self._latency_max = 0.0
@@ -301,6 +307,69 @@ class MediationService:
             with obs.span("serve.batch", queries=len(queries)):
                 return self.mediator.translate_many(list(queries), sources=sources)
 
+    # -- hot reload -----------------------------------------------------------
+
+    def reload_spec(self, new_spec) -> dict:
+        """Atomically swap one specification under the running service.
+
+        Every source currently served through a spec named
+        ``new_spec.name`` is repointed at ``new_spec``: the mediator's
+        spec table is *replaced wholesale* (never mutated in place), so
+        a request that already captured the old table — or the old spec
+        object itself — completes against the rule set it started with,
+        while every request admitted after the swap sees only the new
+        one.  The new spec's rule closures are compiled *before* the
+        swap and the shared :class:`~repro.perf.TranslationCache`
+        sections for the spec are invalidated after it (entries keyed
+        under the old ``(version, digest)`` are unreachable either way;
+        invalidation reclaims their slots eagerly and keeps the
+        counters exact).
+
+        A reload to an identical rule set (same
+        :attr:`~repro.rules.MappingSpecification.content_digest`) is a
+        no-op that preserves cache warmth.  Returns a report dict;
+        raises :class:`VocabMapError` when no served source uses a spec
+        of that name.
+        """
+        with self._reload_lock:
+            specs = self.mediator.specs
+            sources = sorted(
+                source for source, spec in specs.items() if spec.name == new_spec.name
+            )
+            if not sources:
+                served = sorted({spec.name for spec in specs.values()})
+                raise VocabMapError(
+                    f"reload: no served source uses specification "
+                    f"{new_spec.name!r}; serving {served}"
+                )
+            old_spec = specs[sources[0]]
+            report = {
+                "spec": new_spec.name,
+                "sources": sources,
+                "previous_digest": old_spec.content_digest,
+                "digest": new_spec.content_digest,
+                "rules": len(new_spec.rules),
+            }
+            if old_spec.content_digest == new_spec.content_digest:
+                report.update(changed=False, invalidated=0)
+                return report
+            if not self.mediator.interpret:
+                new_spec.compiled_index().precompile()
+            replacement = dict(specs)
+            for source in sources:
+                replacement[source] = new_spec
+            # The swap: one attribute store, atomic under the GIL.
+            self.mediator.specs = replacement
+            cache = self.mediator.translation_cache
+            invalidated = cache.invalidate(new_spec.name) if cache is not None else 0
+            with self._lock:
+                self._reloads += 1
+            obs.count("serve.reloads")
+            report.update(changed=True, invalidated=invalidated)
+            for hook in list(self.reload_hooks):
+                hook(new_spec)
+            return report
+
     # -- introspection --------------------------------------------------------
 
     def stats(self) -> dict:
@@ -313,6 +382,7 @@ class MediationService:
                 "rejected": self._rejected,
                 "coalesced": self._coalesced,
                 "errors": self._errors,
+                "reloads": self._reloads,
                 "in_flight": self._admitted,
                 "queue_high_water": self._queue_high_water,
                 "latency_mean_ms": round(

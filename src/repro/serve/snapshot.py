@@ -33,9 +33,9 @@ validates the format tag before touching the cache.
 
 from __future__ import annotations
 
-import hashlib
 import json
 import os
+import tempfile
 import threading
 import time
 from collections.abc import Mapping
@@ -66,7 +66,21 @@ __all__ = [
 SNAPSHOT_FORMAT = 1
 
 _KIND = "repro.serve.cache-snapshot"
-_DIGEST_SEP = "\x1f"
+
+#: Per-target-path write locks: two writers racing on one snapshot path
+#: (the periodic timer vs. a signal-triggered final export, or any direct
+#: caller) serialize here instead of interleaving temp-file writes.
+_WRITE_LOCKS: dict[str, threading.Lock] = {}
+_WRITE_LOCKS_GUARD = threading.Lock()
+
+
+def _path_lock(target: Path) -> threading.Lock:
+    key = str(target)
+    with _WRITE_LOCKS_GUARD:
+        lock = _WRITE_LOCKS.get(key)
+        if lock is None:
+            lock = _WRITE_LOCKS[key] = threading.Lock()
+        return lock
 
 
 def specs_by_name(
@@ -87,15 +101,13 @@ def spec_digest(spec: MappingSpecification) -> str:
 
     Stable across restarts (unlike the in-process version stamp) and
     sensitive to every declarative mutation: adding, removing, renaming,
-    or re-patterning a rule all change the digest.
+    or re-patterning a rule all change the digest.  Since the digest now
+    also participates in cache keys and registry versioning it lives on
+    the specification itself
+    (:attr:`~repro.rules.MappingSpecification.content_digest`); this
+    function remains the snapshot layer's public alias.
     """
-    parts = [spec.name, spec.target, str(len(spec.rules))]
-    for rule in spec.rules:
-        exactness = str(rule.exact) if isinstance(rule.exact, bool) else "<dynamic>"
-        parts.extend((rule.name, rule.doc, exactness, str(len(rule.conditions))))
-        parts.extend(repr(pattern) for pattern in rule.patterns)
-    digest = hashlib.sha256(_DIGEST_SEP.join(parts).encode("utf-8"))
-    return digest.hexdigest()
+    return spec.content_digest
 
 
 @dataclass(frozen=True)
@@ -153,12 +165,16 @@ def snapshot_payload(
     skipped_stale = 0
     skipped_unknown = 0
     for key, value in cache.export_entries(limit):
-        algo, spec_name, version, fingerprint = key
+        algo, spec_name, version, digest, fingerprint = key
         spec = specs.get(spec_name)
         if spec is None:
             skipped_unknown += 1
             continue
-        if version != spec.version or not isinstance(value, TranslationResult):
+        if (
+            version != spec.version
+            or digest != spec.content_digest
+            or not isinstance(value, TranslationResult)
+        ):
             skipped_stale += 1
             continue
         section = sections.setdefault(
@@ -199,17 +215,31 @@ def write_snapshot(
 ) -> SnapshotReport:
     """Atomically write a snapshot of ``cache`` to ``path``.
 
-    The payload lands in a sibling temp file first and is moved into
-    place with ``os.replace``, so readers never observe a torn file and
-    a crash mid-write preserves the previous snapshot.
+    The payload lands in a *uniquely named* sibling temp file first and
+    is moved into place with ``os.replace``, so readers never observe a
+    torn file and a crash mid-write preserves the previous snapshot.
+    Concurrent writers to the same target serialize on a per-path lock —
+    a fixed temp name would let two writers (e.g. the periodic
+    :class:`SnapshotTimer` racing a signal-triggered final export)
+    truncate each other's temp file between write and rename.
     """
     target = Path(path)
     target.parent.mkdir(parents=True, exist_ok=True)
-    with obs.span("serve.snapshot.write", path=str(target)):
+    with _path_lock(target), obs.span("serve.snapshot.write", path=str(target)):
         payload, report = snapshot_payload(cache, specs, limit=limit)
-        temp = target.with_name(target.name + ".tmp")
-        temp.write_text(json.dumps(payload, sort_keys=True) + "\n", encoding="utf-8")
-        os.replace(temp, target)
+        fd, temp_name = tempfile.mkstemp(
+            dir=str(target.parent), prefix=target.name + ".", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(json.dumps(payload, sort_keys=True) + "\n")
+            os.replace(temp_name, target)
+        except BaseException:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+            raise
     obs.count("serve.snapshot.writes")
     obs.count("serve.snapshot.exported_entries", report.entries)
     return SnapshotReport(
@@ -245,7 +275,13 @@ def _restore_entry(
         exact=bool(entry["exact"]),
         stats=TdqmStats(**entry["stats"]),
     )
-    key = (entry["algo"], spec.name, spec.version, entry["fingerprint"])
+    key = (
+        entry["algo"],
+        spec.name,
+        spec.version,
+        spec.content_digest,
+        entry["fingerprint"],
+    )
     return cache.import_entry(key, result)
 
 
@@ -354,6 +390,20 @@ class SnapshotTimer:
             )
             self.last_report = report
             return report
+
+    def update_spec(self, spec: MappingSpecification) -> bool:
+        """Swap a hot-reloaded specification into the snapshot table.
+
+        Without this a long-lived timer would pin the retired spec
+        object forever *and* keep exporting against its digest — every
+        entry of the replacement spec would be skipped as unknown-
+        version garbage.  Returns whether the table held the spec.
+        """
+        with self._write_lock:
+            if spec.name not in self.specs:
+                return False
+            self.specs[spec.name] = spec
+            return True
 
     def _run(self) -> None:
         while not self._stop.wait(self.interval):

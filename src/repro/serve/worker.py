@@ -201,6 +201,10 @@ def worker_main(
                 interval=snapshot_interval,
                 limit=snapshot_limit,
             ).start()
+            # Hot reloads must repoint the snapshot table too, or the
+            # timer would pin the retired spec and keep exporting under
+            # its digest (see SnapshotTimer.update_spec).
+            service.reload_hooks.append(timer.update_spec)
 
         runtime = _WorkerRuntime(shard_id, service, timer, restore_report)
         server = serve_tcp(

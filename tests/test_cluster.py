@@ -340,3 +340,162 @@ class TestClusterResilience:
                 assert cache["size"] >= exported > 0
             finally:
                 client.close()
+
+
+#: Declarative K_Amazon variants for the hot-reload tests — the first
+#: maps ``ln`` to ``author-word``, the second to plain ``author``; both
+#: answer differently from the built-in spec for the queries above.
+RELOAD_V1 = {
+    "name": "K_Amazon",
+    "target": "Amazon",
+    "rules": [
+        {
+            "name": "V1",
+            "match": [{"attr": "ln", "op": "=", "bind": "L"}],
+            "where": [{"cond": "value_is", "vars": ["L"]}],
+            "emit": {"attr": "author-word", "op": "=", "value": "$L"},
+            "exact": True,
+            "doc": "variant: ln -> author-word",
+        },
+        {
+            "name": "V2",
+            "match": [{"attr": "publisher", "op": "=", "bind": "N"}],
+            "where": [{"cond": "value_is", "vars": ["N"]}],
+            "emit": {"attr": "publisher", "op": "=", "value": "$N"},
+            "exact": True,
+            "doc": "variant: publisher rename",
+        },
+    ],
+}
+
+RELOAD_V2 = {
+    "name": "K_Amazon",
+    "target": "Amazon",
+    "rules": [
+        {
+            "name": "V1",
+            "match": [{"attr": "ln", "op": "=", "bind": "L"}],
+            "where": [{"cond": "value_is", "vars": ["L"]}],
+            "emit": {"attr": "author", "op": "=", "value": "$L"},
+            "exact": True,
+            "doc": "variant2: ln -> author",
+        }
+    ],
+}
+
+
+def reload_reference_lines(payload) -> dict[str, str]:
+    """Single-process responses under one reloaded spec version."""
+    from repro.rules.declarative import spec_from_dict
+
+    service = MediationService(builtin_mediator({"K_Amazon"}), ServiceConfig())
+    if payload is not None:
+        service.reload_spec(spec_from_dict(payload))
+    lines = {}
+    for i, query in enumerate(QUERIES[:4]):
+        line = json.dumps({"id": f"reload-{i}", "op": "translate", "query": query})
+        lines[line] = handle_line(service, line)
+    return lines
+
+
+class TestClusterReload:
+    def test_rolling_reload_swaps_every_shard_and_rollback_restores(self, tmp_path):
+        from repro.registry import SpecRegistry
+
+        registry = SpecRegistry(tmp_path)
+        registry.publish(RELOAD_V1)
+        builtin_ref = reload_reference_lines(None)
+        v1_ref = reload_reference_lines(RELOAD_V1)
+        v2_ref = reload_reference_lines(RELOAD_V2)
+
+        with ClusterServer(cluster_config()) as cluster:
+            client = Client(cluster.address)
+            try:
+                for line, expected in builtin_ref.items():
+                    assert client.call_raw(line) == expected
+
+                response = client.call({"op": "reload", "registry": str(tmp_path)})
+                assert response["ok"] is True
+                assert len(response["reload"]) == 2  # one report per shard
+                for entry in response["reload"]:
+                    assert entry["ok"] is True, entry
+                    (report,) = entry["reload"]
+                    assert report["changed"] is True
+                    assert report["spec"] == "K_Amazon"
+
+                # Every shard serves the published version, bit-identical
+                # to a single-process service on the same spec.
+                for line, expected in v1_ref.items():
+                    assert client.call_raw(line) == expected
+
+                registry.publish(RELOAD_V2)
+                assert client.call({"op": "reload", "registry": str(tmp_path)})["ok"]
+                for line, expected in v2_ref.items():
+                    assert client.call_raw(line) == expected
+
+                # Rollback and reload: prior answers return bit-identically.
+                registry.rollback("K_Amazon")
+                assert client.call({"op": "reload", "registry": str(tmp_path)})["ok"]
+                for line, expected in v1_ref.items():
+                    assert client.call_raw(line) == expected
+
+                stats = client.call({"op": "stats"})["stats"]
+                assert stats["reloads"] == 6  # 3 rolling reloads x 2 shards
+            finally:
+                client.close()
+
+    def test_reload_under_concurrent_clients_loses_nothing(self, tmp_path):
+        from repro.registry import SpecRegistry
+
+        registry = SpecRegistry(tmp_path)
+        registry.publish(RELOAD_V1)
+        registry.publish(RELOAD_V2)
+        allowed: dict[str, set[str]] = {}
+        for ref in (
+            reload_reference_lines(None),
+            reload_reference_lines(RELOAD_V1),
+            reload_reference_lines(RELOAD_V2),
+        ):
+            for line, response in ref.items():
+                allowed.setdefault(line, set()).add(response)
+        lines = sorted(allowed)
+
+        with ClusterServer(cluster_config()) as cluster:
+            failures: list[str] = []
+            counts = [0] * 8
+
+            def drive(slot: int) -> None:
+                client = Client(cluster.address)
+                try:
+                    for i in range(12):
+                        line = lines[(slot + i) % len(lines)]
+                        got = client.call_raw(line)
+                        if got not in allowed[line]:
+                            failures.append(f"client {slot}: {got[:100]}")
+                            return
+                        counts[slot] += 1
+                finally:
+                    client.close()
+
+            threads = [
+                threading.Thread(target=drive, args=(slot,), daemon=True)
+                for slot in range(8)
+            ]
+            for thread in threads:
+                thread.start()
+
+            admin = Client(cluster.address)
+            try:
+                for cycle in range(4):
+                    registry.rollback("K_Amazon", to_version=1 + cycle % 2)
+                    response = admin.call(
+                        {"op": "reload", "registry": str(tmp_path)}
+                    )
+                    assert response["ok"] is True, response
+            finally:
+                admin.close()
+                for thread in threads:
+                    thread.join(timeout=120.0)
+
+            assert failures == []
+            assert counts == [12] * 8

@@ -1,0 +1,456 @@
+"""Hot reload: MediationService.reload_spec, the reload op, and the
+live-mutation bug sweep.
+
+The contracts under test:
+
+* :meth:`MediationService.reload_spec` atomically swaps a spec under a
+  running service — new answers afterwards, exact invalidation
+  counters, a no-op when the content digest is unchanged, and a
+  :class:`VocabMapError` when no served source matches.
+* The ``reload`` protocol op accepts inline specs and registry
+  directories and returns one report per swapped spec.
+* Regression (version-stamp collision): cache keys carry the content
+  digest, so a restarted process that recreates a same-name spec with
+  the same process-local version stamp but different rules can never be
+  answered from another spec's cached translation.
+* Regression (retired-spec pinning): after a reload the swapped-out
+  spec — rule closures, compiled index, memos — is garbage, and
+  actually collectible.
+* Acceptance: 16 concurrent TCP clients across repeated
+  publish/rollback/reload cycles lose zero responses and every response
+  is bit-identical to a reference answer from exactly one spec version
+  — never a blend.
+"""
+
+from __future__ import annotations
+
+import copy
+import gc
+import itertools
+import json
+import socket
+import threading
+import weakref
+
+import pytest
+
+from repro.core.errors import VocabMapError
+from repro.core.parser import parse_query
+from repro.core.tdqm import tdqm_translate
+from repro.obs.stats import builtin_mediator
+from repro.perf import TranslationCache
+from repro.registry import SpecRegistry
+from repro.rules.declarative import spec_from_dict
+from repro.serve import (
+    MediationService,
+    ServiceConfig,
+    handle_line,
+    resolve_reload_specs,
+    serve_tcp,
+)
+
+QUERY = '[ln = "Clancy"]'
+
+#: ``ln`` maps to ``author-word`` — distinguishable from the built-in
+#: K_Amazon (``author``) and from WIDE below.
+WORD = {
+    "name": "K_Amazon",
+    "target": "Amazon",
+    "rules": [
+        {
+            "name": "V1",
+            "match": [{"attr": "ln", "op": "=", "bind": "L"}],
+            "where": [{"cond": "value_is", "vars": ["L"]}],
+            "emit": {"attr": "author-word", "op": "=", "value": "$L"},
+            "exact": True,
+            "doc": "variant: ln -> author-word",
+        },
+        {
+            "name": "V2",
+            "match": [{"attr": "publisher", "op": "=", "bind": "N"}],
+            "where": [{"cond": "value_is", "vars": ["N"]}],
+            "emit": {"attr": "publisher", "op": "=", "value": "$N"},
+            "exact": True,
+            "doc": "variant: publisher rename",
+        },
+    ],
+}
+
+#: ``ln`` maps to plain ``author`` and the publisher rule is gone.
+WIDE = {
+    "name": "K_Amazon",
+    "target": "Amazon",
+    "rules": [
+        {
+            "name": "V1",
+            "match": [{"attr": "ln", "op": "=", "bind": "L"}],
+            "where": [{"cond": "value_is", "vars": ["L"]}],
+            "emit": {"attr": "author", "op": "=", "value": "$L"},
+            "exact": True,
+            "doc": "variant2: ln -> author",
+        }
+    ],
+}
+
+
+def make_service(**overrides) -> MediationService:
+    mediator = builtin_mediator({"K_Amazon"})
+    assert mediator is not None
+    return MediationService(mediator, ServiceConfig(**overrides))
+
+
+def answer(service: MediationService, query: str = QUERY) -> str:
+    return service.translate(query)["Amazon"].mapping and str(
+        service.translate(query)["Amazon"].mapping
+    )
+
+
+class TestReloadSpec:
+    def test_reload_changes_subsequent_answers(self):
+        service = make_service()
+        before = str(service.translate(QUERY)["Amazon"].mapping)
+        report = service.reload_spec(spec_from_dict(WORD))
+        after = str(service.translate(QUERY)["Amazon"].mapping)
+        assert report["changed"] is True
+        assert report["sources"] == ["Amazon"]
+        assert before != after
+        assert "author-word" in after
+
+    def test_same_digest_reload_is_a_noop_preserving_cache(self):
+        service = make_service()
+        service.reload_spec(spec_from_dict(WORD))
+        service.translate(QUERY)
+        cache = service.mediator.translation_cache
+        size_before = cache.stats.size
+        report = service.reload_spec(spec_from_dict(copy.deepcopy(WORD)))
+        assert report["changed"] is False
+        assert report["invalidated"] == 0
+        assert cache.stats.size == size_before
+        # The warmed entry still answers from cache.
+        hits = cache.stats.hits
+        service.translate(QUERY)
+        assert cache.stats.hits == hits + 1
+
+    def test_unknown_spec_name_raises_and_names_the_served_set(self):
+        service = make_service()
+        ghost = dict(WIDE, name="K_Ghost")
+        with pytest.raises(VocabMapError, match="K_Ghost.*K_Amazon"):
+            service.reload_spec(spec_from_dict(ghost))
+
+    def test_invalidation_counter_is_exact(self):
+        service = make_service()
+        cache = service.mediator.translation_cache
+        queries = [QUERY, '[ln = "King"]', '[publisher = "X"]']
+        for query in queries:
+            service.translate(query)
+        warmed = cache.stats.size
+        assert warmed == len(queries)
+        invalidations_before = cache.stats.invalidations
+        report = service.reload_spec(spec_from_dict(WORD))
+        assert report["invalidated"] == warmed
+        assert cache.stats.invalidations - invalidations_before == warmed
+
+    def test_reload_counts_into_stats_and_fires_hooks(self):
+        service = make_service()
+        seen: list[str] = []
+        service.reload_hooks.append(lambda spec: seen.append(spec.name))
+        assert service.stats()["reloads"] == 0
+        service.reload_spec(spec_from_dict(WORD))
+        assert service.stats()["reloads"] == 1
+        assert seen == ["K_Amazon"]
+        # A digest no-op neither counts nor notifies.
+        service.reload_spec(spec_from_dict(copy.deepcopy(WORD)))
+        assert service.stats()["reloads"] == 1
+        assert seen == ["K_Amazon"]
+
+    def test_request_holding_the_old_spec_completes_against_it(self):
+        # The swap replaces the table; a caller that captured the old
+        # spec object keeps translating under the old rules, fresh index
+        # and all.
+        service = make_service()
+        old_spec = service.mediator.specs["Amazon"]
+        service.reload_spec(spec_from_dict(WORD))
+        result = tdqm_translate(parse_query(QUERY), old_spec)
+        assert "author-word" not in str(result.mapping)
+
+
+class TestReloadProtocol:
+    def test_reload_with_inline_spec(self):
+        service = make_service()
+        line = json.dumps({"id": 1, "op": "reload", "spec": WORD})
+        response = json.loads(handle_line(service, line))
+        assert response["ok"] is True
+        assert response["id"] == 1
+        (report,) = response["reload"]
+        assert report["spec"] == "K_Amazon"
+        assert report["changed"] is True
+
+    def test_reload_from_registry_directory(self, tmp_path):
+        registry = SpecRegistry(tmp_path)
+        registry.publish(WORD)
+        service = make_service()
+        line = json.dumps({"op": "reload", "registry": str(tmp_path)})
+        response = json.loads(handle_line(service, line))
+        assert response["ok"] is True
+        after = str(service.translate(QUERY)["Amazon"].mapping)
+        assert "author-word" in after
+
+    def test_registry_rollback_then_reload_restores_prior_answers(self, tmp_path):
+        registry = SpecRegistry(tmp_path)
+        registry.publish(WORD)
+        registry.publish(WIDE)
+        service = make_service()
+        reload_line = json.dumps({"op": "reload", "registry": str(tmp_path)})
+        handle_line(service, reload_line)
+        wide_answer = str(service.translate(QUERY)["Amazon"].mapping)
+        registry.rollback("K_Amazon")
+        handle_line(service, reload_line)
+        word_answer = str(service.translate(QUERY)["Amazon"].mapping)
+        assert "author-word" in word_answer
+        assert word_answer != wide_answer
+
+    def test_bad_reload_requests_get_structured_errors(self, tmp_path):
+        service = make_service()
+        for request in (
+            {"op": "reload"},
+            {"op": "reload", "registry": str(tmp_path / "missing")},
+            {"op": "reload", "specs": []},
+            {"op": "reload", "specs": "nope"},
+        ):
+            response = json.loads(handle_line(service, json.dumps(request)))
+            assert response["ok"] is False
+            assert response["error"]["type"] == "bad-request"
+
+    def test_resolve_filters_registry_to_served_names(self, tmp_path):
+        registry = SpecRegistry(tmp_path)
+        registry.publish(WORD)
+        registry.publish(dict(WIDE, name="K_Other"))
+        resolved = resolve_reload_specs(
+            {"registry": str(tmp_path)}, served={"K_Amazon"}
+        )
+        assert [spec["name"] for spec in resolved] == ["K_Amazon"]
+        with pytest.raises(ValueError, match="no active specification"):
+            resolve_reload_specs({"registry": str(tmp_path)}, served={"K_Ghost"})
+
+
+class TestVersionStampCollisionRegression:
+    """Cache keys must carry the content digest, not just (name, version).
+
+    ``MappingSpecification.version`` comes from a process-local counter:
+    after a restart (or in a sibling worker) a *different* rule set can
+    legitimately carry the same name and the same stamp.  Before the
+    digest joined the key, a warm cache imported from such a process
+    served the other spec's translations.
+    """
+
+    def test_recreated_spec_with_same_stamp_never_hits_stale(self, monkeypatch):
+        import repro.rules.spec as spec_module
+
+        cache = TranslationCache()
+        query = parse_query(QUERY)
+
+        monkeypatch.setattr(spec_module, "_VERSION_STAMPS", itertools.count(1))
+        old = spec_from_dict(WORD)
+        stale = cache.tdqm(query, old)
+
+        # Simulate the restarted process: the stamp counter resets and a
+        # spec with different rules lands on the same (name, version).
+        monkeypatch.setattr(spec_module, "_VERSION_STAMPS", itertools.count(1))
+        new = spec_from_dict(WIDE)
+        assert (new.name, new.version) == (old.name, old.version)
+        assert new.content_digest != old.content_digest
+
+        fresh = cache.tdqm(query, new)
+        direct = tdqm_translate(query, new)
+        assert fresh.mapping == direct.mapping
+        assert fresh.mapping != stale.mapping
+        assert cache.stats.hits == 0  # both lookups were real misses
+
+    def test_mutate_then_recreate_round_trip(self, monkeypatch):
+        # The original report: mutate a spec (version bumps), recreate
+        # the pre-mutation rule set in a "new process" (stamp collides
+        # with the *mutated* version), translate — the digest must keep
+        # the two rule sets apart.
+        import repro.rules.spec as spec_module
+
+        cache = TranslationCache()
+        query = parse_query(QUERY)
+
+        monkeypatch.setattr(spec_module, "_VERSION_STAMPS", itertools.count(1))
+        spec = spec_from_dict(WORD)
+        spec.remove_rule("V2")  # version bumps past the creation stamp
+        mutated_version = spec.version
+        cache.tdqm(query, spec)
+
+        monkeypatch.setattr(
+            spec_module, "_VERSION_STAMPS", itertools.count(mutated_version)
+        )
+        recreated = spec_from_dict(WIDE)
+        assert (recreated.name, recreated.version) == (spec.name, mutated_version)
+
+        result = cache.tdqm(query, recreated)
+        assert result.mapping == tdqm_translate(query, recreated).mapping
+        assert cache.stats.hits == 0
+
+
+class TestRetiredSpecReleased:
+    """A swapped-out spec must be collectible, closures and memos included."""
+
+    def test_retired_spec_and_index_are_collectible(self):
+        service = make_service()
+        service.reload_spec(spec_from_dict(WORD))
+        # Warm the compiled closures and the translation cache under the
+        # spec that is about to be retired.
+        service.translate(QUERY)
+        retired = service.mediator.specs["Amazon"]
+        witnesses = [
+            weakref.ref(retired),
+            weakref.ref(retired.compiled_index()),
+        ]
+        del retired
+        service.reload_spec(spec_from_dict(WIDE))
+        gc.collect()
+        assert [ref() for ref in witnesses] == [None, None]
+
+    def test_compiled_index_does_not_pin_its_spec(self):
+        # The index<->spec reference must be weak on the index side:
+        # with a strong back-reference the pair survives refcounting and
+        # leaks until a full gc pass — and pins both under any gc-frozen
+        # deployment.
+        spec = spec_from_dict(WORD)
+        index = spec.compiled_index()
+        index.precompile()
+        witness = weakref.ref(spec)
+        del spec
+        gc.collect()
+        assert witness() is None
+        from repro.core.errors import StaleIndexError
+
+        with pytest.raises(StaleIndexError, match="retired"):
+            index.check_fresh()
+
+
+class TestReloadUnderLoad:
+    """16 live TCP clients through repeated publish/rollback cycles."""
+
+    CLIENT_THREADS = 16
+    REQUESTS_PER_CLIENT = 40
+    RELOAD_CYCLES = 6
+
+    QUERIES = [
+        QUERY,
+        '[ln = "King"]',
+        '[publisher = "Haddix"]',
+        '[ln = "Clancy"] and [publisher = "Putnam"]',
+    ]
+
+    @staticmethod
+    def canonical(response: dict) -> str:
+        response = dict(response)
+        response.pop("id", None)
+        return json.dumps(response, sort_keys=True)
+
+    def reference(self, payload: dict | None) -> dict[str, str]:
+        """Canonical response per query for one spec version."""
+        service = make_service()
+        if payload is not None:
+            service.reload_spec(spec_from_dict(payload))
+        out = {}
+        for query in self.QUERIES:
+            line = json.dumps({"op": "translate", "query": query})
+            out[query] = self.canonical(json.loads(handle_line(service, line)))
+        return out
+
+    def test_zero_lost_and_every_answer_from_exactly_one_version(self, tmp_path):
+        references = {
+            "builtin": self.reference(None),
+            "word": self.reference(WORD),
+            "wide": self.reference(WIDE),
+        }
+        allowed = {
+            query: {ref[query] for ref in references.values()}
+            for query in self.QUERIES
+        }
+
+        service = make_service()
+        server = serve_tcp(service, port=0)
+        host, port = server.server_address[:2]
+        serve_thread = threading.Thread(target=server.serve_forever, daemon=True)
+        serve_thread.start()
+
+        registry = SpecRegistry(tmp_path)
+        registry.publish(WORD)
+        registry.publish(WIDE)
+
+        failures: list[str] = []
+        responded = [0] * self.CLIENT_THREADS
+        stop = threading.Event()
+
+        def drive(slot: int) -> None:
+            with socket.create_connection((host, port), timeout=60.0) as conn:
+                handle = conn.makefile("rw", encoding="utf-8")
+                for i in range(self.REQUESTS_PER_CLIENT):
+                    query = self.QUERIES[(slot + i) % len(self.QUERIES)]
+                    request_id = f"{slot}-{i}"
+                    handle.write(
+                        json.dumps(
+                            {"id": request_id, "op": "translate", "query": query}
+                        )
+                        + "\n"
+                    )
+                    handle.flush()
+                    raw = handle.readline()
+                    if not raw:
+                        failures.append(f"client {slot}: connection dropped")
+                        return
+                    response = json.loads(raw)
+                    if response.get("id") != request_id:
+                        failures.append(f"client {slot}: id mismatch {response}")
+                        return
+                    if self.canonical(response) not in allowed[query]:
+                        failures.append(
+                            f"client {slot}: blended/unknown answer for "
+                            f"{query!r}: {raw[:120]}"
+                        )
+                        return
+                    responded[slot] += 1
+
+        threads = [
+            threading.Thread(target=drive, args=(slot,), daemon=True)
+            for slot in range(self.CLIENT_THREADS)
+        ]
+        for thread in threads:
+            thread.start()
+
+        cache = service.mediator.translation_cache
+        invalidations_before = cache.stats.invalidations
+        reported_invalidated = 0
+        reload_line = json.dumps({"op": "reload", "registry": str(tmp_path)})
+        try:
+            for cycle in range(self.RELOAD_CYCLES):
+                if cycle % 2 == 0:
+                    registry.rollback("K_Amazon", to_version=1)  # -> WORD
+                else:
+                    registry.rollback("K_Amazon", to_version=2)  # -> WIDE
+                response = json.loads(handle_line(service, reload_line))
+                assert response["ok"] is True
+                reported_invalidated += sum(
+                    report["invalidated"] for report in response["reload"]
+                )
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join(timeout=120.0)
+            server.shutdown()
+            server.server_close()
+            serve_thread.join(timeout=30.0)
+
+        assert failures == []
+        assert responded == [self.REQUESTS_PER_CLIENT] * self.CLIENT_THREADS
+        # Counter exactness: every invalidated entry the reloads reported
+        # is an invalidation the cache counted, and nothing else
+        # invalidated entries behind the reports' back.
+        assert (
+            cache.stats.invalidations - invalidations_before == reported_invalidated
+        )
+        assert service.stats()["reloads"] == self.RELOAD_CYCLES

@@ -11,6 +11,7 @@ corrupt every response for that fingerprint).
 from __future__ import annotations
 
 import json
+import threading
 
 import pytest
 from hypothesis import given, settings
@@ -205,6 +206,100 @@ class TestSnapshotTimer:
     def test_rejects_negative_interval(self, tmp_path):
         with pytest.raises(ValueError):
             SnapshotTimer(tmp_path / "s.json", TranslationCache(), {}, interval=-1)
+
+
+class TestConcurrentWrites:
+    """The double-write race: periodic timer vs. final shutdown snapshot.
+
+    Multiple writers hammering one snapshot path must never leave a
+    torn/corrupt file behind (every observable file parses and restores)
+    and must never collide on a shared temp name — each write stages in
+    a unique temp file and lands via atomic rename, leaving no ``*.tmp``
+    litter.
+    """
+
+    def test_concurrent_writers_never_corrupt_the_snapshot(self, tmp_path):
+        spec = random_spec(ATTRS, pair_count=2, seed=11)
+        cache = TranslationCache()
+        warm(cache, spec, range(4))
+        path = tmp_path / "shard.json"
+        specs = {spec.name: spec}
+        # One writer is the "timer", the rest are direct final-snapshot
+        # writers — the exact SIGTERM-vs-periodic shape from worker.py.
+        timer = SnapshotTimer(path, cache, specs, interval=0)
+        errors: list[str] = []
+        stop = threading.Event()
+
+        def write_direct() -> None:
+            for _ in range(25):
+                write_snapshot(path, cache, specs)
+
+        def write_via_timer() -> None:
+            for _ in range(25):
+                timer.write_now()
+
+        def read_loop() -> None:
+            while not stop.is_set():
+                if not path.exists():
+                    continue
+                try:
+                    payload = json.loads(path.read_text(encoding="utf-8"))
+                except Exception as exc:  # noqa: BLE001 - the bug under test
+                    errors.append(f"torn read: {exc!r}")
+                    return
+                if payload.get("kind") != "repro.serve.cache-snapshot":
+                    errors.append(f"foreign payload: {payload.get('kind')!r}")
+                    return
+
+        writers = [threading.Thread(target=write_direct) for _ in range(4)]
+        writers.append(threading.Thread(target=write_via_timer))
+        readers = [threading.Thread(target=read_loop) for _ in range(2)]
+        for thread in writers + readers:
+            thread.start()
+        for thread in writers:
+            thread.join(timeout=120.0)
+        stop.set()
+        for thread in readers:
+            thread.join(timeout=30.0)
+
+        assert errors == []
+        assert [p.name for p in tmp_path.glob("*.tmp")] == []
+        restore = restore_snapshot(path, TranslationCache(), specs)
+        assert restore.restored > 0
+
+
+class TestSnapshotTimerReload:
+    def test_update_spec_repoints_the_export_table(self, tmp_path):
+        old = random_spec(ATTRS, pair_count=2, seed=12)
+        cache = TranslationCache()
+        warm(cache, old, range(3))
+        path = tmp_path / "shard.json"
+        timer = SnapshotTimer(path, cache, {old.name: old}, interval=0)
+        timer.write_now()
+
+        # Same name, different rules — the hot-reload shape.  Without
+        # update_spec the timer would keep exporting under the retired
+        # spec's digest forever.
+        new = random_spec(ATTRS, pair_count=3, seed=13)
+        replacement = type(old)(name=old.name, target=new.target, rules=new.rules)
+        assert timer.update_spec(replacement) is True
+        warm(cache, replacement, range(2))
+        report = timer.write_now()
+        assert report.entries > 0
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        section = payload["specs"][old.name]
+        assert section["digest"] == spec_digest(replacement)
+
+    def test_update_spec_ignores_unknown_names(self, tmp_path):
+        spec = random_spec(ATTRS, pair_count=2, seed=14)
+        timer = SnapshotTimer(
+            tmp_path / "s.json", TranslationCache(), {spec.name: spec}, interval=0
+        )
+        other = random_spec(ATTRS, pair_count=2, seed=15)
+        stranger = type(spec)(
+            name=spec.name + "-other", target=other.target, rules=other.rules
+        )
+        assert timer.update_spec(stranger) is False
 
 
 class TestSpecsByName:

@@ -13,6 +13,10 @@ the way an operator would:
   front-end must account the death;
 * rolling recovery — ``restart`` the dead shard; it must come back warm
   from its snapshot and ``health`` must return to ``ok``;
+* hot reload — ``repro registry publish`` a spec variant, ``reload``
+  it into the running cluster (no restart), observe the answers change;
+  ``repro registry rollback`` + ``reload`` must restore the prior
+  answers bit-identically;
 * shutdown — ``SIGINT`` must stop the front-end cleanly (exit code 0)
   and leave no orphaned worker processes behind.
 
@@ -42,6 +46,40 @@ QUERIES = [
     '[ln = "Smith"]',
     '([ln = "King"] or [ln = "Koontz"]) and [pyear = 1996]',
 ]
+
+#: The hot-reload probe and two K_Amazon variants that answer it
+#: differently (``author-word`` vs plain ``author``).
+RELOAD_QUERY = '[ln = "Clancy"]'
+
+RELOAD_V1 = {
+    "name": "K_Amazon",
+    "target": "Amazon",
+    "rules": [
+        {
+            "name": "V1",
+            "match": [{"attr": "ln", "op": "=", "bind": "L"}],
+            "where": [{"cond": "value_is", "vars": ["L"]}],
+            "emit": {"attr": "author-word", "op": "=", "value": "$L"},
+            "exact": True,
+            "doc": "smoke variant: ln -> author-word",
+        }
+    ],
+}
+
+RELOAD_V2 = {
+    "name": "K_Amazon",
+    "target": "Amazon",
+    "rules": [
+        {
+            "name": "V1",
+            "match": [{"attr": "ln", "op": "=", "bind": "L"}],
+            "where": [{"cond": "value_is", "vars": ["L"]}],
+            "emit": {"attr": "author", "op": "=", "value": "$L"},
+            "exact": True,
+            "doc": "smoke variant: ln -> author",
+        }
+    ],
+}
 
 
 def fail(message: str) -> None:
@@ -192,6 +230,76 @@ def main() -> int:
                     f"({restored['restored']} cached translations restored)"
                 )
 
+                # Hot reload through the registry lifecycle: publish a
+                # variant, reload the live cluster, verify the answers
+                # change with zero restarts, then rollback + reload and
+                # verify the prior answers return bit-identically.
+                registry_dir = pathlib.Path(snapshot_dir) / "registry"
+
+                def registry_cli(*argv: str) -> None:
+                    command = [
+                        sys.executable, "-m", "repro", "registry", *argv,
+                    ]
+                    done = subprocess.run(
+                        command, env=env, cwd=REPO, capture_output=True, text=True
+                    )
+                    if done.returncode != 0:
+                        fail(f"{' '.join(argv)} exited {done.returncode}: "
+                             f"{done.stderr.strip()}")
+
+                def canonical_translate() -> str:
+                    response = ask({"op": "translate", "query": RELOAD_QUERY})
+                    if not response.get("ok"):
+                        fail(f"translate failed during reload check: {response}")
+                    return json.dumps(response, sort_keys=True)
+
+                pids_before_reload = {
+                    s["shard"]: s["pid"] for s in ask({"op": "shards"})["shards"]
+                }
+                v1_file = pathlib.Path(snapshot_dir) / "v1.json"
+                v2_file = pathlib.Path(snapshot_dir) / "v2.json"
+                v1_file.write_text(json.dumps(RELOAD_V1), encoding="utf-8")
+                v2_file.write_text(json.dumps(RELOAD_V2), encoding="utf-8")
+
+                registry_cli("publish", str(registry_dir), "-f", str(v1_file))
+                reloaded = ask({"op": "reload", "registry": str(registry_dir)})
+                if not reloaded.get("ok"):
+                    fail(f"reload failed: {reloaded}")
+                if len(reloaded["reload"]) != 2 or not all(
+                    entry.get("ok") for entry in reloaded["reload"]
+                ):
+                    fail(f"not every shard reloaded: {reloaded}")
+                v1_answer = canonical_translate()
+                if "author-word" not in v1_answer:
+                    fail(f"published spec not serving: {v1_answer}")
+
+                registry_cli("publish", str(registry_dir), "-f", str(v2_file))
+                if not ask({"op": "reload", "registry": str(registry_dir)}).get("ok"):
+                    fail("second reload failed")
+                v2_answer = canonical_translate()
+                if v2_answer == v1_answer or "author-word" in v2_answer:
+                    fail(f"second publish not serving: {v2_answer}")
+
+                registry_cli("rollback", str(registry_dir), "K_Amazon")
+                if not ask({"op": "reload", "registry": str(registry_dir)}).get("ok"):
+                    fail("post-rollback reload failed")
+                if canonical_translate() != v1_answer:
+                    fail("rollback + reload did not restore the prior answers")
+
+                pids_after_reload = {
+                    s["shard"]: s["pid"] for s in ask({"op": "shards"})["shards"]
+                }
+                if pids_after_reload != pids_before_reload:
+                    fail(
+                        "reload restarted workers: "
+                        f"{pids_before_reload} -> {pids_after_reload}"
+                    )
+                print(
+                    "cluster-smoke: hot reload OK "
+                    "(publish -> new answers, rollback -> prior answers, "
+                    "same worker pids)"
+                )
+
                 shards = ask({"op": "shards"})["shards"]
                 worker_pids = [s["pid"] for s in shards]
 
@@ -212,7 +320,7 @@ def main() -> int:
 
     print(
         f"cluster-smoke: OK (2 shards, {total} initial requests, "
-        "worker death + warm restart + clean shutdown)"
+        "worker death + warm restart + hot reload/rollback + clean shutdown)"
     )
     return 0
 
